@@ -1,0 +1,66 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+figure's experiment cells (at a bench-friendly duration), prints a
+paper-vs-measured table, writes the same table under
+``benchmarks/results/``, and attaches the headline numbers to the
+pytest-benchmark ``extra_info`` so they appear in ``--benchmark-json``
+exports.
+
+Durations: the paper ran each cell for 1-5 *days*; benchmarks default to
+15 virtual minutes of measurement per cell, which reproduces availability,
+mistake-rate and cost numbers well but leaves leader-recovery confidence
+intervals wide (crashes arrive at ~6/hour/workstation).  Set
+``REPRO_BENCH_SECONDS`` to a larger horizon for tighter numbers —
+EXPERIMENTS.md records hour-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.experiments.figures import FigureCell
+from repro.experiments.report import format_figure_results
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def horizon(default: float = 1200.0) -> float:
+    """Per-cell experiment duration (seconds of virtual time)."""
+    return float(os.environ.get("REPRO_BENCH_SECONDS", default))
+
+
+def warmup() -> float:
+    return float(os.environ.get("REPRO_BENCH_WARMUP", 300.0))
+
+
+def run_cells(cells: Iterable[FigureCell]) -> List[Tuple[FigureCell, ExperimentResult]]:
+    """Run every cell of a figure and pair it with its result."""
+    return [(cell, run_experiment(cell.config)) for cell in cells]
+
+
+def report(title: str, slug: str, pairs) -> str:
+    """Format, persist and print the paper-vs-measured table."""
+    text = format_figure_results(title, pairs)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{slug}.txt").write_text(text)
+    print(text)
+    return text
+
+
+def attach_extra_info(benchmark, pairs) -> None:
+    """Stash per-cell headline metrics on the benchmark record."""
+    info: Dict[str, float] = {}
+    for cell, result in pairs:
+        key = f"{cell.series}/{cell.x_label}"
+        info[f"{key}/availability"] = round(result.availability, 6)
+        info[f"{key}/mistakes_per_hour"] = round(result.leadership.mistake_rate, 3)
+        summary = result.leadership.recovery_summary()
+        if summary.n:
+            info[f"{key}/recovery_s"] = round(summary.mean, 4)
+        info[f"{key}/cpu_percent"] = round(result.usage.cpu_percent, 5)
+        info[f"{key}/kb_per_s"] = round(result.usage.kb_per_second, 3)
+    benchmark.extra_info.update(info)

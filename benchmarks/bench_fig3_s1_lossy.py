@@ -1,0 +1,36 @@
+"""Regenerates paper Figure 3: S1 (Ω_id) over lossy links.
+
+Paper's series: the average leader recovery time Tr (top) and the average
+mistake rate λu (bottom) of service S1 across five (D, pL) link settings.
+Expected shape: Tr nearly flat between 0.8 s and ~0.95 s (the adaptive FD
+compensates for the network), λu ≈ 6 unjustified demotions/hour everywhere
+(all caused by lower-id rejoins, none by the FD).
+"""
+
+from benchmarks._support import (
+    attach_extra_info,
+    horizon,
+    warmup,
+    report,
+    run_cells,
+)
+from repro.experiments.figures import fig3_cells
+
+
+def bench_fig3_s1_lossy(benchmark):
+    cells = fig3_cells(duration=horizon(), warmup=warmup(), seed=1)
+
+    def regenerate():
+        return run_cells(cells)
+
+    pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("Figure 3 — S1 in lossy networks (Tr, λu)", "fig3", pairs)
+    attach_extra_info(benchmark, pairs)
+
+    # Shape assertions (the paper's qualitative claims).
+    for cell, result in pairs:
+        summary = result.leadership.recovery_summary()
+        if summary.n:
+            assert summary.mean < 2.0, f"Tr blew past the QoS bound in {cell.x_label}"
+    rates = [result.leadership.mistake_rate for _, result in pairs]
+    assert max(rates) > 0.5, "S1 must show rejoin-driven mistakes"

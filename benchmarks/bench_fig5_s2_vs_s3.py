@@ -1,0 +1,45 @@
+"""Regenerates paper Figure 5: S2 (Ω_lc) vs S3 (Ω_l) over lossy links.
+
+Paper's series: Tr and Pleader for both services across five (D, pL)
+settings (λu is 0 for both and not plotted).  Expected shape: "the
+message-efficient S3 is essentially as good as S2" — recovery times close
+to the 1 s detection bound for both, availability ≥ ~99.8% for both even in
+the worst setting.
+"""
+
+from collections import defaultdict
+
+from benchmarks._support import (
+    attach_extra_info,
+    horizon,
+    warmup,
+    report,
+    run_cells,
+)
+from repro.experiments.figures import fig5_cells
+
+
+def bench_fig5_s2_vs_s3(benchmark):
+    cells = fig5_cells(duration=horizon(), warmup=warmup(), seed=1)
+
+    def regenerate():
+        return run_cells(cells)
+
+    pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("Figure 5 — S2 vs S3 in lossy networks (Tr, Pleader)", "fig5", pairs)
+    attach_extra_info(benchmark, pairs)
+
+    by_series = defaultdict(list)
+    for cell, result in pairs:
+        by_series[cell.series].append(result)
+
+    # Both perfectly stable over lossy links.
+    for series in ("S2", "S3"):
+        assert all(
+            r.leadership.unjustified_demotions == 0 for r in by_series[series]
+        ), f"{series} must be stable over lossy links"
+        assert min(r.availability for r in by_series[series]) > 0.98
+    # "Essentially as good": availabilities within half a percent.
+    s2_avg = sum(r.availability for r in by_series["S2"]) / len(by_series["S2"])
+    s3_avg = sum(r.availability for r in by_series["S3"]) / len(by_series["S3"])
+    assert abs(s2_avg - s3_avg) < 0.005

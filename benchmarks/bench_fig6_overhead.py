@@ -1,0 +1,53 @@
+"""Regenerates paper Figure 6: CPU and bandwidth overhead vs group size.
+
+Paper's series: average CPU% and KB/s per workstation for S2 and S3 on
+4/8/12 workstations, over the real LAN and over (100 ms, 0.1) lossy links.
+Expected shape: S2's per-workstation cost grows steeply with n (its total
+message load is quadratic) while S3's grows slowly (linear total); both get
+more expensive as link quality degrades; at n = 12 on (100 ms, 0.1) the
+paper reports S3 ≈ 0.04% CPU / 6.48 KB/s and S2 ≈ 0.3% / 62.38 KB/s.
+"""
+
+from collections import defaultdict
+
+from benchmarks._support import (
+    attach_extra_info,
+    horizon,
+    warmup,
+    report,
+    run_cells,
+)
+from repro.experiments.figures import fig6_cells
+
+
+def bench_fig6_overhead(benchmark):
+    cells = fig6_cells(duration=horizon(900.0), warmup=warmup(), seed=1)
+
+    def regenerate():
+        return run_cells(cells)
+
+    pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("Figure 6 — CPU and bandwidth per workstation vs group size", "fig6", pairs)
+    attach_extra_info(benchmark, pairs)
+
+    kb = {}
+    cpu = {}
+    for cell, result in pairs:
+        n = int(cell.x_label.split()[0])
+        kb[(cell.series, n)] = result.usage.kb_per_second
+        cpu[(cell.series, n)] = result.usage.cpu_percent
+
+    for network in ("(0.025ms, 0)", "(100ms, 0.1)"):
+        s2, s3 = f"S2-{network}", f"S3-{network}"
+        # S2 costs more than S3 at every size.
+        for n in (4, 8, 12):
+            assert kb[(s2, n)] > kb[(s3, n)]
+        # S2 grows much faster from 4 to 12 workstations than S3.
+        s2_growth = kb[(s2, 12)] / kb[(s2, 4)]
+        s3_growth = kb[(s3, 12)] / kb[(s3, 4)]
+        assert s2_growth > s3_growth
+    # Degraded links cost more (the FD raises the heartbeat rate).
+    assert kb[("S2-(100ms, 0.1)", 12)] > kb[("S2-(0.025ms, 0)", 12)]
+    # Magnitudes: S2's worst case within ~3x of the paper's 62.38 KB/s.
+    assert 20.0 < kb[("S2-(100ms, 0.1)", 12)] < 190.0
+    assert cpu[("S2-(100ms, 0.1)", 12)] < 2.0

@@ -1,0 +1,56 @@
+"""Regenerates paper Figure 7: S2 vs S3 with crash-prone links.
+
+Paper's series: Tr, λu and Pleader for link MTTF 600/300/60 s (3 s
+downtime), workstations still crashing every 10 minutes.  Expected shape —
+the robustness/overhead trade-off of §6.5:
+
+* S2's availability degrades gracefully (paper: 98.78% even at 60 s MTTF)
+  thanks to leader forwarding; S3's collapses (paper: 77.42%) because a
+  process cut off from the leader has nothing to follow;
+* S3's Tr grows toward ~3 s (elections stall on crashed links) while S2's
+  stays near the 1 s detection bound;
+* both now show unjustified demotions, at rates growing into the hundreds
+  per hour (link crashes longer than 1 s *must* cause false suspicions
+  under the chosen FD QoS).
+"""
+
+from collections import defaultdict
+
+from benchmarks._support import (
+    attach_extra_info,
+    horizon,
+    warmup,
+    report,
+    run_cells,
+)
+from repro.experiments.figures import fig7_cells
+
+
+def bench_fig7_link_crashes(benchmark):
+    cells = fig7_cells(duration=horizon(), warmup=warmup(), seed=1)
+
+    def regenerate():
+        return run_cells(cells)
+
+    pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("Figure 7 — S2 vs S3 with crash-prone links (Tr, λu, Pleader)", "fig7", pairs)
+    attach_extra_info(benchmark, pairs)
+
+    availability = {}
+    mistakes = {}
+    for cell, result in pairs:
+        availability[(cell.series, cell.x_label)] = result.availability
+        mistakes[(cell.series, cell.x_label)] = result.leadership.mistake_rate
+
+    worst = "(60s, 3s)"
+    # The headline crossover: S2 stays up, S3 collapses at 60 s link MTTF.
+    assert availability[("S2", worst)] > 0.95
+    assert availability[("S3", worst)] < 0.90
+    assert availability[("S2", worst)] > availability[("S3", worst)] + 0.05
+    # Both make mistakes under link crashes, more as crashes get frequent.
+    assert mistakes[("S2", worst)] > 50.0
+    assert mistakes[("S3", worst)] > 50.0
+    assert mistakes[("S2", worst)] > mistakes[("S2", "(600s, 3s)")]
+    # At gentle link churn both remain highly available.
+    assert availability[("S2", "(600s, 3s)")] > 0.98
+    assert availability[("S3", "(600s, 3s)")] > 0.95

@@ -1,0 +1,49 @@
+"""Regenerates paper Figure 8: the FD QoS knob (T_D^U) vs election QoS.
+
+Paper's series: Tr and Pleader for S2 and S3 on the LAN, with the FD
+detection bound T_D^U swept over 0.1/0.25/0.5/0.75/1.0 s.  Expected shape:
+"Tr remains just a bit smaller than T_D^U" — i.e. recovery time tracks the
+detection bound nearly proportionally — and availability improves as the
+bound tightens.
+"""
+
+from collections import defaultdict
+
+from benchmarks._support import (
+    attach_extra_info,
+    horizon,
+    warmup,
+    report,
+    run_cells,
+)
+from repro.experiments.figures import fig8_cells
+
+
+def bench_fig8_qos_sweep(benchmark):
+    cells = fig8_cells(duration=horizon(), warmup=warmup(), seed=1)
+
+    def regenerate():
+        return run_cells(cells)
+
+    pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("Figure 8 — effect of T_D^U on Tr and Pleader (S2, S3)", "fig8", pairs)
+    attach_extra_info(benchmark, pairs)
+
+    recovery = defaultdict(dict)
+    for cell, result in pairs:
+        t_d = float(cell.x_label.split("=")[1].rstrip("s"))
+        summary = result.leadership.recovery_summary()
+        if summary.n:
+            recovery[cell.series][t_d] = summary.mean
+
+    for series, by_bound in recovery.items():
+        for t_d, tr in by_bound.items():
+            # Tr stays below the worst case and tracks the bound.
+            assert tr < 2.0 * t_d + 0.2, (
+                f"{series}: Tr={tr:.3f} does not track T_D^U={t_d}"
+            )
+        # Proportionality: the tightest measured bound recovers faster than
+        # the loosest one.
+        if len(by_bound) >= 2:
+            bounds = sorted(by_bound)
+            assert by_bound[bounds[0]] < by_bound[bounds[-1]]

@@ -1,0 +1,40 @@
+"""Regenerates the paper's §6.6-footnote headline costs at T_D^U = 0.1 s.
+
+"Even if we decrease the failure detection time to a very small value the
+cost of running S3 remains low: with T_D^U = 0.1 second, S3 took only 0.1%
+of the CPU and generated 12.6 KB/s of traffic per workstation; S2 took
+1.23% of the CPU and generated 135.17 KB/s of traffic per workstation."
+
+Expected shape: an order-of-magnitude S2/S3 cost gap that persists at
+10x-faster detection, with both still affordable.
+"""
+
+from benchmarks._support import (
+    attach_extra_info,
+    horizon,
+    warmup,
+    report,
+    run_cells,
+)
+from repro.experiments.figures import headline_cost_cells
+
+
+def bench_headline_costs(benchmark):
+    cells = headline_cost_cells(
+        duration=horizon(900.0), warmup=warmup(), seed=1
+    )
+
+    def regenerate():
+        return run_cells(cells)
+
+    pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("§6.6 footnote — service cost at T_D^U = 0.1 s (LAN)", "headline", pairs)
+    attach_extra_info(benchmark, pairs)
+
+    usage = {cell.series: result.usage for cell, result in pairs}
+    # The S2/S3 gap is roughly an order of magnitude.
+    assert usage["S2"].kb_per_second > 4.0 * usage["S3"].kb_per_second
+    assert usage["S2"].cpu_percent > 4.0 * usage["S3"].cpu_percent
+    # Magnitudes in the paper's band (within ~3x).
+    assert 4.0 < usage["S3"].kb_per_second < 40.0
+    assert usage["S2"].cpu_percent < 4.0

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``python setup.py develop`` works on environments whose pip
+cannot build editable wheels offline (the project metadata lives in
+pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a stable leader election service for dynamic systems.
+
+A faithful, from-scratch Python reproduction of Schiper & Toueg, *A Robust
+and Lightweight Stable Leader Election Service for Dynamic Systems* (DSN
+2008), including:
+
+* the three election algorithms the paper evaluates — Ω_id (S1),
+  Ω_lc (S2, accusation times + leader forwarding) and Ω_l (S3,
+  communication-efficient);
+* Chen et al.'s QoS failure detector (NFD-S) with link-quality estimation
+  and automatic (η, δ) configuration;
+* the service architecture (daemon, command handler, group maintenance,
+  dynamic groups with candidate/passive members);
+* a deterministic discrete-event testbed with the paper's fault injectors
+  (lossy links, crash-prone links, workstation churn);
+* the paper's QoS metrics (leader recovery time, mistake rate, leader
+  availability) and the full experiment grid of Figures 3-8.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        name="demo", algorithm="omega_l", duration=900.0, warmup=120.0))
+    print(result.availability, result.leadership.recovery_summary())
+
+See ``examples/`` for API-level usage (building systems node by node).
+"""
+
+from repro.core.api import Application, ServiceHost
+from repro.core.commands import CommandError
+from repro.core.election import available_algorithms, register_algorithm
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenario import ExperimentConfig, LossyNetwork
+from repro.fd.qos import FDQoS, LinkEstimate
+from repro.metrics.leadership import LeadershipMetrics, analyze_leadership
+from repro.net.links import LinkConfig
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "CommandError",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FDQoS",
+    "LeaderElectionService",
+    "LeadershipMetrics",
+    "LinkConfig",
+    "LinkEstimate",
+    "LossyNetwork",
+    "Network",
+    "NetworkConfig",
+    "RngRegistry",
+    "ServiceConfig",
+    "ServiceHost",
+    "Simulator",
+    "analyze_leadership",
+    "available_algorithms",
+    "register_algorithm",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,212 @@
+"""Application-facing API: processes, and hosts that survive crashes.
+
+:class:`Application` is the shared-library side of the paper's architecture:
+an application process registers once, then joins and leaves groups, chooses
+whether it is a leadership candidate, picks interrupt- or query-style leader
+notifications, and sets the FD QoS per group.
+
+:class:`ServiceHost` ties a daemon to a workstation's lifecycle: when the
+node crashes the daemon dies with it; when the node recovers, the host boots
+a fresh daemon and the applications re-register and re-join their groups
+(with their original pids — the paper's churn experiments rely on recovering
+processes rejoining, e.g. S1's lower-id rejoin demotions, §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.commands import CommandHandler, Join, Leave, QueryLeader, Register
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.fd.configurator import ConfiguratorCache
+from repro.fd.qos import FDQoS
+from repro.metrics.trace import TraceRecorder
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Application", "ServiceHost"]
+
+LeaderCallback = Callable[[int, Optional[int]], None]
+
+
+@dataclass
+class _JoinSpec:
+    group: int
+    candidate: bool
+    qos: Optional[FDQoS]
+    algorithm: Optional[str]
+    on_leader_change: Optional[LeaderCallback]
+
+
+class Application:
+    """An application process using the leader election service."""
+
+    def __init__(self, pid: int, name: str = "") -> None:
+        self.pid = pid
+        self.name = name or f"app-{pid}"
+        self._handler: Optional[CommandHandler] = None
+        self._joins: Dict[int, _JoinSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Binding (done by the host on every daemon (re)start)
+    # ------------------------------------------------------------------
+    def bind(self, handler: CommandHandler) -> None:
+        """Attach to a daemon: register and replay standing group joins.
+
+        Joins execute synchronously, and a leader-change interrupt fired
+        from inside one may itself join or leave groups (hierarchical
+        elections do exactly this) — hence the snapshot.
+        """
+        self._handler = handler
+        handler.execute(Register(pid=self.pid, name=self.name))
+        for spec in list(self._joins.values()):
+            self._execute_join(spec)
+
+    def unbind(self) -> None:
+        """The daemon died (node crash); API calls will fail until rebind."""
+        self._handler = None
+
+    @property
+    def bound(self) -> bool:
+        return self._handler is not None
+
+    # ------------------------------------------------------------------
+    # The service API (paper §4)
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        group: int,
+        candidate: bool = True,
+        qos: Optional[FDQoS] = None,
+        algorithm: Optional[str] = None,
+        on_leader_change: Optional[LeaderCallback] = None,
+    ) -> None:
+        """Join ``group``; the join is standing (re-applied after crashes)."""
+        spec = _JoinSpec(group, candidate, qos, algorithm, on_leader_change)
+        self._joins[group] = spec
+        if self._handler is not None:
+            self._execute_join(spec)
+
+    def leave(self, group: int) -> None:
+        """Leave ``group`` (also removes the standing join)."""
+        self._joins.pop(group, None)
+        if self._handler is not None:
+            self._handler.execute(Leave(pid=self.pid, group=group))
+
+    def leader(self, group: int) -> Optional[int]:
+        """Query-mode readout of the group's current leader."""
+        if self._handler is None:
+            return None
+        return self._handler.execute(QueryLeader(group=group))
+
+    @property
+    def joined_groups(self) -> List[int]:
+        return sorted(self._joins)
+
+    def _execute_join(self, spec: _JoinSpec) -> None:
+        assert self._handler is not None
+        self._handler.execute(
+            Join(
+                pid=self.pid,
+                group=spec.group,
+                candidate=spec.candidate,
+                qos=spec.qos,
+                on_leader_change=spec.on_leader_change,
+                algorithm=spec.algorithm,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Application(pid={self.pid}, groups={self.joined_groups})"
+
+
+class ServiceHost:
+    """Runs the daemon on one node and restarts it after recoveries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node: Node,
+        peer_nodes: Tuple[int, ...],
+        config: Optional[ServiceConfig] = None,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        configurator_cache: Optional[ConfiguratorCache] = None,
+        restart_delay_range: Tuple[float, float] = (0.02, 0.2),
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.peer_nodes = tuple(peer_nodes)
+        self.config = config if config is not None else ServiceConfig()
+        self.rng = rng if rng is not None else RngRegistry(seed=0)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.configurator_cache = (
+            configurator_cache if configurator_cache is not None else ConfiguratorCache()
+        )
+        self.restart_delay_range = restart_delay_range
+        self.apps: List[Application] = []
+        self.service: Optional[LeaderElectionService] = None
+        self.restarts = 0
+        node.add_observer(self)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_application(self, app: Application) -> Application:
+        """Attach an application process to this workstation."""
+        self.apps.append(app)
+        if self.service is not None:
+            app.bind(CommandHandler(self.service))
+        return app
+
+    def start(self) -> None:
+        """Boot the daemon and bind all applications."""
+        self._boot()
+
+    def _boot(self) -> None:
+        self.service = LeaderElectionService(
+            sim=self.sim,
+            network=self.network,
+            node=self.node,
+            peer_nodes=self.peer_nodes,
+            config=self.config,
+            rng=self.rng,
+            trace=self.trace,
+            configurator_cache=self.configurator_cache,
+        )
+        handler = CommandHandler(self.service)
+        for app in self.apps:
+            app.bind(handler)
+
+    # ------------------------------------------------------------------
+    # Node lifecycle (NodeObserver)
+    # ------------------------------------------------------------------
+    def on_node_crash(self, node: Node) -> None:
+        self.trace.record_crash(self.sim.now, node.node_id)
+        if self.service is not None:
+            self.service.shutdown()
+            self.service = None
+        for app in self.apps:
+            app.unbind()
+
+    def on_node_recover(self, node: Node) -> None:
+        self.trace.record_recover(self.sim.now, node.node_id)
+        low, high = self.restart_delay_range
+        stream = self.rng.stream(f"host.{node.node_id}.restart")
+        delay = float(stream.uniform(low, high))
+        self.sim.schedule(delay, self._restart_after_recovery)
+
+    def _restart_after_recovery(self) -> None:
+        if not self.node.up or self.service is not None:
+            return  # crashed again before the restart, or already restarted
+        self.restarts += 1
+        self._boot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.service is not None else "down"
+        return f"ServiceHost(node={self.node.node_id}, {state})"

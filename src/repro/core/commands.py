@@ -1,0 +1,99 @@
+"""The command handler: the boundary between applications and the daemon.
+
+In the paper's architecture (Figure 2) application processes are linked with
+a shared library whose API calls are shipped to the daemon's *Command
+Handler* over local IPC.  In the simulation the transport is a direct call
+(same-host IPC has no interesting failure modes for the paper's questions),
+but the command vocabulary and its validation are kept explicit so the API
+surface matches the paper's description: register/unregister, join/leave,
+query the leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fd.qos import FDQoS
+
+__all__ = [
+    "CommandError",
+    "Register",
+    "Unregister",
+    "Join",
+    "Leave",
+    "QueryLeader",
+    "CommandHandler",
+]
+
+
+class CommandError(Exception):
+    """An application request the daemon rejected (with the reason)."""
+
+
+@dataclass(frozen=True)
+class Register:
+    pid: int
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Unregister:
+    pid: int
+
+
+@dataclass(frozen=True)
+class Join:
+    """The paper's four join parameters (§4): group id, candidacy, how the
+    process wants to learn about leader changes (callback = interrupt,
+    None = it will query), and the FD QoS for this group."""
+
+    pid: int
+    group: int
+    candidate: bool = True
+    qos: Optional[FDQoS] = None
+    on_leader_change: Optional[Callable[[int, Optional[int]], None]] = None
+    algorithm: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Leave:
+    pid: int
+    group: int
+
+
+@dataclass(frozen=True)
+class QueryLeader:
+    group: int
+
+
+class CommandHandler:
+    """Validates and executes application commands against one daemon."""
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def execute(self, command):
+        """Run one command; raises :class:`CommandError` on rejection."""
+        service = self._service
+        try:
+            if isinstance(command, Register):
+                return service.register(command.pid, command.name)
+            if isinstance(command, Unregister):
+                return service.unregister(command.pid)
+            if isinstance(command, Join):
+                return service.join(
+                    pid=command.pid,
+                    group=command.group,
+                    candidate=command.candidate,
+                    qos=command.qos,
+                    algorithm=command.algorithm,
+                    on_leader_change=command.on_leader_change,
+                )
+            if isinstance(command, Leave):
+                return service.leave(command.pid, command.group)
+            if isinstance(command, QueryLeader):
+                return service.leader_of(command.group)
+        except ValueError as exc:
+            raise CommandError(str(exc)) from exc
+        raise CommandError(f"unknown command {command!r}")

@@ -1,0 +1,35 @@
+"""Pluggable leader election algorithms (the paper's §6.2-§6.4).
+
+Three algorithms are provided, matching the paper's three service versions:
+
+======  =========  =============================================================
+module  service    algorithm
+======  =========  =============================================================
+Ω_id    S1         smallest id among processes currently deemed alive (§6.2)
+Ω_lc    S2         accusation times + local/global leader forwarding (§6.3, [4])
+Ω_l     S3         communication-efficient: eventually only the leader sends
+                   ALIVEs; voluntary withdrawal protected by phases (§6.4, [2])
+======  =========  =============================================================
+
+"Other leader election algorithms can be plugged in here in future versions
+of the service" (§4) — new algorithms subclass
+:class:`~repro.core.election.base.ElectionAlgorithm` and register themselves
+in :mod:`repro.core.election.registry`.
+"""
+
+from repro.core.election.base import ElectionAlgorithm, GroupContext
+from repro.core.election.omega_id import OmegaId
+from repro.core.election.omega_l import OmegaL
+from repro.core.election.omega_lc import OmegaLc
+from repro.core.election.registry import available_algorithms, create_algorithm, register_algorithm
+
+__all__ = [
+    "ElectionAlgorithm",
+    "GroupContext",
+    "OmegaId",
+    "OmegaL",
+    "OmegaLc",
+    "available_algorithms",
+    "create_algorithm",
+    "register_algorithm",
+]

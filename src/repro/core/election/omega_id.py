@@ -1,0 +1,46 @@
+"""Ω_id — the smallest-id election of service S1 (paper §6.2).
+
+"The leader of a group is just the process with the smallest identifier
+among the processes that are currently deemed to be alive in this group."
+
+The algorithm needs no election-specific messages and no extra ALIVE fields:
+every candidate sends ALIVEs (so the failure detector can assess it) and
+every process picks the smallest trusted candidate id.
+
+This algorithm is deliberately *unstable*: when a process with a smaller id
+(re)joins the group it demotes a perfectly functional leader.  The paper
+measures ≈ 6 unjustified demotions per hour under its churn model and uses
+S1 as the baseline that motivates the accusation-based algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.election.base import ElectionAlgorithm
+
+__all__ = ["OmegaId"]
+
+
+class OmegaId(ElectionAlgorithm):
+    """Smallest trusted candidate id wins."""
+
+    name = "omega_id"
+    monitor_policy = "all_candidates"
+
+    def leader(self) -> Optional[int]:
+        ctx = self.ctx
+        best: Optional[int] = None
+        for member in ctx.candidate_members():
+            pid = member.pid
+            if pid != ctx.local_pid and not ctx.trusted(pid):
+                continue
+            if pid == ctx.local_pid and not ctx.is_candidate:
+                continue
+            if best is None or pid < best:
+                best = pid
+        return best
+
+    def wants_to_send(self) -> bool:
+        # Every candidate heartbeats so that everyone can assess it.
+        return self.ctx.is_candidate

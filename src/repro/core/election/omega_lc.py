@@ -1,0 +1,232 @@
+"""Ω_lc — accusation times with leader forwarding; service S2 (paper §6.3).
+
+From the paper: "Each process p keeps track of the last time it was suspected
+of having crashed, called p's accusation time, and p selects its leader among
+a set of processes that is constructed in two stages.  In the first stage, p
+selects its local leader as the process with the earliest accusation time
+among the processes that p believes to be alive.  In the second stage, p
+selects its (global) leader as the local leader with the earliest accusation
+time among the local leaders of the processes that p believes to be alive.
+This (local) leader forwarding mechanism makes the algorithm robust in the
+face of link failures."  (The underlying algorithm is Aguilera et al. [4],
+which tolerates links that crash in addition to lossy links.)
+
+Implementation notes:
+
+* Accusation times order candidates lexicographically by
+  ``(accusation_time, pid)``; a process's initial accusation time is its join
+  time, so recovering processes rank behind an established leader — this is
+  the stability mechanism (no demotion when a lower-id process rejoins).
+* When the failure detector reports a trust→suspect transition for q, p
+  sends ACCUSE(q, phase); q bumps its accusation time to "now" iff the phase
+  is current.  With the paper's FD QoS (one mistake per 100 days) this
+  essentially never happens over lossy links — hence λu = 0 in Figure 4 —
+  but it does happen when links *crash* for longer than the detection bound,
+  producing Figure 7's demotions.
+* The forwarding stage lets p adopt a leader whose link to p is crashed, as
+  long as some process p still hears forwards it.  It also slightly delays
+  the demotion of a *really* crashed leader (forwards keep naming it for up
+  to one heartbeat period after the forwarders suspect it), which is the
+  paper's explanation for S2's marginally larger Tr versus S1.
+* Accusation times are **monotonic** per process (they start at the join
+  time and only ever move forward to "now"), so any two reports about the
+  same process can be reconciled by taking the larger value.  The
+  implementation exploits this everywhere a forwarded accusation time could
+  be stale: a forwarded (leader, acc) pair is evaluated with the *freshest*
+  accusation time known for that leader, and forwarded pairs themselves are
+  ingested as evidence.  Without this, every process would keep following a
+  freshly-demoted leader until the *last* of its forwarders refreshed
+  (≈ one heartbeat period), turning each of Figure 7's frequent demotions
+  into a group-wide leaderless window and dragging availability far below
+  the paper's 98.78%.
+* Every candidate keeps sending ALIVEs forever — the quadratic message load
+  that Figure 6 contrasts against Ω_l's linear load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.election.base import ElectionAlgorithm, GroupContext
+from repro.net.message import AccEntry, AliveMessage, HelloMessage
+
+__all__ = ["OmegaLc"]
+
+
+class OmegaLc(ElectionAlgorithm):
+    """Two-stage accusation-time election with local-leader forwarding."""
+
+    name = "omega_lc"
+    monitor_policy = "all_candidates"
+
+    def __init__(self, ctx: GroupContext) -> None:
+        super().__init__(ctx)
+        #: Local accusation state.
+        self.acc_time = 0.0
+        self.phase = 0
+        #: Last (acc_time, phase) heard directly from each process.
+        self._info: Dict[int, Tuple[float, int]] = {}
+        #: Last (local_leader, local_leader_acc) forwarded by each process.
+        self._forwards: Dict[int, Tuple[int, float]] = {}
+        self.accusations_received = 0
+        self._last_broadcast_local: Optional[Tuple[float, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.acc_time = self.ctx.join_time
+        super().start()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def on_alive(self, message: AliveMessage) -> None:
+        self._observe(message.pid, message.acc_time, message.phase)
+        if message.local_leader is not None and message.local_leader_acc is not None:
+            self._forwards[message.pid] = (
+                message.local_leader,
+                message.local_leader_acc,
+            )
+            # A forwarded accusation time is evidence about the forwarded
+            # process too (accusation times are monotonic, max = freshest).
+            self._observe_floor(message.local_leader, message.local_leader_acc)
+        self._refresh()
+
+    def on_suspect(self, pid: int) -> None:
+        _, phase = self._info.get(pid, (0.0, 0))
+        self.ctx.send_accuse(pid, phase)
+        self._refresh()
+
+    def on_accusation(self, accused_phase: int) -> bool:
+        if accused_phase != self.phase:
+            return False  # stale accusation: refers to an older phase
+        self.accusations_received += 1
+        self.acc_time = self.ctx.now
+        self._refresh()
+        # Tell the group immediately: until our bumped accusation time is
+        # out, everyone else still follows us while we already stepped down.
+        self.ctx.request_flush()
+        return True
+
+    def on_hello_seed(self, hello: HelloMessage) -> None:
+        for entry in hello.acc_table:
+            self._observe(entry.pid, entry.acc_time, entry.phase)
+        if hello.leader_hint is not None:
+            hint = hello.leader_hint
+            self._observe(hint.pid, hint.acc_time, hint.phase)
+        self._refresh()
+
+    def _observe(self, pid: int, acc_time: float, phase: int) -> None:
+        """Merge one (acc_time, phase) observation; accusation times only
+        move forward within and across incarnations (time is monotonic)."""
+        if pid == self.ctx.local_pid:
+            return
+        current = self._info.get(pid)
+        if current is None or acc_time >= current[0]:
+            self._info[pid] = (acc_time, phase)
+
+    def _observe_floor(self, pid: int, acc_time: float) -> None:
+        """Raise the known accusation time of ``pid`` from secondhand
+        evidence (a forward); keeps the phase we last heard firsthand."""
+        if pid == self.ctx.local_pid:
+            return
+        current = self._info.get(pid)
+        if current is None:
+            self._info[pid] = (acc_time, 0)
+        elif acc_time > current[0]:
+            self._info[pid] = (acc_time, current[1])
+
+    # ------------------------------------------------------------------
+    # Leader computation
+    # ------------------------------------------------------------------
+    def _acc_of(self, pid: int) -> float:
+        """Freshest known accusation time of ``pid`` (join time until heard)."""
+        if pid == self.ctx.local_pid:
+            return self.acc_time
+        info = self._info.get(pid)
+        if info is not None:
+            return info[0]
+        joined = self.ctx.member_joined_at(pid)
+        return joined if joined is not None else 0.0
+
+    def local_leader(self) -> Optional[Tuple[float, int]]:
+        """Stage 1: earliest (acc, pid) among trusted candidates ∪ self."""
+        ctx = self.ctx
+        best: Optional[Tuple[float, int]] = None
+        for member in ctx.candidate_members():
+            pid = member.pid
+            if pid == ctx.local_pid:
+                if not ctx.is_candidate:
+                    continue
+                key = (self.acc_time, pid)
+            elif ctx.trusted(pid):
+                key = (self._acc_of(pid), pid)
+            else:
+                continue
+            if best is None or key < best:
+                best = key
+        return best
+
+    def leader(self) -> Optional[int]:
+        """Stage 2: earliest among own local leader and trusted forwards.
+
+        Each forwarded pair is evaluated with the freshest accusation time we
+        know for the forwarded process (monotonicity: max of the reported and
+        locally-known values), so one up-to-date report immediately
+        supersedes any number of stale forwards of a demoted leader.
+        """
+        ctx = self.ctx
+        best = self.local_leader()
+        for forwarder, (pid, acc) in self._forwards.items():
+            if not ctx.trusted(forwarder):
+                continue
+            if not ctx.is_present_candidate(pid):
+                continue  # stale forward of a process that left the group
+            key = (max(acc, self._acc_of(pid)), pid)
+            if best is None or key < best:
+                best = key
+        return best[1] if best is not None else None
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        super()._refresh()
+        if not self._started:
+            return
+        # Broadcast stage-1 changes immediately: our forwards are inputs to
+        # everyone else's stage 2, and a stale forward holds the whole group
+        # on a demoted leader.
+        local = self.local_leader()
+        if local != self._last_broadcast_local:
+            self._last_broadcast_local = local
+            self.ctx.request_flush()
+
+    def wants_to_send(self) -> bool:
+        # All alive candidates stay "active" (paper §4 / [4]).
+        return self.ctx.is_candidate
+
+    def fill_alive(self, message: AliveMessage) -> None:
+        message.acc_time = self.acc_time
+        message.phase = self.phase
+        local = self.local_leader()
+        if local is not None:
+            message.local_leader = local[1]
+            message.local_leader_acc = local[0]
+
+    def acc_entries(self) -> Tuple[AccEntry, ...]:
+        entries = [AccEntry(self.ctx.local_pid, self.acc_time, self.phase)]
+        entries.extend(
+            AccEntry(pid, acc, phase) for pid, (acc, phase) in self._info.items()
+        )
+        return tuple(entries)
+
+    def leader_hint(self) -> Optional[AccEntry]:
+        leader = self.leader()
+        if leader is None:
+            return None
+        if leader == self.ctx.local_pid:
+            return AccEntry(leader, self.acc_time, self.phase)
+        acc, phase = self._info.get(leader, (self._acc_of(leader), 0))
+        return AccEntry(leader, acc, phase)

@@ -1,0 +1,49 @@
+"""Registry of election algorithms, keyed by name.
+
+The paper's architecture is explicitly modular: "Other leader election
+algorithms can be 'plugged in' here in future versions of the service" (§4).
+The registry is the plug: :func:`register_algorithm` adds a class, and the
+service instantiates by name (``"omega_id"``, ``"omega_lc"``, ``"omega_l"``
+out of the box).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.core.election.base import ElectionAlgorithm, GroupContext
+from repro.core.election.omega_id import OmegaId
+from repro.core.election.omega_l import OmegaL
+from repro.core.election.omega_lc import OmegaLc
+
+__all__ = ["available_algorithms", "create_algorithm", "register_algorithm"]
+
+_REGISTRY: Dict[str, Type[ElectionAlgorithm]] = {}
+
+
+def register_algorithm(cls: Type[ElectionAlgorithm]) -> Type[ElectionAlgorithm]:
+    """Register an algorithm class under its ``name`` attribute."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise ValueError(f"algorithm class {cls.__name__} needs a concrete name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def create_algorithm(name: str, ctx: GroupContext) -> ElectionAlgorithm:
+    """Instantiate the algorithm registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown election algorithm {name!r} (known: {known})")
+    return cls(ctx)
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered algorithms."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (OmegaId, OmegaLc, OmegaL):
+    register_algorithm(_cls)

@@ -1,0 +1,189 @@
+"""Group maintenance: dynamic membership with last-writer-wins records.
+
+For each group, the paper's Group Maintenance module "builds and maintains
+the set of processes that are currently in g" (§4).  Groups are dynamic —
+processes join and leave at any time, possibly concurrently with crashes —
+so membership is maintained as a conflict-free replicated map: one
+:class:`~repro.net.message.MemberInfo` record per process id, merged by a
+total order on records.  Records travel on HELLO messages and piggybacked on
+ALIVEs; merge is commutative, associative and idempotent, so views converge
+regardless of message ordering, duplication or loss.
+
+Record order: higher ``incarnation`` wins; within one incarnation a tombstone
+(``present=False``, i.e. a voluntary leave) wins over the join it refers to.
+Incarnations are globally monotonic per pid because they encode the node's
+boot counter (which survives crashes) in the high bits and a per-boot join
+counter in the low bits — see :meth:`make_incarnation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.message import MemberInfo
+
+__all__ = ["MembershipView", "make_incarnation", "prefer_record"]
+
+#: Joins per node boot supported by the incarnation encoding.
+_JOINS_PER_BOOT = 1_000_000
+
+
+def make_incarnation(boot_count: int, join_seq: int) -> int:
+    """Encode a globally monotonic incarnation for one (re)join.
+
+    ``boot_count`` is the node's persistent reboot counter; ``join_seq`` the
+    volatile per-boot join counter.  Reboots dominate, so a process that
+    crashed and rejoined always carries a higher incarnation than any record
+    from before the crash.
+    """
+    if join_seq >= _JOINS_PER_BOOT:
+        raise ValueError(f"too many joins in one boot ({join_seq})")
+    return boot_count * _JOINS_PER_BOOT + join_seq
+
+
+def prefer_record(a: MemberInfo, b: MemberInfo) -> MemberInfo:
+    """The winner of two records for the same pid (a total order).
+
+    Higher incarnation wins; at equal incarnation the tombstone wins (a leave
+    overrides the join it refers to).  In the protocol an incarnation
+    identifies one join event, so the remaining fields coincide; the extra
+    deterministic tie-breaks below make the order *total* over arbitrary
+    records anyway, keeping the merge a join-semilattice even for corrupted
+    or hand-built inputs.
+    """
+    if a.pid != b.pid:
+        raise ValueError(f"cannot merge records of different pids ({a.pid}, {b.pid})")
+
+    def key(record: MemberInfo):
+        return (
+            record.incarnation,
+            not record.present,  # tombstone wins within an incarnation
+            record.joined_at,
+            record.candidate,
+            record.node,
+        )
+
+    return a if key(a) >= key(b) else b
+
+
+class MembershipView:
+    """One node's replica of a group's membership map."""
+
+    def __init__(self, group: int) -> None:
+        self.group = group
+        self._records: Dict[int, MemberInfo] = {}
+        #: Bumped on every effective change; cheap "did anything change" check.
+        self.version = 0
+        self._digest_cache: Optional[Tuple[MemberInfo, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def merge_record(self, record: MemberInfo) -> bool:
+        """Merge one record; returns True if the view changed."""
+        current = self._records.get(record.pid)
+        if current is None:
+            self._records[record.pid] = record
+            self.version += 1
+            self._digest_cache = None
+            return True
+        winner = prefer_record(current, record)
+        if winner is not current:
+            self._records[record.pid] = winner
+            self.version += 1
+            self._digest_cache = None
+            return True
+        return False
+
+    def merge(self, records: Iterable[MemberInfo]) -> bool:
+        """Merge many records; returns True if any changed the view."""
+        changed = False
+        for record in records:
+            changed |= self.merge_record(record)
+        return changed
+
+    def apply_join(
+        self,
+        pid: int,
+        node: int,
+        incarnation: int,
+        candidate: bool,
+        now: float,
+    ) -> MemberInfo:
+        """Record a local join and return the new record."""
+        record = MemberInfo(
+            pid=pid,
+            node=node,
+            incarnation=incarnation,
+            candidate=candidate,
+            present=True,
+            joined_at=now,
+        )
+        self.merge_record(record)
+        return record
+
+    def apply_leave(self, pid: int) -> Optional[MemberInfo]:
+        """Record a local leave (tombstone); returns the tombstone or None."""
+        current = self._records.get(pid)
+        if current is None or not current.present:
+            return None
+        tombstone = MemberInfo(
+            pid=current.pid,
+            node=current.node,
+            incarnation=current.incarnation,
+            candidate=current.candidate,
+            present=False,
+            joined_at=current.joined_at,
+        )
+        self.merge_record(tombstone)
+        return tombstone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def record(self, pid: int) -> Optional[MemberInfo]:
+        """The current record for ``pid`` (possibly a tombstone), or None."""
+        return self._records.get(pid)
+
+    def members(self) -> List[MemberInfo]:
+        """Records of processes currently in the group."""
+        return [r for r in self._records.values() if r.present]
+
+    def candidates(self) -> List[MemberInfo]:
+        """Records of present members that compete for leadership."""
+        return [r for r in self._records.values() if r.present and r.candidate]
+
+    def is_present(self, pid: int) -> bool:
+        record = self._records.get(pid)
+        return record is not None and record.present
+
+    def is_present_candidate(self, pid: int) -> bool:
+        record = self._records.get(pid)
+        return record is not None and record.present and record.candidate
+
+    def node_of(self, pid: int) -> Optional[int]:
+        """The node hosting ``pid``, if known."""
+        record = self._records.get(pid)
+        return record.node if record is not None else None
+
+    def joined_at(self, pid: int) -> Optional[float]:
+        record = self._records.get(pid)
+        return record.joined_at if record is not None else None
+
+    def digest(self) -> Tuple[MemberInfo, ...]:
+        """All records (including tombstones) for gossip.
+
+        The tuple is cached until the view changes, so every message carrying
+        an unchanged view shares one object — receivers exploit the identity
+        to skip redundant merges (see ``GroupRuntime.handle_alive``).
+        """
+        if self._digest_cache is None:
+            self._digest_cache = tuple(self._records.values())
+        return self._digest_cache
+
+    def __len__(self) -> int:
+        return len(self.members())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        present = sorted(r.pid for r in self._records.values() if r.present)
+        return f"MembershipView(group={self.group}, members={present})"

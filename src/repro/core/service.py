@@ -1,0 +1,644 @@
+"""The per-workstation leader election daemon (paper §4, Figure 2).
+
+One :class:`LeaderElectionService` instance runs on each node.  It hosts, per
+group the local application joined, a :class:`GroupRuntime` that wires
+together the four core modules of the paper's architecture:
+
+* **Group Maintenance** — a :class:`~repro.core.group.MembershipView`
+  maintained by HELLO gossip (periodic anti-entropy, join announcements and
+  join replies) plus membership piggybacked on every ALIVE;
+* **Failure Detector** — one :class:`~repro.fd.monitor.NfdsMonitor` per
+  monitored remote process, fed by a per-stream
+  :class:`~repro.fd.estimator.LinkQualityEstimator` and periodically
+  re-configured against the application's QoS (rate changes are pushed to
+  the sender with RATE-REQUEST messages);
+* **Leader Election Algorithm** — a pluggable
+  :class:`~repro.core.election.base.ElectionAlgorithm`;
+* the ALIVE **scheduler** — a :class:`~repro.fd.scheduler.HeartbeatSender`
+  the algorithm can switch on and off (Ω_l's communication efficiency).
+
+Like the paper's daemon, the service's state is volatile: a workstation crash
+destroys it, and recovery starts a fresh instance (see
+:class:`~repro.core.api.ServiceHost`).
+
+One deliberate restriction, checked at join time: at most one local process
+per (node, group) pair.  Multiple processes per node and multiple groups per
+process are fully supported; two processes of the *same* group on the *same*
+node would need per-process FD streams for no behavioural gain in any of the
+paper's scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.election.base import GroupContext
+from repro.core.election.registry import create_algorithm
+from repro.core.group import MembershipView, make_incarnation
+from repro.fd.configurator import ConfiguratorCache, bootstrap_params
+from repro.fd.estimator import LinkQualityEstimator
+from repro.fd.monitor import MonitorEvents, NfdsMonitor
+from repro.fd.qos import FDQoS
+from repro.fd.scheduler import HeartbeatSender
+from repro.metrics.trace import TraceRecorder
+from repro.net.message import (
+    AccuseMessage,
+    AliveMessage,
+    HelloMessage,
+    Message,
+    RateRequestMessage,
+)
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["ServiceConfig", "LeaderElectionService", "GroupRuntime"]
+
+LeaderCallback = Callable[[int, Optional[int]], None]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the daemon; defaults match the paper's experiments."""
+
+    #: Election algorithm name (see :mod:`repro.core.election.registry`).
+    algorithm: str = "omega_lc"
+    #: Default FD QoS for joins that do not specify one (paper §6.1 values).
+    default_qos: FDQoS = field(default_factory=FDQoS)
+    #: Period of group-maintenance gossip.
+    hello_period: float = 1.0
+    #: How often each monitor re-runs the FD configurator.
+    reconfig_interval: float = 5.0
+    #: Relative η change that triggers a RATE-REQUEST to the sender.
+    rate_change_threshold: float = 0.15
+    #: Link quality estimator windows (messages).
+    loss_window: int = 512
+    delay_window: int = 64
+    estimator_ready_threshold: int = 8
+    #: Emit an out-of-schedule ALIVE round when election-relevant state
+    #: changes (accusation bumps, local-leader changes).  Disable only for
+    #: the ablation study: without it every demotion splits the group for
+    #: up to a heartbeat period.
+    urgent_flush: bool = True
+    #: Failure-detector variant: "nfds" (Chen et al.'s synchronized-clock
+    #: algorithm, what the paper's service runs) or "nfde" (the
+    #: expected-arrival variant for unsynchronized clocks).
+    fd_variant: str = "nfds"
+
+
+class GroupRuntime(GroupContext):
+    """Everything the daemon keeps for one (group, local process) pair."""
+
+    def __init__(
+        self,
+        service: "LeaderElectionService",
+        group: int,
+        pid: int,
+        candidate: bool,
+        qos: FDQoS,
+        algorithm_name: str,
+        on_leader_change: Optional[LeaderCallback],
+    ) -> None:
+        self.service = service
+        self.sim = service.sim
+        self.network = service.network
+        self.group = group
+        self.pid = pid
+        self.candidate = candidate
+        self.qos = qos
+        self._on_leader_change = on_leader_change
+        self.view = MembershipView(group)
+        self.monitors: Dict[int, NfdsMonitor] = {}
+        self._join_time = self.sim.now
+        self._leader_view: Optional[int] = None
+        self._last_requested_rate: Dict[int, float] = {}
+        #: Per-sender memo of the last merged membership digest (by object
+        #: identity): skips re-merging the unchanged digest piggybacked on
+        #: every ALIVE (the sender's digest tuple is cached until it changes).
+        self._merged_digests: Dict[int, Tuple] = {}
+        self._shut_down = False
+
+        self.algorithm = create_algorithm(algorithm_name, self)
+        rng = service.rng.stream(f"service.{service.node.node_id}.group.{group}")
+        self._rng = rng
+        self.sender = HeartbeatSender(
+            sim=self.sim,
+            network=self.network,
+            node_id=service.node.node_id,
+            group=group,
+            pid=pid,
+            default_interval=bootstrap_params(qos).eta,
+            payload_fn=self._build_alive,
+            rng=rng,
+        )
+        config = service.config
+        self._hello_timer = PeriodicTimer(
+            self.sim,
+            period_fn=lambda: config.hello_period,
+            callback=self._send_hellos,
+            initial_delay=float(rng.uniform(0.0, config.hello_period)),
+        )
+        self._reconfig_timer = PeriodicTimer(
+            self.sim,
+            period_fn=lambda: config.reconfig_interval,
+            callback=self._reconfigure,
+            initial_delay=float(rng.uniform(0.5, 1.0)) * config.reconfig_interval,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Join the group: announce, start gossip/FD/election."""
+        service = self.service
+        incarnation = make_incarnation(service.node.incarnation, service.next_join_seq())
+        self.view.apply_join(
+            pid=self.pid,
+            node=service.node.node_id,
+            incarnation=incarnation,
+            candidate=self.candidate,
+            now=self.sim.now,
+        )
+        service.trace.record_join(
+            self.sim.now, self.group, self.pid, service.node.node_id
+        )
+        self.algorithm.start()
+        self._announce_join()
+        self._hello_timer.start()
+        self._reconfig_timer.start()
+        self._sync_membership_dependents()
+
+    def leave(self) -> None:
+        """Voluntarily leave the group: tombstone, tell everyone, stop."""
+        self.view.apply_leave(self.pid)
+        # A last gossip round spreads the tombstone so the group re-elects
+        # immediately instead of waiting for a failure detection.
+        self._send_hellos()
+        self.service.trace.record_leave(self.sim.now, self.group, self.pid)
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop all activity (crash path: no goodbye messages)."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.algorithm.stop()
+        self._hello_timer.stop()
+        self._reconfig_timer.stop()
+        self.sender.shutdown()
+        for monitor in self.monitors.values():
+            monitor.stop()
+        self.monitors.clear()
+
+    # ------------------------------------------------------------------
+    # GroupContext interface (what the election algorithm sees)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def local_pid(self) -> int:
+        return self.pid
+
+    @property
+    def is_candidate(self) -> bool:
+        return self.candidate
+
+    @property
+    def join_time(self) -> float:
+        return self._join_time
+
+    def trusted(self, pid: int) -> bool:
+        if pid == self.pid:
+            return True
+        monitor = self.monitors.get(pid)
+        return monitor is not None and monitor.trusted
+
+    def candidate_members(self):
+        return self.view.candidates()
+
+    def is_present_candidate(self, pid: int) -> bool:
+        return self.view.is_present_candidate(pid)
+
+    def member_joined_at(self, pid: int) -> Optional[float]:
+        return self.view.joined_at(pid)
+
+    def send_accuse(self, accused: int, accused_phase: int) -> None:
+        node = self.view.node_of(accused)
+        if node is None or node == self.service.node.node_id:
+            return
+        self.network.send(
+            AccuseMessage(
+                sender_node=self.service.node.node_id,
+                dest_node=node,
+                group=self.group,
+                accuser=self.pid,
+                accused=accused,
+                accused_phase=accused_phase,
+            )
+        )
+
+    def ensure_monitor(self, pid: int) -> None:
+        """Monitor ``pid`` with optimistic grace (hint-based creation)."""
+        if pid == self.pid:
+            return
+        monitor = self.monitors.get(pid)
+        if monitor is None:
+            monitor = self._create_monitor(pid)
+        monitor.grant_grace()
+
+    def on_leader_view(self, leader: Optional[int]) -> None:
+        if leader == self._leader_view:
+            return
+        self._leader_view = leader
+        self.service.trace.record_view(self.sim.now, self.group, self.pid, leader)
+        if self._on_leader_change is not None:
+            self._on_leader_change(self.group, leader)
+
+    def sync_sender(self) -> None:
+        if self._shut_down:
+            return
+        if self.algorithm.wants_to_send():
+            self.sender.start()
+        else:
+            self.sender.stop()
+
+    def request_flush(self) -> None:
+        if not self._shut_down and self.service.config.urgent_flush:
+            self.sender.flush()
+
+    # ------------------------------------------------------------------
+    # Leader query (the API's "query" notification mode)
+    # ------------------------------------------------------------------
+    @property
+    def leader(self) -> Optional[int]:
+        """The service's current leader view for this group."""
+        return self._leader_view
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_alive(self, message: AliveMessage) -> None:
+        changed = False
+        if self._merged_digests.get(message.pid) is not message.members:
+            changed = self.view.merge(message.members)
+            self._merged_digests[message.pid] = message.members
+        monitor = self.monitors.get(message.pid)
+        if monitor is None:
+            # senders_only policy: monitors spring up on first contact.
+            # (Under all_candidates the membership merge above usually
+            # created it already; if the sender is brand new, create now.)
+            monitor = self._create_monitor(message.pid)
+        # Payload before trust: the election must ingest the carried state
+        # (in particular a rebooted sender's *fresh* accusation time) before
+        # the monitor's trust transition triggers a leader recomputation —
+        # otherwise every re-trust briefly elects the sender on stale state.
+        self.algorithm.on_alive(message)
+        monitor.on_alive(message.seq, message.send_time, message.interval)
+        if changed:
+            self.algorithm.on_membership_changed()
+            self._sync_membership_dependents()
+
+    def handle_hello(self, message: HelloMessage) -> None:
+        changed = self.view.merge(message.members)
+        if changed:
+            self._sync_membership_dependents()
+        if message.kind == "join":
+            self._send_hello_reply(message.sender_node)
+        elif message.kind == "reply":
+            # Seed trust from the live responder's own trust report: these
+            # processes get one detection budget to speak for themselves.
+            for pid in message.trusted:
+                if pid != self.pid and self.view.is_present(pid):
+                    self.ensure_monitor(pid)
+            self.algorithm.on_hello_seed(message)
+        if changed:
+            self.algorithm.on_membership_changed()
+
+    def handle_accuse(self, message: AccuseMessage) -> None:
+        if message.accused == self.pid:
+            applied = self.algorithm.on_accusation(message.accused_phase)
+            if applied:
+                self.service.trace.record_accusation(
+                    self.sim.now, self.group, self.pid
+                )
+
+    def handle_rate_request(self, message: RateRequestMessage) -> None:
+        if message.target_pid == self.pid:
+            self.sender.set_interval(message.pid, message.interval)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _create_monitor(self, pid: int) -> NfdsMonitor:
+        estimator = self.service.estimator_for(self.group, pid)
+        variant = self.service.config.fd_variant
+        if variant == "nfds":
+            monitor_class = NfdsMonitor
+        elif variant == "nfde":
+            from repro.fd.nfde import NfdeMonitor
+
+            monitor_class = NfdeMonitor
+        else:
+            raise ValueError(f"unknown fd_variant {variant!r}")
+        monitor = monitor_class(
+            sim=self.sim,
+            pid=pid,
+            qos=self.qos,
+            estimator=estimator,
+            cache=self.service.configurator_cache,
+            events=MonitorEvents(
+                on_trust=self.algorithm.on_trust,
+                on_suspect=self.algorithm.on_suspect,
+            ),
+            meter=self.service.node.meter,
+        )
+        self.monitors[pid] = monitor
+        return monitor
+
+    def _sync_membership_dependents(self) -> None:
+        """Align monitors and heartbeat destinations with the member set."""
+        if self._shut_down:
+            return
+        # Heartbeats go to every present member except ourselves (so passive
+        # members track the leader too).
+        destinations = {
+            record.pid: record.node
+            for record in self.view.members()
+            if record.pid != self.pid
+        }
+        self.sender.set_destinations(destinations)
+        if self.algorithm.monitor_policy == "all_candidates":
+            # Monitors born from bare membership records start *suspected* —
+            # the record proves nothing about the process being up; trust
+            # comes from ALIVEs or an explicit trust seed (grant_grace).
+            for record in self.view.candidates():
+                if record.pid != self.pid and record.pid not in self.monitors:
+                    self._create_monitor(record.pid)
+        # Drop monitors of processes that left the group.
+        for pid in list(self.monitors):
+            if not self.view.is_present(pid):
+                self.monitors.pop(pid).stop()
+
+    def _build_alive(self) -> AliveMessage:
+        message = AliveMessage(sender_node=0, dest_node=0)
+        self.algorithm.fill_alive(message)
+        message.members = self.view.digest()
+        return message
+
+    def _announce_join(self) -> None:
+        """Flood the join to the bootstrap peer set (paper: the workstations
+        configured to run the service)."""
+        digest = self.view.digest()
+        for node_id in self.service.peer_nodes:
+            if node_id == self.service.node.node_id:
+                continue
+            self.network.send(
+                HelloMessage(
+                    sender_node=self.service.node.node_id,
+                    dest_node=node_id,
+                    group=self.group,
+                    kind="join",
+                    members=digest,
+                )
+            )
+
+    def _send_hello_reply(self, dest_node: int) -> None:
+        trusted = tuple(
+            [self.pid]
+            + [pid for pid, monitor in self.monitors.items() if monitor.trusted]
+        )
+        self.network.send(
+            HelloMessage(
+                sender_node=self.service.node.node_id,
+                dest_node=dest_node,
+                group=self.group,
+                kind="reply",
+                members=self.view.digest(),
+                leader_hint=self.algorithm.leader_hint(),
+                acc_table=self.algorithm.acc_entries(),
+                trusted=trusted,
+            )
+        )
+
+    def _send_hellos(self) -> None:
+        if self._shut_down:
+            return
+        self.service.node.meter.on_timer()
+        digest = self.view.digest()
+        my_node = self.service.node.node_id
+        sent_to = set()
+        for record in self.view.members():
+            if record.node == my_node or record.node in sent_to:
+                continue
+            sent_to.add(record.node)
+            self.network.send(
+                HelloMessage(
+                    sender_node=my_node,
+                    dest_node=record.node,
+                    group=self.group,
+                    kind="gossip",
+                    members=digest,
+                )
+            )
+
+    def _reconfigure(self) -> None:
+        """Periodic FD reconfiguration for every monitor of this group."""
+        if self._shut_down:
+            return
+        threshold = self.service.config.rate_change_threshold
+        for pid, monitor in self.monitors.items():
+            if not monitor.estimator.ready:
+                continue
+            params = monitor.reconfigure()
+            last = self._last_requested_rate.get(pid)
+            if last is not None and abs(params.eta - last) <= threshold * last:
+                continue
+            node = self.view.node_of(pid)
+            if node is None:
+                continue
+            self._last_requested_rate[pid] = params.eta
+            self.network.send(
+                RateRequestMessage(
+                    sender_node=self.service.node.node_id,
+                    dest_node=node,
+                    group=self.group,
+                    pid=self.pid,
+                    target_pid=pid,
+                    interval=params.eta,
+                )
+            )
+
+
+class LeaderElectionService:
+    """The daemon: command handling, message dispatch, group runtimes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node: Node,
+        peer_nodes: Tuple[int, ...],
+        config: Optional[ServiceConfig] = None,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        configurator_cache: Optional[ConfiguratorCache] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.peer_nodes = tuple(peer_nodes)
+        self.config = config if config is not None else ServiceConfig()
+        self.rng = rng if rng is not None else RngRegistry(seed=0)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.configurator_cache = (
+            configurator_cache if configurator_cache is not None else ConfiguratorCache()
+        )
+        self._registered: Dict[int, str] = {}
+        self._groups: Dict[int, GroupRuntime] = {}
+        self._estimators: Dict[Tuple[int, int], LinkQualityEstimator] = {}
+        self._join_seq = 0
+        self._shut_down = False
+        node.service = self
+        node.set_receiver(self.handle_message)
+
+    # ------------------------------------------------------------------
+    # API entry points (used via repro.core.commands / repro.core.api)
+    # ------------------------------------------------------------------
+    def register(self, pid: int, name: str = "") -> None:
+        """Register an application process under a unique identifier."""
+        if pid in self._registered:
+            raise ValueError(f"pid {pid} is already registered")
+        self._registered[pid] = name
+
+    def unregister(self, pid: int) -> None:
+        """Unregister a process; leaves all groups it joined."""
+        if pid not in self._registered:
+            raise ValueError(f"pid {pid} is not registered")
+        for group in [g for g, rt in self._groups.items() if rt.pid == pid]:
+            self.leave(pid, group)
+        del self._registered[pid]
+
+    def join(
+        self,
+        pid: int,
+        group: int,
+        candidate: bool = True,
+        qos: Optional[FDQoS] = None,
+        algorithm: Optional[str] = None,
+        on_leader_change: Optional[LeaderCallback] = None,
+    ) -> GroupRuntime:
+        """Join ``group``; see the paper's four join parameters (§4).
+
+        ``candidate`` — compete for leadership or listen passively;
+        ``qos`` — FD QoS used for this group's election;
+        ``on_leader_change`` — interrupt-style notification (None = the
+        application will query); ``algorithm`` — override the service-wide
+        election algorithm (must be consistent across the group).
+        """
+        if pid not in self._registered:
+            raise ValueError(f"pid {pid} is not registered")
+        existing = self._groups.get(group)
+        if existing is not None:
+            if existing.pid == pid:
+                raise ValueError(f"pid {pid} already joined group {group}")
+            raise ValueError(
+                f"group {group} is already served for pid {existing.pid} on this "
+                "node (one process per group per node)"
+            )
+        runtime = GroupRuntime(
+            service=self,
+            group=group,
+            pid=pid,
+            candidate=candidate,
+            qos=qos or self.config.default_qos,
+            algorithm_name=algorithm or self.config.algorithm,
+            on_leader_change=on_leader_change,
+        )
+        self._groups[group] = runtime
+        runtime.start()
+        return runtime
+
+    def leave(self, pid: int, group: int) -> None:
+        """Leave ``group`` voluntarily."""
+        runtime = self._groups.get(group)
+        if runtime is None or runtime.pid != pid:
+            raise ValueError(f"pid {pid} is not in group {group}")
+        runtime.leave()
+        del self._groups[group]
+
+    def leader_of(self, group: int) -> Optional[int]:
+        """Query-mode readout of the current leader view for ``group``."""
+        runtime = self._groups.get(group)
+        return runtime.leader if runtime is not None else None
+
+    def group_runtime(self, group: int) -> Optional[GroupRuntime]:
+        """The runtime serving ``group`` on this node (introspection)."""
+        return self._groups.get(group)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if self._shut_down:
+            return
+        if isinstance(message, AliveMessage):
+            runtime = self._groups.get(message.group)
+            if runtime is not None:
+                runtime.handle_alive(message)
+        elif isinstance(message, HelloMessage):
+            runtime = self._groups.get(message.group)
+            if runtime is not None:
+                runtime.handle_hello(message)
+        elif isinstance(message, AccuseMessage):
+            runtime = self._groups.get(message.group)
+            if runtime is not None:
+                runtime.handle_accuse(message)
+        elif isinstance(message, RateRequestMessage):
+            runtime = self._groups.get(message.group)
+            if runtime is not None:
+                runtime.handle_rate_request(message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Crash path: stop all timers and monitors, drop all state."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for runtime in self._groups.values():
+            runtime.shutdown()
+        self._groups.clear()
+        self._registered.clear()
+
+    # ------------------------------------------------------------------
+    # Shared FD plumbing
+    # ------------------------------------------------------------------
+    def estimator_for(self, group: int, pid: int) -> LinkQualityEstimator:
+        """The (persistent) link quality estimator for one ALIVE stream."""
+        key = (group, pid)
+        estimator = self._estimators.get(key)
+        if estimator is None:
+            config = self.config
+            estimator = LinkQualityEstimator(
+                loss_window=config.loss_window,
+                delay_window=config.delay_window,
+                ready_threshold=config.estimator_ready_threshold,
+            )
+            self._estimators[key] = estimator
+        return estimator
+
+    def next_join_seq(self) -> int:
+        self._join_seq += 1
+        return self._join_seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeaderElectionService(node={self.node.node_id}, "
+            f"groups={sorted(self._groups)})"
+        )

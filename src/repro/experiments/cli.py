@@ -1,0 +1,105 @@
+"""Command-line entry point: run one experiment cell from a shell.
+
+Usage::
+
+    python -m repro.experiments.cli --algorithm omega_lc --nodes 12 \
+        --duration 1800 --delay 0.1 --loss 0.1 --seed 7
+
+    python -m repro.experiments.cli --algorithm omega_l \
+        --link-mttf 60 --link-mttr 3 --detection-time 1.0
+
+Prints the paper's QoS metrics (Tr with 95% CI, λu, Pleader) and the
+per-workstation cost, in the same units as the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.core.election.registry import available_algorithms
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import ExperimentConfig
+from repro.fd.qos import FDQoS
+from repro.metrics.stats import rate_confidence_interval
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run one leader-election experiment cell (paper §6).",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="omega_lc",
+        choices=available_algorithms(),
+        help="election algorithm (S1=omega_id, S2=omega_lc, S3=omega_l)",
+    )
+    parser.add_argument("--nodes", type=int, default=12, help="workstations")
+    parser.add_argument("--duration", type=float, default=1800.0, help="virtual s")
+    parser.add_argument("--warmup", type=float, default=300.0, help="excluded prefix")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--delay", type=float, default=0.025e-3, help="mean link delay s")
+    parser.add_argument("--loss", type=float, default=0.0, help="link loss probability")
+    parser.add_argument("--link-mttf", type=float, default=None, help="link crash MTTF s")
+    parser.add_argument("--link-mttr", type=float, default=3.0, help="link downtime s")
+    parser.add_argument("--no-churn", action="store_true", help="disable workstation churn")
+    parser.add_argument("--node-mttf", type=float, default=600.0)
+    parser.add_argument("--node-mttr", type=float, default=5.0)
+    parser.add_argument("--detection-time", type=float, default=1.0, help="FD T_D^U s")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=f"cli/{args.algorithm}",
+        algorithm=args.algorithm,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        link_delay_mean=args.delay,
+        link_loss_prob=args.loss,
+        link_mttf=args.link_mttf,
+        link_mttr=args.link_mttr,
+        node_churn=not args.no_churn,
+        node_mttf=args.node_mttf,
+        node_mttr=args.node_mttr,
+        qos=FDQoS(detection_time=args.detection_time),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    print(
+        f"running {config.algorithm} on {config.n_nodes} workstations for "
+        f"{config.duration:.0f} virtual seconds (warmup {config.warmup:.0f} s, "
+        f"seed {config.seed}) ..."
+    )
+    result = run_experiment(config)
+    leadership = result.leadership
+    summary = leadership.recovery_summary()
+    rate, rate_half = rate_confidence_interval(
+        leadership.unjustified_demotions, leadership.duration_hours
+    )
+    print(f"leader availability  Pleader : {leadership.availability:.5f}")
+    print(f"mistake rate         λu      : {rate:.2f} ± {rate_half:.2f} /hour")
+    print(f"leader recovery time Tr      : {summary}")
+    print(f"leader crashes               : {leadership.leader_crashes}")
+    print(f"disruptions (flickers)       : {leadership.disruptions}")
+    print(
+        f"cost per workstation         : {result.usage.cpu_percent:.4f}% CPU, "
+        f"{result.usage.kb_per_second:.2f} KB/s"
+    )
+    print(
+        f"fault injection              : {result.node_crashes} workstation crashes, "
+        f"{result.link_crashes} link crashes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

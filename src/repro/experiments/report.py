@@ -1,0 +1,81 @@
+"""ASCII rendering of experiment results (the benches print these tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["format_table", "figure_rows", "format_figure_results"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _fmt(value: Optional[float], precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def figure_rows(
+    cells_with_results: Iterable[tuple],
+) -> List[List[str]]:
+    """Rows of (series, x, Tr ours/paper, λu ours/paper, P ours/paper, ...).
+
+    ``cells_with_results`` yields (FigureCell, ExperimentResult) pairs.
+    """
+    rows = []
+    for cell, result in cells_with_results:
+        summary = result.leadership.recovery_summary()
+        tr = summary.mean if summary.n else None
+        rows.append(
+            [
+                cell.series,
+                cell.x_label,
+                _fmt(tr),
+                _fmt(cell.paper.get("Tr")),
+                _fmt(result.leadership.mistake_rate, 2),
+                _fmt(cell.paper.get("lambda_u"), 2),
+                _fmt(result.availability, 5),
+                _fmt(cell.paper.get("P_leader"), 5),
+                _fmt(result.usage.cpu_percent, 4),
+                _fmt(cell.paper.get("cpu_percent"), 4),
+                _fmt(result.usage.kb_per_second, 2),
+                _fmt(cell.paper.get("kb_per_s"), 2),
+            ]
+        )
+    return rows
+
+
+_FIGURE_HEADERS = [
+    "series",
+    "setting",
+    "Tr(s)",
+    "paper",
+    "λu(/h)",
+    "paper",
+    "P_leader",
+    "paper",
+    "CPU%",
+    "paper",
+    "KB/s",
+    "paper",
+]
+
+
+def format_figure_results(title: str, cells_with_results: Iterable[tuple]) -> str:
+    """The standard paper-vs-measured table printed by every bench."""
+    table = format_table(_FIGURE_HEADERS, figure_rows(cells_with_results))
+    return f"\n=== {title} ===\n{table}\n"

@@ -1,0 +1,193 @@
+"""Build, run and measure one experiment.
+
+The runner assembles the full system the paper deploys on its cluster: a
+simulated network with the configured link behaviour, one node per
+workstation each running a :class:`~repro.core.api.ServiceHost` with one
+application process (pid = node id, as in the paper's single-group setup),
+the workstation churn injector, and — for the Figure 7 experiments — one
+link churn injector per directed link.  After the run it folds the trace
+into the paper's §5 metrics and the usage meters into Figure 6's
+per-workstation averages.
+
+Usage meters are reset at the end of the warm-up so CPU/bandwidth numbers
+reflect the steady state (the paper measures long steady-state runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.api import Application, ServiceHost
+from repro.core.service import ServiceConfig
+from repro.experiments.scenario import ExperimentConfig
+from repro.fd.configurator import ConfiguratorCache
+from repro.metrics.leadership import LeadershipMetrics, analyze_leadership
+from repro.metrics.trace import TraceRecorder
+from repro.metrics.usage import UsageReport
+from repro.net.faults import LinkChurnInjector, NodeChurnInjector
+from repro.net.links import LinkConfig
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ExperimentResult", "run_experiment", "build_system", "System"]
+
+
+@dataclass
+class System:
+    """A fully-wired simulated deployment, ready to run."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    rng: RngRegistry
+    network: Network
+    trace: TraceRecorder
+    hosts: List[ServiceHost]
+    apps: List[Application]
+    node_injectors: List[NodeChurnInjector]
+    link_injectors: List[LinkChurnInjector]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the paper reports for one experimental cell."""
+
+    config: ExperimentConfig
+    leadership: LeadershipMetrics
+    usage: UsageReport
+    usage_per_node: Dict[int, UsageReport]
+    node_crashes: int
+    link_crashes: int
+    #: Simulator event count — a cheap proxy for run cost, used in tests.
+    events_executed: int
+
+    @property
+    def availability(self) -> float:
+        return self.leadership.availability
+
+    @property
+    def mistake_rate(self) -> float:
+        return self.leadership.mistake_rate
+
+
+def build_system(config: ExperimentConfig) -> System:
+    """Wire up the simulated deployment described by ``config``."""
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    link_config = LinkConfig(
+        delay_mean=config.link_delay_mean,
+        loss_prob=config.link_loss_prob,
+        mttf=config.link_mttf,
+        mttr=config.link_mttr if config.link_mttf is not None else None,
+    )
+    network = Network(
+        sim, NetworkConfig(n_nodes=config.n_nodes, default_link=link_config), rng
+    )
+    trace = TraceRecorder()
+    cache = ConfiguratorCache()
+    service_config = ServiceConfig(
+        algorithm=config.algorithm, default_qos=config.qos
+    )
+    peer_nodes = tuple(range(config.n_nodes))
+
+    hosts: List[ServiceHost] = []
+    apps: List[Application] = []
+    start_stream = rng.stream("experiment.start_stagger")
+    for node_id in range(config.n_nodes):
+        host = ServiceHost(
+            sim=sim,
+            network=network,
+            node=network.node(node_id),
+            peer_nodes=peer_nodes,
+            config=service_config,
+            rng=rng,
+            trace=trace,
+            configurator_cache=cache,
+        )
+        app = Application(pid=node_id)
+        app.join(config.group, candidate=True, qos=config.qos)
+        host.add_application(app)
+        hosts.append(host)
+        apps.append(app)
+        # Stagger daemon start-up slightly, as real deployments would.
+        sim.schedule(float(start_stream.uniform(0.0, 0.2)), host.start)
+
+    node_injectors: List[NodeChurnInjector] = []
+    if config.node_churn:
+        for node_id in range(config.n_nodes):
+            injector = NodeChurnInjector(
+                sim,
+                network.node(node_id),
+                rng.stream(f"churn.node.{node_id}"),
+                mean_uptime=config.node_mttf,
+                mean_downtime=config.node_mttr,
+            )
+            injector.start()
+            node_injectors.append(injector)
+
+    link_injectors: List[LinkChurnInjector] = []
+    if config.link_mttf is not None:
+        for link in network.links():
+            injector = LinkChurnInjector(
+                sim,
+                link,
+                rng.stream(f"churn.link.{link.src}.{link.dst}"),
+                mean_uptime=config.link_mttf,
+                mean_downtime=config.link_mttr,
+            )
+            injector.start()
+            link_injectors.append(injector)
+
+    return System(
+        config=config,
+        sim=sim,
+        rng=rng,
+        network=network,
+        trace=trace,
+        hosts=hosts,
+        apps=apps,
+        node_injectors=node_injectors,
+        link_injectors=link_injectors,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experimental cell and compute its metrics."""
+    system = build_system(config)
+    sim = system.sim
+
+    # Warm up (group formation, estimator convergence), then reset the usage
+    # meters so overhead numbers are steady-state.
+    sim.run_until(config.warmup)
+    for node in system.network.nodes.values():
+        meter = node.meter
+        meter.messages_sent = 0
+        meter.messages_received = 0
+        meter.bytes_sent = 0
+        meter.bytes_received = 0
+        meter.cpu_us = 0.0
+
+    sim.run_until(config.duration)
+
+    leadership = analyze_leadership(
+        system.trace.events,
+        group=config.group,
+        end_time=config.duration,
+        measure_from=config.warmup,
+    )
+    measured = config.measured_duration
+    usage_per_node = {
+        node_id: node.meter.report(measured)
+        for node_id, node in system.network.nodes.items()
+    }
+    usage = UsageReport.average(list(usage_per_node.values()))
+    return ExperimentResult(
+        config=config,
+        leadership=leadership,
+        usage=usage,
+        usage_per_node=usage_per_node,
+        node_crashes=sum(i.crashes_injected for i in system.node_injectors),
+        link_crashes=sum(i.crashes_injected for i in system.link_injectors),
+        events_executed=sim.events_executed,
+    )

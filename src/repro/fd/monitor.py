@@ -1,0 +1,141 @@
+"""Receiver side of NFD-S: freshness points and trust/suspect output.
+
+One :class:`NfdsMonitor` watches one remote process in one group.  The
+freshness-point rule is implemented incrementally: an ALIVE stamped σ_j whose
+sender interval is η keeps the remote trusted until σ_j + η + δ (this equals
+"at freshness point τ_i, trust iff some m_j with j ≥ i arrived" — see
+:mod:`repro.fd.qos`).  A single lazy timer per monitor fires the suspicion.
+
+A monitor's initial opinion is configurable.  Monitors created from a bare
+membership record start *suspected* — the record proves nothing about the
+process being up (it may have crashed long ago), and optimism here would let
+a joiner forward dead processes as leaders.  Monitors created from positive
+evidence (the HELLO-reply ``trusted`` seed of a live responder) are granted
+one detection budget of optimistic trust via :meth:`NfdsMonitor.grant_grace`,
+which is what lets a (re)joining process adopt the established leader within
+one round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.fd.configurator import ConfiguratorCache, bootstrap_params
+from repro.fd.estimator import LinkQualityEstimator
+from repro.fd.qos import FDParams, FDQoS
+from repro.metrics.usage import UsageMeter
+from repro.sim.engine import Simulator
+from repro.sim.timers import VariableTimer
+
+__all__ = ["MonitorEvents", "NfdsMonitor"]
+
+
+class MonitorEvents:
+    """Callback bundle for trust/suspect transitions."""
+
+    def __init__(
+        self,
+        on_trust: Callable[[int], None],
+        on_suspect: Callable[[int], None],
+    ) -> None:
+        self.on_trust = on_trust
+        self.on_suspect = on_suspect
+
+
+class NfdsMonitor:
+    """Monitors one remote process with Chen et al.'s NFD-S."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        qos: FDQoS,
+        estimator: LinkQualityEstimator,
+        cache: ConfiguratorCache,
+        events: MonitorEvents,
+        meter: Optional[UsageMeter] = None,
+        start_trusted: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.qos = qos
+        self.estimator = estimator
+        self._cache = cache
+        self._events = events
+        self._meter = meter
+        params = bootstrap_params(qos)
+        #: Current timeout shift δ (receiver side).
+        self.delta = params.delta
+        #: The heartbeat period this monitor wants the sender to use.
+        self.desired_eta = params.eta
+        self.trusted = False
+        self.suspicions = 0
+        self.alives_received = 0
+        self._timer = VariableTimer(sim, self._on_timeout)
+        if start_trusted:
+            self.trusted = True
+            self._timer.set_deadline(sim.now + qos.detection_time)
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def on_alive(self, seq: int, send_time: float, sender_interval: float) -> None:
+        """Process one received ALIVE from the monitored process."""
+        now = self.sim.now
+        self.alives_received += 1
+        self.estimator.observe(seq, send_time, now)
+        deadline = send_time + sender_interval + self.delta
+        if deadline <= now:
+            return  # stale: its freshness interval already expired
+        self._timer.extend_to(deadline)
+        if not self.trusted:
+            self.trusted = True
+            self._events.on_trust(self.pid)
+
+    def grant_grace(self, horizon: Optional[float] = None) -> None:
+        """Optimistically trust for ``horizon`` seconds (default: T_D^U).
+
+        Only applies when this monitor has no direct evidence of its own
+        (no ALIVE received, no suspicion raised): it exists to seed a
+        joiner's view from a live peer's trust report, not to override a
+        first-hand opinion.
+        """
+        if self.alives_received > 0 or self.suspicions > 0 or self.trusted:
+            return
+        self.trusted = True
+        if horizon is None:
+            horizon = self.qos.detection_time
+        self._timer.extend_to(self.sim.now + horizon)
+        self._events.on_trust(self.pid)
+
+    def _on_timeout(self) -> None:
+        if self._meter is not None:
+            self._meter.on_timer()
+        if self.trusted:
+            self.trusted = False
+            self.suspicions += 1
+            self._events.on_suspect(self.pid)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def reconfigure(self) -> FDParams:
+        """Re-run the configurator against the current link estimate.
+
+        Updates δ immediately (applied from the next ALIVE on) and returns
+        the parameters so the caller can renegotiate the sender rate η.
+        """
+        params = self._cache.configure(self.qos, self.estimator.estimate())
+        self.delta = params.delta
+        self.desired_eta = params.eta
+        if self._meter is not None:
+            self._meter.on_reconfig()
+        return params
+
+    def stop(self) -> None:
+        """Disarm the monitor (remote left the group, or local shutdown)."""
+        self._timer.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "trusted" if self.trusted else "suspected"
+        return f"NfdsMonitor(pid={self.pid}, {state}, delta={self.delta:.3f})"

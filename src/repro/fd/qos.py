@@ -1,0 +1,202 @@
+"""QoS types and the analytical model of Chen et al.'s NFD-S.
+
+NFD-S in one paragraph (Chen, Toueg & Aguilera, IEEE ToC 2002): the monitored
+process q sends heartbeats m_1, m_2, ... at times σ_i = φ + i·η.  The monitor
+p fixes *freshness points* τ_i = σ_i + δ and, during [τ_i, τ_{i+1}), trusts q
+iff some heartbeat m_j with j ≥ i has been received.  Equivalently (and this
+is how :class:`repro.fd.monitor.NfdsMonitor` implements it), a received m_j
+keeps q trusted until σ_j + η + δ.
+
+Probabilistic analysis under the paper's network model — each heartbeat
+independently lost with probability ``pL``, otherwise delayed by a random
+delay D:
+
+* **Detection time** is at most η + δ: if q crashes right after emitting m_i,
+  p suspects at τ_{i+1} = σ_i + η + δ.  For a crash uniform within a
+  heartbeat interval the *expected* detection time is δ + η/2.
+* **A mistake starts at freshness point τ_i** iff no m_j with j ≥ i has
+  arrived by τ_i even though q is alive.  Heartbeat m_{i+k} (k ≥ 0) can beat
+  τ_i only if it survives loss and its delay is below δ − k·η, hence
+
+      Pr[mistake at τ_i]  =  Π_{k=0}^{⌊δ/η⌋} ( pL + (1 − pL)·Pr[D > δ − k·η] ).
+
+  Mistakes can start only at freshness points (one per η), so the expected
+  *mistake recurrence time* is  E[T_MR] = η / Pr[mistake at a freshness point].
+* **Mistake duration**: a mistake ends when the next heartbeat gets through.
+  We use the upper-bound-flavoured approximation
+  E[T_M] ≈ η/2 + η·pL/(1 − pL) + E[D]  (mean residual wait for the next
+  scheduled heartbeat, plus extra periods for consecutive losses, plus its
+  delay).  With the paper's QoS (T_MR = 100 days) this term is ~10⁻⁸ of
+  E[T_MR], so the approximation has no practical effect on configuration.
+* **Query accuracy**  P_A = 1 − E[T_M] / (E[T_MR]).
+
+The delay distribution is modelled as a Gamma with the estimated mean ``Ed``
+and standard deviation ``Sd`` — exactly exponential when Sd = Ed, which is
+the ground truth of the paper's simulated lossy links ("its delay is
+exponentially distributed", §6.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+from scipy import special
+
+__all__ = [
+    "FDQoS",
+    "FDParams",
+    "LinkEstimate",
+    "delay_survival",
+    "mistake_probability",
+    "expected_mistake_recurrence",
+    "expected_mistake_duration",
+    "query_accuracy",
+    "worst_case_detection_time",
+    "expected_detection_time",
+]
+
+#: 100 days, the paper's default T_MR^L (§6.1).
+HUNDRED_DAYS = 100.0 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class FDQoS:
+    """The application-facing QoS triple of the paper's §3.
+
+    ``detection_time`` — T_D^U, upper bound on crash-detection time (s).
+    ``mistake_recurrence`` — T_MR^L, lower bound on the expected time
+    between two consecutive FD mistakes (s).
+    ``query_accuracy`` — P_A^L, lower bound on the probability that the FD is
+    correct at a random time.
+
+    Defaults are the paper's experimental setting: detect within 1 s, at most
+    one mistake per 100 days, accuracy 0.99999988.
+    """
+
+    detection_time: float = 1.0
+    mistake_recurrence: float = HUNDRED_DAYS
+    query_accuracy: float = 0.99999988
+
+    def __post_init__(self) -> None:
+        if self.detection_time <= 0:
+            raise ValueError(f"detection_time must be > 0 (got {self.detection_time})")
+        if self.mistake_recurrence <= 0:
+            raise ValueError(
+                f"mistake_recurrence must be > 0 (got {self.mistake_recurrence})"
+            )
+        if not 0.0 < self.query_accuracy < 1.0:
+            raise ValueError(
+                f"query_accuracy must be in (0, 1) (got {self.query_accuracy})"
+            )
+
+
+@dataclass(frozen=True)
+class LinkEstimate:
+    """The Link Quality Estimator's output: (pL, Ed, Sd) of the paper's §3."""
+
+    loss_prob: float
+    delay_mean: float
+    delay_std: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in (0, 1) (got {self.loss_prob})")
+        if self.delay_mean <= 0:
+            raise ValueError(f"delay_mean must be > 0 (got {self.delay_mean})")
+        if self.delay_std < 0:
+            raise ValueError(f"delay_std must be >= 0 (got {self.delay_std})")
+
+
+@dataclass(frozen=True)
+class FDParams:
+    """The configurator's output: heartbeat period η and timeout shift δ.
+
+    ``degraded`` is True when no (η, δ) pair can meet the requested QoS under
+    the current link estimate; the returned pair is then the most accurate
+    one available within the detection-time budget (best effort), matching
+    the paper's observation that in sufficiently hostile networks "no FD can
+    detect crashes within 1 second without making mistakes" (§6.5).
+    """
+
+    eta: float
+    delta: float
+    degraded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.eta <= 0 or self.delta < 0:
+            raise ValueError(f"invalid FD parameters (eta={self.eta}, delta={self.delta})")
+
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def delay_survival(x: ArrayLike, estimate: LinkEstimate) -> ArrayLike:
+    """Pr[D > x] for the modelled delay distribution.
+
+    Gamma-distributed with mean ``Ed`` and std ``Sd``; degenerates to
+    exponential when Sd ≈ Ed and to a point mass at Ed when Sd ≈ 0.
+    """
+    ed, sd = estimate.delay_mean, estimate.delay_std
+    x = np.asarray(x, dtype=float)
+    if sd <= 1e-12 * ed or sd == 0.0:
+        return np.where(x < ed, 1.0, 0.0)
+    if abs(sd - ed) <= 0.05 * ed:
+        return np.exp(-np.maximum(x, 0.0) / ed)
+    shape = (ed / sd) ** 2
+    scale = sd * sd / ed
+    # Regularized upper incomplete gamma: Pr[Gamma(shape, scale) > x].
+    return special.gammaincc(shape, np.maximum(x, 0.0) / scale)
+
+
+def mistake_probability(eta: float, delta: float, estimate: LinkEstimate) -> float:
+    """Pr[a mistake starts at a given freshness point] for NFD-S(η, δ)."""
+    if eta <= 0:
+        raise ValueError(f"eta must be positive (got {eta})")
+    p_l = estimate.loss_prob
+    k_max = int(math.floor(delta / eta)) if delta > 0 else 0
+    log_p = 0.0
+    for k in range(k_max + 1):
+        x = delta - k * eta
+        term = p_l + (1.0 - p_l) * float(delay_survival(x, estimate))
+        if term <= 0.0:
+            return 0.0
+        log_p += math.log(term)
+    return math.exp(log_p)
+
+
+def expected_mistake_recurrence(
+    eta: float, delta: float, estimate: LinkEstimate
+) -> float:
+    """E[T_MR]: expected time between two consecutive mistakes."""
+    p_mistake = mistake_probability(eta, delta, estimate)
+    if p_mistake <= 0.0:
+        return math.inf
+    return eta / p_mistake
+
+
+def expected_mistake_duration(eta: float, estimate: LinkEstimate) -> float:
+    """E[T_M]: expected duration of one mistake (approximation, see module doc)."""
+    p_l = estimate.loss_prob
+    return eta / 2.0 + eta * p_l / (1.0 - p_l) + estimate.delay_mean
+
+
+def query_accuracy(eta: float, delta: float, estimate: LinkEstimate) -> float:
+    """P_A: probability the FD output is correct at a random time."""
+    t_mr = expected_mistake_recurrence(eta, delta, estimate)
+    if math.isinf(t_mr):
+        return 1.0
+    t_m = expected_mistake_duration(eta, estimate)
+    return max(0.0, 1.0 - t_m / max(t_mr, t_m))
+
+
+def worst_case_detection_time(eta: float, delta: float) -> float:
+    """Upper bound on NFD-S crash-detection time: η + δ."""
+    return eta + delta
+
+
+def expected_detection_time(eta: float, delta: float) -> float:
+    """Expected detection time for a crash uniform in a heartbeat interval."""
+    return delta + eta / 2.0

@@ -1,0 +1,188 @@
+"""Sender side of the FD scheduler: ALIVE emission for one group.
+
+One :class:`HeartbeatSender` serves one (group, local process) pair.  Like a
+real daemon, it wakes up once per period and emits one ALIVE *to every
+destination* — a single timer, synchronized emission times.  The aligned
+schedule matters beyond efficiency: all receivers then share the sender's
+freshness-point grid, so after a crash they suspect (and re-elect) nearly
+simultaneously, which is what keeps the group-wide leader recovery time near
+δ + η/2 instead of δ + η (the paper's Tr sits well below the worst case for
+exactly this reason).
+
+Per-destination state that must *not* be shared:
+
+* sequence numbers — receivers estimate loss per directed link from gaps,
+  so each stream is numbered independently and **pauses** (never skips)
+  while the sender is voluntarily silent: an Ω_l process dropping out of the
+  competition must not be scored as message loss downstream;
+* requested rates — each receiver's configurator may ask for its own η; the
+  sender emits at the fastest requested rate (extra heartbeats only improve
+  the slower receivers' detection).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.net.message import AliveMessage
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["HeartbeatSender"]
+
+
+class HeartbeatSender:
+    """Emits ALIVEs for one group from one local process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        group: int,
+        pid: int,
+        default_interval: float,
+        payload_fn: Callable[[], AliveMessage],
+        rng: np.random.Generator,
+    ) -> None:
+        """``payload_fn`` returns a template ALIVE (routing/seq fields unset);
+        the sender stamps per-destination fields on copies of it."""
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.group = group
+        self.pid = pid
+        self.default_interval = default_interval
+        self._payload_fn = payload_fn
+        self._rng = rng
+        self._requested: Dict[int, float] = {}  # dest pid -> requested η
+        self._dest_nodes: Dict[int, int] = {}  # dest pid -> node id
+        self._seqs: Dict[int, int] = {}  # dest pid -> next sequence number
+        self._timer = PeriodicTimer(
+            sim,
+            period_fn=self.interval,
+            callback=self._tick,
+            # A random initial phase; avoids synchronizing distinct senders.
+            initial_delay=float(rng.uniform(0.0, default_interval)),
+        )
+        self.active = False
+        self._started_once = False
+
+    # ------------------------------------------------------------------
+    # Destination management (driven by group membership)
+    # ------------------------------------------------------------------
+    def set_destinations(self, dest_nodes: Dict[int, int]) -> None:
+        """Reconcile the destination set: ``{dest_pid: node_id}``."""
+        for pid in list(self._dest_nodes):
+            if pid not in dest_nodes:
+                del self._dest_nodes[pid]
+                self._requested.pop(pid, None)
+        for pid, node_id in dest_nodes.items():
+            self._dest_nodes[pid] = node_id
+            self._seqs.setdefault(pid, 0)
+
+    # ------------------------------------------------------------------
+    # Rate negotiation
+    # ------------------------------------------------------------------
+    def interval(self) -> float:
+        """The period in force: the fastest rate any receiver requested.
+
+        Until the first RATE-REQUEST arrives, the conservative bootstrap
+        period applies.  Receivers compute freshness from the *advertised*
+        interval carried on each ALIVE, so honouring a slower negotiated
+        rate never breaks detection — a receiver that still wants a faster
+        rate simply requests it and the minimum wins.
+        """
+        if not self._requested:
+            return self.default_interval
+        return min(self._requested.values())
+
+    def set_interval(self, pid: int, interval: float) -> None:
+        """Apply a receiver-requested rate (RATE-REQUEST handler)."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive (got {interval})")
+        self._requested[pid] = interval
+        # Takes effect from the next firing; rate renegotiations move η by
+        # modest factors, so the one-period transient is harmless.
+
+    # ------------------------------------------------------------------
+    # Activity (Ω_l competition on/off; Ω_id/Ω_lc keep it always on)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin (or resume) emitting ALIVEs.
+
+        The very first start waits a random phase (so distinct senders do
+        not synchronize); a *resume* — an Ω_l candidate re-entering the
+        competition — emits immediately, because the whole point of resuming
+        is to tell the group something changed.
+        """
+        if self.active:
+            return
+        self.active = True
+        resuming = self._started_once
+        self._started_once = True
+        self._timer.start()
+        if resuming:
+            self._tick()
+
+    def stop(self) -> None:
+        """Stop emitting; sequence counters freeze (silence, not loss)."""
+        if not self.active:
+            return
+        self.active = False
+        self._timer.stop()
+
+    def shutdown(self) -> None:
+        """Stop permanently (node crash / group leave)."""
+        self.stop()
+        self._dest_nodes.clear()
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Emit one out-of-schedule round *now* and restart the period.
+
+        Used when election-relevant state changes (an accusation bumped our
+        accusation time, our local leader changed): waiting up to a full
+        period to tell the group would leave it split over the old and new
+        leader for that long.  An early extra ALIVE can only extend
+        receivers' freshness deadlines, so this is always safe.
+        """
+        if not self.active:
+            return
+        self._tick()
+        self._timer.start()  # next regular tick one full period from now
+
+    def _tick(self) -> None:
+        node = self.network.node(self.node_id)
+        node.meter.on_timer()
+        template = self._payload_fn()
+        now = self.sim.now
+        interval = self.interval()
+        for pid, dest_node in self._dest_nodes.items():
+            message = AliveMessage(
+                sender_node=self.node_id,
+                dest_node=dest_node,
+                group=self.group,
+                pid=self.pid,
+                seq=self._seqs[pid],
+                send_time=now,
+                interval=interval,
+                acc_time=template.acc_time,
+                phase=template.phase,
+                local_leader=template.local_leader,
+                local_leader_acc=template.local_leader_acc,
+                members=template.members,
+            )
+            self._seqs[pid] += 1
+            self.network.send(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatSender(group={self.group}, pid={self.pid}, "
+            f"active={self.active}, dests={sorted(self._dest_nodes)})"
+        )

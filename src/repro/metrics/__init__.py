@@ -1,0 +1,38 @@
+"""Metrics: leadership QoS (Tr, λu, Pleader), usage accounting, statistics.
+
+The paper evaluates the service with three leader-election QoS metrics (its
+§5) plus CPU and bandwidth overhead (its §6.5).  We split the machinery into:
+
+* :mod:`repro.metrics.trace` — an event trace recorded during a simulation
+  (view changes, crashes, recoveries, joins, leaves);
+* :mod:`repro.metrics.leadership` — pure functions turning a trace into
+  leader-recovery-time samples, unjustified-demotion counts and availability;
+* :mod:`repro.metrics.usage` — the per-workstation CPU/bandwidth cost model;
+* :mod:`repro.metrics.stats` — means and confidence intervals (the paper
+  reports 95% CIs for Tr and λu).
+"""
+
+from repro.metrics.leadership import (
+    DemotionEvent,
+    LeadershipMetrics,
+    RecoverySample,
+    analyze_leadership,
+)
+from repro.metrics.stats import Summary, mean_confidence_interval, summarize
+from repro.metrics.trace import TraceEvent, TraceRecorder
+from repro.metrics.usage import CostModel, UsageMeter, UsageReport
+
+__all__ = [
+    "CostModel",
+    "DemotionEvent",
+    "LeadershipMetrics",
+    "RecoverySample",
+    "Summary",
+    "TraceEvent",
+    "TraceRecorder",
+    "UsageMeter",
+    "UsageReport",
+    "analyze_leadership",
+    "mean_confidence_interval",
+    "summarize",
+]

@@ -1,0 +1,314 @@
+"""Computing the paper's leader-election QoS metrics from a trace (§5).
+
+Definitions, quoted from the paper:
+
+* "a group has a leader at time t if, at time t, there is some alive process
+  ℓ such that every alive process in this group has ℓ as its leader" — we
+  additionally require ℓ to be a present group member (an alive leader that
+  left the group does not count, §1).
+* **Leader recovery time** Tr: "the time that elapses from the time when the
+  leader of a group crashes to the time when the group has a leader again".
+  A sample opens when the workstation of the *current common leader* crashes
+  and closes at the next instant the group has a (any) common leader.
+* **Mistake rate** λu: "the demotion of a process ℓ from leadership is
+  unjustified if ℓ loses the leadership of the system even though ℓ has not
+  crashed"; λu is the number of unjustified demotions per hour.  We count a
+  demotion when a common-leader interval of ℓ ends while ℓ is alive (and did
+  not voluntarily leave) and the *next* established common leader differs
+  from ℓ.  The case where the same ℓ is re-established after a gap is not a
+  demotion — ℓ never lost the leadership, the group merely flickered — and
+  is reported separately as a *disruption* (it still costs availability).
+* **Leader availability** Pleader: the fraction of time the group has a
+  (commonly agreed and alive) leader.
+
+``measure_from`` excludes a warm-up prefix (group formation, estimator
+warm-up) from availability, demotion and Tr accounting, mirroring the paper's
+steady-state measurements over multi-day runs; state is still tracked from
+time zero so the predicate is exact at the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.stats import Summary, summarize
+from repro.metrics.trace import TraceEvent
+
+__all__ = [
+    "RecoverySample",
+    "DemotionEvent",
+    "LeadershipMetrics",
+    "analyze_leadership",
+]
+
+
+@dataclass(frozen=True)
+class RecoverySample:
+    """One leader-crash → leader-reestablished episode."""
+
+    crash_time: float
+    recovered_time: float
+    crashed_leader: int
+    new_leader: int
+
+    @property
+    def duration(self) -> float:
+        return self.recovered_time - self.crash_time
+
+
+@dataclass(frozen=True)
+class DemotionEvent:
+    """A common-leader interval that ended while the leader was alive.
+
+    ``leader_crashed_recently`` is True when the demoted leader's node
+    crashed within the analysis' ``crash_grace`` horizon before the loss; the
+    paper's rule makes such demotions *justified* ("the demotion of a process
+    ℓ is unjustified if ℓ loses the leadership even though ℓ has not
+    crashed") — the canonical case is a leader that crashes and reboots
+    faster than the detection bound, whose fresh accusation time then demotes
+    it a few hundred milliseconds after it is already back up.
+    """
+
+    leader: int
+    lost_at: float
+    reestablished_at: float
+    new_leader: int
+    leader_crashed_recently: bool = False
+
+    @property
+    def unjustified(self) -> bool:
+        return self.new_leader != self.leader and not self.leader_crashed_recently
+
+    @property
+    def disruption(self) -> bool:
+        """Same leader re-established: a flicker, not a demotion."""
+        return self.new_leader == self.leader
+
+
+@dataclass
+class LeadershipMetrics:
+    """The paper's §5 metrics for one group over one run."""
+
+    group: int
+    measured_from: float
+    measured_until: float
+    availability: float
+    recovery_samples: List[RecoverySample] = field(default_factory=list)
+    demotions: List[DemotionEvent] = field(default_factory=list)
+    leader_crashes: int = 0
+    #: A leader crash whose recovery had not completed by the end of the run.
+    censored_recoveries: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.measured_until - self.measured_from
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration / 3600.0
+
+    @property
+    def unjustified_demotions(self) -> int:
+        return sum(1 for d in self.demotions if d.unjustified)
+
+    @property
+    def disruptions(self) -> int:
+        return sum(1 for d in self.demotions if d.disruption)
+
+    @property
+    def mistake_rate(self) -> float:
+        """λu: unjustified demotions per hour."""
+        if self.duration_hours <= 0:
+            return 0.0
+        return self.unjustified_demotions / self.duration_hours
+
+    def recovery_summary(self) -> Summary:
+        """Mean and 95% CI of the leader recovery time Tr."""
+        return summarize([s.duration for s in self.recovery_samples])
+
+
+def _common_leader(
+    membership: Dict[int, Tuple[int, bool]],
+    process_up: Dict[int, bool],
+    views: Dict[int, Optional[int]],
+) -> Optional[int]:
+    """The commonly agreed alive leader, or None.
+
+    ``process_up`` tracks *process* liveness: a process dies with its node's
+    crash and is reborn only at its next join (a recovered workstation whose
+    application has not rejoined yet hosts no process, so its stale pre-crash
+    view must not count).
+    """
+    alive = [
+        pid
+        for pid, (node, present) in membership.items()
+        if present and process_up.get(pid, False)
+    ]
+    if not alive:
+        return None
+    leader = views.get(alive[0])
+    if leader is None:
+        return None
+    for pid in alive:
+        if views.get(pid) != leader:
+            return None
+    # The leader must itself be an alive, present member.
+    info = membership.get(leader)
+    if info is None or not info[1] or not process_up.get(leader, False):
+        return None
+    return leader
+
+
+def analyze_leadership(
+    events: Iterable[TraceEvent],
+    group: int,
+    end_time: float,
+    measure_from: float = 0.0,
+    crash_grace: float = 3.0,
+) -> LeadershipMetrics:
+    """Fold a trace into :class:`LeadershipMetrics` for ``group``.
+
+    ``crash_grace``: a demotion of ℓ is attributed to a crash (hence
+    justified) when ℓ's node crashed at most this many seconds before the
+    leadership loss.  It needs to cover the fast-reboot window — a downtime
+    below the detection bound plus restart and propagation delay — and is
+    comfortably smaller than the time between independent demotion causes in
+    every scenario of the paper (leaders are demoted at most a few times per
+    minute even in the most hostile setting).
+    """
+    if end_time < measure_from:
+        raise ValueError(
+            f"end_time {end_time} precedes measure_from {measure_from}"
+        )
+    relevant = sorted(
+        (e for e in events if e.group == group or e.group is None),
+        key=lambda e: e.time,
+    )
+
+    membership: Dict[int, Tuple[int, bool]] = {}
+    process_up: Dict[int, bool] = {}
+    views: Dict[int, Optional[int]] = {}
+    pid_to_node: Dict[int, int] = {}
+    node_pids: Dict[int, set] = {}
+    last_crash: Dict[int, float] = {}  # node -> last crash time
+
+    current: Optional[int] = None
+    interval_start = 0.0
+    leader_time = 0.0
+
+    recovery_open: Optional[Tuple[float, int]] = None  # (crash_time, leader)
+    demotion_open: Optional[Tuple[float, int]] = None  # (lost_at, leader)
+
+    metrics = LeadershipMetrics(
+        group=group,
+        measured_from=measure_from,
+        measured_until=end_time,
+        availability=0.0,
+    )
+
+    def accumulate(until: float) -> None:
+        nonlocal leader_time
+        if current is not None:
+            lo = max(interval_start, measure_from)
+            hi = min(until, end_time)
+            if hi > lo:
+                leader_time += hi - lo
+
+    for event in relevant:
+        if event.time > end_time:
+            break
+        accumulate(event.time)
+
+        # --- apply the event -------------------------------------------
+        if event.kind == "view":
+            views[event.pid] = event.leader
+        elif event.kind == "join":
+            membership[event.pid] = (event.node, True)
+            pid_to_node[event.pid] = event.node
+            node_pids.setdefault(event.node, set()).add(event.pid)
+            process_up[event.pid] = True
+            views[event.pid] = None  # fresh runtime: no leader view yet
+        elif event.kind == "leave":
+            node = pid_to_node.get(event.pid, 0)
+            membership[event.pid] = (node, False)
+        elif event.kind == "crash":
+            last_crash[event.node] = event.time
+            # Processes die with the workstation and are reborn only at
+            # their next join (a recovered node hosts no processes yet).
+            for pid in node_pids.get(event.node, ()):
+                process_up[pid] = False
+        elif event.kind == "recover":
+            pass  # process liveness returns at the rejoin, not here
+
+        # --- predicate transition ---------------------------------------
+        new_leader = _common_leader(membership, process_up, views)
+        if new_leader == current:
+            interval_start = event.time
+            continue
+
+        if current is not None:
+            # Leadership of `current` ended at event.time.  Classify cause.
+            info = membership.get(current)
+            alive = (
+                info is not None and info[1] and process_up.get(current, False)
+            )
+            left = info is not None and not info[1]
+            if not alive and not left:
+                # Ended by the leader's crash (this very event, or an
+                # earlier one that only now broke commonality).
+                recovery_open = (event.time, current)
+                demotion_open = None
+            elif left:
+                # Voluntary leave: justified, no sample, no demotion.
+                recovery_open = None
+                demotion_open = None
+            else:
+                demotion_open = (event.time, current)
+                recovery_open = None
+
+        if new_leader is not None:
+            if recovery_open is not None:
+                crash_time, crashed = recovery_open
+                if crash_time >= measure_from:
+                    metrics.leader_crashes += 1
+                    metrics.recovery_samples.append(
+                        RecoverySample(
+                            crash_time=crash_time,
+                            recovered_time=event.time,
+                            crashed_leader=crashed,
+                            new_leader=new_leader,
+                        )
+                    )
+                recovery_open = None
+            if demotion_open is not None:
+                lost_at, old_leader = demotion_open
+                if lost_at >= measure_from:
+                    leader_node = pid_to_node.get(old_leader)
+                    crashed_at = last_crash.get(leader_node)
+                    crashed_recently = (
+                        crashed_at is not None
+                        and lost_at - crashed_at <= crash_grace
+                    )
+                    metrics.demotions.append(
+                        DemotionEvent(
+                            leader=old_leader,
+                            lost_at=lost_at,
+                            reestablished_at=event.time,
+                            new_leader=new_leader,
+                            leader_crashed_recently=crashed_recently,
+                        )
+                    )
+                demotion_open = None
+
+        current = new_leader
+        interval_start = event.time
+
+    accumulate(end_time)
+    if recovery_open is not None and recovery_open[0] >= measure_from:
+        metrics.leader_crashes += 1
+        metrics.censored_recoveries += 1
+
+    span = end_time - measure_from
+    metrics.availability = leader_time / span if span > 0 else 0.0
+    return metrics

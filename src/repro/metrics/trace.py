@@ -1,0 +1,91 @@
+"""The experiment event trace.
+
+During a simulation the service and the fault injectors append events to a
+:class:`TraceRecorder`; after the run, :mod:`repro.metrics.leadership` folds
+the trace into the paper's QoS metrics.  Keeping the analysis offline (pure
+functions over an event list) makes it unit-testable against hand-written
+traces, independent of the protocol stack.
+
+Event kinds:
+
+* ``view``    — process ``pid``'s leader view in ``group`` became ``leader``
+  (None = no leader known);
+* ``join``/``leave`` — process ``pid`` (on ``node``) entered/left ``group``;
+* ``crash``/``recover`` — workstation ``node`` went down/came back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped trace record (see module docstring for kinds)."""
+
+    time: float
+    kind: str
+    group: Optional[int] = None
+    pid: Optional[int] = None
+    node: Optional[int] = None
+    leader: Optional[int] = None
+
+
+class TraceRecorder:
+    """Append-only event log shared by every instrumented component."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_view(
+        self, time: float, group: int, pid: int, leader: Optional[int]
+    ) -> None:
+        self.events.append(
+            TraceEvent(time=time, kind="view", group=group, pid=pid, leader=leader)
+        )
+
+    def record_join(self, time: float, group: int, pid: int, node: int) -> None:
+        self.events.append(
+            TraceEvent(time=time, kind="join", group=group, pid=pid, node=node)
+        )
+
+    def record_leave(self, time: float, group: int, pid: int) -> None:
+        self.events.append(TraceEvent(time=time, kind="leave", group=group, pid=pid))
+
+    def record_accusation(self, time: float, group: int, pid: int) -> None:
+        """An accusation was *applied* (pid's accusation time was bumped)."""
+        self.events.append(
+            TraceEvent(time=time, kind="accusation", group=group, pid=pid)
+        )
+
+    def record_crash(self, time: float, node: int) -> None:
+        self.events.append(TraceEvent(time=time, kind="crash", node=node))
+
+    def record_recover(self, time: float, node: int) -> None:
+        self.events.append(TraceEvent(time=time, kind="recover", node=node))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def for_group(self, group: int) -> Iterator[TraceEvent]:
+        """Events relevant to one group: its own plus node-level events."""
+        for event in self.events:
+            if event.group == group or event.group is None:
+                yield event
+
+    def groups(self) -> List[int]:
+        """All group ids that appear in the trace."""
+        seen = []
+        for event in self.events:
+            if event.group is not None and event.group not in seen:
+                seen.append(event.group)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.events)

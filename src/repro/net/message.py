@@ -1,0 +1,206 @@
+"""Service message types and the wire-size model.
+
+The paper's daemon exchanges three kinds of messages (its Figure 2): ALIVE
+(failure detection + election state), HELLO (group maintenance), and the
+accusations used by the Ω_lc/Ω_l algorithms.  We add a small RATE-REQUEST
+control message with which a monitoring process asks a monitored process for
+a heartbeat rate: the Chen et al. configurator runs at the *receiver*, but
+the *sender* must apply the resulting period η, so some feedback channel is
+implied by the architecture and we make it explicit.
+
+Bandwidth in the paper is measured on the wire, so each message declares its
+payload size and :data:`WIRE_OVERHEAD_BYTES` (Ethernet 18 + IPv4 20 + UDP 8)
+is added per packet.  Membership is piggybacked on ALIVE and HELLO messages
+as compact per-member entries, which makes message size grow with group
+size — one of the effects behind the paper's Figure 6 scalability curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "WIRE_OVERHEAD_BYTES",
+    "MemberInfo",
+    "AccEntry",
+    "Message",
+    "AliveMessage",
+    "HelloMessage",
+    "AccuseMessage",
+    "RateRequestMessage",
+]
+
+#: Per-packet overhead: Ethernet header+FCS (18) + IPv4 (20) + UDP (8).
+WIRE_OVERHEAD_BYTES = 46
+
+#: Serialized size of one piggybacked membership entry:
+#: pid (4) + node (4) + incarnation (4) + flags (1) + padding/seq (3).
+_MEMBER_ENTRY_BYTES = 16
+
+#: Serialized size of one accusation-table entry: pid (4) + acc time (8) +
+#: phase (4).
+_ACC_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MemberInfo:
+    """A compact membership record gossiped on HELLO/ALIVE messages.
+
+    ``incarnation`` increases each time the member's workstation reboots or
+    the process re-joins, so records merge with last-writer-wins semantics
+    (see :mod:`repro.core.group`).  ``present`` is False for a tombstone —
+    the member left the group voluntarily.
+    """
+
+    pid: int
+    node: int
+    incarnation: int
+    candidate: bool
+    present: bool
+    joined_at: float
+
+
+@dataclass(frozen=True)
+class AccEntry:
+    """One (pid, accusation time, phase) triple, used to seed joiners."""
+
+    pid: int
+    acc_time: float
+    phase: int
+
+
+@dataclass
+class Message:
+    """Base class for all inter-node service messages."""
+
+    sender_node: int
+    dest_node: int
+
+    def payload_bytes(self) -> int:
+        """Serialized payload size in bytes (excluding packet overhead)."""
+        raise NotImplementedError
+
+    def wire_bytes(self) -> int:
+        """Total on-wire size of the packet carrying this message."""
+        return WIRE_OVERHEAD_BYTES + self.payload_bytes()
+
+
+@dataclass
+class AliveMessage(Message):
+    """The heartbeat of the Chen et al. failure detector.
+
+    FD fields: per-stream sequence number ``seq``, the sender's timestamp
+    ``send_time`` (NFD-S freshness points are computed from the *sender's*
+    schedule) and the sender's current period ``interval`` toward this
+    destination (so the receiver can compute the next freshness point even
+    while a rate renegotiation is in flight).
+
+    Election fields carried for the sender's group:
+
+    * ``acc_time``/``phase`` — the sender's accusation time and phase;
+    * ``local_leader``/``local_leader_acc`` — the sender's *local* leader and
+      that leader's accusation time (Ω_lc's forwarding stage; Ω_id/Ω_l leave
+      them None);
+    * ``members`` — piggybacked membership entries (anti-entropy).
+    """
+
+    group: int = 0
+    pid: int = 0
+    seq: int = 0
+    send_time: float = 0.0
+    interval: float = 0.25
+    acc_time: float = 0.0
+    phase: int = 0
+    local_leader: Optional[int] = None
+    local_leader_acc: Optional[float] = None
+    members: Tuple[MemberInfo, ...] = ()
+
+    #: group (4) + pid (4) + seq (4) + send_time (8) + interval (8) +
+    #: acc_time (8) + phase (4) + local leader pid+acc (12) + count (2).
+    _BASE_BYTES = 54
+
+    def payload_bytes(self) -> int:
+        return self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.members)
+
+
+@dataclass
+class HelloMessage(Message):
+    """Group-maintenance gossip: the sender's view of a group's membership.
+
+    ``kind`` distinguishes periodic anti-entropy (``"gossip"``), the
+    announcement a joiner floods (``"join"``) and the unicast answer members
+    send back (``"reply"``).  Replies additionally seed the joiner's election
+    state: ``leader_hint`` carries the responder's current leader,
+    ``acc_table`` the accusation times it knows, and ``trusted`` the set of
+    processes the responder's failure detector currently trusts.  A
+    (re)joining process grants an optimistic detection-budget of trust only
+    to processes in ``trusted`` — never to arbitrary membership records, or
+    it would forward long-dead processes as leaders — and thereby adopts the
+    established leader within one round trip instead of electing itself
+    (the paper's service keeps recovering processes from disrupting the
+    group, §1).
+    """
+
+    group: int = 0
+    kind: str = "gossip"
+    members: Tuple[MemberInfo, ...] = ()
+    leader_hint: Optional[AccEntry] = None
+    acc_table: Tuple[AccEntry, ...] = ()
+    trusted: Tuple[int, ...] = ()
+
+    #: group (4) + kind (1) + member count (2) + acc count (2) + hint flag
+    #: (1) + trusted count (2).
+    _BASE_BYTES = 12
+
+    def payload_bytes(self) -> int:
+        size = self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.members)
+        size += _ACC_ENTRY_BYTES * len(self.acc_table)
+        size += 4 * len(self.trusted)
+        if self.leader_hint is not None:
+            size += _ACC_ENTRY_BYTES
+        return size
+
+
+@dataclass
+class AccuseMessage(Message):
+    """An accusation: the sender suspects ``accused`` in ``group``.
+
+    ``accused_phase`` is the phase in which the accuser last saw the accused
+    competing; the accused ignores accusations for stale phases.  This is the
+    mechanism with which Ω_l protects voluntarily-withdrawn processes from
+    spurious accusation-time bumps (paper §6.4: "the algorithm includes a
+    mechanism to ensure that such false suspicions do not increase p's
+    accusation time").
+    """
+
+    group: int = 0
+    accuser: int = 0
+    accused: int = 0
+    accused_phase: int = 0
+
+    #: group (4) + accuser (4) + accused (4) + phase (4) + echo (8).
+    _PAYLOAD_BYTES = 24
+
+    def payload_bytes(self) -> int:
+        return self._PAYLOAD_BYTES
+
+
+@dataclass
+class RateRequestMessage(Message):
+    """Feedback from a monitor: "send me ALIVEs every ``interval`` seconds".
+
+    Sent only when the receiver-side configurator output changes materially,
+    so its bandwidth contribution is negligible.
+    """
+
+    group: int = 0
+    pid: int = 0
+    target_pid: int = 0
+    interval: float = 0.25
+
+    #: group (4) + pids (8) + interval (8).
+    _PAYLOAD_BYTES = 20
+
+    def payload_bytes(self) -> int:
+        return self._PAYLOAD_BYTES

@@ -1,0 +1,111 @@
+"""The network: nodes plus a full mesh of directed links.
+
+``Network`` owns the topology and the send path.  Sending charges the sender
+node's usage meter, offers the message to the directed link, and — if the
+link delivers — hands it to the destination node (which drops it when
+crashed).  Per-link behaviour defaults to :attr:`NetworkConfig.default_link`
+and can be overridden per directed pair, which tests and examples use to
+build asymmetric topologies (e.g. a single crashed input link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.links import Link, LinkConfig
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["NetworkConfig", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Topology-wide configuration.
+
+    ``default_link`` applies to every directed pair unless overridden via
+    :meth:`Network.set_link_config`.  The paper's settings:
+
+    * real LAN: ``LinkConfig(delay_mean=0.025e-3, loss_prob=0.0)``
+    * lossy grid: ``delay_mean`` ∈ {10 ms, 100 ms}, ``loss_prob`` ∈ {0.01, 0.1}
+    * crash-prone: LAN behaviour plus ``mttf`` ∈ {600, 300, 60} s, ``mttr`` = 3 s
+    """
+
+    n_nodes: int = 12
+    default_link: LinkConfig = field(default_factory=LinkConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1 (got {self.n_nodes})")
+
+
+class Network:
+    """A set of nodes fully connected by independent directed links."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig, rng: RngRegistry) -> None:
+        self.sim = sim
+        self.config = config
+        self._rng = rng
+        self.nodes: Dict[int, Node] = {
+            node_id: Node(sim, node_id) for node_id in range(config.n_nodes)
+        }
+        self._links: Dict[Tuple[int, int], Link] = {}
+        for src in self.nodes:
+            for dst in self.nodes:
+                if src == dst:
+                    continue
+                self._links[(src, dst)] = self._make_link(src, dst, config.default_link)
+
+    def _make_link(self, src: int, dst: int, link_config: LinkConfig) -> Link:
+        stream = self._rng.stream(f"link.{src}.{dst}")
+        return Link(self.sim, src, dst, link_config, stream)
+
+    # ------------------------------------------------------------------
+    # Topology access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self.nodes[node_id]
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link from ``src`` to ``dst``."""
+        return self._links[(src, dst)]
+
+    def links(self) -> Iterable[Link]:
+        """All ``n·(n-1)`` directed links."""
+        return self._links.values()
+
+    def set_link_config(self, src: int, dst: int, link_config: LinkConfig) -> None:
+        """Replace the behaviour of one directed link (keeps its RNG stream)."""
+        old = self._links[(src, dst)]
+        new = Link(self.sim, src, dst, link_config, old._rng)
+        new.down = old.down
+        self._links[(src, dst)] = new
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Transmit ``message`` from its sender node to its destination node.
+
+        Sending from a crashed node is a no-op (a dead daemon sends nothing);
+        this is checked here so fault injection cannot race with send timers.
+        """
+        sender = self.nodes[message.sender_node]
+        if not sender.up:
+            return
+        sender.meter.on_send(message.wire_bytes())
+        dest = self.nodes[message.dest_node]
+        link = self._links[(message.sender_node, message.dest_node)]
+        link.transmit(message, dest.deliver)
+
+    def broadcast(self, messages: Iterable[Message]) -> None:
+        """Send each message; a convenience for per-destination fan-out."""
+        for message in messages:
+            self.send(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(n={len(self.nodes)})"

@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package plays the role of the paper's physical testbed: it provides a
+virtual clock, an event loop, cancellable timers, and reproducible random
+number streams.  All higher layers (network, failure detector, leader election
+service) are written against :class:`~repro.sim.engine.Simulator` and never
+touch wall-clock time, which makes multi-day experiments runnable in minutes
+and bit-for-bit reproducible from a seed.
+"""
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.process import Component
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer, VariableTimer
+
+__all__ = [
+    "Component",
+    "Event",
+    "PeriodicTimer",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "VariableTimer",
+]

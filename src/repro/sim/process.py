@@ -1,0 +1,40 @@
+"""Base class for simulated components.
+
+A :class:`Component` is anything that lives inside the simulation and reacts
+to events: a network link, a failure-detector monitor, a service daemon, an
+application process.  The base class only provides clock/scheduling sugar; it
+deliberately carries no lifecycle so that each layer can define its own
+(nodes crash, monitors start/stop, services restart).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Component"]
+
+
+class Component:
+    """A named participant in the simulation."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    def after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        return self.sim.schedule(delay, fn)
+
+    def at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute time ``time``."""
+        return self.sim.schedule_at(time, fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

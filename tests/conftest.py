@@ -1,0 +1,18 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(seed=1234)

@@ -1,0 +1,151 @@
+"""Tests for the application API and the crash-restarting service host."""
+
+import pytest
+
+from repro.core.api import Application, ServiceHost
+from repro.core.commands import CommandError
+from repro.core.service import ServiceConfig
+from repro.fd.configurator import ConfiguratorCache
+from repro.metrics.trace import TraceRecorder
+from repro.net.network import Network, NetworkConfig
+from repro.sim.rng import RngRegistry
+
+
+def build_hosts(sim, n=4, algorithm="omega_lc"):
+    rng = RngRegistry(9)
+    network = Network(sim, NetworkConfig(n_nodes=n), rng)
+    trace = TraceRecorder()
+    cache = ConfiguratorCache()
+    hosts = []
+    for node_id in range(n):
+        host = ServiceHost(
+            sim=sim,
+            network=network,
+            node=network.node(node_id),
+            peer_nodes=tuple(range(n)),
+            config=ServiceConfig(algorithm=algorithm),
+            rng=rng,
+            trace=trace,
+            configurator_cache=cache,
+        )
+        hosts.append(host)
+    return network, hosts, trace
+
+
+def start_group(sim, hosts, group=1):
+    apps = []
+    for host in hosts:
+        app = Application(pid=host.node.node_id)
+        app.join(group)
+        host.add_application(app)
+        host.start()
+        apps.append(app)
+    return apps
+
+
+class TestApplication:
+    def test_join_before_bind_is_deferred(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        app = Application(pid=0)
+        app.join(1)
+        assert app.joined_groups == [1]
+        assert not app.bound
+        hosts[0].add_application(app)
+        hosts[0].start()
+        assert app.bound
+        assert hosts[0].service.group_runtime(1) is not None
+
+    def test_leader_query(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        apps = start_group(sim, hosts)
+        sim.run_until(5.0)
+        leaders = {app.leader(1) for app in apps}
+        assert len(leaders) == 1
+        assert leaders.pop() is not None
+
+    def test_leader_query_unbound_returns_none(self, sim):
+        app = Application(pid=0)
+        assert app.leader(1) is None
+
+    def test_leave_removes_standing_join(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        apps = start_group(sim, hosts)
+        sim.run_until(5.0)
+        apps[0].leave(1)
+        assert apps[0].joined_groups == []
+        assert hosts[0].service.group_runtime(1) is None
+
+    def test_duplicate_registration_is_command_error(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        app = Application(pid=0)
+        hosts[0].add_application(app)
+        hosts[0].start()
+        dup = Application(pid=0)
+        with pytest.raises(CommandError):
+            hosts[0].add_application(dup)
+
+
+class TestServiceHost:
+    def test_crash_kills_daemon_and_unbinds_apps(self, sim):
+        network, hosts, trace = build_hosts(sim)
+        apps = start_group(sim, hosts)
+        sim.run_until(5.0)
+        network.node(0).crash()
+        assert hosts[0].service is None
+        assert not apps[0].bound
+        assert any(e.kind == "crash" and e.node == 0 for e in trace.events)
+
+    def test_recovery_restarts_daemon_and_rejoins(self, sim):
+        network, hosts, trace = build_hosts(sim)
+        apps = start_group(sim, hosts)
+        sim.run_until(5.0)
+        network.node(0).crash()
+        sim.run_until(6.0)
+        network.node(0).recover()
+        sim.run_until(8.0)
+        assert hosts[0].service is not None
+        assert hosts[0].restarts == 1
+        assert apps[0].bound
+        # The standing join was replayed: we are a member again.
+        assert hosts[0].service.group_runtime(1) is not None
+        # And converge back onto the group's leader.
+        sim.run_until(12.0)
+        assert apps[0].leader(1) == apps[1].leader(1)
+
+    def test_double_crash_before_restart(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        start_group(sim, hosts)
+        sim.run_until(5.0)
+        network.node(0).crash()
+        network.node(0).recover()
+        network.node(0).crash()  # crashes again before the restart delay
+        sim.run_until(10.0)
+        assert hosts[0].service is None
+        network.node(0).recover()
+        sim.run_until(15.0)
+        assert hosts[0].service is not None
+
+    def test_rejoining_process_keeps_pid(self, sim):
+        """The paper's churn model: the same process identity rejoins after
+        recovery (S1's demotion-by-rejoin depends on this)."""
+        network, hosts, trace = build_hosts(sim)
+        start_group(sim, hosts)
+        sim.run_until(5.0)
+        network.node(2).crash()
+        sim.run_until(6.0)
+        network.node(2).recover()
+        sim.run_until(10.0)
+        joins = [e for e in trace.events if e.kind == "join" and e.pid == 2]
+        assert len(joins) == 2  # initial + rejoin, same pid
+
+    def test_incarnation_grows_across_restarts(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        start_group(sim, hosts)
+        sim.run_until(5.0)
+        first = hosts[1].service.group_runtime(1).view.record(1).incarnation
+        network.node(1).crash()
+        sim.run_until(6.0)
+        network.node(1).recover()
+        sim.run_until(10.0)
+        second = hosts[1].service.group_runtime(1).view.record(1).incarnation
+        assert second > first

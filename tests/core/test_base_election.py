@@ -1,0 +1,99 @@
+"""Tests for the ElectionAlgorithm base plumbing (refresh/notify contract)."""
+
+from typing import Optional
+
+from repro.core.election.base import ElectionAlgorithm
+
+from .helpers import FakeContext
+
+
+class Scripted(ElectionAlgorithm):
+    """An algorithm whose leader choice is set by the test script."""
+
+    name = "scripted"
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.choice: Optional[int] = None
+        self.send = False
+
+    def leader(self):
+        return self.choice
+
+    def wants_to_send(self):
+        return self.send
+
+
+class TestRefreshContract:
+    def test_no_events_before_start(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.choice = 5
+        algo._refresh()
+        assert ctx.views == []  # not started: silent
+
+    def test_start_publishes_initial_view(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.choice = 5
+        algo.start()
+        assert ctx.views == [5]
+
+    def test_view_published_only_on_change(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.choice = 5
+        algo.start()
+        algo._refresh()
+        algo._refresh()
+        assert ctx.views == [5]
+        algo.choice = 7
+        algo._refresh()
+        algo.choice = None
+        algo._refresh()
+        assert ctx.views == [5, 7, None]
+
+    def test_sender_synced_every_refresh(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.start()
+        assert ctx.sending is False
+        algo.send = True
+        algo._refresh()
+        assert ctx.sending is True
+
+    def test_default_event_handlers_refresh(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.start()
+        algo.choice = 9
+        algo.on_suspect(1)
+        assert ctx.views[-1] == 9
+        algo.choice = 3
+        algo.on_trust(1)
+        assert ctx.views[-1] == 3
+        algo.choice = 4
+        algo.on_membership_changed()
+        assert ctx.views[-1] == 4
+
+    def test_default_accusation_not_applied(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.start()
+        assert algo.on_accusation(0) is False
+
+    def test_stop_silences_refresh(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        algo.choice = 5
+        algo.start()
+        algo.stop()
+        algo.choice = 7
+        algo._refresh()
+        assert ctx.views == [5]
+
+    def test_default_outputs(self):
+        ctx = FakeContext()
+        algo = ctx.attach(Scripted(ctx))
+        assert algo.acc_entries() == ()
+        assert algo.leader_hint() is None

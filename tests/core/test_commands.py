@@ -1,0 +1,77 @@
+"""Tests for the command handler (application/daemon boundary)."""
+
+import pytest
+
+from repro.core.commands import (
+    CommandError,
+    CommandHandler,
+    Join,
+    Leave,
+    QueryLeader,
+    Register,
+    Unregister,
+)
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.net.network import Network, NetworkConfig
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def handler(sim):
+    rng = RngRegistry(4)
+    network = Network(sim, NetworkConfig(n_nodes=2), rng)
+    service = LeaderElectionService(
+        sim=sim,
+        network=network,
+        node=network.node(0),
+        peer_nodes=(0, 1),
+        config=ServiceConfig(),
+        rng=rng,
+    )
+    return CommandHandler(service)
+
+
+class TestCommandHandler:
+    def test_register_join_query_leave_cycle(self, sim, handler):
+        handler.execute(Register(pid=0))
+        handler.execute(Join(pid=0, group=1))
+        sim.run_until(3.0)
+        assert handler.execute(QueryLeader(group=1)) == 0  # alone: self
+        handler.execute(Leave(pid=0, group=1))
+        assert handler.execute(QueryLeader(group=1)) is None
+
+    def test_unregister(self, handler):
+        handler.execute(Register(pid=0))
+        handler.execute(Unregister(pid=0))
+        with pytest.raises(CommandError):
+            handler.execute(Unregister(pid=0))
+
+    def test_rejections_become_command_errors(self, handler):
+        with pytest.raises(CommandError):
+            handler.execute(Join(pid=0, group=1))  # unregistered
+        handler.execute(Register(pid=0))
+        handler.execute(Join(pid=0, group=1))
+        with pytest.raises(CommandError):
+            handler.execute(Join(pid=0, group=1))  # double join
+
+    def test_unknown_command_rejected(self, handler):
+        with pytest.raises(CommandError, match="unknown command"):
+            handler.execute(object())
+
+    def test_join_carries_all_four_paper_parameters(self, handler):
+        """Paper §4: group id, candidacy, notification mode, FD QoS."""
+        from repro.fd.qos import FDQoS
+
+        handler.execute(Register(pid=0))
+        notifications = []
+        runtime = handler.execute(
+            Join(
+                pid=0,
+                group=9,
+                candidate=False,
+                qos=FDQoS(detection_time=0.25),
+                on_leader_change=lambda g, l: notifications.append((g, l)),
+            )
+        )
+        assert runtime.candidate is False
+        assert runtime.qos.detection_time == 0.25

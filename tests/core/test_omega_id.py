@@ -1,0 +1,120 @@
+"""Unit tests for Ω_id (service S1)."""
+
+from repro.core.election.omega_id import OmegaId
+
+from .helpers import FakeContext, member
+
+
+def make(ctx):
+    algo = ctx.attach(OmegaId(ctx))
+    return algo
+
+
+class TestOmegaId:
+    def test_alone_elects_self(self):
+        ctx = FakeContext(local_pid=3)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 3
+        assert ctx.views == [3]
+
+    def test_smallest_trusted_id_wins(self):
+        ctx = FakeContext(local_pid=3)
+        for pid in (1, 2, 3, 5):
+            ctx.add_member(member(pid))
+        ctx.trust(1, 2, 5)
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 1
+
+    def test_untrusted_processes_excluded(self):
+        ctx = FakeContext(local_pid=3)
+        for pid in (1, 2, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(2)  # 1 is suspected
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 2
+
+    def test_non_candidates_never_lead(self):
+        ctx = FakeContext(local_pid=3)
+        ctx.add_member(member(1, candidate=False))
+        ctx.add_member(member(3))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 3
+
+    def test_passive_self_is_not_leader(self):
+        ctx = FakeContext(local_pid=3, candidate=False)
+        ctx.add_member(member(3, candidate=True))  # stale candidate bit
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() is None
+
+    def test_instability_on_lower_id_rejoin(self):
+        """The paper's S1 instability: a recovering lower-id process demotes
+        a functional leader (≈ 6 mistakes/hour in their churn)."""
+        ctx = FakeContext(local_pid=3)
+        for pid in (2, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(2)
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 2
+        # Process 1 rejoins and is trusted again: leader 2 is demoted.
+        ctx.add_member(member(1))
+        ctx.trust(1)
+        algo.on_membership_changed()
+        assert algo.leader() == 1
+        assert ctx.views == [2, 1]
+
+    def test_suspect_and_trust_events_move_leader(self):
+        ctx = FakeContext(local_pid=3)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 1
+        ctx.distrust(1)
+        algo.on_suspect(1)
+        assert algo.leader() == 3
+        ctx.trust(1)
+        algo.on_trust(1)
+        assert algo.leader() == 1
+        assert ctx.views == [1, 3, 1]
+
+    def test_candidates_send_alives(self):
+        ctx = FakeContext(local_pid=3)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        assert ctx.sending is True
+
+    def test_passive_members_stay_silent(self):
+        ctx = FakeContext(local_pid=3, candidate=False)
+        algo = make(ctx)
+        algo.start()
+        assert ctx.sending is False
+
+    def test_leader_must_be_present(self):
+        ctx = FakeContext(local_pid=3)
+        ctx.add_member(member(1))
+        ctx.add_member(member(3))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        ctx.members[1] = member(1, present=False)  # left the group
+        algo.on_membership_changed()
+        assert algo.leader() == 3
+
+    def test_no_view_change_no_duplicate_notification(self):
+        ctx = FakeContext(local_pid=3)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        algo.on_membership_changed()
+        algo.on_membership_changed()
+        assert ctx.views == [3]

@@ -1,0 +1,210 @@
+"""Unit tests for Ω_l (service S3): communication-efficient election."""
+
+from repro.core.election.omega_l import OmegaL
+from repro.net.message import AccEntry, HelloMessage
+
+from .helpers import FakeContext, alive, member
+
+
+def make(ctx):
+    return ctx.attach(OmegaL(ctx))
+
+
+def reply(leader_hint=None):
+    return HelloMessage(
+        sender_node=0, dest_node=0, group=1, kind="reply", leader_hint=leader_hint
+    )
+
+
+class TestCompetition:
+    def test_alone_competes_and_leads(self):
+        ctx = FakeContext(local_pid=3, join_time=1.0)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        assert algo.competing
+        assert ctx.sending is True
+        assert algo.leader() == 3
+
+    def test_withdraws_for_better_candidate(self):
+        """Communication efficiency: seeing a competitor with an earlier
+        accusation time, p stops sending ALIVEs (and bumps its phase)."""
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        assert algo.competing
+        phase_before = algo.phase
+        algo.on_alive(alive(1, acc_time=0.5))
+        assert not algo.competing
+        assert ctx.sending is False
+        assert algo.phase == phase_before + 1
+        assert algo.voluntary_stops == 1
+        assert algo.leader() == 1
+
+    def test_reenters_competition_when_leader_suspected(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        algo.on_alive(alive(1, acc_time=0.5))
+        assert not algo.competing
+        ctx.distrust(1)
+        algo.on_suspect(1)
+        assert algo.competing
+        assert algo.leader() == 3
+
+    def test_passive_member_never_competes(self):
+        ctx = FakeContext(local_pid=3, candidate=False, join_time=10.0)
+        ctx.add_member(member(3, candidate=False))
+        algo = make(ctx)
+        algo.start()
+        assert not algo.competing
+        assert algo.leader() is None  # nobody heard yet
+
+    def test_passive_member_follows_heard_leader(self):
+        ctx = FakeContext(local_pid=3, candidate=False, join_time=10.0)
+        ctx.add_member(member(3, candidate=False))
+        ctx.add_member(member(1))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        algo.on_alive(alive(1, acc_time=0.5))
+        assert algo.leader() == 1
+
+    def test_only_directly_heard_competitors_count(self):
+        """No forwarding in Ω_l: a process it cannot hear does not exist for
+        the election (this is exactly the Figure 7 fragility)."""
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        # 1 is trusted by the FD but we never received a direct ALIVE:
+        # nothing to follow, we compete ourselves.
+        assert algo.leader() == 3
+        assert algo.competing
+
+
+class TestPhaseProtection:
+    def test_stale_accusation_after_voluntary_stop_ignored(self):
+        """The paper's 'mechanism to ensure that such false suspicions do
+        not increase p's accusation time' (§6.4)."""
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        old_phase = algo.phase
+        algo.on_alive(alive(1, acc_time=0.5))  # withdraw: phase += 1
+        ctx.set_time(30.0)
+        algo.on_accusation(accused_phase=old_phase)  # late timeout accusation
+        assert algo.acc_time == 10.0  # protected
+
+    def test_accusation_while_competing_bumps(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        assert algo.competing
+        ctx.set_time(30.0)
+        algo.on_accusation(accused_phase=algo.phase)
+        assert algo.acc_time == 30.0
+        assert ctx.flushes >= 1  # bumped state announced immediately
+
+    def test_demoted_by_accusation_once_better_candidate_appears(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (3, 5):
+            ctx.add_member(member(pid))
+        ctx.trust(5)
+        algo = make(ctx)
+        algo.start()
+        ctx.set_time(30.0)
+        algo.on_accusation(accused_phase=algo.phase)
+        # Still competing: nobody better heard yet.
+        assert algo.competing
+        # 5 (acc 12.0 < 30.0) starts competing; we withdraw.
+        algo.on_alive(alive(5, acc_time=12.0))
+        assert not algo.competing
+        assert algo.leader() == 5
+
+
+class TestSuspicionsAndAccusations:
+    def test_suspicion_accuses_with_last_seen_phase(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        algo.on_alive(alive(1, acc_time=0.5, phase=7))
+        ctx.distrust(1)
+        algo.on_suspect(1)
+        assert ctx.accusations == [(1, 7)]
+
+    def test_suspicion_of_unknown_process_no_accusation(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        algo.on_suspect(99)
+        assert ctx.accusations == []
+
+
+class TestSeeding:
+    def test_leader_hint_adopted_and_monitored(self):
+        """A (re)joining process adopts the hinted leader instead of
+        electing itself (provisional trust via ensure_monitor)."""
+        ctx = FakeContext(local_pid=9, join_time=100.0)
+        for pid in (1, 9):
+            ctx.add_member(member(pid))
+        algo = make(ctx)
+        algo.start()
+        assert algo.leader() == 9  # alone so far
+        algo.on_hello_seed(reply(leader_hint=AccEntry(1, 0.5, 0)))
+        assert ctx.monitored == [1]
+        assert algo.leader() == 1
+        assert not algo.competing
+
+    def test_own_hint_ignored(self):
+        ctx = FakeContext(local_pid=9, join_time=100.0)
+        ctx.add_member(member(9))
+        algo = make(ctx)
+        algo.start()
+        algo.on_hello_seed(reply(leader_hint=AccEntry(9, 0.5, 0)))
+        assert ctx.monitored == []
+        assert algo.acc_time == 100.0
+
+
+class TestOutputs:
+    def test_fill_alive_carries_acc_and_phase(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        ctx.add_member(member(3))
+        algo = make(ctx)
+        algo.start()
+        algo.phase = 4
+        msg = alive(3)
+        algo.fill_alive(msg)
+        assert msg.acc_time == 10.0
+        assert msg.phase == 4
+        assert msg.local_leader is None  # no forwarding in Ω_l
+
+    def test_monitor_policy_is_senders_only(self):
+        assert OmegaL.monitor_policy == "senders_only"
+
+    def test_leader_hint_for_heard_leader(self):
+        ctx = FakeContext(local_pid=3, join_time=10.0)
+        for pid in (1, 3):
+            ctx.add_member(member(pid))
+        ctx.trust(1)
+        algo = make(ctx)
+        algo.start()
+        algo.on_alive(alive(1, acc_time=0.5, phase=2))
+        hint = algo.leader_hint()
+        assert (hint.pid, hint.acc_time, hint.phase) == (1, 0.5, 2)

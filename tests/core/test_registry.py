@@ -1,0 +1,55 @@
+"""Tests for the election algorithm registry (the paper's §4 plug point)."""
+
+import pytest
+
+from repro.core.election.base import ElectionAlgorithm
+from repro.core.election.registry import (
+    available_algorithms,
+    create_algorithm,
+    register_algorithm,
+)
+
+from .helpers import FakeContext
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_algorithms()
+        assert {"omega_id", "omega_lc", "omega_l"} <= set(names)
+
+    def test_create_by_name(self):
+        ctx = FakeContext()
+        algorithm = create_algorithm("omega_id", ctx)
+        assert algorithm.name == "omega_id"
+        assert algorithm.ctx is ctx
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="omega_lc"):
+            create_algorithm("paxos", FakeContext())
+
+    def test_register_custom_algorithm(self):
+        class Static(ElectionAlgorithm):
+            name = "static-for-test"
+
+            def leader(self):
+                return 0
+
+            def wants_to_send(self):
+                return False
+
+        try:
+            register_algorithm(Static)
+            assert "static-for-test" in available_algorithms()
+            algorithm = create_algorithm("static-for-test", FakeContext())
+            assert algorithm.leader() == 0
+        finally:
+            from repro.core.election import registry
+
+            registry._REGISTRY.pop("static-for-test", None)
+
+    def test_abstract_name_rejected(self):
+        class Nameless(ElectionAlgorithm):
+            pass
+
+        with pytest.raises(ValueError):
+            register_algorithm(Nameless)

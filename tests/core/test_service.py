@@ -1,0 +1,203 @@
+"""Unit/functional tests for the service daemon and group runtime."""
+
+import pytest
+
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.fd.qos import FDQoS
+from repro.metrics.trace import TraceRecorder
+from repro.net.network import Network, NetworkConfig
+from repro.sim.rng import RngRegistry
+
+
+def build(sim, n=4, algorithm="omega_lc", config=None):
+    rng = RngRegistry(3)
+    network = Network(sim, NetworkConfig(n_nodes=n), rng)
+    trace = TraceRecorder()
+    services = []
+    for node_id in range(n):
+        service = LeaderElectionService(
+            sim=sim,
+            network=network,
+            node=network.node(node_id),
+            peer_nodes=tuple(range(n)),
+            config=config or ServiceConfig(algorithm=algorithm),
+            rng=rng,
+            trace=trace,
+        )
+        services.append(service)
+    return network, services, trace
+
+
+class TestRegistration:
+    def test_register_and_join(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        runtime = services[0].join(0, group=1)
+        assert runtime.pid == 0
+        # Alone in the group and a candidate: elects itself synchronously.
+        assert services[0].leader_of(1) == 0
+
+    def test_register_duplicate_rejected(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        with pytest.raises(ValueError):
+            services[0].register(0)
+
+    def test_join_requires_registration(self, sim):
+        _, services, _ = build(sim)
+        with pytest.raises(ValueError):
+            services[0].join(0, group=1)
+
+    def test_double_join_rejected(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        services[0].join(0, group=1)
+        with pytest.raises(ValueError):
+            services[0].join(0, group=1)
+
+    def test_one_process_per_group_per_node(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        services[0].register(100)
+        services[0].join(0, group=1)
+        with pytest.raises(ValueError, match="one process per group"):
+            services[0].join(100, group=1)
+
+    def test_same_process_multiple_groups(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        services[0].join(0, group=1)
+        services[0].join(0, group=2)
+        assert services[0].group_runtime(1) is not None
+        assert services[0].group_runtime(2) is not None
+
+    def test_unregister_leaves_groups(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        services[0].join(0, group=1)
+        services[0].unregister(0)
+        assert services[0].group_runtime(1) is None
+
+    def test_leave_requires_membership(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        with pytest.raises(ValueError):
+            services[0].leave(0, group=1)
+
+
+class TestElection:
+    def join_all(self, sim, services, group=1, **kwargs):
+        for node_id, service in enumerate(services):
+            service.register(node_id)
+            service.join(node_id, group=group, **kwargs)
+
+    def test_group_converges_to_one_leader(self, sim):
+        _, services, _ = build(sim)
+        self.join_all(sim, services)
+        sim.run_until(5.0)
+        leaders = {s.leader_of(1) for s in services}
+        assert len(leaders) == 1
+        assert leaders.pop() in range(4)
+
+    def test_leader_is_stable_without_faults(self, sim):
+        _, services, trace = build(sim)
+        self.join_all(sim, services)
+        sim.run_until(5.0)
+        leader = services[0].leader_of(1)
+        sim.run_until(60.0)
+        assert services[0].leader_of(1) == leader
+        assert all(s.leader_of(1) == leader for s in services)
+
+    def test_leader_excluded_for_non_candidates(self, sim):
+        _, services, _ = build(sim)
+        for node_id, service in enumerate(services):
+            service.register(node_id)
+            # Only node 2 and 3 are candidates.
+            service.join(node_id, group=1, candidate=node_id >= 2)
+        sim.run_until(5.0)
+        leaders = {s.leader_of(1) for s in services}
+        assert leaders in ({2}, {3})
+
+    def test_leave_triggers_reelection(self, sim):
+        _, services, _ = build(sim)
+        self.join_all(sim, services)
+        sim.run_until(5.0)
+        leader = services[0].leader_of(1)
+        services[leader].leave(leader, group=1)
+        sim.run_until(10.0)
+        survivors = [s for i, s in enumerate(services) if i != leader]
+        new_leaders = {s.leader_of(1) for s in survivors}
+        assert len(new_leaders) == 1
+        assert new_leaders.pop() != leader
+
+    def test_interrupt_notifications_fire(self, sim):
+        _, services, _ = build(sim)
+        changes = []
+        services[0].register(0)
+        services[0].join(
+            0, group=1, on_leader_change=lambda g, l: changes.append((g, l))
+        )
+        for node_id in range(1, 4):
+            services[node_id].register(node_id)
+            services[node_id].join(node_id, group=1)
+        sim.run_until(5.0)
+        assert changes  # at least the initial election
+        assert changes[-1][0] == 1
+        assert changes[-1][1] == services[0].leader_of(1)
+
+    def test_algorithm_override_per_group(self, sim):
+        _, services, _ = build(sim, algorithm="omega_lc")
+        services[0].register(0)
+        runtime = services[0].join(0, group=7, algorithm="omega_l")
+        assert runtime.algorithm.name == "omega_l"
+
+    def test_unknown_algorithm_rejected(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        with pytest.raises(ValueError, match="unknown election algorithm"):
+            services[0].join(0, group=1, algorithm="raft")
+
+
+class TestCrashPath:
+    def test_shutdown_stops_all_activity(self, sim):
+        network, services, _ = build(sim)
+        for node_id, service in enumerate(services):
+            service.register(node_id)
+            service.join(node_id, group=1)
+        sim.run_until(5.0)
+        sent_before = network.node(0).meter.messages_sent
+        network.node(0).crash()
+        services[0].shutdown()
+        sim.run_until(15.0)
+        assert network.node(0).meter.messages_sent == sent_before
+
+    def test_crashed_leader_is_replaced(self, sim):
+        network, services, _ = build(sim)
+        for node_id, service in enumerate(services):
+            service.register(node_id)
+            service.join(node_id, group=1)
+        sim.run_until(5.0)
+        leader = services[0].leader_of(1)
+        network.node(leader).crash()
+        services[leader].shutdown()
+        sim.run_until(10.0)
+        survivors = [s for i, s in enumerate(services) if i != leader]
+        new_leaders = {s.leader_of(1) for s in survivors}
+        assert len(new_leaders) == 1
+        assert new_leaders.pop() != leader
+
+
+class TestQoSPlumbing:
+    def test_join_qos_overrides_default(self, sim):
+        _, services, _ = build(sim)
+        services[0].register(0)
+        qos = FDQoS(detection_time=0.5)
+        runtime = services[0].join(0, group=1, qos=qos)
+        assert runtime.qos.detection_time == 0.5
+
+    def test_estimators_persist_across_monitor_churn(self, sim):
+        _, services, _ = build(sim)
+        est1 = services[0].estimator_for(1, 7)
+        est2 = services[0].estimator_for(1, 7)
+        assert est1 is est2
+        assert services[0].estimator_for(2, 7) is not est1

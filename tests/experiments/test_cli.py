@@ -1,0 +1,52 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, config_from_args, main
+
+
+class TestParser:
+    def test_defaults_are_paper_settings(self):
+        args = build_parser().parse_args([])
+        config = config_from_args(args)
+        assert config.algorithm == "omega_lc"
+        assert config.n_nodes == 12
+        assert config.node_mttf == 600.0
+        assert config.qos.detection_time == 1.0
+
+    def test_lossy_network_flags(self):
+        args = build_parser().parse_args(
+            ["--delay", "0.1", "--loss", "0.1", "--algorithm", "omega_l"]
+        )
+        config = config_from_args(args)
+        assert config.link_delay_mean == 0.1
+        assert config.link_loss_prob == 0.1
+        assert config.algorithm == "omega_l"
+
+    def test_link_crash_flags(self):
+        args = build_parser().parse_args(["--link-mttf", "60", "--link-mttr", "3"])
+        config = config_from_args(args)
+        assert config.link_mttf == 60.0
+        assert config.link_mttr == 3.0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithm", "raft"])
+
+
+class TestMain:
+    def test_end_to_end_run(self, capsys):
+        code = main(
+            [
+                "--nodes", "3",
+                "--duration", "90",
+                "--warmup", "10",
+                "--no-churn",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pleader : 1.00000" in out
+        assert "mistake rate" in out
+        assert "KB/s" in out

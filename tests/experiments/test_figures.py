@@ -1,0 +1,86 @@
+"""Unit tests for the figure cell definitions (the experiment index)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig3_cells,
+    fig4_cells,
+    fig5_cells,
+    fig6_cells,
+    fig7_cells,
+    fig8_cells,
+    headline_cost_cells,
+)
+
+
+class TestFigureGrids:
+    def test_fig3_is_s1_over_five_networks(self):
+        cells = fig3_cells(duration=700.0, warmup=100.0)
+        assert len(cells) == 5
+        assert all(c.series == "S1" for c in cells)
+        assert all(c.config.algorithm == "omega_id" for c in cells)
+        assert all("Tr" in c.paper and "lambda_u" in c.paper for c in cells)
+
+    def test_fig4_pairs_s1_s2(self):
+        cells = fig4_cells(duration=700.0, warmup=100.0)
+        assert len(cells) == 10
+        assert {c.series for c in cells} == {"S1", "S2"}
+        s2 = [c for c in cells if c.series == "S2"]
+        assert all(c.config.algorithm == "omega_lc" for c in s2)
+        assert all(c.paper["lambda_u"] == 0.0 for c in s2)
+
+    def test_fig5_pairs_s2_s3(self):
+        cells = fig5_cells(duration=700.0, warmup=100.0)
+        assert len(cells) == 10
+        assert {c.series for c in cells} == {"S2", "S3"}
+
+    def test_fig6_grid_shape(self):
+        cells = fig6_cells(duration=700.0, warmup=100.0)
+        # 2 services x 2 networks x 3 sizes.
+        assert len(cells) == 12
+        sizes = {c.config.n_nodes for c in cells}
+        assert sizes == {4, 8, 12}
+        exact = [c for c in cells if not c.approx]
+        assert len(exact) == 2  # the two text-quoted worst-case points
+
+    def test_fig7_crash_prone_links(self):
+        cells = fig7_cells(duration=700.0, warmup=100.0)
+        assert len(cells) == 6
+        assert all(c.config.link_mttf in (600.0, 300.0, 60.0) for c in cells)
+        assert all(c.config.link_mttr == 3.0 for c in cells)
+        worst_s3 = next(
+            c for c in cells if c.series == "S3" and c.x_label == "(60s, 3s)"
+        )
+        assert worst_s3.paper["P_leader"] == pytest.approx(0.7742)
+
+    def test_fig8_sweeps_detection_bound(self):
+        cells = fig8_cells(duration=700.0, warmup=100.0)
+        assert len(cells) == 10
+        bounds = {c.config.qos.detection_time for c in cells}
+        assert bounds == {0.1, 0.25, 0.5, 0.75, 1.0}
+        for cell in cells:
+            assert cell.paper["Tr"] == pytest.approx(
+                0.85 * cell.config.qos.detection_time
+            )
+
+    def test_headline_costs_exact_references(self):
+        cells = headline_cost_cells(duration=700.0, warmup=100.0)
+        assert len(cells) == 2
+        assert all(not c.approx for c in cells)
+        s2 = next(c for c in cells if c.series == "S2")
+        assert s2.paper["kb_per_s"] == pytest.approx(135.17)
+
+    def test_all_cells_have_unique_names(self):
+        names = [
+            c.config.name
+            for cells in (
+                fig3_cells(duration=700.0, warmup=100.0),
+                fig4_cells(duration=700.0, warmup=100.0),
+                fig5_cells(duration=700.0, warmup=100.0),
+                fig6_cells(duration=700.0, warmup=100.0),
+                fig7_cells(duration=700.0, warmup=100.0),
+                fig8_cells(duration=700.0, warmup=100.0),
+            )
+            for c in cells
+        ]
+        assert len(names) == len(set(names))

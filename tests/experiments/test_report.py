@@ -1,0 +1,36 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.experiments.figures import fig3_cells
+from repro.experiments.report import figure_rows, format_figure_results, format_table
+from repro.experiments.runner import run_experiment
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        table = format_table(["a", "long-header"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+        # Columns align: every line has the same prefix width for column 1.
+        assert lines[0].index("long-header") == lines[2].index("2")
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+class TestFigureReport:
+    def test_end_to_end_row_rendering(self):
+        cell = fig3_cells(duration=40.0, warmup=5.0)[0]
+        config = cell.config.with_(n_nodes=3, node_churn=False)
+        result = run_experiment(config)
+        rows = figure_rows([(cell, result)])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row[0] == "S1"
+        assert row[1] == "(0.025ms, 0)"
+        # Paper reference columns present.
+        assert row[3] == "0.810"
+        text = format_figure_results("Fig 3", [(cell, result)])
+        assert "Fig 3" in text
+        assert "P_leader" in text

@@ -1,0 +1,46 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.scenario import (
+    PAPER_LOSSY_NETWORKS,
+    ExperimentConfig,
+    LossyNetwork,
+)
+from repro.fd.qos import FDQoS
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig(name="x")
+        assert config.n_nodes == 12
+        assert config.node_mttf == 600.0
+        assert config.node_mttr == 5.0
+        assert config.qos == FDQoS()
+        assert config.link_delay_mean == pytest.approx(0.025e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", n_nodes=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", duration=100.0, warmup=100.0)
+
+    def test_with_copies(self):
+        base = ExperimentConfig(name="x")
+        changed = base.with_(algorithm="omega_l", seed=9)
+        assert changed.algorithm == "omega_l"
+        assert changed.seed == 9
+        assert base.algorithm == "omega_lc"
+
+    def test_measured_duration(self):
+        config = ExperimentConfig(name="x", duration=1000.0, warmup=100.0)
+        assert config.measured_duration == 900.0
+
+    def test_paper_networks_grid(self):
+        assert len(PAPER_LOSSY_NETWORKS) == 5
+        labels = [n.label for n in PAPER_LOSSY_NETWORKS]
+        assert labels[0] == "(0.025ms, 0)"
+        assert "(100ms, 0.1)" in labels
+        worst = PAPER_LOSSY_NETWORKS[-1]
+        assert worst.delay_mean == pytest.approx(0.1)
+        assert worst.loss_prob == pytest.approx(0.1)

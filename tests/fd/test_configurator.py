@@ -1,0 +1,102 @@
+"""Unit tests for the FD configurator (QoS -> (η, δ))."""
+
+import pytest
+
+from repro.fd.configurator import ConfiguratorCache, bootstrap_params, configure
+from repro.fd.qos import (
+    FDQoS,
+    LinkEstimate,
+    expected_mistake_recurrence,
+    query_accuracy,
+)
+
+LAN = LinkEstimate(loss_prob=0.002, delay_mean=0.025e-3, delay_std=0.025e-3)
+LOSSY_10 = LinkEstimate(loss_prob=0.1, delay_mean=0.1, delay_std=0.1)
+LOSSY_1 = LinkEstimate(loss_prob=0.01, delay_mean=0.01, delay_std=0.01)
+
+
+class TestConfigure:
+    def test_detection_budget_fully_spent(self):
+        qos = FDQoS()
+        for est in (LAN, LOSSY_10, LOSSY_1):
+            params = configure(qos, est)
+            assert params.eta + params.delta == pytest.approx(qos.detection_time)
+
+    def test_feasible_configuration_meets_qos(self):
+        qos = FDQoS()
+        for est in (LAN, LOSSY_10, LOSSY_1):
+            params = configure(qos, est)
+            assert not params.degraded
+            assert (
+                expected_mistake_recurrence(params.eta, params.delta, est)
+                >= qos.mistake_recurrence
+            )
+            assert query_accuracy(params.eta, params.delta, est) >= qos.query_accuracy
+
+    def test_lan_period_is_about_a_third_of_budget(self):
+        """With the estimator's ~0.002 loss floor the solver needs ⌊δ/η⌋ ≥ 2,
+        so η ≈ T_D^U/3 — this is what reproduces the paper's 0.81 s LAN
+        detection time (DESIGN.md §3)."""
+        params = configure(FDQoS(), LAN)
+        assert 0.25 <= params.eta <= 0.40
+
+    def test_hostile_links_need_faster_heartbeats(self):
+        lan = configure(FDQoS(), LAN)
+        hostile = configure(FDQoS(), LOSSY_10)
+        assert hostile.eta < lan.eta
+        # (100ms, 0.1) needs η ≈ 0.1 s (nine-ish covering heartbeats).
+        assert 0.05 <= hostile.eta <= 0.15
+
+    def test_scales_with_detection_budget(self):
+        fast = configure(FDQoS(detection_time=0.1), LAN)
+        slow = configure(FDQoS(detection_time=1.0), LAN)
+        assert fast.eta < slow.eta
+        assert fast.eta + fast.delta == pytest.approx(0.1)
+
+    def test_looser_recurrence_allows_longer_period(self):
+        strict = configure(FDQoS(mistake_recurrence=100 * 24 * 3600), LOSSY_10)
+        loose = configure(
+            FDQoS(mistake_recurrence=3600.0, query_accuracy=0.99), LOSSY_10
+        )
+        assert loose.eta >= strict.eta
+
+    def test_degraded_mode_for_impossible_qos(self):
+        # 50% loss with huge delays: a 1 s / 100 days QoS is hopeless.
+        terrible = LinkEstimate(loss_prob=0.5, delay_mean=0.5, delay_std=0.5)
+        params = configure(FDQoS(), terrible)
+        assert params.degraded
+        assert params.eta + params.delta == pytest.approx(1.0)
+
+    def test_bootstrap_params_split(self):
+        params = bootstrap_params(FDQoS())
+        assert params.eta == pytest.approx(0.25)
+        assert params.delta == pytest.approx(0.75)
+
+
+class TestCache:
+    def test_cache_hits_for_similar_estimates(self):
+        cache = ConfiguratorCache()
+        qos = FDQoS()
+        a = cache.configure(qos, LinkEstimate(0.0100, 0.0100, 0.0100))
+        b = cache.configure(qos, LinkEstimate(0.0101, 0.0101, 0.0102))
+        assert a == b
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_cache_distinguishes_different_regimes(self):
+        cache = ConfiguratorCache()
+        qos = FDQoS()
+        cache.configure(qos, LAN)
+        cache.configure(qos, LOSSY_10)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_cache_distinguishes_qos(self):
+        cache = ConfiguratorCache()
+        cache.configure(FDQoS(detection_time=1.0), LAN)
+        cache.configure(FDQoS(detection_time=0.5), LAN)
+        assert cache.misses == 2
+
+    def test_cached_equals_uncached(self):
+        cache = ConfiguratorCache()
+        assert cache.configure(FDQoS(), LOSSY_1) == configure(FDQoS(), LOSSY_1)

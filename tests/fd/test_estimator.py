@@ -1,0 +1,110 @@
+"""Unit tests for the link quality estimator."""
+
+import pytest
+
+from repro.fd.estimator import LinkQualityEstimator
+from repro.sim.rng import RngRegistry
+
+
+def feed(estimator, n, loss_prob=0.0, delay=0.01, jitter_rng=None, start_seq=0):
+    """Feed ``n`` sent heartbeats, dropping each with ``loss_prob``."""
+    t = 0.0
+    seq = start_seq
+    for _ in range(n):
+        t += 0.1
+        drop = jitter_rng is not None and jitter_rng.random() < loss_prob
+        if not drop:
+            d = delay if jitter_rng is None else jitter_rng.exponential(delay)
+            estimator.observe(seq, t, t + d)
+        seq += 1
+    return seq
+
+
+class TestWarmup:
+    def test_not_ready_initially(self):
+        est = LinkQualityEstimator()
+        assert not est.ready
+        default = est.estimate()
+        assert default == est.default_estimate
+
+    def test_ready_after_threshold(self):
+        est = LinkQualityEstimator(ready_threshold=8)
+        feed(est, 7)
+        assert not est.ready
+        feed(est, 1, start_seq=7)
+        assert est.ready
+
+    def test_rejects_tiny_windows(self):
+        with pytest.raises(ValueError):
+            LinkQualityEstimator(loss_window=1)
+
+
+class TestLossEstimation:
+    def test_loss_floor_without_losses(self):
+        """A loss-free stream estimates the Laplace floor, never zero —
+        this floor drives the LAN configuration (DESIGN.md §3)."""
+        est = LinkQualityEstimator(loss_window=512)
+        feed(est, 2000)
+        p = est.loss_probability()
+        assert 0.0 < p < 0.01
+        assert p == pytest.approx(1.0 / 514.0, rel=0.2)
+
+    def test_loss_rate_tracks_truth(self):
+        rng = RngRegistry(5).stream("loss")
+        est = LinkQualityEstimator(loss_window=512)
+        feed(est, 5000, loss_prob=0.1, jitter_rng=rng)
+        assert 0.06 < est.loss_probability() < 0.15
+
+    def test_seq_restart_not_counted_as_loss(self):
+        est = LinkQualityEstimator()
+        feed(est, 100)
+        before = est.loss_probability()
+        # Sender reboots: sequence numbers restart from zero.
+        est.observe(0, 100.0, 100.01)
+        after = est.loss_probability()
+        assert after <= before * 1.05
+
+    def test_gap_counted_as_loss(self):
+        est = LinkQualityEstimator(loss_window=64)
+        est.observe(0, 0.0, 0.01)
+        est.observe(10, 1.0, 1.01)  # 9 lost
+        assert est.loss_probability() > 0.5
+
+    def test_adapts_when_conditions_change(self):
+        """Exponential forgetting: a link that turns lossy is re-estimated."""
+        rng = RngRegistry(5).stream("adapt")
+        est = LinkQualityEstimator(loss_window=128)
+        last = feed(est, 1000)  # clean era
+        clean = est.loss_probability()
+        feed(est, 1000, loss_prob=0.2, jitter_rng=rng, start_seq=last)
+        assert est.loss_probability() > clean * 10
+
+
+class TestDelayEstimation:
+    def test_constant_delay(self):
+        est = LinkQualityEstimator()
+        feed(est, 200, delay=0.05)
+        e = est.estimate()
+        assert e.delay_mean == pytest.approx(0.05, rel=0.01)
+        assert e.delay_std == pytest.approx(0.0, abs=1e-6)
+
+    def test_exponential_delay_moments(self):
+        rng = RngRegistry(5).stream("delay")
+        est = LinkQualityEstimator(delay_window=256)
+        feed(est, 5000, delay=0.1, jitter_rng=rng, loss_prob=0.0)
+        e = est.estimate()
+        assert e.delay_mean == pytest.approx(0.1, rel=0.25)
+        assert e.delay_std == pytest.approx(0.1, rel=0.35)
+
+    def test_negative_clock_skew_clamped(self):
+        est = LinkQualityEstimator()
+        for i in range(20):
+            est.observe(i, float(i), float(i) - 0.001)  # arrival "before" send
+        assert est.estimate().delay_mean >= 0.0
+
+    def test_estimate_is_valid_link_estimate(self):
+        est = LinkQualityEstimator()
+        feed(est, 100, delay=0.01)
+        e = est.estimate()
+        assert 0.0 < e.loss_prob < 1.0
+        assert e.delay_mean > 0.0

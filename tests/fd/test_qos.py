@@ -1,0 +1,135 @@
+"""Unit tests for the NFD-S analytical QoS model."""
+
+import math
+
+import pytest
+
+from repro.fd.qos import (
+    FDQoS,
+    FDParams,
+    LinkEstimate,
+    delay_survival,
+    expected_detection_time,
+    expected_mistake_duration,
+    expected_mistake_recurrence,
+    mistake_probability,
+    query_accuracy,
+    worst_case_detection_time,
+)
+
+
+LAN = LinkEstimate(loss_prob=0.002, delay_mean=0.025e-3, delay_std=0.025e-3)
+HOSTILE = LinkEstimate(loss_prob=0.1, delay_mean=0.1, delay_std=0.1)
+
+
+class TestValidation:
+    def test_qos_defaults_are_the_papers(self):
+        qos = FDQoS()
+        assert qos.detection_time == 1.0
+        assert qos.mistake_recurrence == pytest.approx(100 * 24 * 3600)
+        assert qos.query_accuracy == pytest.approx(0.99999988)
+
+    def test_qos_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FDQoS(detection_time=0.0)
+        with pytest.raises(ValueError):
+            FDQoS(mistake_recurrence=-1.0)
+        with pytest.raises(ValueError):
+            FDQoS(query_accuracy=1.0)
+
+    def test_estimate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LinkEstimate(loss_prob=0.0, delay_mean=0.01, delay_std=0.01)
+        with pytest.raises(ValueError):
+            LinkEstimate(loss_prob=0.1, delay_mean=0.0, delay_std=0.0)
+
+    def test_params_reject_bad_values(self):
+        with pytest.raises(ValueError):
+            FDParams(eta=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            FDParams(eta=0.1, delta=-0.1)
+
+
+class TestDelaySurvival:
+    def test_exponential_case(self):
+        # Sd == Ed: exponential survival.
+        est = LinkEstimate(0.01, 0.1, 0.1)
+        assert delay_survival(0.1, est) == pytest.approx(math.exp(-1.0))
+        assert delay_survival(0.0, est) == pytest.approx(1.0)
+
+    def test_deterministic_case(self):
+        est = LinkEstimate(0.01, 0.1, 0.0)
+        assert delay_survival(0.05, est) == 1.0
+        assert delay_survival(0.15, est) == 0.0
+
+    def test_gamma_case_matches_moments(self):
+        # Sd = Ed/2: gamma with shape 4; check survival is between the
+        # deterministic and exponential extremes at x = Ed.
+        est = LinkEstimate(0.01, 0.1, 0.05)
+        s = float(delay_survival(0.1, est))
+        assert math.exp(-1.0) < s < 1.0
+
+    def test_monotone_decreasing(self):
+        xs = [0.0, 0.05, 0.1, 0.2, 0.5]
+        values = [float(delay_survival(x, HOSTILE)) for x in xs]
+        assert values == sorted(values, reverse=True)
+
+
+class TestMistakeProbability:
+    def test_more_slack_means_fewer_mistakes(self):
+        p_small = mistake_probability(0.25, 0.25, HOSTILE)
+        p_large = mistake_probability(0.25, 0.75, HOSTILE)
+        assert p_large < p_small
+
+    def test_product_over_covering_heartbeats(self):
+        # With δ = 2η exactly three heartbeats can beat the freshness point.
+        eta, delta = 0.1, 0.2
+        p = mistake_probability(eta, delta, HOSTILE)
+        expected = 1.0
+        for k in range(3):
+            x = delta - k * eta
+            expected *= HOSTILE.loss_prob + (1 - HOSTILE.loss_prob) * math.exp(
+                -x / HOSTILE.delay_mean
+            )
+        assert p == pytest.approx(expected)
+
+    def test_lossier_links_make_more_mistakes(self):
+        lossy = LinkEstimate(0.2, 0.1, 0.1)
+        cleaner = LinkEstimate(0.01, 0.1, 0.1)
+        assert mistake_probability(0.2, 0.6, lossy) > mistake_probability(
+            0.2, 0.6, cleaner
+        )
+
+    def test_recurrence_is_eta_over_probability(self):
+        eta, delta = 0.2, 0.6
+        p = mistake_probability(eta, delta, HOSTILE)
+        assert expected_mistake_recurrence(eta, delta, HOSTILE) == pytest.approx(
+            eta / p
+        )
+
+    def test_recurrence_astronomical_on_near_perfect_link(self):
+        # loss_prob is validated > 0 (an estimator can never certify zero),
+        # so recurrence is finite but astronomically large.
+        deterministic = LinkEstimate(1e-9, 0.001, 0.0)
+        assert expected_mistake_recurrence(0.2, 0.8, deterministic) > 1e30
+
+
+class TestAccuracyAndDetection:
+    def test_query_accuracy_in_unit_interval(self):
+        for eta, delta in [(0.1, 0.9), (0.25, 0.25), (0.5, 0.0)]:
+            assert 0.0 <= query_accuracy(eta, delta, HOSTILE) <= 1.0
+
+    def test_accuracy_improves_with_slack(self):
+        assert query_accuracy(0.1, 0.9, HOSTILE) > query_accuracy(0.1, 0.1, HOSTILE)
+
+    def test_mistake_duration_grows_with_loss(self):
+        lossy = LinkEstimate(0.5, 0.01, 0.01)
+        clean = LinkEstimate(0.001, 0.01, 0.01)
+        assert expected_mistake_duration(0.1, lossy) > expected_mistake_duration(
+            0.1, clean
+        )
+
+    def test_detection_bounds(self):
+        assert worst_case_detection_time(0.3, 0.7) == pytest.approx(1.0)
+        assert expected_detection_time(0.3, 0.7) == pytest.approx(0.85)
+        assert expected_detection_time(0.3, 0.7) < worst_case_detection_time(0.3, 0.7)

@@ -1,0 +1,155 @@
+"""Unit tests for the heartbeat sender."""
+
+import pytest
+
+from repro.fd.scheduler import HeartbeatSender
+from repro.net.message import AliveMessage
+from repro.net.network import Network, NetworkConfig
+
+
+@pytest.fixture
+def network(sim, rng):
+    net = Network(sim, NetworkConfig(n_nodes=4), rng)
+    return net
+
+
+def make_sender(sim, network, rng, interval=0.25):
+    return HeartbeatSender(
+        sim=sim,
+        network=network,
+        node_id=0,
+        group=1,
+        pid=0,
+        default_interval=interval,
+        payload_fn=lambda: AliveMessage(sender_node=0, dest_node=0, acc_time=1.5),
+        rng=rng.stream("sender"),
+    )
+
+
+def collect(network, node_id):
+    received = []
+    network.node(node_id).set_receiver(received.append)
+    return received
+
+
+class TestEmission:
+    def test_sends_to_all_destinations_each_period(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        boxes = {n: collect(network, n) for n in (1, 2, 3)}
+        sender.set_destinations({1: 1, 2: 2, 3: 3})
+        sender.start()
+        sim.run_until(10.0)
+        for box in boxes.values():
+            assert 38 <= len(box) <= 41  # ~10 s / 0.25 s
+
+    def test_emissions_to_all_destinations_are_simultaneous(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        send_times = {1: [], 2: []}
+        network.node(1).set_receiver(lambda m: send_times[1].append(m.send_time))
+        network.node(2).set_receiver(lambda m: send_times[2].append(m.send_time))
+        sender.set_destinations({1: 1, 2: 2})
+        sender.start()
+        sim.run_until(5.0)
+        assert send_times[1] == send_times[2]  # one shared schedule
+
+    def test_sequences_are_per_destination_and_contiguous(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        box = collect(network, 1)
+        sender.set_destinations({1: 1})
+        sender.start()
+        sim.run_until(5.0)
+        seqs = [m.seq for m in box]
+        assert seqs == list(range(len(seqs)))
+
+    def test_payload_fields_stamped(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        box = collect(network, 1)
+        sender.set_destinations({1: 1})
+        sender.start()
+        sim.run_until(1.0)
+        msg = box[0]
+        assert msg.group == 1
+        assert msg.pid == 0
+        assert msg.acc_time == 1.5
+        assert msg.interval == pytest.approx(0.25)
+        assert msg.send_time <= sim.now
+
+
+class TestSilence:
+    def test_stop_freezes_sequences(self, sim, network, rng):
+        """Voluntary silence must not look like loss: sequences pause."""
+        sender = make_sender(sim, network, rng)
+        box = collect(network, 1)
+        sender.set_destinations({1: 1})
+        sender.start()
+        sim.run_until(2.0)
+        sender.stop()
+        sim.run_until(6.0)
+        sender.start()
+        sim.run_until(8.0)
+        seqs = [m.seq for m in box]
+        assert seqs == list(range(len(seqs)))  # contiguous across the pause
+
+    def test_stop_start_idempotent(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        sender.set_destinations({1: 1})
+        sender.start()
+        sender.start()
+        sender.stop()
+        sender.stop()
+        assert not sender.active
+
+
+class TestRates:
+    def test_fastest_requested_rate_wins(self, sim, network, rng):
+        sender = make_sender(sim, network, rng, interval=0.5)
+        sender.set_destinations({1: 1, 2: 2})
+        sender.set_interval(1, 0.1)
+        sender.set_interval(2, 0.4)
+        assert sender.interval() == pytest.approx(0.1)
+
+    def test_negotiated_slower_rate_honoured(self, sim, network, rng):
+        sender = make_sender(sim, network, rng, interval=0.5)
+        sender.set_destinations({1: 1})
+        sender.set_interval(1, 2.0)
+        assert sender.interval() == pytest.approx(2.0)
+
+    def test_bootstrap_until_first_request(self, sim, network, rng):
+        sender = make_sender(sim, network, rng, interval=0.5)
+        sender.set_destinations({1: 1})
+        assert sender.interval() == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_interval(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        with pytest.raises(ValueError):
+            sender.set_interval(1, 0.0)
+
+    def test_departed_destination_rate_forgotten(self, sim, network, rng):
+        sender = make_sender(sim, network, rng, interval=0.5)
+        sender.set_destinations({1: 1})
+        sender.set_interval(1, 0.05)
+        sender.set_destinations({})
+        assert sender.interval() == pytest.approx(0.5)
+
+
+class TestDestinations:
+    def test_destination_removal_stops_traffic(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        box = collect(network, 1)
+        sender.set_destinations({1: 1})
+        sender.start()
+        sim.run_until(2.0)
+        count = len(box)
+        sender.set_destinations({})
+        sim.run_until(5.0)
+        assert len(box) == count
+
+    def test_shutdown_clears_everything(self, sim, network, rng):
+        sender = make_sender(sim, network, rng)
+        box = collect(network, 1)
+        sender.set_destinations({1: 1})
+        sender.start()
+        sender.shutdown()
+        sim.run_until(5.0)
+        assert box == []
+        assert not sender.active

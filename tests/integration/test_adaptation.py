@@ -1,0 +1,75 @@
+"""End-to-end adaptation: the service reacts to *changing* network
+conditions (paper §1: "the leader election service adapts to changing
+network conditions ... these are automatically determined and continuously
+updated according to the current network conditions").
+"""
+
+import pytest
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.net.links import LinkConfig
+
+
+def build(seed=5):
+    config = ExperimentConfig(
+        name="adapt",
+        algorithm="omega_lc",
+        n_nodes=4,
+        duration=600.0,
+        warmup=30.0,
+        seed=seed,
+        node_churn=False,
+    )
+    return config, build_system(config)
+
+
+class TestAdaptation:
+    def test_heartbeat_rate_follows_degrading_network(self):
+        """Start on a clean LAN, then degrade every link to (100 ms, 10%):
+        within a couple of estimator windows the negotiated heartbeat period
+        must tighten."""
+        config, system = build()
+        sim = system.sim
+        sim.run_until(150.0)
+        runtime = system.hosts[0].service.group_runtime(1)
+        eta_clean = runtime.sender.interval()
+        assert eta_clean > 0.26  # relaxed LAN configuration
+
+        degraded = LinkConfig(delay_mean=0.1, loss_prob=0.1)
+        for link in system.network.links():
+            system.network.set_link_config(link.src, link.dst, degraded)
+        sim.run_until(450.0)
+        eta_degraded = runtime.sender.interval()
+        assert eta_degraded < eta_clean * 0.6, (
+            f"rate must tighten: {eta_clean:.3f} -> {eta_degraded:.3f}"
+        )
+
+    def test_leadership_survives_the_transition(self):
+        config, system = build()
+        sim = system.sim
+        sim.run_until(150.0)
+        leader = system.hosts[0].service.leader_of(1)
+        degraded = LinkConfig(delay_mean=0.05, loss_prob=0.05)
+        for link in system.network.links():
+            system.network.set_link_config(link.src, link.dst, degraded)
+        sim.run_until(config.duration)
+        # The estimators re-learn; the leader must not be demoted.
+        views = {h.service.leader_of(1) for h in system.hosts}
+        assert views == {leader}
+
+    def test_rate_recovers_when_network_heals(self):
+        config, system = build()
+        sim = system.sim
+        degraded = LinkConfig(delay_mean=0.1, loss_prob=0.1)
+        for link in system.network.links():
+            system.network.set_link_config(link.src, link.dst, degraded)
+        sim.run_until(200.0)
+        runtime = system.hosts[0].service.group_runtime(1)
+        eta_degraded = runtime.sender.interval()
+        healthy = LinkConfig()
+        for link in system.network.links():
+            system.network.set_link_config(link.src, link.dst, healthy)
+        sim.run_until(600.0)
+        eta_healed = runtime.sender.interval()
+        assert eta_healed > eta_degraded * 1.5

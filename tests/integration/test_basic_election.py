@@ -1,0 +1,124 @@
+"""End-to-end: group formation and stable leadership for all algorithms."""
+
+import pytest
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.metrics.leadership import analyze_leadership
+
+ALGORITHMS = ("omega_id", "omega_lc", "omega_l")
+
+
+def quiet_config(algorithm, n=4, duration=60.0, seed=5, **kw):
+    return ExperimentConfig(
+        name=f"it-{algorithm}",
+        algorithm=algorithm,
+        n_nodes=n,
+        duration=duration,
+        warmup=10.0,
+        seed=seed,
+        node_churn=False,
+        **kw,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestQuietNetwork:
+    def test_exactly_one_leader_elected(self, algorithm):
+        system = build_system(quiet_config(algorithm))
+        system.sim.run_until(10.0)
+        leaders = {
+            host.service.leader_of(1)
+            for host in system.hosts
+        }
+        assert len(leaders) == 1
+        assert leaders.pop() in range(4)
+
+    def test_full_availability_without_faults(self, algorithm):
+        config = quiet_config(algorithm)
+        system = build_system(config)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        assert metrics.availability == pytest.approx(1.0)
+        assert metrics.unjustified_demotions == 0
+        assert metrics.disruptions == 0
+
+    def test_leader_never_changes_without_faults(self, algorithm):
+        config = quiet_config(algorithm)
+        system = build_system(config)
+        system.sim.run_until(15.0)
+        leader = system.hosts[0].service.leader_of(1)
+        system.sim.run_until(config.duration)
+        for host in system.hosts:
+            assert host.service.leader_of(1) == leader
+
+    def test_deterministic_given_seed(self, algorithm):
+        config = quiet_config(algorithm, duration=30.0)
+        results = []
+        for _ in range(2):
+            system = build_system(config)
+            system.sim.run_until(config.duration)
+            results.append(
+                (
+                    system.hosts[0].service.leader_of(1),
+                    system.sim.events_executed,
+                    len(system.trace.events),
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_lossy_network_still_converges(self, algorithm):
+        config = quiet_config(algorithm, link_delay_mean=0.01, link_loss_prob=0.05)
+        system = build_system(config)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        assert metrics.availability > 0.999
+        assert metrics.unjustified_demotions == 0
+
+
+class TestKilledLeader:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_leader_crash_triggers_bounded_recovery(self, algorithm):
+        """Kill the elected leader deterministically and verify recovery
+        within the FD detection bound plus slack (paper: Tr ≈ T_D^U)."""
+        config = quiet_config(algorithm, duration=60.0)
+        system = build_system(config)
+        sim = system.sim
+        sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        sim.schedule_at(25.0, lambda: system.network.node(leader).crash())
+        sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        assert metrics.leader_crashes == 1
+        assert len(metrics.recovery_samples) == 1
+        sample = metrics.recovery_samples[0]
+        assert sample.crashed_leader == leader
+        assert sample.new_leader != leader
+        # Detection bound 1 s plus election/propagation slack.
+        assert sample.duration < 2.0
+
+    def test_two_successive_leader_crashes(self):
+        config = quiet_config("omega_lc", n=5, duration=90.0)
+        system = build_system(config)
+        sim = system.sim
+        sim.run_until(20.0)
+        first = system.hosts[0].service.leader_of(1)
+        sim.schedule_at(25.0, lambda: system.network.node(first).crash())
+        sim.run_until(40.0)
+        second = next(
+            h.service.leader_of(1) for h in system.hosts if h.service is not None
+        )
+        assert second != first
+        sim.schedule_at(45.0, lambda: system.network.node(second).crash())
+        sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        assert metrics.leader_crashes == 2
+        assert all(s.duration < 2.0 for s in metrics.recovery_samples)

@@ -1,0 +1,153 @@
+"""End-to-end dynamic-group semantics: joins, leaves, candidacy, multi-group.
+
+The paper's service is explicitly for *dynamic* systems: "each application
+process can join or leave any group at any time (each process can
+concurrently belong to several groups)" (§1).
+"""
+
+import pytest
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.fd.qos import FDQoS
+from repro.metrics.leadership import analyze_leadership
+
+
+def build(algorithm="omega_lc", n=5, duration=120.0, seed=5):
+    config = ExperimentConfig(
+        name=f"dyn-{algorithm}",
+        algorithm=algorithm,
+        n_nodes=n,
+        duration=duration,
+        warmup=10.0,
+        seed=seed,
+        node_churn=False,
+    )
+    return config, build_system(config)
+
+
+class TestLateJoin:
+    @pytest.mark.parametrize("algorithm", ["omega_id", "omega_lc", "omega_l"])
+    def test_late_joiner_learns_leader(self, algorithm):
+        config, system = build(algorithm)
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        # A brand-new process joins group 1 from node 0's service.
+        service = system.hosts[0].service
+        service.register(50)
+        service.join(50, group=2)  # different group first (allowed)
+        system.sim.run_until(21.0)
+        # Join the busy group from a *new node*: use group 1 on node 1..
+        # (one process per node+group, so use a separate fresh group test.)
+        assert service.leader_of(2) == 50  # alone in group 2
+
+    def test_two_groups_elect_independently(self):
+        config, system = build()
+        # All nodes also join group 2, but only odd nodes are candidates.
+        system.sim.run_until(5.0)
+        for host in system.hosts:
+            node_id = host.node.node_id
+            host.service.register(100 + node_id)
+            host.service.join(
+                100 + node_id, group=2, candidate=node_id % 2 == 1
+            )
+        system.sim.run_until(30.0)
+        group1 = {h.service.leader_of(1) for h in system.hosts}
+        group2 = {h.service.leader_of(2) for h in system.hosts}
+        assert len(group1) == 1
+        assert len(group2) == 1
+        assert group2.pop() in {101, 103}  # a candidate pid of group 2
+
+    def test_mixed_algorithms_across_groups(self):
+        """The election algorithm is pluggable per group (paper §4)."""
+        config, system = build(algorithm="omega_lc")
+        system.sim.run_until(5.0)  # let the staggered daemons boot
+        for host in system.hosts:
+            node_id = host.node.node_id
+            host.service.register(100 + node_id)
+            host.service.join(100 + node_id, group=2, algorithm="omega_l")
+        system.sim.run_until(30.0)
+        runtime = system.hosts[0].service.group_runtime(2)
+        assert runtime.algorithm.name == "omega_l"
+        leaders = {h.service.leader_of(2) for h in system.hosts}
+        assert len(leaders) == 1
+
+
+class TestLeave:
+    @pytest.mark.parametrize("algorithm", ["omega_id", "omega_lc", "omega_l"])
+    def test_leader_leave_reelects_without_fd_wait(self, algorithm):
+        """A voluntary leave spreads a tombstone: the group must re-elect
+        promptly (no need to wait for a failure detection)."""
+        config, system = build(algorithm)
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        leave_at = 25.0
+        system.sim.schedule_at(
+            leave_at,
+            lambda: system.hosts[leader].service.leave(leader, group=1),
+        )
+        system.sim.run_until(40.0)
+        views = {
+            h.service.leader_of(1)
+            for h in system.hosts
+            if h.node.node_id != leader
+        }
+        assert len(views) == 1
+        assert views.pop() != leader
+        # And quickly: the leaderless window is well under a detection time.
+        metrics = analyze_leadership(
+            system.trace.events, 1, 40.0, measure_from=config.warmup
+        )
+        unavailable = (1.0 - metrics.availability) * metrics.duration
+        assert unavailable < 0.6
+        assert metrics.unjustified_demotions == 0  # a leave is justified
+
+    def test_follower_leave_is_invisible(self):
+        config, system = build("omega_lc")
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        follower = next(n for n in range(5) if n != leader)
+        system.sim.schedule_at(
+            25.0, lambda: system.hosts[follower].service.leave(follower, group=1)
+        )
+        system.sim.run_until(60.0)
+        views = {
+            h.service.leader_of(1)
+            for h in system.hosts
+            if h.node.node_id != follower
+        }
+        assert views == {leader}
+
+    def test_leave_then_rejoin_same_group(self):
+        config, system = build("omega_lc")
+        system.sim.run_until(20.0)
+        follower = next(
+            n for n in range(5) if n != system.hosts[0].service.leader_of(1)
+        )
+        service = system.hosts[follower].service
+        service.leave(follower, group=1)
+        system.sim.run_until(25.0)
+        service.join(follower, group=1)
+        system.sim.run_until(40.0)
+        assert service.leader_of(1) == system.hosts[0].service.leader_of(1)
+
+
+class TestPerGroupQoS:
+    def test_groups_can_use_different_detection_bounds(self):
+        """Paper footnote 2: 'each group of processes can chose a different
+        QoS for the underlying FD.'"""
+        config, system = build("omega_lc")
+        system.sim.run_until(5.0)  # let the staggered daemons boot
+        for host in system.hosts:
+            node_id = host.node.node_id
+            host.service.register(200 + node_id)
+            host.service.join(
+                200 + node_id, group=3, qos=FDQoS(detection_time=0.4)
+            )
+        system.sim.run_until(30.0)
+        fast = system.hosts[0].service.group_runtime(3)
+        slow = system.hosts[0].service.group_runtime(1)
+        assert fast.qos.detection_time == 0.4
+        assert slow.qos.detection_time == 1.0
+        # The faster group's monitors run with a tighter δ.
+        assert all(m.delta <= 0.4 for m in fast.monitors.values())

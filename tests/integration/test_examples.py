@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public contract; each asserts its own domain
+invariants internally (lock safety, hierarchy re-election, stability), so
+"exit code 0" here means the demonstrated behaviour still holds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "did NOT demote the incumbent"),
+        ("hierarchical_election.py", "rejoined its region as a follower"),
+        ("replicated_lock.py", "double-granted the lock"),
+        ("candidate_restriction.py", "agree on the last standing candidate"),
+        ("qos_tuning.py", "recovery time tracks T_D^U"),
+    ],
+)
+def test_example_runs_and_demonstrates(script, expected):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

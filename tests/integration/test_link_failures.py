@@ -1,0 +1,143 @@
+"""End-to-end link-crash behaviour: Ω_lc's forwarding vs Ω_l's fragility.
+
+This reproduces, deterministically, the mechanism behind the paper's
+Figure 7: when a single directed link from the leader crashes, Ω_lc keeps
+the group agreed (forwarding carries the leader around the dead link, at the
+price of an accusation-driven demotion), while Ω_l leaves the cut-off
+process disagreeing for the whole outage.
+"""
+
+import pytest
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.metrics.leadership import analyze_leadership
+
+
+def build(algorithm, seed=5, duration=90.0):
+    config = ExperimentConfig(
+        name=f"link-{algorithm}",
+        algorithm=algorithm,
+        n_nodes=4,
+        duration=duration,
+        warmup=10.0,
+        seed=seed,
+        node_churn=False,
+    )
+    return config, build_system(config)
+
+
+def cut_link(system, src, dst, at, downtime):
+    link = system.network.link(src, dst)
+    system.sim.schedule_at(at, lambda: link.set_down(True))
+    system.sim.schedule_at(at + downtime, lambda: link.set_down(False))
+
+
+class TestLeaderOutputLinkCrash:
+    """One direction cut: leader -> victim.  The victim still *can* accuse
+    the leader, so both algorithms hand leadership off via an accusation
+    (a Figure 7 'mistake') within about a detection time."""
+
+    def run_scenario(self, algorithm, downtime=6.0):
+        config, system = build(algorithm)
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        victim = next(n for n in range(4) if n != leader)
+        cut_link(system, leader, victim, at=25.0, downtime=downtime)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        return leader, victim, metrics
+
+    def test_omega_lc_hands_off_fast(self):
+        leader, victim, metrics = self.run_scenario("omega_lc")
+        unavailable = (1.0 - metrics.availability) * metrics.duration
+        assert unavailable < 1.5
+        assert metrics.unjustified_demotions <= 2
+
+    def test_omega_l_hands_off_within_detection_plus_slack(self):
+        leader, victim, metrics = self.run_scenario("omega_l")
+        unavailable = (1.0 - metrics.availability) * metrics.duration
+        assert unavailable < 2.0
+        # The handoff is accusation-driven: a (link-caused) demotion.
+        assert metrics.unjustified_demotions >= 1
+
+
+class TestLeaderVictimPartition:
+    """Both directions cut: the victim can neither hear the leader nor
+    accuse it.  Ω_lc's forwarding keeps the victim following the leader
+    through its peers; Ω_l leaves it self-elected for the whole outage —
+    the mechanism behind Figure 7's availability gap."""
+
+    def run_scenario(self, algorithm, downtime=6.0):
+        config, system = build(algorithm)
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        victim = next(n for n in range(4) if n != leader)
+        cut_link(system, leader, victim, at=25.0, downtime=downtime)
+        cut_link(system, victim, leader, at=25.0, downtime=downtime)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        return leader, victim, metrics
+
+    def test_omega_lc_forwarding_bridges_the_partition(self):
+        leader, victim, metrics = self.run_scenario("omega_lc")
+        unavailable = (1.0 - metrics.availability) * metrics.duration
+        # The victim keeps following the leader via forwards: no demotion,
+        # near-zero unavailability.
+        assert metrics.unjustified_demotions == 0
+        assert unavailable < 0.5
+
+    def test_omega_l_disagrees_for_the_whole_outage(self):
+        leader, victim, metrics = self.run_scenario("omega_l", downtime=6.0)
+        unavailable = (1.0 - metrics.availability) * metrics.duration
+        # ~6 s outage minus ~1 s detection: several seconds leaderless.
+        assert unavailable > 3.0
+
+    def test_omega_lc_beats_omega_l_under_partition(self):
+        _, _, lc = self.run_scenario("omega_lc")
+        _, _, l = self.run_scenario("omega_l")
+        assert lc.availability > l.availability
+
+
+class TestNonLeaderLinkCrash:
+    @pytest.mark.parametrize("algorithm", ["omega_lc", "omega_l"])
+    def test_link_between_followers_is_harmless_in_s3(self, algorithm):
+        """In Ω_l only the leader sends, so a link between two followers
+        carries no ALIVEs and its crash must not disturb anything.  In Ω_lc
+        it triggers an accusation against a follower — also harmless for
+        leadership."""
+        config, system = build(algorithm)
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        followers = [n for n in range(4) if n != leader]
+        cut_link(system, followers[0], followers[1], at=25.0, downtime=6.0)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        unavailable = (1.0 - metrics.availability) * metrics.duration
+        assert unavailable < 0.5
+
+
+class TestTotalLeaderIsolation:
+    def test_omega_lc_replaces_fully_disconnected_leader(self):
+        """All output links of the leader crash: nobody hears it, everyone
+        must agree on a replacement within roughly the detection bound."""
+        config, system = build("omega_lc")
+        system.sim.run_until(20.0)
+        leader = system.hosts[0].service.leader_of(1)
+        for dst in range(4):
+            if dst != leader:
+                cut_link(system, leader, dst, at=25.0, downtime=30.0)
+        system.sim.run_until(60.0)
+        views = {
+            h.service.leader_of(1)
+            for h in system.hosts
+            if h.node.node_id != leader
+        }
+        assert len(views) == 1
+        assert views.pop() != leader

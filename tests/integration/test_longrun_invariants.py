@@ -1,0 +1,89 @@
+"""Longer-horizon invariant checks across all three algorithms.
+
+These are failure-injection soak tests: heavy combined churn (workstations
+*and* links), with structural invariants checked at the end rather than
+exact metric values.
+"""
+
+import pytest
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.metrics.leadership import analyze_leadership
+
+
+@pytest.mark.parametrize("algorithm", ["omega_id", "omega_lc", "omega_l"])
+class TestCombinedFaultSoak:
+    def run(self, algorithm, seed=23):
+        config = ExperimentConfig(
+            name=f"soak-{algorithm}",
+            algorithm=algorithm,
+            n_nodes=8,
+            duration=900.0,
+            warmup=100.0,
+            seed=seed,
+            node_mttf=200.0,
+            node_mttr=4.0,
+            link_mttf=120.0,
+            link_mttr=3.0,
+        )
+        system = build_system(config)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        return config, system, metrics
+
+    def test_group_keeps_recovering(self, algorithm):
+        """Under combined faults the group must keep re-acquiring a leader —
+        availability bounded away from zero, recoveries complete."""
+        config, system, metrics = self.run(algorithm)
+        assert metrics.availability > 0.5
+        assert metrics.censored_recoveries <= 1
+        for sample in metrics.recovery_samples:
+            assert 0.0 < sample.duration < 30.0
+
+    def test_views_agree_at_quiet_end(self, algorithm):
+        """Stop all fault injection and let the system settle: every alive
+        member must converge on a single alive leader."""
+        config, system, _ = self.run(algorithm)
+        for injector in system.node_injectors + system.link_injectors:
+            injector.stop()
+        for node in system.network.nodes.values():
+            if not node.up:
+                node.recover()
+        for link in system.network.links():
+            link.set_down(False)
+        system.sim.run_until(config.duration + 60.0)
+        views = {
+            host.service.leader_of(1)
+            for host in system.hosts
+            if host.service is not None
+        }
+        assert len(views) == 1
+        leader = views.pop()
+        assert leader is not None
+        assert system.network.node(leader).up
+
+    def test_trace_is_structurally_sound(self, algorithm):
+        """Every crash pairs with a recover (or trails at the end); joins
+        precede views; times are monotone."""
+        config, system, _ = self.run(algorithm)
+        events = system.trace.events
+        assert all(
+            events[i].time <= events[i + 1].time for i in range(len(events) - 1)
+        )
+        downs = {}
+        for event in events:
+            if event.kind == "crash":
+                assert downs.get(event.node) is not True, "double crash"
+                downs[event.node] = True
+            elif event.kind == "recover":
+                assert downs.get(event.node) is True, "recover while up"
+                downs[event.node] = False
+        joined = set()
+        for event in events:
+            if event.kind == "join":
+                joined.add(event.pid)
+            elif event.kind == "view":
+                assert event.pid in joined

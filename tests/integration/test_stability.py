@@ -1,0 +1,133 @@
+"""End-to-end stability: the paper's S1-vs-S2/S3 headline behaviour.
+
+S1 (Ω_id) demotes a healthy leader whenever a lower-id process rejoins;
+S2 (Ω_lc) and S3 (Ω_l) rank rejoiners by their fresh accusation times and
+keep the incumbent (paper §6.2-§6.4: λu ≈ 6/hour for S1, exactly 0 for
+S2/S3 over lossy links).
+"""
+
+import pytest
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.metrics.leadership import analyze_leadership
+
+
+def config_for(algorithm, duration=120.0, seed=5):
+    return ExperimentConfig(
+        name=f"stab-{algorithm}",
+        algorithm=algorithm,
+        n_nodes=4,
+        duration=duration,
+        warmup=10.0,
+        seed=seed,
+        node_churn=False,
+    )
+
+
+def crash_and_recover(system, node_id, at, downtime=3.0):
+    sim = system.sim
+    sim.schedule_at(at, lambda: system.network.node(node_id).crash())
+    sim.schedule_at(at + downtime, lambda: system.network.node(node_id).recover())
+
+
+class TestRejoinStability:
+    def scenario(self, algorithm):
+        """Crash node 0 long enough to force a re-election (leader moves to
+        another node), then recover it: does the new leader survive?"""
+        config = config_for(algorithm)
+        system = build_system(config)
+        crash_and_recover(system, node_id=0, at=20.0, downtime=5.0)
+        system.sim.run_until(40.0)
+        leader_after_rejoin = {
+            h.service.leader_of(1) for h in system.hosts if h.service is not None
+        }
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        return system, metrics, leader_after_rejoin
+
+    def test_omega_id_demotes_on_lower_id_rejoin(self):
+        # Node 0 has the smallest id: with Ω_id it must retake leadership.
+        system, metrics, leaders = self.scenario("omega_id")
+        assert leaders == {0}
+        assert metrics.unjustified_demotions == 1
+
+    @pytest.mark.parametrize("algorithm", ["omega_lc", "omega_l"])
+    def test_accusation_algorithms_keep_incumbent(self, algorithm):
+        system, metrics, leaders = self.scenario(algorithm)
+        assert leaders != {0}  # the rejoiner did not take over
+        assert metrics.unjustified_demotions == 0
+
+    @pytest.mark.parametrize("algorithm", ["omega_lc", "omega_l"])
+    def test_rejoiner_adopts_leader_quickly(self, algorithm):
+        """The HELLO-reply seeding: a rejoined process must adopt the
+        incumbent within a fraction of a second, not elect itself."""
+        config = config_for(algorithm)
+        system = build_system(config)
+        crash_and_recover(system, node_id=0, at=20.0, downtime=5.0)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        # One leader crash (node 0 was initially... node 0 may or may not be
+        # the first leader; accept 0 or 1) and tiny disruption cost overall.
+        assert metrics.availability > 0.97
+
+    def test_non_candidate_rejoin_is_invisible(self):
+        """A passive (non-candidate) process joining late must not disturb
+        leadership at all under any algorithm."""
+        for algorithm in ("omega_id", "omega_lc", "omega_l"):
+            config = config_for(algorithm, duration=60.0)
+            system = build_system(config)
+            system.sim.run_until(20.0)
+            leader = system.hosts[1].service.leader_of(1)
+            # A new passive process joins on node 0's service.
+            service = system.hosts[0].service
+            service.register(100)
+            service.join(100, group=2, candidate=False)
+            system.sim.run_until(60.0)
+            assert system.hosts[1].service.leader_of(1) == leader
+
+
+class TestChurnStability:
+    @pytest.mark.parametrize(
+        "algorithm,expect_mistakes", [("omega_lc", 0), ("omega_l", 0)]
+    )
+    def test_no_unjustified_demotions_under_churn(self, algorithm, expect_mistakes):
+        config = ExperimentConfig(
+            name=f"churn-{algorithm}",
+            algorithm=algorithm,
+            n_nodes=6,
+            duration=600.0,
+            warmup=60.0,
+            seed=13,
+            node_mttf=120.0,  # aggressive churn to exercise rejoins
+            node_mttr=4.0,
+        )
+        system = build_system(config)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        assert metrics.unjustified_demotions == expect_mistakes
+        assert metrics.availability > 0.95
+
+    def test_omega_id_makes_mistakes_under_churn(self):
+        config = ExperimentConfig(
+            name="churn-omega_id",
+            algorithm="omega_id",
+            n_nodes=6,
+            duration=600.0,
+            warmup=60.0,
+            seed=13,
+            node_mttf=120.0,
+            node_mttr=4.0,
+        )
+        system = build_system(config)
+        system.sim.run_until(config.duration)
+        metrics = analyze_leadership(
+            system.trace.events, 1, config.duration, measure_from=config.warmup
+        )
+        assert metrics.unjustified_demotions > 0

@@ -1,0 +1,286 @@
+"""Unit tests for the leadership metrics analysis (paper §5)."""
+
+import pytest
+
+from repro.metrics.leadership import analyze_leadership
+from repro.metrics.trace import TraceEvent, TraceRecorder
+
+
+def build_trace(*events):
+    """events: tuples (time, kind, kwargs-dict)."""
+    trace = TraceRecorder()
+    for time, kind, kw in events:
+        trace.events.append(TraceEvent(time=time, kind=kind, **kw))
+    return trace
+
+
+def join(t, pid, node=None):
+    return (t, "join", dict(group=1, pid=pid, node=node if node is not None else pid))
+
+
+def view(t, pid, leader):
+    return (t, "view", dict(group=1, pid=pid, leader=leader))
+
+
+def leave(t, pid):
+    return (t, "leave", dict(group=1, pid=pid))
+
+
+def crash(t, node):
+    return (t, "crash", dict(node=node))
+
+
+def recover(t, node):
+    return (t, "recover", dict(node=node))
+
+
+class TestAvailability:
+    def test_full_agreement_full_availability(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == pytest.approx(1.0)
+
+    def test_no_views_no_availability(self):
+        trace = build_trace(join(0.0, 1), join(0.0, 2))
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == 0.0
+
+    def test_disagreement_is_unavailable(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 2),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == 0.0
+
+    def test_partial_agreement_window(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),  # agree from 0
+            view(50.0, 2, 2),  # disagree from 50
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == pytest.approx(0.5)
+
+    def test_leader_must_be_alive(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(40.0, 1),  # leader dies; views still point at it
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == pytest.approx(0.4)
+
+    def test_leader_must_be_member(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            leave(70.0, 1),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == pytest.approx(0.7)
+
+    def test_dead_members_views_do_not_count(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2), join(0.0, 3),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            view(0.0, 3, 99),  # disagrees ...
+            crash(0.0, 3),  # ... but is dead, so ignored
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=10.0)
+        assert m.availability == pytest.approx(1.0)
+
+    def test_empty_group_unavailable(self):
+        trace = build_trace(
+            join(0.0, 1), view(0.0, 1, 1), crash(50.0, 1),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=100.0)
+        assert m.availability == pytest.approx(0.5)
+
+    def test_warmup_excluded(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            view(50.0, 2, 2),
+        )
+        m = analyze_leadership(
+            trace.events, group=1, end_time=100.0, measure_from=50.0
+        )
+        assert m.availability == pytest.approx(0.0)
+
+    def test_rejoining_member_view_resets(self):
+        """A rejoined process has no leader view until its service says so;
+        its stale pre-crash view must not count as agreement."""
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 2), recover(11.0, 2),
+            join(12.0, 2),          # rejoined, view=None until next view event
+            view(16.0, 2, 1),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        # available: [0,10) with both, [10,12) only p1 alive&agreeing... p2
+        # dead: [10,12) has p1 alone agreeing with itself -> available.
+        # [12,16): p2's view is None -> unavailable. [16,20): available.
+        assert m.availability == pytest.approx((10 + 2 + 4) / 20)
+
+
+class TestRecoveryTime:
+    def test_leader_crash_to_new_leader(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1),
+            view(11.2, 2, 2),  # survivor elects itself
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.leader_crashes == 1
+        assert len(m.recovery_samples) == 1
+        sample = m.recovery_samples[0]
+        assert sample.duration == pytest.approx(1.2)
+        assert sample.crashed_leader == 1
+        assert sample.new_leader == 2
+
+    def test_non_leader_crash_is_not_a_sample(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 2),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.leader_crashes == 0
+        assert m.recovery_samples == []
+
+    def test_self_recovery_counts(self):
+        """Leader reboots faster than detection: the group regains it."""
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1), recover(10.4, 1),
+            join(10.5, 1), view(10.5, 1, 1),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert len(m.recovery_samples) == 1
+        assert m.recovery_samples[0].duration == pytest.approx(0.5)
+        assert m.recovery_samples[0].new_leader == 1
+
+    def test_censored_recovery_counted_separately(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1),  # never recovers within the run
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.leader_crashes == 1
+        assert m.censored_recoveries == 1
+        assert m.recovery_samples == []
+
+    def test_warmup_crashes_excluded(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1), view(11.0, 2, 2),
+        )
+        m = analyze_leadership(
+            trace.events, group=1, end_time=100.0, measure_from=50.0
+        )
+        assert m.leader_crashes == 0
+
+
+class TestDemotions:
+    def test_unjustified_demotion_s1_style(self):
+        """A lower-id process rejoins and demotes a healthy leader: the
+        demoted leader did not crash — unjustified (the paper's S1 case)."""
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 2), view(0.0, 2, 2),  # leader 2 (1 was down longer ago)
+            view(10.0, 1, 1), view(10.05, 2, 1),  # both switch to rejoined 1
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.unjustified_demotions == 1
+        assert m.mistake_rate == pytest.approx(1 * 3600 / 20)
+        d = m.demotions[0]
+        assert d.leader == 2 and d.new_leader == 1
+        assert d.unjustified and not d.disruption
+
+    def test_demotion_after_fast_reboot_is_justified(self):
+        """The demoted leader crashed within crash_grace: the paper's rule
+        ('even though ℓ has not crashed') makes this justified."""
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1), recover(10.3, 1),
+            join(10.4, 1), view(10.4, 1, 1),  # regains briefly
+            view(11.0, 1, 2), view(11.0, 2, 2),  # then its fresh acc demotes it
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0, crash_grace=3.0)
+        assert m.unjustified_demotions == 0
+        justified = [d for d in m.demotions if not d.unjustified]
+        assert len(justified) == 1
+        assert justified[0].leader_crashed_recently
+
+    def test_old_crash_outside_grace_still_unjustified(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1), recover(10.3, 1),
+            join(10.4, 1), view(10.4, 1, 1),
+            # demoted much later, unrelated to the old crash
+            view(50.0, 1, 2), view(50.0, 2, 2),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=60.0, crash_grace=3.0)
+        assert m.unjustified_demotions == 1
+
+    def test_flicker_is_disruption_not_demotion(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            view(10.0, 2, 2),  # brief disagreement
+            view(10.2, 2, 1),  # back to the same leader
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.unjustified_demotions == 0
+        assert m.disruptions == 1
+        assert m.availability == pytest.approx((20 - 0.2) / 20)
+
+    def test_voluntary_leave_is_not_a_demotion(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            leave(10.0, 1),
+            view(10.5, 2, 2), view(10.5, 1, 2),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.unjustified_demotions == 0
+        assert m.leader_crashes == 0
+
+    def test_leader_crash_is_not_a_demotion(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1),
+            view(11.0, 2, 2),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        assert m.unjustified_demotions == 0
+        assert len(m.recovery_samples) == 1
+
+
+class TestValidation:
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_leadership([], group=1, end_time=1.0, measure_from=2.0)
+
+    def test_summary_stats(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(0.0, 1, 1), view(0.0, 2, 1),
+            crash(10.0, 1), view(11.0, 2, 2),
+        )
+        m = analyze_leadership(trace.events, group=1, end_time=20.0)
+        summary = m.recovery_summary()
+        assert summary.n == 1
+        assert summary.mean == pytest.approx(1.0)

@@ -1,0 +1,32 @@
+"""Unit tests for the trace recorder."""
+
+from repro.metrics.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_length(self):
+        trace = TraceRecorder()
+        trace.record_join(0.0, group=1, pid=2, node=2)
+        trace.record_view(0.1, group=1, pid=2, leader=2)
+        trace.record_crash(5.0, node=2)
+        trace.record_recover(6.0, node=2)
+        trace.record_leave(7.0, group=1, pid=2)
+        assert len(trace) == 5
+        kinds = [e.kind for e in trace.events]
+        assert kinds == ["join", "view", "crash", "recover", "leave"]
+
+    def test_for_group_includes_node_events(self):
+        trace = TraceRecorder()
+        trace.record_join(0.0, group=1, pid=1, node=1)
+        trace.record_join(0.0, group=2, pid=1, node=1)
+        trace.record_crash(1.0, node=1)
+        events = list(trace.for_group(1))
+        assert len(events) == 2  # the group-1 join and the crash
+        assert {e.kind for e in events} == {"join", "crash"}
+
+    def test_groups_enumeration(self):
+        trace = TraceRecorder()
+        trace.record_join(0.0, group=3, pid=1, node=1)
+        trace.record_join(0.0, group=1, pid=1, node=1)
+        trace.record_view(1.0, group=3, pid=1, leader=1)
+        assert trace.groups() == [3, 1]

@@ -1,0 +1,75 @@
+"""Unit tests for the workstation (Node) lifecycle."""
+
+from repro.net.message import AliveMessage
+from repro.net.node import Node
+
+
+class Observer:
+    def __init__(self):
+        self.crashes = []
+        self.recoveries = []
+
+    def on_node_crash(self, node):
+        self.crashes.append(node.node_id)
+
+    def on_node_recover(self, node):
+        self.recoveries.append(node.node_id)
+
+
+class TestNodeLifecycle:
+    def test_starts_up_with_incarnation_zero(self, sim):
+        node = Node(sim, 3)
+        assert node.up
+        assert node.incarnation == 0
+
+    def test_crash_recover_cycle_bumps_incarnation(self, sim):
+        node = Node(sim, 3)
+        node.crash()
+        assert not node.up
+        node.recover()
+        assert node.up
+        assert node.incarnation == 1
+        node.crash()
+        node.recover()
+        assert node.incarnation == 2
+
+    def test_crash_is_idempotent(self, sim):
+        node = Node(sim, 3)
+        observer = Observer()
+        node.add_observer(observer)
+        node.crash()
+        node.crash()
+        assert observer.crashes == [3]
+
+    def test_recover_when_up_is_noop(self, sim):
+        node = Node(sim, 3)
+        observer = Observer()
+        node.add_observer(observer)
+        node.recover()
+        assert observer.recoveries == []
+        assert node.incarnation == 0
+
+    def test_observers_notified_in_order(self, sim):
+        node = Node(sim, 3)
+        observer = Observer()
+        node.add_observer(observer)
+        node.crash()
+        node.recover()
+        assert observer.crashes == [3]
+        assert observer.recoveries == [3]
+
+    def test_crash_clears_receiver(self, sim):
+        node = Node(sim, 3)
+        received = []
+        node.set_receiver(received.append)
+        node.crash()
+        node.recover()
+        node.deliver(AliveMessage(sender_node=0, dest_node=3))
+        assert received == []  # receiver must be re-installed after reboot
+
+    def test_deliver_while_down_is_dropped_silently(self, sim):
+        node = Node(sim, 3)
+        node.set_receiver(lambda m: None)
+        node.crash()
+        node.deliver(AliveMessage(sender_node=0, dest_node=3))
+        assert node.meter.messages_received == 0

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_clock_start_time_configurable(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [1.5]
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(5.0)
+        assert fired == [1, 2, 3]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run_until(1.0)
+        assert fired == list(range(10))
+
+    def test_event_at_boundary_time_fires(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run_until(5.0)
+        assert fired == [1]
+
+    def test_event_beyond_boundary_does_not_fire(self, sim):
+        fired = []
+        sim.schedule(5.0001, lambda: fired.append(1))
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(6.0)
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(9.0, lambda: None)
+
+    def test_run_backwards_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_events_scheduled_during_execution_fire(self, sim):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(3.0)
+        assert fired == ["outer", "inner"]
+
+    def test_zero_delay_event_fires_at_current_time(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: fired.append(sim.now)))
+        sim.run_until(2.0)
+        assert fired == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_via_simulator_helper(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_none_is_noop(self, sim):
+        sim.cancel(None)  # must not raise
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run_until(2.0)
+
+    def test_pending_count_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        assert not keep.cancelled
+
+
+class TestRunControl:
+    def test_step_executes_one_event(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert not sim.step()
+
+    def test_step_skips_cancelled(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1)).cancel()
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [2]
+
+    def test_run_drains_queue(self, sim):
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["stop"]
+        # The remaining event is still pending and runs on the next call.
+        sim.run()
+        assert fired == ["stop", "after"]
+
+    def test_counters(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run_until(5.0)
+        assert sim.events_scheduled == 2
+        assert sim.events_executed == 1
+
+    def test_peek_time(self, sim):
+        assert sim.peek_time() is None
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_exception_propagates_and_clock_is_consistent(self, sim):
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_until(5.0)
+        assert sim.now == 1.0

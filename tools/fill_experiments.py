@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Insert the benchmark result tables into EXPERIMENTS.md.
+
+The benchmarks write their paper-vs-measured tables under
+``benchmarks/results/``; EXPERIMENTS.md contains ``@@SLUG@@`` placeholders.
+Run this after a benchmark pass to refresh the document:
+
+    python tools/fill_experiments.py
+"""
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+RESULTS = ROOT / "benchmarks" / "results"
+DOC = ROOT / "EXPERIMENTS.md"
+
+PLACEHOLDERS = {
+    "@@FIG3@@": "fig3.txt",
+    "@@FIG4@@": "fig4.txt",
+    "@@FIG5@@": "fig5.txt",
+    "@@FIG6@@": "fig6.txt",
+    "@@FIG7@@": "fig7.txt",
+    "@@FIG8@@": "fig8.txt",
+    "@@HEADLINE@@": "headline.txt",
+    "@@ABLATIONS@@": "ablations.txt",
+}
+
+
+def main() -> int:
+    text = DOC.read_text()
+    missing = []
+    for placeholder, filename in PLACEHOLDERS.items():
+        path = RESULTS / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        table = path.read_text().strip()
+        if placeholder in text:
+            text = text.replace(placeholder, table)
+    DOC.write_text(text)
+    if missing:
+        print(f"missing result files (placeholders left in place): {missing}")
+        return 1
+    print("EXPERIMENTS.md updated from benchmarks/results/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
