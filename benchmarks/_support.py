@@ -1,11 +1,12 @@
 """Shared plumbing for the figure-regeneration benchmarks.
 
 Every benchmark regenerates one table/figure of the paper: it runs the
-figure's experiment cells (at a bench-friendly duration), prints a
-paper-vs-measured table, writes the same table under
-``benchmarks/results/``, and attaches the headline numbers to the
-pytest-benchmark ``extra_info`` so they appear in ``--benchmark-json``
-exports.
+figure's experiment cells through the parallel orchestrator (at a
+bench-friendly duration), prints a paper-vs-measured table, writes the same
+table under ``benchmarks/results/`` next to the sweep's JSON artifact, and
+attaches the headline numbers — including per-cell and aggregate events/sec
+— to the pytest-benchmark ``extra_info`` so they appear in
+``--benchmark-json`` exports and the perf trajectory they track.
 
 Durations: the paper ran each cell for 1-5 *days*; benchmarks default to
 15 virtual minutes of measurement per cell, which reproduces availability,
@@ -13,19 +14,25 @@ mistake-rate and cost numbers well but leaves leader-recovery confidence
 intervals wide (crashes arrive at ~6/hour/workstation).  Set
 ``REPRO_BENCH_SECONDS`` to a larger horizon for tighter numbers —
 EXPERIMENTS.md records hour-scale runs.
+
+Env knobs: ``REPRO_BENCH_WORKERS`` (worker processes; default: all cores,
+capped at 8), ``REPRO_BENCH_RESUME=1`` (reuse cached cell results under
+``benchmarks/results/cache/``).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.figures import FigureCell
+from repro.experiments.orchestrator import SweepResult, run_sweep
 from repro.experiments.report import format_figure_results
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = RESULTS_DIR / "cache"
 
 
 def horizon(default: float = 1200.0) -> float:
@@ -37,9 +44,42 @@ def warmup() -> float:
     return float(os.environ.get("REPRO_BENCH_WARMUP", 300.0))
 
 
-def run_cells(cells: Iterable[FigureCell]) -> List[Tuple[FigureCell, ExperimentResult]]:
-    """Run every cell of a figure and pair it with its result."""
-    return [(cell, run_experiment(cell.config)) for cell in cells]
+def workers() -> int:
+    """Worker processes for bench sweeps (default: all cores, capped at 8)."""
+    configured = os.environ.get("REPRO_BENCH_WORKERS")
+    if configured:
+        return max(1, int(configured))
+    return min(os.cpu_count() or 1, 8)
+
+
+def resume() -> bool:
+    return os.environ.get("REPRO_BENCH_RESUME", "") not in ("", "0")
+
+
+class SweepPairs(List[Tuple[FigureCell, ExperimentResult]]):
+    """(cell, result) pairs plus the sweep they came from."""
+
+    def __init__(self, pairs, sweep: Optional[SweepResult] = None) -> None:
+        super().__init__(pairs)
+        self.sweep = sweep
+
+
+def run_cells(cells: Iterable[FigureCell], slug: Optional[str] = None) -> SweepPairs:
+    """Run every cell of a figure through the orchestrator.
+
+    Returns the (cell, result) pairs in figure order; the sweep's JSON
+    artifact lands at ``benchmarks/results/<slug>.sweep.json``.
+    """
+    cells = list(cells)
+    sweep = run_sweep(
+        [cell.config for cell in cells],
+        name=slug or "bench",
+        workers=workers(),
+        resume=resume(),
+        cache_dir=CACHE_DIR if resume() else None,
+        artifact_path=RESULTS_DIR / f"{slug}.sweep.json" if slug else None,
+    )
+    return SweepPairs(zip(cells, sweep.experiment_results()), sweep)
 
 
 def report(title: str, slug: str, pairs) -> str:
@@ -63,4 +103,15 @@ def attach_extra_info(benchmark, pairs) -> None:
             info[f"{key}/recovery_s"] = round(summary.mean, 4)
         info[f"{key}/cpu_percent"] = round(result.usage.cpu_percent, 5)
         info[f"{key}/kb_per_s"] = round(result.usage.kb_per_second, 3)
+    sweep = getattr(pairs, "sweep", None)
+    if sweep is not None:
+        for outcome in sweep.outcomes:
+            info[f"{outcome.config.name}/events_per_sec"] = round(
+                outcome.events_per_sec, 1
+            )
+        info["sweep/workers"] = sweep.workers
+        info["sweep/wall_seconds"] = round(sweep.wall_seconds, 3)
+        info["sweep/events_executed"] = sweep.events_executed
+        info["sweep/events_per_sec"] = round(sweep.events_per_sec, 1)
+        info["sweep/cells_cached"] = sweep.cells_cached
     benchmark.extra_info.update(info)

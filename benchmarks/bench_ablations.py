@@ -26,10 +26,12 @@ from repro.core.election.omega_l import OmegaL
 from repro.core.election.omega_lc import OmegaLc
 from repro.core.election.registry import available_algorithms, register_algorithm
 from repro.core.service import ServiceConfig
+from repro.experiments.orchestrator import run_sweep
 from repro.experiments.runner import build_system
 from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.serialize import leadership_from_dict, leadership_to_dict
 from repro.metrics.leadership import analyze_leadership
-from benchmarks._support import RESULTS_DIR, horizon, warmup
+from benchmarks._support import RESULTS_DIR, horizon, warmup, workers
 
 
 class OmegaLcNoForwarding(OmegaLc):
@@ -67,8 +69,8 @@ for variant in (OmegaLcNoForwarding, OmegaLNoPhase):
         register_algorithm(variant)
 
 
-def run_cell(algorithm, duration, warmup, seed=3, **config_kw):
-    config = ExperimentConfig(
+def ablation_config(algorithm, duration, warmup, seed=3, **config_kw):
+    return ExperimentConfig(
         name=f"ablation-{algorithm}",
         algorithm=algorithm,
         duration=duration,
@@ -76,21 +78,34 @@ def run_cell(algorithm, duration, warmup, seed=3, **config_kw):
         seed=seed,
         **config_kw,
     )
+
+
+def accusation_bumps(trace_events, group=1):
+    """Total accusation-time bumps applied over the run (from the trace)."""
+    return sum(
+        1
+        for event in trace_events
+        if event.kind == "accusation" and event.group == group
+    )
+
+
+def run_ablation_cell(config):
+    """Orchestrator cell runner for the ablation grid.
+
+    Resolved by dotted reference inside the worker process, which imports
+    this module first — so the variant algorithms above are registered in
+    every worker, exercising the registry's plugin path end to end.
+    """
     system = build_system(config)
     system.sim.run_until(config.duration)
     metrics = analyze_leadership(
         system.trace.events, config.group, config.duration, config.warmup
     )
-    return metrics, system
-
-
-def accusation_bumps(system, group=1):
-    """Total accusation-time bumps applied over the run (from the trace)."""
-    return sum(
-        1
-        for event in system.trace.events
-        if event.kind == "accusation" and event.group == group
-    )
+    return {
+        "leadership": leadership_to_dict(metrics),
+        "accusation_bumps": accusation_bumps(system.trace.events, config.group),
+        "events_executed": system.sim.events_executed,
+    }
 
 
 def run_flush_cell(urgent_flush, duration, warmup, seed=3):
@@ -153,22 +168,32 @@ def bench_ablations(benchmark):
     def regenerate():
         results = {}
         # 1. forwarding, under hostile crash-prone links (Figure 7's worst
-        # point is the regime the mechanism exists for).
-        for algo in ("omega_lc", "omega_lc_nofwd"):
-            metrics, _ = run_cell(
-                algo, duration, warm, link_mttf=60.0, link_mttr=3.0
-            )
-            results[algo] = metrics
+        # point is the regime the mechanism exists for), and
         # 2. phase protection, under aggressive workstation churn: group
         # QoS barely moves, but without protection every withdrawal wave
         # inflates the withdrawn candidates' accusation times.
-        for algo in ("omega_l", "omega_l_nophase"):
-            metrics, system = run_cell(
-                algo, duration, warm, node_mttf=100.0, node_mttr=4.0
-            )
-            results[algo] = metrics
-            results[f"{algo}/bumps"] = accusation_bumps(system)
-        # 3. urgent flush, under heavy link churn.
+        # Both grids run through the orchestrator with the plugin-aware
+        # cell runner defined above.
+        grid = [
+            ablation_config(algo, duration, warm, link_mttf=60.0, link_mttr=3.0)
+            for algo in ("omega_lc", "omega_lc_nofwd")
+        ] + [
+            ablation_config(algo, duration, warm, node_mttf=100.0, node_mttr=4.0)
+            for algo in ("omega_l", "omega_l_nophase")
+        ]
+        sweep = run_sweep(
+            grid,
+            name="ablations",
+            workers=workers(),
+            runner="benchmarks.bench_ablations:run_ablation_cell",
+            artifact_path=RESULTS_DIR / "ablations.sweep.json",
+        )
+        for outcome in sweep.outcomes:
+            algo = outcome.config.algorithm
+            results[algo] = leadership_from_dict(outcome.record["leadership"])
+            results[f"{algo}/bumps"] = outcome.record["accusation_bumps"]
+        # 3. urgent flush, under heavy link churn (needs a modified
+        # ServiceConfig on every host, so it stays in-process).
         results["flush_on"] = run_flush_cell(True, duration, warm)
         results["flush_off"] = run_flush_cell(False, duration, warm)
         return results

@@ -1,0 +1,58 @@
+"""Microbenchmarks for the event engine's hot paths.
+
+Two workloads bracket the engine's behaviour in real experiments:
+
+* **pop throughput** — schedule-and-drain of live events only; the floor on
+  how fast a simulation can possibly run.
+* **timer churn** — the failure-detector pattern: each monitor holds one
+  far-future timeout that is superseded (cancel + re-insert) on every
+  heartbeat arrival.  Without the batch drain of cancelled entries the heap
+  grows by one dead entry per heartbeat and never shrinks (the entries sit
+  at t≈1e9); with it the heap stays bounded, keeping every push O(log live).
+
+The churn bench asserts the bounded-heap property, which is the engine
+optimization this file exists to protect.
+"""
+
+from repro.sim.engine import Simulator
+
+
+def bench_engine_pop_throughput(benchmark):
+    """Pure schedule + drain of live events (no cancellations)."""
+    n_events = 50_000
+
+    def drain():
+        sim = Simulator()
+        for i in range(n_events):
+            sim.schedule(float(i % 97) * 1e-3, lambda: None)
+        sim.run_until(1.0)
+        return sim
+
+    sim = benchmark(drain)
+    assert sim.events_executed == n_events
+    benchmark.extra_info["events_per_round"] = n_events
+
+
+def bench_engine_timer_churn(benchmark):
+    """FD-style cancel + re-insert churn with far-future deadlines."""
+    monitors = 100
+    beats = 500
+
+    def churn():
+        sim = Simulator()
+        pending = [sim.schedule(1e9 + m, lambda: None) for m in range(monitors)]
+        for b in range(beats):
+            for m in range(monitors):
+                sim.cancel(pending[m])
+                pending[m] = sim.schedule(1e9 + m, lambda: None)
+            sim.run_until(0.001 * (b + 1))
+        return sim
+
+    sim = benchmark(churn)
+    # The batch drain must keep the heap bounded: without it the heap holds
+    # one dead entry per (monitor, beat) pair, i.e. ~monitors * beats.
+    assert sim.compactions > 0
+    assert len(sim._heap) < 4 * monitors + Simulator.COMPACT_MIN_CANCELLED
+    benchmark.extra_info["cancel_ops_per_round"] = monitors * beats
+    benchmark.extra_info["final_heap_size"] = len(sim._heap)
+    benchmark.extra_info["compactions"] = sim.compactions

@@ -21,7 +21,7 @@ def bench_fig3_s1_lossy(benchmark):
     cells = fig3_cells(duration=horizon(), warmup=warmup(), seed=1)
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "fig3")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("Figure 3 — S1 in lossy networks (Tr, λu)", "fig3", pairs)

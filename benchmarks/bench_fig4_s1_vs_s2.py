@@ -23,7 +23,7 @@ def bench_fig4_s1_vs_s2(benchmark):
     cells = fig4_cells(duration=horizon(), warmup=warmup(), seed=1)
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "fig4")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("Figure 4 — S1 vs S2 in lossy networks (Tr, λu, Pleader)", "fig4", pairs)

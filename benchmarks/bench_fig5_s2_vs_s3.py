@@ -23,7 +23,7 @@ def bench_fig5_s2_vs_s3(benchmark):
     cells = fig5_cells(duration=horizon(), warmup=warmup(), seed=1)
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "fig5")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("Figure 5 — S2 vs S3 in lossy networks (Tr, Pleader)", "fig5", pairs)

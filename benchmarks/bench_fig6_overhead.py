@@ -8,8 +8,6 @@ more expensive as link quality degrades; at n = 12 on (100 ms, 0.1) the
 paper reports S3 ≈ 0.04% CPU / 6.48 KB/s and S2 ≈ 0.3% / 62.38 KB/s.
 """
 
-from collections import defaultdict
-
 from benchmarks._support import (
     attach_extra_info,
     horizon,
@@ -24,7 +22,7 @@ def bench_fig6_overhead(benchmark):
     cells = fig6_cells(duration=horizon(900.0), warmup=warmup(), seed=1)
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "fig6")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("Figure 6 — CPU and bandwidth per workstation vs group size", "fig6", pairs)

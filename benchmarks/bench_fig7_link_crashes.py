@@ -14,8 +14,6 @@ the robustness/overhead trade-off of §6.5:
   under the chosen FD QoS).
 """
 
-from collections import defaultdict
-
 from benchmarks._support import (
     attach_extra_info,
     horizon,
@@ -30,7 +28,7 @@ def bench_fig7_link_crashes(benchmark):
     cells = fig7_cells(duration=horizon(), warmup=warmup(), seed=1)
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "fig7")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("Figure 7 — S2 vs S3 with crash-prone links (Tr, λu, Pleader)", "fig7", pairs)

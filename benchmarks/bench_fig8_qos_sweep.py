@@ -23,7 +23,7 @@ def bench_fig8_qos_sweep(benchmark):
     cells = fig8_cells(duration=horizon(), warmup=warmup(), seed=1)
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "fig8")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("Figure 8 — effect of T_D^U on Tr and Pleader (S2, S3)", "fig8", pairs)

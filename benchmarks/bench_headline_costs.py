@@ -25,7 +25,7 @@ def bench_headline_costs(benchmark):
     )
 
     def regenerate():
-        return run_cells(cells)
+        return run_cells(cells, "headline")
 
     pairs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     report("§6.6 footnote — service cost at T_D^U = 0.1 s (LAN)", "headline", pairs)

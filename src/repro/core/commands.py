@@ -11,7 +11,7 @@ query the leader.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.fd.qos import FDQoS

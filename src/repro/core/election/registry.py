@@ -9,7 +9,7 @@ out of the box).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 from repro.core.election.base import ElectionAlgorithm, GroupContext
 from repro.core.election.omega_id import OmegaId

@@ -1,35 +1,52 @@
-"""Command-line entry point: run one experiment cell from a shell.
+"""Command-line entry point: run one experiment cell or a figure sweep.
 
-Usage::
+Single cell (the paper's CLI of old)::
 
     python -m repro.experiments.cli --algorithm omega_lc --nodes 12 \
         --duration 1800 --delay 0.1 --loss 0.1 --seed 7
 
-    python -m repro.experiments.cli --algorithm omega_l \
-        --link-mttf 60 --link-mttr 3 --detection-time 1.0
+Whole-figure sweeps run through the parallel orchestrator::
 
-Prints the paper's QoS metrics (Tr with 95% CI, λu, Pleader) and the
-per-workstation cost, in the same units as the paper's figures.
+    python -m repro.experiments.cli --figure fig7 --workers 4 \
+        --duration 1800 --resume --artifact fig7.sweep.json
+
+    python -m repro.experiments.cli --figure all --workers 8 --resume
+
+Single-cell mode prints the paper's QoS metrics (Tr with 95% CI, λu,
+Pleader) and the per-workstation cost, in the same units as the paper's
+figures; sweep mode prints per-cell progress (with events/sec), the
+paper-vs-measured table, and the sweep totals.  ``--resume`` skips cells
+whose results already sit in the cache directory; ``--artifact`` persists
+the sweep as one structured JSON file.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.election.registry import available_algorithms
-from repro.experiments.runner import run_experiment
+from repro.experiments.figures import cells_for, figure_names
+from repro.experiments.orchestrator import CellOutcome, format_progress, run_sweep
+from repro.experiments.report import format_figure_results
+from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenario import ExperimentConfig
 from repro.fd.qos import FDQoS
 from repro.metrics.stats import rate_confidence_interval
 
 __all__ = ["build_parser", "main"]
 
+#: Default cache directory for ``--resume`` (repo-local, git-ignorable).
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
-        description="Run one leader-election experiment cell (paper §6).",
+        description="Run one leader-election experiment cell, or a whole "
+        "figure sweep through the parallel orchestrator (paper §6).",
     )
     parser.add_argument(
         "--algorithm",
@@ -38,8 +55,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="election algorithm (S1=omega_id, S2=omega_lc, S3=omega_l)",
     )
     parser.add_argument("--nodes", type=int, default=12, help="workstations")
-    parser.add_argument("--duration", type=float, default=1800.0, help="virtual s")
-    parser.add_argument("--warmup", type=float, default=300.0, help="excluded prefix")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="virtual s (default: 1800, or each figure's own in sweep mode)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="excluded prefix, virtual s (default: 300, or the figure's own)",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--delay", type=float, default=0.025e-3, help="mean link delay s")
     parser.add_argument("--loss", type=float, default=0.0, help="link loss probability")
@@ -49,6 +76,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--node-mttf", type=float, default=600.0)
     parser.add_argument("--node-mttr", type=float, default=5.0)
     parser.add_argument("--detection-time", type=float, default=1.0, help="FD T_D^U s")
+
+    sweep = parser.add_argument_group("sweep orchestration")
+    sweep.add_argument(
+        "--figure",
+        choices=[*figure_names(), "all"],
+        default=None,
+        help="sweep a whole paper figure grid instead of one cell",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard the sweep across",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose (config-hash, seed) result is already cached",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        help=f"per-cell result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sweep.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="write the sweep's structured JSON artifact here",
+    )
+    sweep.add_argument(
+        "--sweep-seed",
+        type=int,
+        default=None,
+        help="derive independent per-cell seeds from this sweep-level seed",
+    )
     return parser
 
 
@@ -57,8 +121,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         name=f"cli/{args.algorithm}",
         algorithm=args.algorithm,
         n_nodes=args.nodes,
-        duration=args.duration,
-        warmup=args.warmup,
+        duration=args.duration if args.duration is not None else 1800.0,
+        warmup=args.warmup if args.warmup is not None else 300.0,
         seed=args.seed,
         link_delay_mean=args.delay,
         link_loss_prob=args.loss,
@@ -71,8 +135,11 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _print_progress(done: int, total: int, outcome: CellOutcome) -> None:
+    print(format_progress(done, total, outcome), file=sys.stderr)
+
+
+def _run_single_cell(args: argparse.Namespace) -> int:
     config = config_from_args(args)
     print(
         f"running {config.algorithm} on {config.n_nodes} workstations for "
@@ -80,6 +147,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"seed {config.seed}) ..."
     )
     result = run_experiment(config)
+    _print_cell_metrics(result)
+    return 0
+
+
+def _print_cell_metrics(result: ExperimentResult) -> None:
     leadership = result.leadership
     summary = leadership.recovery_summary()
     rate, rate_half = rate_confidence_interval(
@@ -98,7 +170,105 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"fault injection              : {result.node_crashes} workstation crashes, "
         f"{result.link_crashes} link crashes"
     )
+
+
+def _run_figure_sweep(args: argparse.Namespace) -> int:
+    figures = figure_names() if args.figure == "all" else [args.figure]
+    cells = []
+    cells_by_figure = {}
+    for figure in figures:
+        grid = cells_for(
+            figure, duration=args.duration, warmup=args.warmup, seed=args.seed
+        )
+        cells_by_figure[figure] = grid
+        cells.extend(grid)
+    horizon = (
+        f"{args.duration:.0f} virtual s per cell"
+        if args.duration is not None
+        else "figure-default horizons"
+    )
+    print(
+        f"sweeping {len(cells)} cells ({', '.join(figures)}) with "
+        f"{args.workers} worker(s), {horizon} "
+        f"{'[resume]' if args.resume else ''}...",
+        file=sys.stderr,
+    )
+    sweep = run_sweep(
+        [cell.config for cell in cells],
+        name=f"cli/{args.figure}",
+        workers=args.workers,
+        resume=args.resume,
+        cache_dir=args.cache_dir,
+        artifact_path=args.artifact,
+        sweep_seed=args.sweep_seed,
+        progress=_print_progress,
+    )
+    results = iter(sweep.experiment_results())
+    for figure in figures:
+        figure_pairs = [(cell, next(results)) for cell in cells_by_figure[figure]]
+        print(format_figure_results(f"Sweep — {figure}", figure_pairs))
+    print(
+        f"swept {len(sweep.outcomes)} cells ({sweep.cells_cached} from cache) "
+        f"in {sweep.wall_seconds:.1f} s wall — "
+        f"{sweep.events_executed:,} events, {sweep.events_per_sec:,.0f} ev/s"
+    )
+    if sweep.artifact_path is not None:
+        print(f"artifact written to {sweep.artifact_path}")
     return 0
+
+
+#: Flags that configure the single cell and are meaningless against a
+#: figure's predefined grid (duration/warmup/seed apply to both modes).
+_SINGLE_CELL_ONLY = (
+    "algorithm",
+    "nodes",
+    "delay",
+    "loss",
+    "link_mttf",
+    "link_mttr",
+    "no_churn",
+    "node_mttf",
+    "node_mttr",
+    "detection_time",
+)
+#: Flags that only the orchestrated sweep mode consumes.
+_SWEEP_ONLY = ("resume", "artifact", "sweep_seed")
+
+
+def _reject_inapplicable_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Fail loudly instead of silently ignoring flags the mode won't use."""
+    if args.figure is not None:
+        wrong = [
+            name
+            for name in _SINGLE_CELL_ONLY
+            if getattr(args, name) != parser.get_default(name)
+        ]
+        if wrong:
+            flags = ", ".join("--" + name.replace("_", "-") for name in wrong)
+            parser.error(
+                f"{flags}: single-cell flags do not apply to --figure sweeps "
+                "(the figure's grid fixes these parameters)"
+            )
+    else:
+        wrong = [
+            name
+            for name in (*_SWEEP_ONLY, "workers")
+            if getattr(args, name) != parser.get_default(name)
+        ]
+        if wrong:
+            flags = ", ".join("--" + name.replace("_", "-") for name in wrong)
+            parser.error(f"{flags}: sweep flags require --figure")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1 (got {args.workers})")
+    _reject_inapplicable_flags(parser, args)
+    if args.figure is not None:
+        return _run_figure_sweep(args)
+    return _run_single_cell(args)
 
 
 if __name__ == "__main__":

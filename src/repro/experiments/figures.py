@@ -25,12 +25,16 @@ from repro.fd.qos import FDQoS
 
 __all__ = [
     "FigureCell",
+    "FIGURE_GRIDS",
     "fig3_cells",
     "fig4_cells",
     "fig5_cells",
     "fig6_cells",
     "fig7_cells",
     "fig8_cells",
+    "figure_names",
+    "cells_for",
+    "all_figure_cells",
     "headline_cost_cells",
 ]
 
@@ -370,4 +374,58 @@ def headline_cost_cells(
                 approx=False,
             )
         )
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# The figure index — one registry the CLI, the orchestrator tooling and the
+# benchmarks all share, so "every figure of the paper" has a single source
+# of truth.
+# ---------------------------------------------------------------------------
+FIGURE_GRIDS = {
+    "fig3": fig3_cells,
+    "fig4": fig4_cells,
+    "fig5": fig5_cells,
+    "fig6": fig6_cells,
+    "fig7": fig7_cells,
+    "fig8": fig8_cells,
+    "headline": headline_cost_cells,
+}
+
+
+def figure_names() -> List[str]:
+    """The figures that can be swept, in paper order."""
+    return list(FIGURE_GRIDS)
+
+
+def cells_for(
+    figure: str,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    seed: int = 1,
+) -> List[FigureCell]:
+    """The grid of one figure; None keeps the figure's own default horizon."""
+    try:
+        grid = FIGURE_GRIDS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r} (choose from {', '.join(FIGURE_GRIDS)})"
+        ) from None
+    kwargs = {"seed": seed}
+    if duration is not None:
+        kwargs["duration"] = duration
+    if warmup is not None:
+        kwargs["warmup"] = warmup
+    return grid(**kwargs)
+
+
+def all_figure_cells(
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    seed: int = 1,
+) -> List[FigureCell]:
+    """The paper's full Figure 3-8 (+ §6.6 headline) grid, concatenated."""
+    cells: List[FigureCell] = []
+    for figure in FIGURE_GRIDS:
+        cells.extend(cells_for(figure, duration=duration, warmup=warmup, seed=seed))
     return cells

@@ -15,8 +15,8 @@ reflect the steady state (the paper measures long steady-state runs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.api import Application, ServiceHost
 from repro.core.service import ServiceConfig

@@ -1,0 +1,137 @@
+"""Lossless JSON (de)serialization of experiment configs and results.
+
+The orchestrator persists every cell it runs — to the per-cell result cache
+and to the sweep artifact — as plain JSON, so that:
+
+* a cached cell can be rehydrated into a full :class:`ExperimentResult`
+  without re-running the simulation (the resume path),
+* determinism can be checked *byte-wise*: :func:`canonical_json` renders a
+  result to one canonical byte string, identical across runs, worker counts
+  and processes when the simulation itself is deterministic,
+* sweep artifacts stay diffable and toolable (no pickles).
+
+Floats survive the round trip exactly: ``json`` serializes them via
+``repr`` (shortest round-trip representation) and parses them back with
+``float()``, so ``loads(dumps(x)) == x`` bit-for-bit for every finite float.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Dict
+
+from repro.experiments.scenario import ExperimentConfig
+from repro.fd.qos import FDQoS
+from repro.metrics.leadership import (
+    DemotionEvent,
+    LeadershipMetrics,
+    RecoverySample,
+)
+from repro.metrics.usage import UsageReport
+from repro.experiments.runner import ExperimentResult
+
+__all__ = [
+    "canonical_json",
+    "config_to_dict",
+    "config_from_dict",
+    "config_hash",
+    "leadership_to_dict",
+    "leadership_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+
+def canonical_json(payload: Any) -> str:
+    """One canonical rendering: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Configs
+# ---------------------------------------------------------------------------
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    return asdict(config)
+
+
+def config_from_dict(payload: Dict[str, Any]) -> ExperimentConfig:
+    data = dict(payload)
+    data["qos"] = FDQoS(**data["qos"])
+    return ExperimentConfig(**data)
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """A stable digest of everything that determines a cell's outcome.
+
+    Cache keys are ``(config-hash, seed)`` pairs; the seed participates via
+    the config itself (it is a config field), so two cells differing only in
+    seed hash differently.
+    """
+    blob = canonical_json(config_to_dict(config)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+def leadership_to_dict(metrics: LeadershipMetrics) -> Dict[str, Any]:
+    return {
+        "group": metrics.group,
+        "measured_from": metrics.measured_from,
+        "measured_until": metrics.measured_until,
+        "availability": metrics.availability,
+        "leader_crashes": metrics.leader_crashes,
+        "censored_recoveries": metrics.censored_recoveries,
+        "recovery_samples": [asdict(s) for s in metrics.recovery_samples],
+        "demotions": [asdict(d) for d in metrics.demotions],
+    }
+
+
+def leadership_from_dict(payload: Dict[str, Any]) -> LeadershipMetrics:
+    return LeadershipMetrics(
+        group=payload["group"],
+        measured_from=payload["measured_from"],
+        measured_until=payload["measured_until"],
+        availability=payload["availability"],
+        leader_crashes=payload["leader_crashes"],
+        censored_recoveries=payload["censored_recoveries"],
+        recovery_samples=[
+            RecoverySample(**s) for s in payload["recovery_samples"]
+        ],
+        demotions=[DemotionEvent(**d) for d in payload["demotions"]],
+    )
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-safe, canonical-comparable rendering of one cell's result."""
+    return {
+        "config": config_to_dict(result.config),
+        "leadership": leadership_to_dict(result.leadership),
+        "usage": asdict(result.usage),
+        # JSON object keys are strings; node ids are restored on load.
+        "usage_per_node": {
+            str(node_id): asdict(report)
+            for node_id, report in sorted(result.usage_per_node.items())
+        },
+        "node_crashes": result.node_crashes,
+        "link_crashes": result.link_crashes,
+        "events_executed": result.events_executed,
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> ExperimentResult:
+    """Rehydrate a cell result (the resume path) without re-simulating."""
+    return ExperimentResult(
+        config=config_from_dict(payload["config"]),
+        leadership=leadership_from_dict(payload["leadership"]),
+        usage=UsageReport(**payload["usage"]),
+        usage_per_node={
+            int(node_id): UsageReport(**report)
+            for node_id, report in payload["usage_per_node"].items()
+        },
+        node_crashes=payload["node_crashes"],
+        link_crashes=payload["link_crashes"],
+        events_executed=payload["events_executed"],
+    )

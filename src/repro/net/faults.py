@@ -55,7 +55,7 @@ class NodeChurnInjector:
     def stop(self) -> None:
         """Halt churn; the node stays in its current state."""
         if self._event is not None:
-            self._event.cancel()
+            self.sim.cancel(self._event)
             self._event = None
 
     def _schedule_crash(self) -> None:
@@ -101,7 +101,7 @@ class LinkChurnInjector:
     def stop(self) -> None:
         """Halt churn; the link stays in its current state."""
         if self._event is not None:
-            self._event.cancel()
+            self.sim.cancel(self._event)
             self._event = None
 
     def _schedule_crash(self) -> None:

@@ -19,7 +19,7 @@ flight — exactly like UDP datagrams on the authors' testbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

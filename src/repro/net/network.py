@@ -11,7 +11,7 @@ build asymmetric topologies (e.g. a single crashed input link).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.net.links import Link, LinkConfig
 from repro.net.message import Message

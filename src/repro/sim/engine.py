@@ -5,6 +5,17 @@ The engine is a classic calendar queue built on :mod:`heapq`: events are
 are flagged and skipped when popped), which keeps both :meth:`Simulator.cancel`
 and the hot pop path O(log n) amortized.
 
+Two mitigations keep cancellation-heavy workloads (failure-detector timers
+re-armed on every heartbeat) from degrading the pop path:
+
+* Cancellations routed through :meth:`Simulator.cancel` are counted, and once
+  cancelled entries dominate the heap it is *compacted* in one O(n) pass —
+  a batch drain that bounds the fraction of dead entries every pop has to
+  step over.
+* The ``run_until`` loop binds the heap and ``heappop`` locally and counts
+  executed events in a local, so the per-event cost is one pop, one clock
+  store and the callback itself.
+
 Determinism guarantees:
 
 * Two events scheduled for the same virtual time fire in scheduling order
@@ -69,16 +80,24 @@ class Simulator:
     paper's reporting units.
     """
 
+    #: Compaction triggers once at least this many cancelled entries are in
+    #: the heap *and* they outnumber the live ones; the floor keeps tiny
+    #: heaps from compacting on every cancellation.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled_pending = 0
         #: Number of events executed so far (skipped cancellations excluded).
         self.events_executed = 0
         #: Number of events scheduled so far.
         self.events_scheduled = 0
+        #: Number of O(n) batch drains of cancelled entries performed.
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -99,7 +118,11 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn)
+        self._seq += 1
+        event = Event(self._now + delay, self._seq, fn)
+        heapq.heappush(self._heap, event)
+        self.events_scheduled += 1
+        return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at absolute virtual time ``time``."""
@@ -113,11 +136,39 @@ class Simulator:
         self.events_scheduled += 1
         return event
 
-    @staticmethod
-    def cancel(event: Optional[Event]) -> None:
-        """Cancel ``event`` if it is not ``None`` and still pending."""
-        if event is not None:
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel ``event`` if it is not ``None`` and still pending.
+
+        Prefer this over :meth:`Event.cancel`: cancellations routed through
+        the simulator are counted, and once dead entries dominate the heap
+        they are drained in one batch instead of being skipped one heap-pop
+        at a time.
+        """
+        if event is not None and not event.cancelled:
+            # Only still-pending events (fn set) hold a heap entry; cancelling
+            # an already-fired event must not inflate the dead-entry count.
+            pending = event.fn is not None
             event.cancel()
+            if pending:
+                self._cancelled_pending += 1
+                if (
+                    self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+                    and self._cancelled_pending * 2 >= len(self._heap)
+                ):
+                    self._compact()
+
+    def _compact(self) -> None:
+        """Batch-drain cancelled entries and restore the heap invariant.
+
+        In-place (``heap[:] = ...``): the run loops hold a local reference to
+        the heap list, so the object identity must survive a compaction
+        triggered from inside an event callback.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if not e.cancelled]
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -128,6 +179,8 @@ class Simulator:
         while heap:
             event = heapq.heappop(heap)
             if event.cancelled:
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
                 continue
             self._now = event.time
             fn = event.fn
@@ -147,6 +200,8 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot run backwards (t={time} < now={self._now})")
         heap = self._heap
+        heappop = heapq.heappop
+        executed = 0
         self._stopped = False
         self._running = True
         try:
@@ -154,16 +209,22 @@ class Simulator:
                 event = heap[0]
                 if event.time > time:
                     break
-                heapq.heappop(heap)
+                heappop(heap)
                 if event.cancelled:
+                    # Decrement immediately (not batched in the finally):
+                    # a mid-run compaction resets the counter, and a batched
+                    # subtraction would then double-count these skips.
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 fn = event.fn
                 event.fn = None
-                self.events_executed += 1
+                executed += 1
                 fn()  # type: ignore[misc]
         finally:
             self._running = False
+            self.events_executed += executed
         if not self._stopped:
             self._now = max(self._now, time)
 
@@ -200,6 +261,8 @@ class Simulator:
         """
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            if self._cancelled_pending:
+                self._cancelled_pending -= 1
         return self._heap[0].time if self._heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -34,6 +34,22 @@ class RngRegistry:
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
+    @staticmethod
+    def derive_seed(root_seed: int, name: str) -> int:
+        """A stable child seed for ``(root_seed, name)``.
+
+        The experiment orchestrator uses this to give every cell of a sweep
+        an independent seed from one sweep-level seed: the derivation is pure
+        (same inputs, same seed, on every platform and Python version), and
+        keyed by the cell *name* so adding or reordering cells never perturbs
+        the seeds of the others — the sweep-level analogue of the stream
+        independence this registry provides within one experiment.
+        """
+        material = f"{int(root_seed)}/{name}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        # 63 bits: positive, comfortably inside numpy's seed range.
+        return int.from_bytes(digest[:8], "little") >> 1
+
     @property
     def seed(self) -> int:
         """The root experiment seed."""

@@ -65,7 +65,7 @@ class PeriodicTimer:
         """Disarm the timer; no further callbacks fire."""
         self._running = False
         if self._event is not None:
-            self._event.cancel()
+            self._sim.cancel(self._event)
             self._event = None
 
     def _fire(self) -> None:
@@ -109,7 +109,7 @@ class VariableTimer:
         if self._event is None or self._event.cancelled:
             self._event = self._sim.schedule_at(deadline, self._fire)
         elif deadline < self._event.time:
-            self._event.cancel()
+            self._sim.cancel(self._event)
             self._event = self._sim.schedule_at(deadline, self._fire)
         # else: lazy — the existing entry fires first and re-arms.
 
@@ -122,7 +122,7 @@ class VariableTimer:
         """Disarm the timer."""
         self._deadline = None
         if self._event is not None:
-            self._event.cancel()
+            self._sim.cancel(self._event)
             self._event = None
 
     def _fire(self) -> None:

@@ -50,3 +50,50 @@ class TestMain:
         assert "Pleader : 1.00000" in out
         assert "mistake rate" in out
         assert "KB/s" in out
+
+
+class TestSweepSurface:
+    def test_sweep_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--figure", "fig3", "--workers", "4", "--resume", "--sweep-seed", "9"]
+        )
+        assert args.figure == "fig3"
+        assert args.workers == 4
+        assert args.resume is True
+        assert args.sweep_seed == 9
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--figure", "fig99"])
+
+    def test_figure_sweep_end_to_end(self, capsys, tmp_path):
+        artifact = tmp_path / "fig8.sweep.json"
+        code = main(
+            [
+                "--figure", "fig8",
+                "--duration", "90",
+                "--warmup", "10",
+                "--workers", "2",
+                "--resume",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--artifact", str(artifact),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep — fig8" in out
+        assert "swept 10 cells" in out
+        assert artifact.exists()
+
+        # A second identical invocation is served from the cache.
+        code = main(
+            [
+                "--figure", "fig8",
+                "--duration", "90",
+                "--warmup", "10",
+                "--resume",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "(10 from cache)" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Round-trip tests for the experiment JSON serialization layer."""
+
+import json
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.serialize import (
+    canonical_json,
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.fd.qos import FDQoS
+
+
+def small_config(**kw):
+    defaults = dict(
+        name="serialize-test",
+        algorithm="omega_lc",
+        n_nodes=3,
+        duration=60.0,
+        warmup=10.0,
+        seed=5,
+        link_mttf=40.0,
+        qos=FDQoS(detection_time=0.5),
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+class TestConfigRoundTrip:
+    def test_round_trip_is_identity(self):
+        config = small_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_round_trip_survives_json(self):
+        config = small_config(link_delay_mean=0.025e-3)
+        payload = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(payload) == config
+
+    def test_hash_is_stable_and_seed_sensitive(self):
+        a = config_hash(small_config())
+        assert a == config_hash(small_config())
+        assert a != config_hash(small_config(seed=6))
+        assert a != config_hash(small_config(algorithm="omega_l"))
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestResultRoundTrip:
+    def test_full_result_round_trip(self):
+        result = run_experiment(small_config(duration=120.0))
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(payload)
+
+        assert restored.config == result.config
+        assert restored.availability == result.availability
+        assert restored.mistake_rate == result.mistake_rate
+        assert restored.events_executed == result.events_executed
+        assert restored.node_crashes == result.node_crashes
+        assert restored.link_crashes == result.link_crashes
+        assert restored.usage == result.usage
+        assert restored.usage_per_node == result.usage_per_node
+        assert restored.leadership.recovery_samples == result.leadership.recovery_samples
+        assert restored.leadership.demotions == result.leadership.demotions
+        # The canonical rendering is a fixed point: serialize(restore(x)) == x.
+        assert canonical_json(result_to_dict(restored)) == canonical_json(payload)
+
+    def test_usage_per_node_keys_restored_as_ints(self):
+        result = run_experiment(small_config())
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(payload)
+        assert all(isinstance(k, int) for k in restored.usage_per_node)

@@ -96,7 +96,7 @@ class TestTrustTransitions:
         # Sender crashes right after this heartbeat.
         monitor.on_alive(0, 0.0, 0.25)
         sim.run_until(10.0)
-        suspect_time = [t for t in [1.0]]  # δ0=0.75 + η=0.25
+        # Suspicion lands at t=1.0 (δ0=0.75 + η=0.25).
         assert not monitor.trusted
         assert events.log[-1] == ("suspect", 7)
 

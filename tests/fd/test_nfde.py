@@ -1,7 +1,5 @@
 """Unit tests for the NFD-E (expected-arrival) monitor extension."""
 
-import pytest
-
 from repro.fd.configurator import ConfiguratorCache
 from repro.fd.estimator import LinkQualityEstimator
 from repro.fd.monitor import MonitorEvents

@@ -4,8 +4,6 @@ network conditions ... these are automatically determined and continuously
 updated according to the current network conditions").
 """
 
-import pytest
-
 from repro.experiments.runner import build_system
 from repro.experiments.scenario import ExperimentConfig
 from repro.net.links import LinkConfig

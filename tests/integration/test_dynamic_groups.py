@@ -31,7 +31,7 @@ class TestLateJoin:
     def test_late_joiner_learns_leader(self, algorithm):
         config, system = build(algorithm)
         system.sim.run_until(20.0)
-        leader = system.hosts[0].service.leader_of(1)
+        assert system.hosts[0].service.leader_of(1) is not None
         # A brand-new process joins group 1 from node 0's service.
         service = system.hosts[0].service
         service.register(50)

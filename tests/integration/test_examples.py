@@ -5,21 +5,30 @@ invariants internally (lock safety, hierarchy re-election, stability), so
 "exit code 0" here means the demonstrated behaviour still holds.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = ROOT / "examples"
 
 
 def run_example(name: str, timeout: float = 240.0):
+    # Examples import `repro` from a plain subprocess; pytest's `pythonpath`
+    # setting does not propagate, so pass the src tree through the env.
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 

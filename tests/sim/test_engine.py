@@ -115,6 +115,61 @@ class TestCancellation:
         assert not keep.cancelled
 
 
+class TestCompaction:
+    """The batch drain of cancelled entries (Simulator._compact)."""
+
+    def test_mass_cancellation_compacts_heap(self, sim):
+        events = [sim.schedule(float(i), lambda: None) for i in range(1, 201)]
+        for event in events:
+            sim.cancel(event)
+        assert sim.compactions >= 1
+        # The heap physically shrank: at most the compaction floor's worth of
+        # dead entries may still await the next batch drain.
+        assert len(sim._heap) < Simulator.COMPACT_MIN_CANCELLED
+
+    def test_compaction_preserves_order_and_counts(self, sim):
+        fired = []
+        events = []
+        for i in range(300):
+            events.append(sim.schedule(float(i + 1), lambda i=i: fired.append(i)))
+        for event in events[::2]:  # cancel every other event
+            sim.cancel(event)
+        sim.run_until(400.0)
+        assert fired == list(range(1, 300, 2))
+        assert sim.events_executed == 150
+        assert sim.compactions >= 1
+
+    def test_compaction_from_within_callback_is_safe(self, sim):
+        """A callback that mass-cancels must not derail the running loop."""
+        fired = []
+        victims = [sim.schedule(50.0 + i, lambda: fired.append("victim")) for i in range(200)]
+
+        def massacre():
+            fired.append("massacre")
+            for event in victims:
+                sim.cancel(event)
+
+        sim.schedule(1.0, massacre)
+        sim.schedule(300.0, lambda: fired.append("survivor"))
+        sim.run_until(400.0)
+        assert fired == ["massacre", "survivor"]
+        assert sim.compactions >= 1
+
+    def test_cancel_already_fired_event_is_harmless(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        sim.cancel(event)  # no pending entry; must not corrupt counters
+        sim.schedule(3.0, lambda: None)
+        sim.run_until(6.0)
+        assert sim.events_executed == 2
+
+    def test_small_heaps_do_not_compact(self, sim):
+        for _ in range(10):
+            sim.cancel(sim.schedule(1.0, lambda: None))
+        assert sim.compactions == 0
+        sim.run_until(2.0)
+
+
 class TestRunControl:
     def test_step_executes_one_event(self, sim):
         fired = []

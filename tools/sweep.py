@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Enumerate and run the paper's full Figure 3-8 grid as orchestrator input.
+
+The paper's evaluation is a grid of (network, QoS, churn) cells spread over
+Figures 3-8 plus the §6.6 headline-cost footnote.  This tool exposes that
+grid in one place:
+
+    # What would run?  One JSON object per cell on stdout.
+    python tools/sweep.py --list
+
+    # Run everything in parallel, resumably, and keep the artifact.
+    python tools/sweep.py --figure all --workers 8 --resume \
+        --artifact sweeps/full-grid.json
+
+    # One figure, paper-scale horizon, fresh per-cell seeds derived from
+    # one sweep-level seed.
+    python tools/sweep.py --figure fig7 --duration 86400 --sweep-seed 42
+
+``--list`` prints the enumerated cells (name, figure, series, config)
+without running anything, which is what CI's smoke job and external batch
+systems consume; without it the tool runs the sweep through
+:mod:`repro.experiments.orchestrator` and prints totals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments.figures import all_figure_cells, cells_for, figure_names  # noqa: E402
+from repro.experiments.orchestrator import (  # noqa: E402
+    derive_cell_seeds,
+    format_progress,
+    run_sweep,
+)
+from repro.experiments.serialize import config_hash, config_to_dict  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Enumerate / run the paper's full figure grid in parallel.",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=[*figure_names(), "all"],
+        default="all",
+        help="which figure grid to enumerate (default: all)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, help="virtual s per cell (default: each figure's own)"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=None, help="excluded warm-up prefix (virtual s)"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="per-cell base seed")
+    parser.add_argument(
+        "--sweep-seed",
+        type=int,
+        default=None,
+        help="derive independent per-cell seeds from this sweep-level seed",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the enumerated cells as JSON lines instead of running",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"))
+    parser.add_argument("--artifact", type=Path, default=None)
+    return parser
+
+
+def enumerate_cells(args: argparse.Namespace):
+    if args.figure == "all":
+        return all_figure_cells(
+            duration=args.duration, warmup=args.warmup, seed=args.seed
+        )
+    return cells_for(
+        args.figure, duration=args.duration, warmup=args.warmup, seed=args.seed
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cells = enumerate_cells(args)
+
+    # Reseed *before* listing or running, so the seeds and config hashes the
+    # enumeration prints are exactly what a run executes (and what the cache
+    # is keyed by).
+    configs = [cell.config for cell in cells]
+    if args.sweep_seed is not None:
+        configs = derive_cell_seeds(configs, args.sweep_seed)
+
+    if args.list:
+        for cell, config in zip(cells, configs):
+            print(
+                json.dumps(
+                    {
+                        "name": config.name,
+                        "figure": cell.figure,
+                        "series": cell.series,
+                        "x_label": cell.x_label,
+                        "config_hash": config_hash(config),
+                        "config": config_to_dict(config),
+                        "paper": cell.paper,
+                    },
+                    sort_keys=True,
+                )
+            )
+        print(f"{len(cells)} cells enumerated", file=sys.stderr)
+        return 0
+
+    def progress(done, total, outcome):
+        print(format_progress(done, total, outcome), file=sys.stderr)
+
+    sweep = run_sweep(
+        configs,
+        name=f"grid/{args.figure}",
+        workers=args.workers,
+        resume=args.resume,
+        cache_dir=args.cache_dir,
+        artifact_path=args.artifact,
+        progress=progress,
+    )
+    print(
+        f"swept {len(sweep.outcomes)} cells ({sweep.cells_cached} from cache) "
+        f"in {sweep.wall_seconds:.1f} s wall — {sweep.events_executed:,} events, "
+        f"{sweep.events_per_sec:,.0f} ev/s fresh throughput"
+    )
+    if sweep.artifact_path is not None:
+        print(f"artifact written to {sweep.artifact_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
