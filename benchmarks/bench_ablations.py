@@ -132,8 +132,8 @@ def run_flush_cell(urgent_flush, duration, warmup, seed=3):
     config = ServiceConfig(algorithm="omega_lc", urgent_flush=urgent_flush)
     for node_id in range(n):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(n)),
             config=config,

@@ -45,8 +45,8 @@ def build(candidate_pids, seed=31):
     apps = []
     for node_id in range(N_NODES):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(N_NODES)),
             config=config,

@@ -84,8 +84,8 @@ def build(seed=21):
     apps = []
     for node_id in range(n):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(n)),
             config=config,

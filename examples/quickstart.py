@@ -39,8 +39,8 @@ def build_cluster(algorithm="omega_lc", seed=42):
     hosts, apps = [], []
     for node_id in range(N_NODES):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(N_NODES)),
             config=config,

@@ -126,8 +126,8 @@ def build_cluster(seed=11):
     apps = []
     for node_id in range(N_NODES):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(N_NODES)),
             config=config,

@@ -14,7 +14,10 @@ and Lightweight Stable Leader Election Service for Dynamic Systems* (DSN
 * a deterministic discrete-event testbed with the paper's fault injectors
   (lossy links, crash-prone links, workstation churn);
 * the paper's QoS metrics (leader recovery time, mistake rate, leader
-  availability) and the full experiment grid of Figures 3-8.
+  availability) and the full experiment grid of Figures 3-8;
+* a realtime engine (:mod:`repro.runtime`): the same daemon running as
+  real processes over real UDP — ``python -m repro.cli live`` boots a
+  localhost cluster, kills the leader and measures the live re-election.
 
 Quickstart::
 
@@ -37,6 +40,7 @@ from repro.fd.qos import FDQoS, LinkEstimate
 from repro.metrics.leadership import LeadershipMetrics, analyze_leadership
 from repro.net.links import LinkConfig
 from repro.net.network import Network, NetworkConfig
+from repro.runtime.base import Clock, Scheduler, TimerHandle, Transport
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -44,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Application",
+    "Clock",
     "CommandError",
     "ExperimentConfig",
     "ExperimentResult",
@@ -56,9 +61,12 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "RngRegistry",
+    "Scheduler",
     "ServiceConfig",
     "ServiceHost",
     "Simulator",
+    "TimerHandle",
+    "Transport",
     "analyze_leadership",
     "available_algorithms",
     "register_algorithm",

@@ -1,0 +1,5 @@
+"""``python -m repro`` — alias for :mod:`repro.cli`."""
+
+from repro.cli import main
+
+raise SystemExit(main())

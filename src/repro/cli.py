@@ -1,0 +1,169 @@
+"""Top-level CLI: live asyncio/UDP clusters and the experiment runner.
+
+Subcommands::
+
+    python -m repro.cli live --nodes 3            # N-process localhost
+                                                  # cluster; kills the leader
+                                                  # and watches re-election
+    python -m repro.cli node --node-id 0 \\
+        --ports 47001,47002,47003                 # one daemon (used by live)
+    python -m repro.cli experiment ...            # forwarded verbatim to
+                                                  # repro.experiments.cli
+
+``live`` is the quickest way to see the paper's service as a *service*:
+real daemons, real UDP datagrams, a real ``kill -9`` of the leader, and a
+measured live re-election time (the wall-clock counterpart of the paper's
+Tr).  Exit status is 0 only if the cluster elected exactly one stable
+leader both before and after the kill.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.election.registry import available_algorithms
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stable leader election service — live clusters and "
+        "simulated experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    live = sub.add_parser(
+        "live",
+        help="boot an N-process localhost UDP cluster, kill the leader, "
+        "verify re-election",
+    )
+    live.add_argument("--nodes", type=int, default=3, help="daemon processes")
+    live.add_argument("--host", default="127.0.0.1")
+    live.add_argument(
+        "--base-port",
+        type=int,
+        default=None,
+        help="first UDP port (node i uses base+i); default: pick free ports",
+    )
+    live.add_argument(
+        "--algorithm", default="omega_lc", choices=available_algorithms()
+    )
+    live.add_argument(
+        "--detection-time", type=float, default=1.0, help="FD QoS bound T_D^U, s"
+    )
+    live.add_argument("--fd-variant", default="nfds", choices=("nfds", "nfde"))
+    live.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="only elect; skip the leader kill + re-election phase",
+    )
+    live.add_argument(
+        "--stable-seconds",
+        type=float,
+        default=1.5,
+        help="how long an agreed leader must hold to count as stable",
+    )
+    live.add_argument(
+        "--timeout", type=float, default=20.0, help="per-phase agreement timeout, s"
+    )
+    live.add_argument(
+        "--log-dir",
+        type=Path,
+        default=Path("live-cluster-logs"),
+        help="per-node logs land here (CI uploads them as artifacts)",
+    )
+
+    node = sub.add_parser("node", help="run one live daemon (spawned by `live`)")
+    node.add_argument("--node-id", type=int, required=True)
+    node.add_argument(
+        "--ports",
+        required=True,
+        help="comma-separated UDP port of every node, indexed by node id",
+    )
+    node.add_argument("--host", default="127.0.0.1")
+    node.add_argument("--group", type=int, default=1)
+    node.add_argument(
+        "--algorithm", default="omega_lc", choices=available_algorithms()
+    )
+    node.add_argument("--detection-time", type=float, default=1.0)
+    node.add_argument("--fd-variant", default="nfds", choices=("nfds", "nfde"))
+    node.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="exit voluntarily after this many seconds (default: run forever)",
+    )
+
+    sub.add_parser(
+        "experiment",
+        help="simulated experiments (all further args go to repro.experiments.cli)",
+        add_help=False,
+    )
+    return parser
+
+
+def _run_live(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import run_cluster
+
+    ports = None
+    if args.base_port is not None:
+        ports = [args.base_port + i for i in range(args.nodes)]
+    report = run_cluster(
+        args.nodes,
+        host=args.host,
+        ports=ports,
+        algorithm=args.algorithm,
+        detection_time=args.detection_time,
+        fd_variant=args.fd_variant,
+        kill_leader=not args.no_kill,
+        stable_seconds=args.stable_seconds,
+        timeout=args.timeout,
+        log_dir=args.log_dir,
+    )
+    print(report.summary(), flush=True)
+    return 0 if report.ok else 1
+
+
+def _run_node(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import LiveNodeConfig, node_main
+
+    try:
+        ports = tuple(int(port) for port in args.ports.split(","))
+    except ValueError:
+        print(f"--ports must be comma-separated integers (got {args.ports!r})",
+              file=sys.stderr)
+        return 2
+    return node_main(
+        LiveNodeConfig(
+            node_id=args.node_id,
+            ports=ports,
+            host=args.host,
+            group=args.group,
+            algorithm=args.algorithm,
+            detection_time=args.detection_time,
+            fd_variant=args.fd_variant,
+            duration=args.duration,
+        )
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `experiment` forwards everything (including --help) verbatim.
+    if argv and argv[0] == "experiment":
+        from repro.experiments.cli import main as experiment_main
+
+        return experiment_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    if args.command == "live":
+        return _run_live(args)
+    return _run_node(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,9 +22,8 @@ from repro.core.service import LeaderElectionService, ServiceConfig
 from repro.fd.configurator import ConfiguratorCache
 from repro.fd.qos import FDQoS
 from repro.metrics.trace import TraceRecorder
-from repro.net.network import Network
 from repro.net.node import Node
-from repro.sim.engine import Simulator
+from repro.runtime.base import Scheduler, Transport
 from repro.sim.rng import RngRegistry
 
 __all__ = ["Application", "ServiceHost"]
@@ -128,8 +127,8 @@ class ServiceHost:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        scheduler: Scheduler,
+        transport: Transport,
         node: Node,
         peer_nodes: Tuple[int, ...],
         config: Optional[ServiceConfig] = None,
@@ -138,8 +137,8 @@ class ServiceHost:
         configurator_cache: Optional[ConfiguratorCache] = None,
         restart_delay_range: Tuple[float, float] = (0.02, 0.2),
     ) -> None:
-        self.sim = sim
-        self.network = network
+        self.scheduler = scheduler
+        self.transport = transport
         self.node = node
         self.peer_nodes = tuple(peer_nodes)
         self.config = config if config is not None else ServiceConfig()
@@ -170,8 +169,8 @@ class ServiceHost:
 
     def _boot(self) -> None:
         self.service = LeaderElectionService(
-            sim=self.sim,
-            network=self.network,
+            scheduler=self.scheduler,
+            transport=self.transport,
             node=self.node,
             peer_nodes=self.peer_nodes,
             config=self.config,
@@ -187,7 +186,7 @@ class ServiceHost:
     # Node lifecycle (NodeObserver)
     # ------------------------------------------------------------------
     def on_node_crash(self, node: Node) -> None:
-        self.trace.record_crash(self.sim.now, node.node_id)
+        self.trace.record_crash(self.scheduler.now, node.node_id)
         if self.service is not None:
             self.service.shutdown()
             self.service = None
@@ -195,11 +194,11 @@ class ServiceHost:
             app.unbind()
 
     def on_node_recover(self, node: Node) -> None:
-        self.trace.record_recover(self.sim.now, node.node_id)
+        self.trace.record_recover(self.scheduler.now, node.node_id)
         low, high = self.restart_delay_range
         stream = self.rng.stream(f"host.{node.node_id}.restart")
         delay = float(stream.uniform(low, high))
-        self.sim.schedule(delay, self._restart_after_recovery)
+        self.scheduler.schedule(delay, self._restart_after_recovery)
 
     def _restart_after_recovery(self) -> None:
         if not self.node.up or self.service is not None:

@@ -7,9 +7,13 @@ exposes its current leader choice, the election fields to stamp on outgoing
 ALIVEs, and whether the local process should currently be *sending* ALIVEs
 at all (the knob Ω_l uses for communication efficiency).
 
-Algorithms never touch the network directly; everything flows through the
-narrow :class:`GroupContext` interface, which keeps them independently
-testable with a fake context.
+Algorithms never touch the network or any engine directly; everything flows
+through the narrow :class:`GroupContext` interface, which keeps them
+independently testable with a fake context.  Like the rest of the stack,
+the context is engine-agnostic (time is an opaque ``now``; messaging is
+delegated to the runtime's :class:`~repro.runtime.base.Transport`), so the
+same algorithm instances run unmodified inside the discrete-event simulator
+and inside a live asyncio/UDP daemon.
 """
 
 from __future__ import annotations

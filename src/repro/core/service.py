@@ -49,15 +49,33 @@ from repro.net.message import (
     Message,
     RateRequestMessage,
 )
-from repro.net.network import Network
 from repro.net.node import Node
-from repro.sim.engine import Simulator
+from repro.runtime.base import Scheduler, Transport
+from repro.runtime.timers import PeriodicTimer
 from repro.sim.rng import RngRegistry
-from repro.sim.timers import PeriodicTimer
 
 __all__ = ["ServiceConfig", "LeaderElectionService", "GroupRuntime"]
 
 LeaderCallback = Callable[[int, Optional[int]], None]
+
+
+def _load_nfds_monitor():
+    return NfdsMonitor
+
+
+def _load_nfde_monitor():
+    from repro.fd.nfde import NfdeMonitor  # imported only when selected
+
+    return NfdeMonitor
+
+
+#: fd_variant name → monitor-class loader.  The single source of truth for
+#: which variants exist: ServiceConfig validation and monitor construction
+#: both consult this mapping, so they cannot drift apart.
+FD_MONITOR_LOADERS = {
+    "nfds": _load_nfds_monitor,
+    "nfde": _load_nfde_monitor,
+}
 
 
 @dataclass(frozen=True)
@@ -88,6 +106,22 @@ class ServiceConfig:
     #: expected-arrival variant for unsynchronized clocks).
     fd_variant: str = "nfds"
 
+    def __post_init__(self) -> None:
+        """Validate eagerly: a bad config must fail at construction, not
+        deep inside the first join (or, worse, the first monitor creation
+        minutes into a run)."""
+        if self.fd_variant not in FD_MONITOR_LOADERS:
+            raise ValueError(
+                f"unknown fd_variant {self.fd_variant!r} "
+                f"(expected one of {', '.join(FD_MONITOR_LOADERS)})"
+            )
+        if self.hello_period <= 0:
+            raise ValueError(f"hello_period must be positive (got {self.hello_period})")
+        if self.reconfig_interval <= 0:
+            raise ValueError(
+                f"reconfig_interval must be positive (got {self.reconfig_interval})"
+            )
+
 
 class GroupRuntime(GroupContext):
     """Everything the daemon keeps for one (group, local process) pair."""
@@ -103,8 +137,8 @@ class GroupRuntime(GroupContext):
         on_leader_change: Optional[LeaderCallback],
     ) -> None:
         self.service = service
-        self.sim = service.sim
-        self.network = service.network
+        self.scheduler = service.scheduler
+        self.transport = service.transport
         self.group = group
         self.pid = pid
         self.candidate = candidate
@@ -112,7 +146,7 @@ class GroupRuntime(GroupContext):
         self._on_leader_change = on_leader_change
         self.view = MembershipView(group)
         self.monitors: Dict[int, NfdsMonitor] = {}
-        self._join_time = self.sim.now
+        self._join_time = self.scheduler.now
         self._leader_view: Optional[int] = None
         self._last_requested_rate: Dict[int, float] = {}
         #: Per-sender memo of the last merged membership digest (by object
@@ -125,24 +159,25 @@ class GroupRuntime(GroupContext):
         rng = service.rng.stream(f"service.{service.node.node_id}.group.{group}")
         self._rng = rng
         self.sender = HeartbeatSender(
-            sim=self.sim,
-            network=self.network,
+            scheduler=self.scheduler,
+            transport=self.transport,
             node_id=service.node.node_id,
             group=group,
             pid=pid,
             default_interval=bootstrap_params(qos).eta,
             payload_fn=self._build_alive,
             rng=rng,
+            meter=service.node.meter,
         )
         config = service.config
         self._hello_timer = PeriodicTimer(
-            self.sim,
+            self.scheduler,
             period_fn=lambda: config.hello_period,
             callback=self._send_hellos,
             initial_delay=float(rng.uniform(0.0, config.hello_period)),
         )
         self._reconfig_timer = PeriodicTimer(
-            self.sim,
+            self.scheduler,
             period_fn=lambda: config.reconfig_interval,
             callback=self._reconfigure,
             initial_delay=float(rng.uniform(0.5, 1.0)) * config.reconfig_interval,
@@ -160,10 +195,10 @@ class GroupRuntime(GroupContext):
             node=service.node.node_id,
             incarnation=incarnation,
             candidate=self.candidate,
-            now=self.sim.now,
+            now=self.scheduler.now,
         )
         service.trace.record_join(
-            self.sim.now, self.group, self.pid, service.node.node_id
+            self.scheduler.now, self.group, self.pid, service.node.node_id
         )
         self.algorithm.start()
         self._announce_join()
@@ -177,7 +212,7 @@ class GroupRuntime(GroupContext):
         # A last gossip round spreads the tombstone so the group re-elects
         # immediately instead of waiting for a failure detection.
         self._send_hellos()
-        self.service.trace.record_leave(self.sim.now, self.group, self.pid)
+        self.service.trace.record_leave(self.scheduler.now, self.group, self.pid)
         self.shutdown()
 
     def shutdown(self) -> None:
@@ -198,7 +233,7 @@ class GroupRuntime(GroupContext):
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self.sim.now
+        return self.scheduler.now
 
     @property
     def local_pid(self) -> int:
@@ -231,7 +266,7 @@ class GroupRuntime(GroupContext):
         node = self.view.node_of(accused)
         if node is None or node == self.service.node.node_id:
             return
-        self.network.send(
+        self.transport.send(
             AccuseMessage(
                 sender_node=self.service.node.node_id,
                 dest_node=node,
@@ -255,7 +290,7 @@ class GroupRuntime(GroupContext):
         if leader == self._leader_view:
             return
         self._leader_view = leader
-        self.service.trace.record_view(self.sim.now, self.group, self.pid, leader)
+        self.service.trace.record_view(self.scheduler.now, self.group, self.pid, leader)
         if self._on_leader_change is not None:
             self._on_leader_change(self.group, leader)
 
@@ -324,7 +359,7 @@ class GroupRuntime(GroupContext):
             applied = self.algorithm.on_accusation(message.accused_phase)
             if applied:
                 self.service.trace.record_accusation(
-                    self.sim.now, self.group, self.pid
+                    self.scheduler.now, self.group, self.pid
                 )
 
     def handle_rate_request(self, message: RateRequestMessage) -> None:
@@ -336,17 +371,16 @@ class GroupRuntime(GroupContext):
     # ------------------------------------------------------------------
     def _create_monitor(self, pid: int) -> NfdsMonitor:
         estimator = self.service.estimator_for(self.group, pid)
+        # Validated by ServiceConfig.__post_init__ against the same mapping;
+        # re-checked here because a construction-time crash mid-run would be
+        # far worse than the eager one.
         variant = self.service.config.fd_variant
-        if variant == "nfds":
-            monitor_class = NfdsMonitor
-        elif variant == "nfde":
-            from repro.fd.nfde import NfdeMonitor
-
-            monitor_class = NfdeMonitor
-        else:
+        loader = FD_MONITOR_LOADERS.get(variant)
+        if loader is None:
             raise ValueError(f"unknown fd_variant {variant!r}")
+        monitor_class = loader()
         monitor = monitor_class(
-            sim=self.sim,
+            scheduler=self.scheduler,
             pid=pid,
             qos=self.qos,
             estimator=estimator,
@@ -397,7 +431,7 @@ class GroupRuntime(GroupContext):
         for node_id in self.service.peer_nodes:
             if node_id == self.service.node.node_id:
                 continue
-            self.network.send(
+            self.transport.send(
                 HelloMessage(
                     sender_node=self.service.node.node_id,
                     dest_node=node_id,
@@ -412,7 +446,7 @@ class GroupRuntime(GroupContext):
             [self.pid]
             + [pid for pid, monitor in self.monitors.items() if monitor.trusted]
         )
-        self.network.send(
+        self.transport.send(
             HelloMessage(
                 sender_node=self.service.node.node_id,
                 dest_node=dest_node,
@@ -436,7 +470,7 @@ class GroupRuntime(GroupContext):
             if record.node == my_node or record.node in sent_to:
                 continue
             sent_to.add(record.node)
-            self.network.send(
+            self.transport.send(
                 HelloMessage(
                     sender_node=my_node,
                     dest_node=record.node,
@@ -462,7 +496,7 @@ class GroupRuntime(GroupContext):
             if node is None:
                 continue
             self._last_requested_rate[pid] = params.eta
-            self.network.send(
+            self.transport.send(
                 RateRequestMessage(
                     sender_node=self.service.node.node_id,
                     dest_node=node,
@@ -479,8 +513,8 @@ class LeaderElectionService:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        scheduler: Scheduler,
+        transport: Transport,
         node: Node,
         peer_nodes: Tuple[int, ...],
         config: Optional[ServiceConfig] = None,
@@ -488,8 +522,8 @@ class LeaderElectionService:
         trace: Optional[TraceRecorder] = None,
         configurator_cache: Optional[ConfiguratorCache] = None,
     ) -> None:
-        self.sim = sim
-        self.network = network
+        self.scheduler = scheduler
+        self.transport = transport
         self.node = node
         self.peer_nodes = tuple(peer_nodes)
         self.config = config if config is not None else ServiceConfig()

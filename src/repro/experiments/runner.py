@@ -96,8 +96,8 @@ def build_system(config: ExperimentConfig) -> System:
     start_stream = rng.stream("experiment.start_stagger")
     for node_id in range(config.n_nodes):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=peer_nodes,
             config=service_config,

@@ -24,8 +24,8 @@ from repro.fd.configurator import ConfiguratorCache, bootstrap_params
 from repro.fd.estimator import LinkQualityEstimator
 from repro.fd.qos import FDParams, FDQoS
 from repro.metrics.usage import UsageMeter
-from repro.sim.engine import Simulator
-from repro.sim.timers import VariableTimer
+from repro.runtime.base import Scheduler
+from repro.runtime.timers import VariableTimer
 
 __all__ = ["MonitorEvents", "NfdsMonitor"]
 
@@ -47,7 +47,7 @@ class NfdsMonitor:
 
     def __init__(
         self,
-        sim: Simulator,
+        scheduler: Scheduler,
         pid: int,
         qos: FDQoS,
         estimator: LinkQualityEstimator,
@@ -56,7 +56,7 @@ class NfdsMonitor:
         meter: Optional[UsageMeter] = None,
         start_trusted: bool = False,
     ) -> None:
-        self.sim = sim
+        self.scheduler = scheduler
         self.pid = pid
         self.qos = qos
         self.estimator = estimator
@@ -71,17 +71,17 @@ class NfdsMonitor:
         self.trusted = False
         self.suspicions = 0
         self.alives_received = 0
-        self._timer = VariableTimer(sim, self._on_timeout)
+        self._timer = VariableTimer(scheduler, self._on_timeout)
         if start_trusted:
             self.trusted = True
-            self._timer.set_deadline(sim.now + qos.detection_time)
+            self._timer.set_deadline(scheduler.now + qos.detection_time)
 
     # ------------------------------------------------------------------
     # Input
     # ------------------------------------------------------------------
     def on_alive(self, seq: int, send_time: float, sender_interval: float) -> None:
         """Process one received ALIVE from the monitored process."""
-        now = self.sim.now
+        now = self.scheduler.now
         self.alives_received += 1
         self.estimator.observe(seq, send_time, now)
         deadline = send_time + sender_interval + self.delta
@@ -105,7 +105,7 @@ class NfdsMonitor:
         self.trusted = True
         if horizon is None:
             horizon = self.qos.detection_time
-        self._timer.extend_to(self.sim.now + horizon)
+        self._timer.extend_to(self.scheduler.now + horizon)
         self._events.on_trust(self.pid)
 
     def _on_timeout(self) -> None:

@@ -46,7 +46,7 @@ class NfdeMonitor(NfdsMonitor):
         an orthogonal concern and in a real deployment would use round-trip
         measurements); the *freshness deadline* below never uses it.
         """
-        now = self.sim.now
+        now = self.scheduler.now
         self.alives_received += 1
         self.estimator.observe(seq, send_time, now)
 

@@ -22,14 +22,14 @@ Per-destination state that must *not* be shared:
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.metrics.usage import UsageMeter
 from repro.net.message import AliveMessage
-from repro.net.network import Network
-from repro.sim.engine import Simulator
-from repro.sim.timers import PeriodicTimer
+from repro.runtime.base import Scheduler, Transport
+from repro.runtime.timers import PeriodicTimer
 
 __all__ = ["HeartbeatSender"]
 
@@ -39,30 +39,33 @@ class HeartbeatSender:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        scheduler: Scheduler,
+        transport: Transport,
         node_id: int,
         group: int,
         pid: int,
         default_interval: float,
         payload_fn: Callable[[], AliveMessage],
         rng: np.random.Generator,
+        meter: Optional[UsageMeter] = None,
     ) -> None:
         """``payload_fn`` returns a template ALIVE (routing/seq fields unset);
-        the sender stamps per-destination fields on copies of it."""
-        self.sim = sim
-        self.network = network
+        the sender stamps per-destination fields on copies of it.  ``meter``,
+        when given, is charged one timer tick per emission round."""
+        self.scheduler = scheduler
+        self.transport = transport
         self.node_id = node_id
         self.group = group
         self.pid = pid
         self.default_interval = default_interval
         self._payload_fn = payload_fn
         self._rng = rng
+        self._meter = meter
         self._requested: Dict[int, float] = {}  # dest pid -> requested η
         self._dest_nodes: Dict[int, int] = {}  # dest pid -> node id
         self._seqs: Dict[int, int] = {}  # dest pid -> next sequence number
         self._timer = PeriodicTimer(
-            sim,
+            scheduler,
             period_fn=self.interval,
             callback=self._tick,
             # A random initial phase; avoids synchronizing distinct senders.
@@ -158,10 +161,10 @@ class HeartbeatSender:
         self._timer.start()  # next regular tick one full period from now
 
     def _tick(self) -> None:
-        node = self.network.node(self.node_id)
-        node.meter.on_timer()
+        if self._meter is not None:
+            self._meter.on_timer()
         template = self._payload_fn()
-        now = self.sim.now
+        now = self.scheduler.now
         interval = self.interval()
         for pid, dest_node in self._dest_nodes.items():
             message = AliveMessage(
@@ -179,7 +182,7 @@ class HeartbeatSender:
                 members=template.members,
             )
             self._seqs[pid] += 1
-            self.network.send(message)
+            self.transport.send(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.net.links import Link
 from repro.net.node import Node
-from repro.sim.engine import Event, Simulator
+from repro.runtime.base import Scheduler, TimerHandle
 
 __all__ = ["NodeChurnInjector", "LinkChurnInjector"]
 
@@ -32,7 +32,7 @@ class NodeChurnInjector:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         node: Node,
         rng: np.random.Generator,
         mean_uptime: float = 600.0,
@@ -45,7 +45,7 @@ class NodeChurnInjector:
         self._rng = rng
         self.mean_uptime = mean_uptime
         self.mean_downtime = mean_downtime
-        self._event: Optional[Event] = None
+        self._event: Optional[TimerHandle] = None
         self.crashes_injected = 0
 
     def start(self) -> None:
@@ -78,7 +78,7 @@ class LinkChurnInjector:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         link: Link,
         rng: np.random.Generator,
         mean_uptime: float,
@@ -91,7 +91,7 @@ class LinkChurnInjector:
         self._rng = rng
         self.mean_uptime = mean_uptime
         self.mean_downtime = mean_downtime
-        self._event: Optional[Event] = None
+        self._event: Optional[TimerHandle] = None
         self.crashes_injected = 0
 
     def start(self) -> None:

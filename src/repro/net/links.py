@@ -25,7 +25,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.net.message import Message
-from repro.sim.engine import Simulator
+from repro.runtime.base import Scheduler
 
 __all__ = ["LinkConfig", "LinkStats", "Link"]
 
@@ -86,7 +86,7 @@ class Link:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         src: int,
         dst: int,
         config: LinkConfig,

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Tuple
 from repro.net.links import Link, LinkConfig
 from repro.net.message import Message
 from repro.net.node import Node
-from repro.sim.engine import Simulator
+from repro.runtime.base import Scheduler
 from repro.sim.rng import RngRegistry
 
 __all__ = ["NetworkConfig", "Network"]
@@ -43,9 +43,14 @@ class NetworkConfig:
 
 
 class Network:
-    """A set of nodes fully connected by independent directed links."""
+    """A set of nodes fully connected by independent directed links.
 
-    def __init__(self, sim: Simulator, config: NetworkConfig, rng: RngRegistry) -> None:
+    The simulated implementation of the :class:`~repro.runtime.base.Transport`
+    protocol — the realtime counterpart is
+    :class:`~repro.runtime.realtime.UdpTransport`.
+    """
+
+    def __init__(self, sim: Scheduler, config: NetworkConfig, rng: RngRegistry) -> None:
         self.sim = sim
         self.config = config
         self._rng = rng

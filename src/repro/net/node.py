@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Protocol
 
 from repro.metrics.usage import UsageMeter
 from repro.net.message import Message
-from repro.sim.engine import Simulator
+from repro.runtime.base import Clock
 
 __all__ = ["Node", "NodeObserver"]
 
@@ -31,8 +31,8 @@ class NodeObserver(Protocol):
 class Node:
     """A crash-recovery workstation identified by a small integer id."""
 
-    def __init__(self, sim: Simulator, node_id: int) -> None:
-        self.sim = sim
+    def __init__(self, clock: Clock, node_id: int) -> None:
+        self.clock = clock
         self.node_id = node_id
         self.up = True
         #: Monotonic boot counter; incremented on every recovery.

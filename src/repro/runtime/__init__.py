@@ -1,0 +1,43 @@
+"""Runtime abstraction: one daemon, two worlds.
+
+This package defines the narrow protocols the whole service stack is
+written against — :class:`~repro.runtime.base.Clock`,
+:class:`~repro.runtime.base.Scheduler`,
+:class:`~repro.runtime.base.TimerHandle` and
+:class:`~repro.runtime.base.Transport` — plus everything needed to run the
+daemon outside the simulator:
+
+* :mod:`repro.runtime.timers` — the periodic and lazy-deadline timers,
+  engine-agnostic;
+* :mod:`repro.runtime.codec` — the length-prefixed binary wire format for
+  :mod:`repro.net.message`;
+* :mod:`repro.runtime.realtime` — asyncio-backed Clock/Scheduler and a UDP
+  Transport;
+* :mod:`repro.runtime.cluster` — boot one live daemon process, or
+  orchestrate an N-process localhost cluster (``python -m repro.cli live``).
+
+The simulated world implements the same protocols with
+:class:`~repro.sim.engine.Simulator` and
+:class:`~repro.net.network.Network`; experiments and tests keep their
+deterministic engine, while the identical daemon code serves real UDP
+clusters.
+"""
+
+from repro.runtime.base import Clock, Scheduler, TimerHandle, Transport
+from repro.runtime.codec import CodecError, decode_message, encode_message
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+from repro.runtime.timers import PeriodicTimer, VariableTimer
+
+__all__ = [
+    "Clock",
+    "CodecError",
+    "PeriodicTimer",
+    "RealtimeScheduler",
+    "Scheduler",
+    "TimerHandle",
+    "Transport",
+    "UdpTransport",
+    "VariableTimer",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,114 @@
+"""The narrow contracts between the daemon and the world it runs in.
+
+The paper presents Ω as a deployable *service*: a per-workstation daemon
+that keeps time, arms timers and exchanges UDP datagrams.  Everything the
+daemon needs from its environment fits in three small protocols:
+
+* :class:`Clock` — "what time is it" (``now``, seconds as a float);
+* :class:`Scheduler` — a clock that can also arm and cancel one-shot
+  callbacks (``schedule``/``schedule_at``/``cancel``), returning a
+  cancellable :class:`TimerHandle`;
+* :class:`Transport` — "deliver this :class:`~repro.net.message.Message`
+  to its destination node" (``send``).
+
+Two engines implement them:
+
+* the deterministic discrete-event :class:`~repro.sim.engine.Simulator`
+  (Clock + Scheduler) together with :class:`~repro.net.network.Network`
+  (Transport) — the world every experiment and test runs in;
+* :class:`~repro.runtime.realtime.RealtimeScheduler` (Clock + Scheduler on
+  an asyncio event loop) together with
+  :class:`~repro.runtime.realtime.UdpTransport` — real wall-clock time and
+  real UDP datagrams, used by ``repro.cli live`` clusters.
+
+Every layer above the engine — timers, failure-detector monitors, the
+heartbeat scheduler, the daemon, the election algorithms — is written
+against these protocols only, so the exact same service code runs
+unchanged in both worlds.
+
+The protocols are ``runtime_checkable``; tests assert the concrete engines
+satisfy them with plain ``isinstance`` checks.  (As always with runtime
+protocol checks, only method/attribute *presence* is verified, not
+signatures.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # typing-only: keep this module import-free at runtime
+    from repro.net.message import Message
+
+__all__ = ["Clock", "Scheduler", "TimerHandle", "Transport"]
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable, single-shot scheduled callback.
+
+    ``time`` is the absolute fire time on the owning scheduler's clock;
+    ``cancelled`` is True once the handle was cancelled.  Handles are
+    single-shot: after firing they stay inert (cancelling is a no-op).
+    """
+
+    time: float
+    cancelled: bool
+
+    def cancel(self) -> None:
+        """Mark the handle cancelled; the callback will never run."""
+        ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic source of the current time, in seconds."""
+
+    @property
+    def now(self) -> float:
+        """The current time.  Virtual seconds in simulation; Unix epoch
+        seconds in the realtime engine (so timestamps carried on messages
+        compare across processes on NTP-synchronized hosts)."""
+        ...
+
+
+@runtime_checkable
+class Scheduler(Clock, Protocol):
+    """A clock that can arm and cancel one-shot callbacks.
+
+    Callbacks run on the engine's (single) event thread/loop, so service
+    code never needs locks.  Two callbacks scheduled for the same instant
+    fire in scheduling order.
+    """
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn`` after ``delay`` (>= 0) seconds; returns the handle."""
+        ...
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn`` at absolute time ``time`` on this scheduler's clock."""
+        ...
+
+    def cancel(self, handle: "TimerHandle | None") -> None:
+        """Cancel ``handle`` if it is not None and still pending.
+
+        Engines may do more than ``handle.cancel()`` — the simulator counts
+        cancellations to keep its heap compact — so callers should always
+        route cancellations through the scheduler that created the handle.
+        """
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Unreliable, unordered datagram delivery between nodes.
+
+    ``send`` routes ``message`` from ``message.sender_node`` to
+    ``message.dest_node`` and may silently drop it — exactly UDP's
+    contract, and exactly what the paper's failure-detector machinery is
+    built to tolerate.  Sending never blocks and never raises for
+    transient network conditions.
+    """
+
+    def send(self, message: "Message") -> None:
+        """Best-effort delivery of ``message`` to its destination node."""
+        ...

@@ -1,0 +1,460 @@
+"""Boot live daemons: one asyncio/UDP node, or an N-process cluster.
+
+Two layers:
+
+* :func:`run_node` / :func:`node_main` — run ONE daemon in the current
+  process: realtime scheduler, UDP transport, the unchanged
+  :class:`~repro.core.service.LeaderElectionService`, one application
+  process (pid = node id, the paper's single-group deployment).  Leader
+  changes are printed as machine-parsable lines on stdout.
+* :func:`run_cluster` — the orchestrator behind ``python -m repro.cli
+  live``: spawns N ``repro.cli node`` subprocesses on localhost ports,
+  waits for them to agree on one leader, kills the leader's process
+  (SIGKILL — a workstation crash, no goodbye messages), waits for the
+  survivors to re-elect, and verifies the new leader is stable.  Per-node
+  output is teed into log files for post-mortems (CI uploads them as
+  artifacts).
+
+The line protocol children speak (one event per line, ``key=value``)::
+
+    READY node=2 port=47012
+    LEADER node=2 leader=0 t=1721901758.482911
+    DONE node=2
+
+``leader=none`` means the node currently sees no leader.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty, Queue
+from typing import Dict, IO, List, Optional, Tuple
+
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.fd.qos import FDQoS
+from repro.net.node import Node
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+from repro.sim.rng import RngRegistry
+
+__all__ = ["LiveNodeConfig", "ClusterReport", "run_node", "node_main", "run_cluster"]
+
+
+# ----------------------------------------------------------------------
+# One live node
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LiveNodeConfig:
+    """Everything one daemon process needs to join a localhost cluster."""
+
+    node_id: int
+    #: UDP port of every node, indexed by node id (len == cluster size).
+    ports: Tuple[int, ...]
+    host: str = "127.0.0.1"
+    group: int = 1
+    algorithm: str = "omega_lc"
+    detection_time: float = 1.0
+    fd_variant: str = "nfds"
+    #: Seconds to serve before exiting voluntarily (None: until killed).
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node_id < len(self.ports):
+            raise ValueError(
+                f"node_id {self.node_id} out of range for {len(self.ports)} ports"
+            )
+        if self.detection_time <= 0:
+            raise ValueError(
+                f"detection_time must be positive (got {self.detection_time})"
+            )
+
+
+def _emit(line: str) -> None:
+    """One protocol line; flushed so parent pipes see it immediately."""
+    print(line, flush=True)
+
+
+async def run_node(config: LiveNodeConfig) -> None:
+    """Serve one daemon until ``duration`` elapses or the process dies.
+
+    The wiring is the realtime twin of
+    :func:`repro.experiments.runner.build_system`: same daemon, same
+    failure detector, same election algorithm — only the engine differs.
+    """
+    loop = asyncio.get_running_loop()
+    scheduler = RealtimeScheduler(loop)
+    node = Node(scheduler, config.node_id)
+    addresses = {i: (config.host, port) for i, port in enumerate(config.ports)}
+    transport = UdpTransport(config.node_id, addresses, node.deliver)
+    await transport.open()
+
+    service = LeaderElectionService(
+        scheduler=scheduler,
+        transport=transport,
+        node=node,
+        peer_nodes=tuple(range(len(config.ports))),
+        config=ServiceConfig(
+            algorithm=config.algorithm,
+            default_qos=FDQoS(detection_time=config.detection_time),
+            fd_variant=config.fd_variant,
+        ),
+        # Distinct per-node seeds: emission phases must desynchronize.
+        rng=RngRegistry(seed=config.node_id + 1),
+    )
+
+    def on_leader_change(group: int, leader: Optional[int]) -> None:
+        shown = "none" if leader is None else leader
+        _emit(
+            f"LEADER node={config.node_id} leader={shown} t={scheduler.now:.6f}"
+        )
+
+    pid = config.node_id  # one application process per node, pid = node id
+    service.register(pid)
+    service.join(
+        pid,
+        config.group,
+        candidate=True,
+        qos=FDQoS(detection_time=config.detection_time),
+        on_leader_change=on_leader_change,
+    )
+    _emit(f"READY node={config.node_id} port={config.ports[config.node_id]}")
+
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError):  # non-unix platforms
+            loop.add_signal_handler(signum, stop.set)
+    if config.duration is not None:
+        loop.call_later(config.duration, stop.set)
+    await stop.wait()
+
+    service.shutdown()
+    transport.close()
+    _emit(f"DONE node={config.node_id}")
+
+
+def node_main(config: LiveNodeConfig) -> int:
+    """Synchronous entry point for ``repro.cli node``."""
+    asyncio.run(run_node(config))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The N-process orchestrator
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """What ``repro.cli live`` observed, for humans and for CI assertions."""
+
+    ok: bool = False
+    reason: str = ""
+    n_nodes: int = 0
+    first_leader: Optional[int] = None
+    #: Seconds from cluster start to the first whole-cluster agreement.
+    election_seconds: Optional[float] = None
+    killed_leader: Optional[int] = None
+    new_leader: Optional[int] = None
+    #: Seconds from the leader kill to the survivors' agreement on one
+    #: new leader — the live counterpart of the paper's Tr.
+    reelection_seconds: Optional[float] = None
+    log_dir: Optional[Path] = None
+    timeline: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if not self.ok:
+            return f"FAILED: {self.reason}"
+        parts = [
+            f"{self.n_nodes} nodes elected leader {self.first_leader} "
+            f"in {self.election_seconds:.2f}s"
+        ]
+        if self.killed_leader is not None:
+            parts.append(
+                f"killed node {self.killed_leader}; survivors re-elected "
+                f"leader {self.new_leader} in {self.reelection_seconds:.2f}s"
+            )
+        return "; ".join(parts)
+
+
+def _reserve_udp_ports(host: str, count: int) -> List[int]:
+    """Pick ``count`` currently-free UDP ports by binding and releasing.
+
+    Mildly racy (another process could grab a port between release and the
+    child's bind), which is fine for a dev/CI convenience; pass explicit
+    ports to avoid the race entirely.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _spawn_node(
+    node_id: int,
+    ports: List[int],
+    host: str,
+    algorithm: str,
+    detection_time: float,
+    fd_variant: str,
+    duration: float,
+) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "node",
+        "--node-id",
+        str(node_id),
+        "--ports",
+        ",".join(map(str, ports)),
+        "--host",
+        host,
+        "--algorithm",
+        algorithm,
+        "--detection-time",
+        str(detection_time),
+        "--fd-variant",
+        fd_variant,
+        "--duration",
+        str(duration),
+    ]
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+
+
+def _pump_output(
+    node_id: int, stream: IO[str], queue: "Queue[Tuple[int, str]]", log: IO[str]
+) -> None:
+    for line in stream:
+        line = line.rstrip("\n")
+        log.write(f"{time.time():.6f} {line}\n")
+        log.flush()
+        queue.put((node_id, line))
+
+
+def _parse_leader(line: str) -> Optional[Tuple[int, Optional[int]]]:
+    """``LEADER node=2 leader=0 t=...`` → (2, 0); non-LEADER lines → None."""
+    if not line.startswith("LEADER "):
+        return None
+    fields = dict(
+        part.split("=", 1) for part in line.split()[1:] if "=" in part
+    )
+    try:
+        node = int(fields["node"])
+        leader = None if fields["leader"] == "none" else int(fields["leader"])
+    except (KeyError, ValueError):
+        return None
+    return node, leader
+
+
+class _LeaderBoard:
+    """Tracks every node's last announced leader view."""
+
+    def __init__(self) -> None:
+        self.views: Dict[int, Optional[int]] = {}
+
+    def record(self, node: int, leader: Optional[int]) -> None:
+        self.views[node] = leader
+
+    def agreed_leader(self, alive: List[int]) -> Optional[int]:
+        """The single leader all ``alive`` nodes agree on, else None."""
+        views = {self.views.get(node, None) for node in alive}
+        if len(views) == 1:
+            (leader,) = views
+            if leader is not None and leader in alive:
+                return leader
+        return None
+
+
+def run_cluster(
+    n_nodes: int = 3,
+    *,
+    host: str = "127.0.0.1",
+    ports: Optional[List[int]] = None,
+    algorithm: str = "omega_lc",
+    detection_time: float = 1.0,
+    fd_variant: str = "nfds",
+    kill_leader: bool = True,
+    stable_seconds: float = 1.5,
+    timeout: float = 20.0,
+    log_dir: Optional[Path] = None,
+    echo: bool = True,
+) -> ClusterReport:
+    """Boot an N-process localhost cluster and exercise a leader crash.
+
+    Phases: elect (all nodes agree on one leader and hold it for
+    ``stable_seconds``) → kill (SIGKILL the leader's process) → re-elect
+    (all survivors agree on one *new* leader and hold it).  ``timeout``
+    bounds each agreement phase.  Returns a :class:`ClusterReport`;
+    ``report.ok`` is the CI assertion.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"a cluster needs at least 2 nodes (got {n_nodes})")
+    if ports is None:
+        ports = _reserve_udp_ports(host, n_nodes)
+    if len(ports) != n_nodes:
+        raise ValueError(f"need {n_nodes} ports, got {len(ports)}")
+    log_dir = Path(log_dir) if log_dir is not None else Path("live-cluster-logs")
+    log_dir.mkdir(parents=True, exist_ok=True)
+
+    report = ClusterReport(n_nodes=n_nodes, log_dir=log_dir)
+    # Children outlive every phase timeout, then exit on their own even if
+    # this orchestrator dies mid-run.
+    child_duration = timeout * 3 + 30.0
+
+    def note(line: str) -> None:
+        report.timeline.append(f"{time.time():.3f} {line}")
+        if echo:
+            print(line, flush=True)
+
+    queue: "Queue[Tuple[int, str]]" = Queue()
+    children: Dict[int, subprocess.Popen] = {}
+    logs: Dict[int, IO[str]] = {}
+    threads: List[threading.Thread] = []
+    board = _LeaderBoard()
+
+    def drain(deadline: float) -> None:
+        """Feed queued child lines into the leader board until ``deadline``."""
+        budget = max(0.0, deadline - time.time())
+        try:
+            node, line = queue.get(timeout=min(budget, 0.2) or 0.01)
+        except Empty:
+            return
+        parsed = _parse_leader(line)
+        if parsed is not None:
+            board.record(*parsed)
+            note(f"  [{node}] {line}")
+
+    def dead_children(alive: List[int]) -> List[Tuple[int, int]]:
+        """(node, exit code) for alive-set members whose process died."""
+        return [
+            (node, children[node].poll())
+            for node in alive
+            if node in children and children[node].poll() is not None
+        ]
+
+    def await_agreement(
+        alive: List[int], deadline: float, label: str
+    ) -> Optional[int]:
+        """Wait for one leader all ``alive`` nodes agree on, held stably.
+
+        Fails fast (rather than burning the whole timeout) when any node
+        that should be participating has exited — e.g. a lost port-reserve
+        race at startup; the real cause is in its node-N.log.
+        """
+        agreed_since: Optional[float] = None
+        agreed: Optional[int] = None
+        while time.time() < deadline:
+            dead = dead_children(alive)
+            if dead:
+                losses = ", ".join(f"node {n} (exit {code})" for n, code in dead)
+                note(f"daemon process died during {label}: {losses}")
+                report.reason = f"daemon exited early during {label}: {losses}"
+                return None
+            drain(deadline)
+            current = board.agreed_leader(alive)
+            if current is None:
+                agreed_since, agreed = None, None
+                continue
+            if current != agreed:
+                agreed, agreed_since = current, time.time()
+            elif agreed_since is not None and time.time() - agreed_since >= stable_seconds:
+                return agreed
+        note(f"timeout waiting for {label}; views={board.views}")
+        return None
+
+    try:
+        note(f"starting {n_nodes} daemons on {host} ports {ports}")
+        start_time = time.time()
+        for node_id in range(n_nodes):
+            child = _spawn_node(
+                node_id, ports, host, algorithm, detection_time,
+                fd_variant, child_duration,
+            )
+            children[node_id] = child
+            log = open(log_dir / f"node-{node_id}.log", "w")
+            logs[node_id] = log
+            thread = threading.Thread(
+                target=_pump_output,
+                args=(node_id, child.stdout, queue, log),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+
+        alive = list(range(n_nodes))
+        leader = await_agreement(alive, start_time + timeout, "first election")
+        if leader is None:
+            report.reason = (
+                report.reason or "no whole-cluster leader agreement within timeout"
+            )
+            return report
+        report.first_leader = leader
+        report.election_seconds = time.time() - start_time
+        note(f"cluster agreed on leader {leader} after {report.election_seconds:.2f}s")
+
+        if kill_leader:
+            note(f"killing leader process (node {leader}) with SIGKILL")
+            children[leader].kill()
+            children[leader].wait()
+            report.killed_leader = leader
+            kill_time = time.time()
+            alive = [node for node in alive if node != leader]
+            # The dead node's stale view must not satisfy the agreement.
+            board.views.pop(leader, None)
+            new_leader = await_agreement(
+                alive, kill_time + timeout, "re-election"
+            )
+            if new_leader is None:
+                report.reason = (
+                    report.reason or "survivors did not re-elect within timeout"
+                )
+                return report
+            # agreed_leader only returns members of `alive`, and the killed
+            # leader was removed from it, so new_leader != leader holds.
+            report.new_leader = new_leader
+            report.reelection_seconds = time.time() - kill_time
+            note(
+                f"survivors re-elected leader {new_leader} after "
+                f"{report.reelection_seconds:.2f}s"
+            )
+
+        report.ok = True
+        return report
+    finally:
+        for child in children.values():
+            if child.poll() is None:
+                child.terminate()
+        for child in children.values():
+            with contextlib.suppress(subprocess.TimeoutExpired):
+                child.wait(timeout=5.0)
+        for thread in threads:
+            thread.join(timeout=2.0)
+        for log in logs.values():
+            log.close()
+        (log_dir / "timeline.log").write_text(
+            "\n".join(report.timeline) + "\n"
+        )

@@ -1,0 +1,334 @@
+"""Length-prefixed binary wire codec for the service message hierarchy.
+
+The simulator never serializes: messages travel as Python objects and only
+their *size* (:meth:`~repro.net.message.Message.payload_bytes`) is modelled.
+The realtime engine sends real UDP datagrams, so this module defines the
+actual bytes: one **frame** per message,
+
+    ┌─────────────┬───────┬─────────┬──────┬────────────────┐
+    │ length u32  │ magic │ version │ type │ body ...       │
+    │ (rest of    │ u16   │ u8      │ u8   │ (type-specific)│
+    │  the frame) │       │         │      │                │
+    └─────────────┴───────┴─────────┴──────┴────────────────┘
+
+All integers are big-endian (network byte order); times are IEEE-754
+doubles.  The length prefix makes frames self-delimiting, so the same codec
+works over stream transports (TCP) as well as datagrams, and lets the
+decoder reject truncated input explicitly instead of mis-parsing it.
+
+Strings never appear on the wire: the only enumerated field
+(:attr:`HelloMessage.kind`) travels as one byte.  Optional fields carry a
+one-byte presence flag.  Decoding is strict — unknown magic, version, type
+tags, enum values, out-of-range counts, truncated bodies and trailing bytes
+all raise :class:`CodecError` — because a UDP socket is an open port: a
+stray or malicious datagram must never crash the daemon (the transport
+catches :class:`CodecError` and drops the frame) nor smuggle malformed
+state into the election.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.net.message import (
+    AccEntry,
+    AccuseMessage,
+    AliveMessage,
+    HelloMessage,
+    MemberInfo,
+    Message,
+    RateRequestMessage,
+)
+
+__all__ = ["CodecError", "encode_message", "decode_message", "MAX_FRAME_BYTES"]
+
+_MAGIC = 0x03A9  # Ω, fittingly
+_VERSION = 1
+
+#: Upper bound on a frame we are willing to decode (or encode).  Generous —
+#: a 4096-member ALIVE digest is ~111 KB — while still rejecting nonsense
+#: length prefixes before any allocation happens.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct("!IHBB")  # length, magic, version, type tag
+
+# Per-type tags (never reuse or renumber once released).
+_TAG_ALIVE = 1
+_TAG_HELLO = 2
+_TAG_ACCUSE = 3
+_TAG_RATE_REQUEST = 4
+
+_HELLO_KINDS = ("gossip", "join", "reply")
+
+_ROUTING = struct.Struct("!ii")  # sender_node, dest_node
+_MEMBER = struct.Struct("!iiq??d")  # pid, node, incarnation, cand, present, joined_at
+_ACC_ENTRY = struct.Struct("!idi")  # pid, acc_time, phase
+_ALIVE_FIXED = struct.Struct("!iiqdddi")  # group, pid, seq, send_time, interval,
+#                                           acc_time, phase
+# Independent presence flags: a leader forward may carry no accusation time
+# (Ω_lc treats leader-without-acc differently from acc 0.0), so None must
+# survive the round trip rather than collapse to 0.0.
+_OPT_PID_ACC = struct.Struct("!??id")  # has_leader, has_acc, leader, acc
+_U16 = struct.Struct("!H")
+_I32 = struct.Struct("!i")
+_HELLO_FIXED = struct.Struct("!iBHHH?")  # group, kind, n_members, n_acc,
+#                                          n_trusted, has_leader_hint
+_ACCUSE_BODY = struct.Struct("!iiii")  # group, accuser, accused, accused_phase
+_RATE_BODY = struct.Struct("!iiid")  # group, pid, target_pid, interval
+_U16_MAX = 0xFFFF
+
+
+class CodecError(ValueError):
+    """Raised for any frame this codec refuses to encode or decode."""
+
+
+class _Reader:
+    """A bounds-checked cursor over one frame's body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        end = self.pos + fmt.size
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated frame: need {end} bytes, have {len(self.data)}"
+            )
+        values = fmt.unpack_from(self.data, self.pos)
+        self.pos = end
+        return values
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise CodecError(
+                f"trailing garbage: {len(self.data) - self.pos} bytes after body"
+            )
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _check_count(label: str, n: int) -> int:
+    if n > _U16_MAX:
+        raise CodecError(f"too many {label} to encode ({n} > {_U16_MAX})")
+    return n
+
+
+def _encode_members(members: Tuple[MemberInfo, ...]) -> List[bytes]:
+    return [
+        _MEMBER.pack(
+            m.pid, m.node, m.incarnation, m.candidate, m.present, m.joined_at
+        )
+        for m in members
+    ]
+
+
+def _encode_alive(message: AliveMessage) -> List[bytes]:
+    has_leader = message.local_leader is not None
+    has_acc = message.local_leader_acc is not None
+    parts = [
+        _ALIVE_FIXED.pack(
+            message.group,
+            message.pid,
+            message.seq,
+            message.send_time,
+            message.interval,
+            message.acc_time,
+            message.phase,
+        ),
+        _OPT_PID_ACC.pack(
+            has_leader,
+            has_acc,
+            message.local_leader if has_leader else 0,
+            message.local_leader_acc if has_acc else 0.0,
+        ),
+        _U16.pack(_check_count("members", len(message.members))),
+    ]
+    parts.extend(_encode_members(message.members))
+    return parts
+
+
+def _encode_hello(message: HelloMessage) -> List[bytes]:
+    try:
+        kind = _HELLO_KINDS.index(message.kind)
+    except ValueError:
+        raise CodecError(f"unknown HELLO kind {message.kind!r}") from None
+    hint = message.leader_hint
+    parts = [
+        _HELLO_FIXED.pack(
+            message.group,
+            kind,
+            _check_count("members", len(message.members)),
+            _check_count("acc entries", len(message.acc_table)),
+            _check_count("trusted pids", len(message.trusted)),
+            hint is not None,
+        )
+    ]
+    if hint is not None:
+        parts.append(_ACC_ENTRY.pack(hint.pid, hint.acc_time, hint.phase))
+    parts.extend(_encode_members(message.members))
+    parts.extend(_ACC_ENTRY.pack(e.pid, e.acc_time, e.phase) for e in message.acc_table)
+    parts.extend(_I32.pack(pid) for pid in message.trusted)
+    return parts
+
+
+def _encode_accuse(message: AccuseMessage) -> List[bytes]:
+    return [
+        _ACCUSE_BODY.pack(
+            message.group, message.accuser, message.accused, message.accused_phase
+        )
+    ]
+
+
+def _encode_rate_request(message: RateRequestMessage) -> List[bytes]:
+    return [
+        _RATE_BODY.pack(
+            message.group, message.pid, message.target_pid, message.interval
+        )
+    ]
+
+
+_ENCODERS: Dict[Type[Message], Tuple[int, Callable[[Message], List[bytes]]]] = {
+    AliveMessage: (_TAG_ALIVE, _encode_alive),
+    HelloMessage: (_TAG_HELLO, _encode_hello),
+    AccuseMessage: (_TAG_ACCUSE, _encode_accuse),
+    RateRequestMessage: (_TAG_RATE_REQUEST, _encode_rate_request),
+}
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize ``message`` into one self-delimiting binary frame."""
+    entry = _ENCODERS.get(type(message))
+    if entry is None:
+        raise CodecError(f"no wire encoding for {type(message).__name__}")
+    tag, encoder = entry
+    body = b"".join(
+        [_ROUTING.pack(message.sender_node, message.dest_node), *encoder(message)]
+    )
+    length = _HEADER.size - 4 + len(body)
+    if length + 4 > MAX_FRAME_BYTES:
+        raise CodecError(f"frame too large ({length + 4} bytes)")
+    return _HEADER.pack(length, _MAGIC, _VERSION, tag) + body
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _decode_members(reader: _Reader, count: int) -> Tuple[MemberInfo, ...]:
+    return tuple(
+        MemberInfo(
+            pid=pid,
+            node=node,
+            incarnation=incarnation,
+            candidate=candidate,
+            present=present,
+            joined_at=joined_at,
+        )
+        for pid, node, incarnation, candidate, present, joined_at in (
+            reader.unpack(_MEMBER) for _ in range(count)
+        )
+    )
+
+
+def _decode_alive(reader: _Reader, sender: int, dest: int) -> AliveMessage:
+    group, pid, seq, send_time, interval, acc_time, phase = reader.unpack(_ALIVE_FIXED)
+    has_leader, has_acc, leader, leader_acc = reader.unpack(_OPT_PID_ACC)
+    (n_members,) = reader.unpack(_U16)
+    members = _decode_members(reader, n_members)
+    return AliveMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        pid=pid,
+        seq=seq,
+        send_time=send_time,
+        interval=interval,
+        acc_time=acc_time,
+        phase=phase,
+        local_leader=leader if has_leader else None,
+        local_leader_acc=leader_acc if has_acc else None,
+        members=members,
+    )
+
+
+def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
+    group, kind, n_members, n_acc, n_trusted, has_hint = reader.unpack(_HELLO_FIXED)
+    if kind >= len(_HELLO_KINDS):
+        raise CodecError(f"unknown HELLO kind tag {kind}")
+    hint: Optional[AccEntry] = None
+    if has_hint:
+        hint = AccEntry(*reader.unpack(_ACC_ENTRY))
+    members = _decode_members(reader, n_members)
+    acc_table = tuple(AccEntry(*reader.unpack(_ACC_ENTRY)) for _ in range(n_acc))
+    trusted = tuple(reader.unpack(_I32)[0] for _ in range(n_trusted))
+    return HelloMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        kind=_HELLO_KINDS[kind],
+        members=members,
+        leader_hint=hint,
+        acc_table=acc_table,
+        trusted=trusted,
+    )
+
+
+def _decode_accuse(reader: _Reader, sender: int, dest: int) -> AccuseMessage:
+    group, accuser, accused, accused_phase = reader.unpack(_ACCUSE_BODY)
+    return AccuseMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        accuser=accuser,
+        accused=accused,
+        accused_phase=accused_phase,
+    )
+
+
+def _decode_rate_request(reader: _Reader, sender: int, dest: int) -> RateRequestMessage:
+    group, pid, target_pid, interval = reader.unpack(_RATE_BODY)
+    return RateRequestMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        pid=pid,
+        target_pid=target_pid,
+        interval=interval,
+    )
+
+
+_DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
+    _TAG_ALIVE: _decode_alive,
+    _TAG_HELLO: _decode_hello,
+    _TAG_ACCUSE: _decode_accuse,
+    _TAG_RATE_REQUEST: _decode_rate_request,
+}
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse exactly one frame; raises :class:`CodecError` on anything else."""
+    if len(data) < _HEADER.size:
+        raise CodecError(f"short frame: {len(data)} bytes, header needs {_HEADER.size}")
+    length, magic, version, tag = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise CodecError(f"bad magic 0x{magic:04x}")
+    if version != _VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    if length + 4 > MAX_FRAME_BYTES:
+        raise CodecError(f"declared frame too large ({length + 4} bytes)")
+    if length + 4 != len(data):
+        raise CodecError(
+            f"length prefix says {length + 4} bytes, datagram has {len(data)}"
+        )
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown message type tag {tag}")
+    reader = _Reader(data, _HEADER.size)
+    sender, dest = reader.unpack(_ROUTING)
+    message = decoder(reader, sender, dest)
+    reader.done()
+    return message

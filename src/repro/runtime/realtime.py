@@ -1,0 +1,234 @@
+"""The realtime engine: wall-clock scheduling and UDP datagrams on asyncio.
+
+This is the second implementation of the :mod:`repro.runtime.base`
+protocols (the first being the discrete-event simulator), and the piece
+that turns the reproduction back into what the paper actually describes —
+a per-workstation *service* exchanging UDP messages:
+
+* :class:`RealtimeScheduler` — Clock + Scheduler on an asyncio event loop.
+  ``now`` is Unix epoch time (``time.time()``), not ``loop.time()``: NFD-S
+  computes freshness points from the *sender's* timestamps, so the clock
+  values carried on ALIVEs must be comparable across processes.  On one
+  host (the ``repro.cli live`` cluster) the epoch clock is shared exactly;
+  across hosts this is the paper's NTP assumption.
+* :class:`UdpTransport` — the Transport implementation: an address book
+  mapping node ids to UDP endpoints, the binary codec of
+  :mod:`repro.runtime.codec` on the wire, and hard drop-don't-crash
+  semantics for undecodable datagrams (an open UDP port receives whatever
+  the network feels like sending).
+
+Everything here runs on the event loop's thread, mirroring the simulator's
+single-threaded execution model: service code needs no locks in either
+world.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net.message import Message
+from repro.runtime.codec import CodecError, decode_message, encode_message
+
+__all__ = ["RealtimeHandle", "RealtimeScheduler", "TransportStats", "UdpTransport"]
+
+
+class RealtimeHandle:
+    """A cancellable one-shot timer (:class:`~repro.runtime.base.TimerHandle`)
+    wrapping an :class:`asyncio.TimerHandle`."""
+
+    __slots__ = ("time", "cancelled", "_timer")
+
+    def __init__(self, fire_time: float) -> None:
+        self.time = fire_time
+        self.cancelled = False
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        """Mark cancelled and release the underlying loop timer."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"RealtimeHandle(t={self.time:.6f}, {state})"
+
+
+class RealtimeScheduler:
+    """Clock + Scheduler over an asyncio loop and the epoch wall clock."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        # get_running_loop, not the deprecated get_event_loop: constructing
+        # a realtime scheduler outside a running loop is a wiring bug and
+        # should fail loudly.
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        #: Callbacks executed (for parity with Simulator.events_executed).
+        self.events_executed = 0
+        #: Callbacks scheduled.
+        self.events_scheduled = 0
+
+    @property
+    def now(self) -> float:
+        """Unix epoch seconds (see module docstring for why not loop.time)."""
+        return time.time()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> RealtimeHandle:
+        """Run ``fn`` after ``delay`` seconds on the loop thread."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._arm(self.now + delay, delay, fn)
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> RealtimeHandle:
+        """Run ``fn`` at epoch time ``when``.
+
+        Unlike the simulator, a ``when`` slightly in the past is *not* an
+        error here — wall time advances while code runs, so realtime callers
+        cannot avoid small negative slacks; the callback just fires on the
+        next loop iteration.
+        """
+        return self._arm(when, max(0.0, when - self.now), fn)
+
+    def _arm(self, fire_time: float, delay: float, fn: Callable[[], None]) -> RealtimeHandle:
+        handle = RealtimeHandle(fire_time)
+
+        def run() -> None:
+            if handle.cancelled:  # cancelled between loop dispatch and run
+                return
+            handle._timer = None
+            self.events_executed += 1
+            fn()
+
+        handle._timer = self._loop.call_later(delay, run)
+        self.events_scheduled += 1
+        return handle
+
+    def cancel(self, handle: Optional[RealtimeHandle]) -> None:
+        """Cancel ``handle`` if it is not None and still pending."""
+        if handle is not None:
+            handle.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RealtimeScheduler(now={self.now:.3f})"
+
+
+@dataclass
+class TransportStats:
+    """Counters kept by :class:`UdpTransport` (mirrors link stats in sim)."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_received: int = 0
+    bytes_received: int = 0
+    #: Datagrams dropped because they failed to decode (garbage, truncation,
+    #: version mismatch) — counted, never fatal.
+    frames_rejected: int = 0
+    #: Sends dropped because the destination node id has no known address.
+    unroutable: int = 0
+    last_error: Optional[str] = field(default=None, repr=False)
+
+
+class UdpTransport(asyncio.DatagramProtocol):
+    """Real UDP datagram transport for one node of a cluster.
+
+    ``addresses`` maps every node id (including the local one) to its
+    ``(host, port)`` endpoint; ``deliver`` receives each successfully
+    decoded :class:`~repro.net.message.Message` on the event loop thread —
+    typically :meth:`Node.deliver <repro.net.node.Node.deliver>`, exactly
+    like the simulated network hands messages to a node.
+
+    Create, then ``await transport.open()`` to bind the local socket.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        addresses: Dict[int, Tuple[str, int]],
+        deliver: Callable[[Message], None],
+    ) -> None:
+        if node_id not in addresses:
+            raise ValueError(f"node {node_id} missing from the address book")
+        self.node_id = node_id
+        self._addresses = dict(addresses)
+        self._deliver = deliver
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.stats = TransportStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def open(self) -> "UdpTransport":
+        """Bind the local UDP socket; returns self for chaining."""
+        loop = asyncio.get_running_loop()
+        await loop.create_datagram_endpoint(
+            lambda: self, local_addr=self._addresses[self.node_id]
+        )
+        return self
+
+    def close(self) -> None:
+        """Close the socket; subsequent sends are silently dropped."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    @property
+    def open_for_traffic(self) -> bool:
+        return self._transport is not None
+
+    # ------------------------------------------------------------------
+    # Transport protocol (repro.runtime.base.Transport)
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Encode and transmit ``message`` to its destination's endpoint.
+
+        Best-effort, like the UDP it rides on: unroutable destinations and
+        encoding failures are counted and dropped, never raised — a daemon
+        must not die because one gossip round referenced a node that
+        already left the address book.
+        """
+        if self._transport is None:
+            return
+        address = self._addresses.get(message.dest_node)
+        if address is None:
+            self.stats.unroutable += 1
+            return
+        try:
+            data = encode_message(message)
+        except CodecError as exc:  # pragma: no cover - needs a broken message
+            self.stats.frames_rejected += 1
+            self.stats.last_error = str(exc)
+            return
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(data)
+        self._transport.sendto(data, address)
+
+    # ------------------------------------------------------------------
+    # asyncio.DatagramProtocol callbacks
+    # ------------------------------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self._transport = transport  # type: ignore[assignment]
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self._transport = None
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self.stats.frames_received += 1
+        self.stats.bytes_received += len(data)
+        try:
+            message = decode_message(data)
+        except CodecError as exc:
+            # An open UDP port receives what the network sends it; garbage
+            # is dropped here so it can never reach the election logic.
+            self.stats.frames_rejected += 1
+            self.stats.last_error = str(exc)
+            return
+        self._deliver(message)
+
+    def error_received(self, exc: OSError) -> None:
+        # ICMP port-unreachable for a crashed peer etc.: exactly the lossy
+        # behaviour the failure detector exists to absorb.
+        self.stats.last_error = str(exc)

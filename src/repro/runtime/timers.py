@@ -1,0 +1,143 @@
+"""Timer utilities over the :class:`~repro.runtime.base.Scheduler` protocol.
+
+Two patterns recur throughout the service and are factored out here:
+
+* :class:`PeriodicTimer` — a fixed- or variable-period repeating callback
+  (heartbeat senders, HELLO gossip, estimator refresh).
+* :class:`VariableTimer` — a *lazy deadline* one-shot timer whose deadline is
+  moved far more often than it fires (failure-detector freshness timeouts).
+  Instead of cancelling and re-inserting a scheduler entry on every
+  extension — O(log n) churn per heartbeat — the deadline is stored in a
+  variable and the entry, when it fires early, simply re-arms itself for the
+  remaining time.  This is the standard technique for timeout-dominated
+  workloads, and it pays off identically on the simulator's event heap and
+  on asyncio's timer heap.
+
+Both timers are engine-agnostic: they only use ``now``, ``schedule``,
+``schedule_at`` and ``cancel``, so one implementation serves the simulated
+and the realtime worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.runtime.base import Scheduler, TimerHandle
+
+__all__ = ["PeriodicTimer", "VariableTimer"]
+
+
+class PeriodicTimer:
+    """Repeatedly invoke a callback with a (possibly varying) period.
+
+    ``period_fn`` is consulted before each arming, which lets the failure
+    detector re-configure the heartbeat interval on the fly.  The first firing
+    happens after ``initial_delay`` (default: one period).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        period_fn: Callable[[], float],
+        callback: Callable[[], None],
+        initial_delay: Optional[float] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._period_fn = period_fn
+        self._callback = callback
+        self._handle: Optional[TimerHandle] = None
+        self._running = False
+        self._initial_delay = initial_delay
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Arm the timer.  Restarting an already-running timer re-arms it.
+
+        ``initial_delay`` is consumed by the first start only; later
+        restarts wait one regular period.
+        """
+        self.stop()
+        self._running = True
+        delay = self._initial_delay
+        self._initial_delay = None
+        if delay is None:
+            delay = self._period_fn()
+        self._handle = self._scheduler.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer; no further callbacks fire."""
+        self._running = False
+        if self._handle is not None:
+            self._scheduler.cancel(self._handle)
+            self._handle = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:  # the callback may have stopped us
+            self._handle = self._scheduler.schedule(self._period_fn(), self._fire)
+
+
+class VariableTimer:
+    """A one-shot timer whose deadline can be pushed back cheaply.
+
+    Intended for failure-detection timeouts: every received heartbeat extends
+    the deadline, but the timer only fires when the (final) deadline truly
+    passes.  Only one scheduler entry exists at a time; early firings re-arm.
+    """
+
+    def __init__(self, scheduler: Scheduler, callback: Callable[[], None]) -> None:
+        self._scheduler = scheduler
+        self._callback = callback
+        self._deadline: Optional[float] = None
+        self._handle: Optional[TimerHandle] = None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The current deadline, or None when disarmed."""
+        return self._deadline
+
+    @property
+    def armed(self) -> bool:
+        return self._deadline is not None
+
+    def set_deadline(self, deadline: float) -> None:
+        """Arm (or move) the timer to fire at absolute time ``deadline``.
+
+        Moving the deadline *earlier* than the pending scheduler entry
+        requires a re-insertion; moving it later is free.
+        """
+        self._deadline = deadline
+        if self._handle is None or self._handle.cancelled:
+            self._handle = self._scheduler.schedule_at(deadline, self._fire)
+        elif deadline < self._handle.time:
+            self._scheduler.cancel(self._handle)
+            self._handle = self._scheduler.schedule_at(deadline, self._fire)
+        # else: lazy — the existing entry fires first and re-arms.
+
+    def extend_to(self, deadline: float) -> None:
+        """Move the deadline to ``deadline`` if that is later than current."""
+        if self._deadline is None or deadline > self._deadline:
+            self.set_deadline(deadline)
+
+    def clear(self) -> None:
+        """Disarm the timer."""
+        self._deadline = None
+        if self._handle is not None:
+            self._scheduler.cancel(self._handle)
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        if self._deadline is None:
+            return
+        if self._scheduler.now < self._deadline:
+            # Deadline was extended since this entry was inserted; re-arm.
+            self._handle = self._scheduler.schedule_at(self._deadline, self._fire)
+            return
+        self._deadline = None
+        self._callback()

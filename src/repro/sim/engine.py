@@ -22,6 +22,13 @@ Determinism guarantees:
   (the monotonically increasing sequence number breaks ties).
 * The engine itself draws no randomness; all stochastic behaviour lives in
   :class:`~repro.sim.rng.RngRegistry` streams owned by components.
+
+:class:`Simulator` is the discrete-event implementation of the
+:class:`~repro.runtime.base.Clock` + :class:`~repro.runtime.base.Scheduler`
+protocols (and :class:`Event` of :class:`~repro.runtime.base.TimerHandle`);
+the service stack is written against those protocols, so the same daemon
+code also runs on :class:`~repro.runtime.realtime.RealtimeScheduler` over
+real wall-clock time.
 """
 
 from __future__ import annotations
@@ -44,18 +51,33 @@ class Event:
     fires; a cancelled event is silently skipped by the event loop.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "_owner")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[[], None],
+        owner: "Optional[Simulator]" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[[], None]] = fn
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self) -> None:
-        """Mark this event as cancelled; it will never fire."""
-        self.cancelled = True
-        self.fn = None  # break reference cycles early
+        """Mark this event as cancelled; it will never fire.
+
+        Delegates to the owning simulator so its live/cancelled accounting
+        (O(1) pending counts, heap compaction) stays exact no matter which
+        cancellation entry point callers use.
+        """
+        if self._owner is not None:
+            self._owner.cancel(self)
+        else:  # pragma: no cover - only reachable for hand-built events
+            self.cancelled = True
+            self.fn = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -92,6 +114,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._cancelled_pending = 0
+        #: Live (scheduled, not fired, not cancelled) events; kept exact
+        #: across schedule/pop/cancel/compact so pending_count() is O(1).
+        self._live = 0
         #: Number of events executed so far (skipped cancellations excluded).
         self.events_executed = 0
         #: Number of events scheduled so far.
@@ -119,9 +144,10 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        event = Event(self._now + delay, self._seq, fn)
+        event = Event(self._now + delay, self._seq, fn, owner=self)
         heapq.heappush(self._heap, event)
         self.events_scheduled += 1
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
@@ -131,25 +157,28 @@ class Simulator:
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
         self._seq += 1
-        event = Event(time, self._seq, fn)
+        event = Event(time, self._seq, fn, owner=self)
         heapq.heappush(self._heap, event)
         self.events_scheduled += 1
+        self._live += 1
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel ``event`` if it is not ``None`` and still pending.
 
-        Prefer this over :meth:`Event.cancel`: cancellations routed through
-        the simulator are counted, and once dead entries dominate the heap
-        they are drained in one batch instead of being skipped one heap-pop
-        at a time.
+        All cancellations funnel through here (:meth:`Event.cancel`
+        delegates back), so dead entries are always counted and — once they
+        dominate the heap — drained in one batch instead of being skipped
+        one heap-pop at a time.
         """
         if event is not None and not event.cancelled:
             # Only still-pending events (fn set) hold a heap entry; cancelling
             # an already-fired event must not inflate the dead-entry count.
             pending = event.fn is not None
-            event.cancel()
+            event.cancelled = True
+            event.fn = None  # break reference cycles early
             if pending:
+                self._live -= 1
                 self._cancelled_pending += 1
                 if (
                     self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
@@ -186,6 +215,7 @@ class Simulator:
             fn = event.fn
             event.fn = None
             self.events_executed += 1
+            self._live -= 1
             fn()  # type: ignore[misc]  (non-cancelled events keep their fn)
             return True
         return False
@@ -221,6 +251,7 @@ class Simulator:
                 fn = event.fn
                 event.fn = None
                 executed += 1
+                self._live -= 1
                 fn()  # type: ignore[misc]
         finally:
             self._running = False
@@ -250,8 +281,13 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events.
+
+        O(1): a live counter maintained across schedule/pop/cancel/compact
+        instead of a heap scan — introspection stays cheap even against the
+        million-entry heaps of large sweeps.
+        """
+        return self._live
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next pending event, or None.

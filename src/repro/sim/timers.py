@@ -1,137 +1,15 @@
-"""Timer utilities layered on the event engine.
+"""Timer utilities (compatibility re-export).
 
-Two patterns recur throughout the service and are factored out here:
-
-* :class:`PeriodicTimer` — a fixed- or variable-period repeating callback
-  (heartbeat senders, HELLO gossip, estimator refresh).
-* :class:`VariableTimer` — a *lazy deadline* one-shot timer whose deadline is
-  moved far more often than it fires (failure-detector freshness timeouts).
-  Instead of cancelling and re-inserting a heap entry on every extension —
-  O(log n) churn per heartbeat — the deadline is stored in a variable and the
-  heap entry, when it fires early, simply re-arms itself for the remaining
-  time.  This is the standard technique for timeout-dominated simulations.
+:class:`PeriodicTimer` and :class:`VariableTimer` historically lived here
+and were written against the concrete :class:`~repro.sim.engine.Simulator`.
+They now live in :mod:`repro.runtime.timers`, written against the
+engine-agnostic :class:`~repro.runtime.base.Scheduler` protocol, so the same
+timers drive the simulated and the realtime (asyncio) worlds.  This module
+remains as an alias for existing imports.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
-from repro.sim.engine import Event, Simulator
+from repro.runtime.timers import PeriodicTimer, VariableTimer
 
 __all__ = ["PeriodicTimer", "VariableTimer"]
-
-
-class PeriodicTimer:
-    """Repeatedly invoke a callback with a (possibly varying) period.
-
-    ``period_fn`` is consulted before each arming, which lets the failure
-    detector re-configure the heartbeat interval on the fly.  The first firing
-    happens after ``initial_delay`` (default: one period).
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        period_fn: Callable[[], float],
-        callback: Callable[[], None],
-        initial_delay: Optional[float] = None,
-    ) -> None:
-        self._sim = sim
-        self._period_fn = period_fn
-        self._callback = callback
-        self._event: Optional[Event] = None
-        self._running = False
-        self._initial_delay = initial_delay
-
-    @property
-    def running(self) -> bool:
-        return self._running
-
-    def start(self) -> None:
-        """Arm the timer.  Restarting an already-running timer re-arms it.
-
-        ``initial_delay`` is consumed by the first start only; later
-        restarts wait one regular period.
-        """
-        self.stop()
-        self._running = True
-        delay = self._initial_delay
-        self._initial_delay = None
-        if delay is None:
-            delay = self._period_fn()
-        self._event = self._sim.schedule(delay, self._fire)
-
-    def stop(self) -> None:
-        """Disarm the timer; no further callbacks fire."""
-        self._running = False
-        if self._event is not None:
-            self._sim.cancel(self._event)
-            self._event = None
-
-    def _fire(self) -> None:
-        if not self._running:
-            return
-        self._callback()
-        if self._running:  # the callback may have stopped us
-            self._event = self._sim.schedule(self._period_fn(), self._fire)
-
-
-class VariableTimer:
-    """A one-shot timer whose deadline can be pushed back cheaply.
-
-    Intended for failure-detection timeouts: every received heartbeat extends
-    the deadline, but the timer only fires when the (final) deadline truly
-    passes.  Only one heap entry exists at a time; early firings re-arm.
-    """
-
-    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
-        self._sim = sim
-        self._callback = callback
-        self._deadline: Optional[float] = None
-        self._event: Optional[Event] = None
-
-    @property
-    def deadline(self) -> Optional[float]:
-        """The current deadline, or None when disarmed."""
-        return self._deadline
-
-    @property
-    def armed(self) -> bool:
-        return self._deadline is not None
-
-    def set_deadline(self, deadline: float) -> None:
-        """Arm (or move) the timer to fire at absolute time ``deadline``.
-
-        Moving the deadline *earlier* than the pending heap entry requires a
-        re-insertion; moving it later is free.
-        """
-        self._deadline = deadline
-        if self._event is None or self._event.cancelled:
-            self._event = self._sim.schedule_at(deadline, self._fire)
-        elif deadline < self._event.time:
-            self._sim.cancel(self._event)
-            self._event = self._sim.schedule_at(deadline, self._fire)
-        # else: lazy — the existing entry fires first and re-arms.
-
-    def extend_to(self, deadline: float) -> None:
-        """Move the deadline to ``deadline`` if that is later than current."""
-        if self._deadline is None or deadline > self._deadline:
-            self.set_deadline(deadline)
-
-    def clear(self) -> None:
-        """Disarm the timer."""
-        self._deadline = None
-        if self._event is not None:
-            self._sim.cancel(self._event)
-            self._event = None
-
-    def _fire(self) -> None:
-        self._event = None
-        if self._deadline is None:
-            return
-        if self._sim.now < self._deadline:
-            # Deadline was extended since this entry was inserted; re-arm.
-            self._event = self._sim.schedule_at(self._deadline, self._fire)
-            return
-        self._deadline = None
-        self._callback()

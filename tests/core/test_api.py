@@ -19,8 +19,8 @@ def build_hosts(sim, n=4, algorithm="omega_lc"):
     hosts = []
     for node_id in range(n):
         host = ServiceHost(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(n)),
             config=ServiceConfig(algorithm=algorithm),

@@ -21,8 +21,8 @@ def handler(sim):
     rng = RngRegistry(4)
     network = Network(sim, NetworkConfig(n_nodes=2), rng)
     service = LeaderElectionService(
-        sim=sim,
-        network=network,
+        scheduler=sim,
+        transport=network,
         node=network.node(0),
         peer_nodes=(0, 1),
         config=ServiceConfig(),

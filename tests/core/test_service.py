@@ -16,8 +16,8 @@ def build(sim, n=4, algorithm="omega_lc", config=None):
     services = []
     for node_id in range(n):
         service = LeaderElectionService(
-            sim=sim,
-            network=network,
+            scheduler=sim,
+            transport=network,
             node=network.node(node_id),
             peer_nodes=tuple(range(n)),
             config=config or ServiceConfig(algorithm=algorithm),
@@ -26,6 +26,36 @@ def build(sim, n=4, algorithm="omega_lc", config=None):
         )
         services.append(service)
     return network, services, trace
+
+
+class TestServiceConfigValidation:
+    """A bad config fails at construction, not deep inside the first join."""
+
+    def test_defaults_are_valid(self):
+        ServiceConfig()
+
+    def test_nfde_variant_is_valid(self):
+        ServiceConfig(fd_variant="nfde")
+
+    def test_unknown_fd_variant_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="fd_variant"):
+            ServiceConfig(fd_variant="nfd-x")
+
+    @pytest.mark.parametrize("hello_period", [0.0, -1.0])
+    def test_non_positive_hello_period_rejected(self, hello_period):
+        with pytest.raises(ValueError, match="hello_period"):
+            ServiceConfig(hello_period=hello_period)
+
+    @pytest.mark.parametrize("reconfig_interval", [0.0, -5.0])
+    def test_non_positive_reconfig_interval_rejected(self, reconfig_interval):
+        with pytest.raises(ValueError, match="reconfig_interval"):
+            ServiceConfig(reconfig_interval=reconfig_interval)
+
+    def test_bad_variant_cannot_reach_join_time(self, sim):
+        """The old failure mode: fd_variant typos used to surface only when
+        the first monitor was created, deep inside message handling."""
+        with pytest.raises(ValueError, match="fd_variant"):
+            build(sim, config=ServiceConfig(fd_variant="typo"))
 
 
 class TestRegistration:

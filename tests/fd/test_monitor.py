@@ -26,7 +26,7 @@ def events():
 
 def make_monitor(sim, events, start_trusted=False, qos=None):
     return NfdsMonitor(
-        sim=sim,
+        scheduler=sim,
         pid=7,
         qos=qos or FDQoS(),
         estimator=LinkQualityEstimator(),

@@ -20,7 +20,7 @@ class Events:
 
 def make_monitor(sim, events):
     return NfdeMonitor(
-        sim=sim,
+        scheduler=sim,
         pid=5,
         qos=FDQoS(),
         estimator=LinkQualityEstimator(),

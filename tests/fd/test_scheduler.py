@@ -15,8 +15,8 @@ def network(sim, rng):
 
 def make_sender(sim, network, rng, interval=0.25):
     return HeartbeatSender(
-        sim=sim,
-        network=network,
+        scheduler=sim,
+        transport=network,
         node_id=0,
         group=1,
         pid=0,

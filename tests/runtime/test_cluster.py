@@ -1,0 +1,125 @@
+"""Cluster orchestration helpers and the `repro.cli` surface.
+
+The full N-process election (spawn, kill the leader, re-elect) runs as a
+dedicated CI smoke job (`python -m repro.cli live`); here we cover the
+pure pieces — config validation, line-protocol parsing, agreement logic,
+port reservation — and the argument parser, so failures localize.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runtime.cluster import (
+    LiveNodeConfig,
+    _LeaderBoard,
+    _parse_leader,
+    _reserve_udp_ports,
+)
+
+
+class TestLiveNodeConfig:
+    def test_valid(self):
+        config = LiveNodeConfig(node_id=1, ports=(9001, 9002, 9003))
+        assert config.ports[config.node_id] == 9002
+
+    @pytest.mark.parametrize("node_id", [-1, 3, 99])
+    def test_node_id_must_index_ports(self, node_id):
+        with pytest.raises(ValueError, match="out of range"):
+            LiveNodeConfig(node_id=node_id, ports=(9001, 9002, 9003))
+
+    def test_detection_time_must_be_positive(self):
+        with pytest.raises(ValueError, match="detection_time"):
+            LiveNodeConfig(node_id=0, ports=(9001,), detection_time=0.0)
+
+
+class TestLineProtocol:
+    def test_parse_leader_line(self):
+        assert _parse_leader("LEADER node=2 leader=0 t=17.5") == (2, 0)
+
+    def test_parse_none_leader(self):
+        assert _parse_leader("LEADER node=1 leader=none t=3.25") == (1, None)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "READY node=0 port=9000",
+            "DONE node=0",
+            "",
+            "LEADER gibberish",
+            "LEADER node=x leader=0",
+            "noise LEADER node=0 leader=1",
+        ],
+    )
+    def test_non_leader_lines_are_ignored(self, line):
+        assert _parse_leader(line) is None
+
+
+class TestLeaderBoard:
+    def test_agreement_requires_every_alive_node(self):
+        board = _LeaderBoard()
+        board.record(0, 2)
+        board.record(1, 2)
+        assert board.agreed_leader([0, 1, 2]) is None  # node 2 silent so far
+        board.record(2, 2)
+        assert board.agreed_leader([0, 1, 2]) == 2
+
+    def test_split_views_are_not_agreement(self):
+        board = _LeaderBoard()
+        board.record(0, 0)
+        board.record(1, 1)
+        assert board.agreed_leader([0, 1]) is None
+
+    def test_agreeing_on_none_is_not_agreement(self):
+        board = _LeaderBoard()
+        board.record(0, None)
+        board.record(1, None)
+        assert board.agreed_leader([0, 1]) is None
+
+    def test_agreeing_on_a_dead_node_is_not_agreement(self):
+        """Survivors still pointing at the killed leader must not count."""
+        board = _LeaderBoard()
+        board.record(0, 2)
+        board.record(1, 2)
+        assert board.agreed_leader([0, 1]) is None  # 2 is not alive
+
+
+class TestPortReservation:
+    def test_reserves_distinct_free_ports(self):
+        ports = _reserve_udp_ports("127.0.0.1", 5)
+        assert len(ports) == 5
+        assert len(set(ports)) == 5
+        assert all(1024 <= port <= 65535 for port in ports)
+
+
+class TestCli:
+    def test_live_defaults(self):
+        args = build_parser().parse_args(["live"])
+        assert args.command == "live"
+        assert args.nodes == 3
+        assert args.detection_time == 1.0
+        assert not args.no_kill
+
+    def test_node_requires_identity_and_ports(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node"])
+
+    def test_node_parses_ports(self):
+        args = build_parser().parse_args(
+            ["node", "--node-id", "1", "--ports", "9001,9002"]
+        )
+        assert args.node_id == 1
+        assert args.ports == "9001,9002"
+
+    def test_bad_ports_string_is_a_usage_error(self):
+        exit_code = main(["node", "--node-id", "0", "--ports", "9001,abc"])
+        assert exit_code == 2
+
+    def test_experiment_forwards_to_experiments_cli(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--help"])
+        out = capsys.readouterr().out
+        assert "repro-experiment" in out  # the experiments parser answered
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])

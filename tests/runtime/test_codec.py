@@ -1,0 +1,184 @@
+"""Wire codec: round-trips for every message type, strict rejection."""
+
+import struct
+
+import pytest
+
+from repro.net.message import (
+    AccEntry,
+    AccuseMessage,
+    AliveMessage,
+    HelloMessage,
+    MemberInfo,
+    Message,
+    RateRequestMessage,
+)
+from repro.runtime.codec import (
+    MAX_FRAME_BYTES,
+    CodecError,
+    decode_message,
+    encode_message,
+)
+
+MEMBERS = (
+    MemberInfo(pid=1, node=4, incarnation=2_000_007, candidate=True,
+               present=True, joined_at=12.625),
+    MemberInfo(pid=9, node=0, incarnation=0, candidate=False,
+               present=False, joined_at=0.0),
+    MemberInfo(pid=2**31 - 1, node=-1, incarnation=2**62, candidate=True,
+               present=True, joined_at=1.75e9),
+)
+
+ACC_TABLE = (
+    AccEntry(pid=1, acc_time=0.0, phase=0),
+    AccEntry(pid=7, acc_time=1.75e9, phase=2**31 - 1),
+)
+
+#: One representative per Message subclass, exercising every field shape:
+#: optionals present and absent, empty and non-empty collections, extreme
+#: integer values, every HELLO kind.
+ROUND_TRIP_CASES = [
+    AliveMessage(sender_node=0, dest_node=1),
+    AliveMessage(
+        sender_node=3, dest_node=11, group=1, pid=5, seq=2**40,
+        send_time=1.75e9, interval=0.25, acc_time=123.5, phase=7,
+        local_leader=2, local_leader_acc=99.125, members=MEMBERS,
+    ),
+    AliveMessage(  # leader present, acc absent: None must survive (Ω_lc
+        sender_node=1, dest_node=2, local_leader=4, local_leader_acc=None,
+    ),  # distinguishes a missing acc from acc 0.0
+    HelloMessage(sender_node=0, dest_node=1),
+    HelloMessage(sender_node=2, dest_node=3, group=9, kind="join", members=MEMBERS),
+    HelloMessage(
+        sender_node=4, dest_node=5, group=1, kind="reply", members=MEMBERS,
+        leader_hint=AccEntry(pid=3, acc_time=55.5, phase=1),
+        acc_table=ACC_TABLE, trusted=(0, 5, 2**31 - 1),
+    ),
+    HelloMessage(sender_node=6, dest_node=7, kind="gossip", trusted=(1,)),
+    AccuseMessage(sender_node=1, dest_node=2, group=3, accuser=4,
+                  accused=5, accused_phase=6),
+    RateRequestMessage(sender_node=9, dest_node=8, group=7, pid=6,
+                       target_pid=5, interval=0.0625),
+]
+
+
+def _case_id(message: Message) -> str:
+    return type(message).__name__
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", ROUND_TRIP_CASES, ids=_case_id)
+    def test_decode_inverts_encode(self, message):
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert type(decoded) is type(message)
+
+    @pytest.mark.parametrize("message", ROUND_TRIP_CASES, ids=_case_id)
+    def test_collections_decode_as_tuples(self, message):
+        decoded = decode_message(encode_message(message))
+        if isinstance(decoded, (AliveMessage, HelloMessage)):
+            assert isinstance(decoded.members, tuple)
+            for member in decoded.members:
+                assert isinstance(member, MemberInfo)
+        if isinstance(decoded, HelloMessage):
+            assert isinstance(decoded.acc_table, tuple)
+            assert isinstance(decoded.trusted, tuple)
+
+    def test_every_message_subclass_is_covered(self):
+        covered = {type(m) for m in ROUND_TRIP_CASES}
+        assert {AliveMessage, HelloMessage, AccuseMessage, RateRequestMessage} == covered
+
+    def test_frames_are_deterministic(self):
+        for message in ROUND_TRIP_CASES:
+            assert encode_message(message) == encode_message(message)
+
+
+class TestRejection:
+    @pytest.mark.parametrize("message", ROUND_TRIP_CASES, ids=_case_id)
+    def test_truncation_anywhere_is_rejected(self, message):
+        frame = encode_message(message)
+        # Every proper prefix must fail loudly, never mis-parse.
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                decode_message(frame[:cut])
+
+    @pytest.mark.parametrize("message", ROUND_TRIP_CASES, ids=_case_id)
+    def test_trailing_garbage_is_rejected(self, message):
+        frame = encode_message(message)
+        with pytest.raises(CodecError):
+            decode_message(frame + b"\x00")
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"", b"\x00", b"hello world, this is not a frame", bytes(64), b"\xff" * 32],
+        ids=["empty", "one-byte", "ascii", "zeros", "ones"],
+    )
+    def test_garbage_is_rejected(self, garbage):
+        with pytest.raises(CodecError):
+            decode_message(garbage)
+
+    def test_bad_magic_is_rejected(self):
+        frame = bytearray(encode_message(ROUND_TRIP_CASES[0]))
+        frame[4] ^= 0xFF
+        with pytest.raises(CodecError, match="magic"):
+            decode_message(bytes(frame))
+
+    def test_future_version_is_rejected(self):
+        frame = bytearray(encode_message(ROUND_TRIP_CASES[0]))
+        frame[6] = 99
+        with pytest.raises(CodecError, match="version"):
+            decode_message(bytes(frame))
+
+    def test_unknown_type_tag_is_rejected(self):
+        frame = bytearray(encode_message(ROUND_TRIP_CASES[0]))
+        frame[7] = 250
+        with pytest.raises(CodecError, match="type tag"):
+            decode_message(bytes(frame))
+
+    def test_lying_length_prefix_is_rejected(self):
+        frame = bytearray(encode_message(ROUND_TRIP_CASES[0]))
+        struct.pack_into("!I", frame, 0, len(frame) + 10)
+        with pytest.raises(CodecError, match="length prefix"):
+            decode_message(bytes(frame))
+
+    def test_absurd_length_prefix_is_rejected_before_parsing(self):
+        frame = bytearray(encode_message(ROUND_TRIP_CASES[0]))
+        struct.pack_into("!I", frame, 0, MAX_FRAME_BYTES + 1)
+        with pytest.raises(CodecError, match="large"):
+            decode_message(bytes(frame))
+
+    def test_member_count_beyond_body_is_rejected(self):
+        # Declare 500 members but carry none: the count field lies.
+        message = AliveMessage(sender_node=0, dest_node=1)
+        frame = bytearray(encode_message(message))
+        struct.pack_into("!H", frame, len(frame) - 2, 500)
+        with pytest.raises(CodecError, match="truncated"):
+            decode_message(bytes(frame))
+
+    def test_unknown_hello_kind_is_rejected_on_encode(self):
+        message = HelloMessage(sender_node=0, dest_node=1, kind="mystery")
+        with pytest.raises(CodecError, match="kind"):
+            encode_message(message)
+
+    def test_unregistered_message_type_is_rejected_on_encode(self):
+        class SecretMessage(Message):
+            pass
+
+        with pytest.raises(CodecError, match="no wire encoding"):
+            encode_message(SecretMessage(sender_node=0, dest_node=1))
+
+
+class TestSizeModel:
+    def test_real_frames_stay_within_the_modelled_ballpark(self):
+        """The analytic payload_bytes model should track real encodings.
+
+        The model is what the simulator charges bandwidth for; the codec is
+        what actually hits the wire.  They need not match exactly (the model
+        predates the codec), but a gross divergence would invalidate the
+        paper's Figure 6 bandwidth comparisons.
+        """
+        for message in ROUND_TRIP_CASES:
+            real = len(encode_message(message))
+            modelled = message.payload_bytes() + 8  # frame header
+            assert real <= 2 * modelled + 32
+            assert modelled <= 2 * real + 32

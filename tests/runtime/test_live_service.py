@@ -1,0 +1,200 @@
+"""The unchanged daemon, live: real asyncio timers and real UDP sockets.
+
+Boots two or three complete LeaderElectionService instances in ONE process
+(so the test stays fast and debuggable), each with its own
+RealtimeScheduler + UdpTransport on a localhost port, and drives a real
+election over real datagrams — then kills the leader (transport closed +
+service shutdown, no goodbyes) and watches the survivors re-elect.
+
+Wall-clock budget: the FD QoS bound is shrunk to 0.4 s so each test
+finishes in a few seconds of real time.
+"""
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.fd.qos import FDQoS
+from repro.net.node import Node
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+from repro.sim.rng import RngRegistry
+
+DETECTION_TIME = 0.4
+GROUP = 1
+
+
+def _free_udp_ports(count):
+    sockets, ports = [], []
+    for _ in range(count):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+        sockets.append(sock)
+        ports.append(sock.getsockname()[1])
+    for sock in sockets:
+        sock.close()
+    return ports
+
+
+class LiveNode:
+    """One in-process daemon with its own scheduler, socket and service."""
+
+    def __init__(self, node_id, addresses):
+        self.node_id = node_id
+        self.addresses = addresses
+        self.leader_views = []
+        self.scheduler = None
+        self.node = None
+        self.transport = None
+        self.service = None
+
+    async def start(self):
+        loop = asyncio.get_running_loop()
+        self.scheduler = RealtimeScheduler(loop)
+        self.node = Node(self.scheduler, self.node_id)
+        self.transport = UdpTransport(self.node_id, self.addresses, self.node.deliver)
+        await self.transport.open()
+        self.service = LeaderElectionService(
+            scheduler=self.scheduler,
+            transport=self.transport,
+            node=self.node,
+            peer_nodes=tuple(self.addresses),
+            config=ServiceConfig(
+                algorithm="omega_lc",
+                default_qos=FDQoS(detection_time=DETECTION_TIME),
+            ),
+            rng=RngRegistry(seed=self.node_id + 1),
+        )
+        self.service.register(self.node_id)
+        self.service.join(
+            self.node_id,
+            GROUP,
+            candidate=True,
+            qos=FDQoS(detection_time=DETECTION_TIME),
+            on_leader_change=lambda g, leader: self.leader_views.append(leader),
+        )
+
+    def kill(self):
+        """A workstation crash: stop everything, send no goodbyes."""
+        self.node.crash()
+        self.service.shutdown()
+        self.transport.close()
+
+    @property
+    def leader(self):
+        return self.service.leader_of(GROUP)
+
+
+async def _wait_for(predicate, timeout):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.02)
+    return predicate()
+
+
+async def _boot(n):
+    ports = _free_udp_ports(n)
+    addresses = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
+    nodes = [LiveNode(i, addresses) for i in range(n)]
+    for node in nodes:
+        await node.start()
+    return nodes
+
+
+def _agreed_leader(nodes):
+    views = {node.leader for node in nodes}
+    if len(views) == 1:
+        (leader,) = views
+        return leader
+    return None
+
+
+@pytest.mark.slow
+class TestLiveElection:
+    def test_three_live_daemons_elect_one_leader(self):
+        async def main():
+            nodes = await _boot(3)
+            try:
+                assert await _wait_for(
+                    lambda: _agreed_leader(nodes) is not None, timeout=8.0
+                ), f"no agreement; views={[n.leader for n in nodes]}"
+                leader = _agreed_leader(nodes)
+                assert leader in (0, 1, 2)
+            finally:
+                for node in nodes:
+                    node.kill()
+
+        asyncio.run(main())
+
+    def test_survivors_reelect_after_leader_crash(self):
+        async def main():
+            nodes = await _boot(3)
+            try:
+                assert await _wait_for(
+                    lambda: _agreed_leader(nodes) is not None, timeout=8.0
+                )
+                leader = _agreed_leader(nodes)
+                nodes[leader].kill()
+                survivors = [n for n in nodes if n.node_id != leader]
+                crash_time = time.monotonic()
+                assert await _wait_for(
+                    lambda: (
+                        _agreed_leader(survivors) is not None
+                        and _agreed_leader(survivors) != leader
+                    ),
+                    timeout=8.0,
+                ), f"no re-election; views={[n.leader for n in survivors]}"
+                reelect = time.monotonic() - crash_time
+                # Live counterpart of the paper's Tr: bounded by the QoS
+                # detection time plus scheduling/propagation slack.
+                assert reelect < 8.0
+            finally:
+                for node in nodes:
+                    if node.service is not None and node.transport.open_for_traffic:
+                        node.kill()
+
+        asyncio.run(main())
+
+    def test_passive_member_tracks_the_leader(self):
+        async def main():
+            ports = _free_udp_ports(2)
+            addresses = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
+            nodes = [LiveNode(i, addresses) for i in range(2)]
+            await nodes[0].start()
+            # Node 1 joins passively: it must adopt node 0 as leader
+            # without ever competing.
+            node = nodes[1]
+            loop = asyncio.get_running_loop()
+            node.scheduler = RealtimeScheduler(loop)
+            node.node = Node(node.scheduler, 1)
+            node.transport = UdpTransport(1, addresses, node.node.deliver)
+            await node.transport.open()
+            node.service = LeaderElectionService(
+                scheduler=node.scheduler,
+                transport=node.transport,
+                node=node.node,
+                peer_nodes=(0, 1),
+                config=ServiceConfig(
+                    algorithm="omega_lc",
+                    default_qos=FDQoS(detection_time=DETECTION_TIME),
+                ),
+                rng=RngRegistry(seed=2),
+            )
+            node.service.register(1)
+            node.service.join(
+                1, GROUP, candidate=False, qos=FDQoS(detection_time=DETECTION_TIME)
+            )
+            try:
+                assert await _wait_for(
+                    lambda: nodes[0].leader == 0 and nodes[1].leader == 0,
+                    timeout=8.0,
+                ), f"views={[n.leader for n in nodes]}"
+            finally:
+                for node in nodes:
+                    node.kill()
+
+        asyncio.run(main())

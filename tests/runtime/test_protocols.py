@@ -1,0 +1,141 @@
+"""Both engines satisfy the runtime protocols; timers are engine-agnostic."""
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.network import Network, NetworkConfig
+from repro.runtime.base import Clock, Scheduler, TimerHandle, Transport
+from repro.runtime.timers import PeriodicTimer, VariableTimer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class TestSimulatedWorld:
+    def test_simulator_is_a_clock_and_scheduler(self, sim):
+        assert isinstance(sim, Clock)
+        assert isinstance(sim, Scheduler)
+
+    def test_simulator_events_are_timer_handles(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert isinstance(handle, TimerHandle)
+        assert handle.time == 1.0
+        assert not handle.cancelled
+        sim.cancel(handle)
+        assert handle.cancelled
+
+    def test_network_is_a_transport(self, sim):
+        network = Network(sim, NetworkConfig(n_nodes=2), RngRegistry(0))
+        assert isinstance(network, Transport)
+
+
+class TestRealtimeWorld:
+    def test_realtime_scheduler_is_a_clock_and_scheduler(self):
+        import asyncio
+
+        from repro.runtime.realtime import RealtimeScheduler
+
+        loop = asyncio.new_event_loop()
+        try:
+            scheduler = RealtimeScheduler(loop)
+            assert isinstance(scheduler, Clock)
+            assert isinstance(scheduler, Scheduler)
+            assert isinstance(scheduler.schedule(10.0, lambda: None), TimerHandle)
+        finally:
+            loop.close()
+
+    def test_udp_transport_is_a_transport(self):
+        from repro.runtime.realtime import UdpTransport
+
+        transport = UdpTransport(0, {0: ("127.0.0.1", 1)}, lambda m: None)
+        assert isinstance(transport, Transport)
+
+
+class FakeScheduler:
+    """A minimal third Scheduler implementation: a hand-cranked list.
+
+    Exists to prove the timers only rely on the protocol surface — if they
+    reached for any Simulator-specific attribute, these tests would fail.
+    """
+
+    class Handle:
+        def __init__(self, time: float, fn: Callable[[], None]) -> None:
+            self.time = time
+            self.fn: Optional[Callable[[], None]] = fn
+            self.cancelled = False
+
+        def cancel(self) -> None:
+            self.cancelled = True
+            self.fn = None
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._pending: List[Tuple[float, int, "FakeScheduler.Handle"]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> "FakeScheduler.Handle":
+        return self.schedule_at(self._now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> "FakeScheduler.Handle":
+        handle = self.Handle(time, fn)
+        self._seq += 1
+        self._pending.append((time, self._seq, handle))
+        return handle
+
+    def cancel(self, handle: Optional["FakeScheduler.Handle"]) -> None:
+        if handle is not None:
+            handle.cancel()
+
+    def run_until(self, time: float) -> None:
+        while True:
+            due = [entry for entry in self._pending if entry[0] <= time]
+            if not due:
+                break
+            due.sort()
+            first = due[0]
+            self._pending.remove(first)
+            fire_time, _, handle = first
+            if handle.cancelled:
+                continue
+            self._now = fire_time
+            fn, handle.fn = handle.fn, None
+            fn()
+        self._now = max(self._now, time)
+
+
+class TestTimersAreEngineAgnostic:
+    def test_fake_scheduler_satisfies_the_protocol(self):
+        assert isinstance(FakeScheduler(), Scheduler)
+
+    def test_periodic_timer_on_a_foreign_scheduler(self):
+        scheduler = FakeScheduler()
+        fired = []
+        timer = PeriodicTimer(scheduler, lambda: 1.0, lambda: fired.append(scheduler.now))
+        timer.start()
+        scheduler.run_until(3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        timer.stop()
+        scheduler.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_variable_timer_on_a_foreign_scheduler(self):
+        scheduler = FakeScheduler()
+        fired = []
+        timer = VariableTimer(scheduler, lambda: fired.append(scheduler.now))
+        timer.set_deadline(2.0)
+        timer.extend_to(4.0)  # lazy: no re-insertion, early fire re-arms
+        scheduler.run_until(3.0)
+        assert fired == []
+        scheduler.run_until(5.0)
+        assert fired == [4.0]
+
+    def test_variable_timer_earlier_deadline_reinserts(self):
+        scheduler = FakeScheduler()
+        fired = []
+        timer = VariableTimer(scheduler, lambda: fired.append(scheduler.now))
+        timer.set_deadline(5.0)
+        timer.set_deadline(1.0)
+        scheduler.run_until(2.0)
+        assert fired == [1.0]

@@ -1,0 +1,179 @@
+"""Realtime engine: asyncio scheduler semantics and UDP transport delivery.
+
+These tests run a real event loop and real localhost sockets, so they use
+small-but-safe real delays; the whole module stays well under a few
+seconds.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.net.message import AccuseMessage, AliveMessage, MemberInfo
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRealtimeScheduler:
+    def test_now_is_epoch_time(self):
+        async def main():
+            scheduler = RealtimeScheduler(asyncio.get_running_loop())
+            assert abs(scheduler.now - time.time()) < 0.5
+
+        run(main())
+
+    def test_schedule_fires_callbacks_in_order(self):
+        async def main():
+            scheduler = RealtimeScheduler(asyncio.get_running_loop())
+            fired = []
+            scheduler.schedule(0.03, lambda: fired.append("b"))
+            scheduler.schedule(0.01, lambda: fired.append("a"))
+            scheduler.schedule_at(scheduler.now + 0.05, lambda: fired.append("c"))
+            await asyncio.sleep(0.12)
+            assert fired == ["a", "b", "c"]
+            assert scheduler.events_executed == 3
+
+        run(main())
+
+    def test_cancel_prevents_firing(self):
+        async def main():
+            scheduler = RealtimeScheduler(asyncio.get_running_loop())
+            fired = []
+            handle = scheduler.schedule(0.02, lambda: fired.append(1))
+            scheduler.cancel(handle)
+            scheduler.cancel(handle)  # idempotent
+            scheduler.cancel(None)  # and None-safe
+            assert handle.cancelled
+            await asyncio.sleep(0.05)
+            assert fired == []
+
+        run(main())
+
+    def test_negative_delay_is_rejected(self):
+        async def main():
+            scheduler = RealtimeScheduler(asyncio.get_running_loop())
+            with pytest.raises(ValueError):
+                scheduler.schedule(-0.1, lambda: None)
+
+        run(main())
+
+    def test_schedule_at_in_the_past_fires_immediately(self):
+        async def main():
+            scheduler = RealtimeScheduler(asyncio.get_running_loop())
+            fired = []
+            scheduler.schedule_at(scheduler.now - 5.0, lambda: fired.append(1))
+            await asyncio.sleep(0.03)
+            assert fired == [1]
+
+        run(main())
+
+
+async def _open_pair():
+    """Two transports on free localhost ports, delivering into lists."""
+    import socket
+
+    ports = []
+    socks = []
+    for _ in range(2):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+        socks.append(sock)
+        ports.append(sock.getsockname()[1])
+    for sock in socks:
+        sock.close()
+    addresses = {0: ("127.0.0.1", ports[0]), 1: ("127.0.0.1", ports[1])}
+    inboxes = ([], [])
+    t0 = await UdpTransport(0, addresses, inboxes[0].append).open()
+    t1 = await UdpTransport(1, addresses, inboxes[1].append).open()
+    return t0, t1, inboxes
+
+
+async def _wait_for(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.005)
+    return predicate()
+
+
+class TestUdpTransport:
+    def test_round_trip_between_two_nodes(self):
+        async def main():
+            t0, t1, inboxes = await _open_pair()
+            try:
+                message = AliveMessage(
+                    sender_node=0, dest_node=1, group=1, pid=0, seq=3,
+                    send_time=123.5, interval=0.25,
+                    members=(MemberInfo(0, 0, 1, True, True, 1.0),),
+                )
+                t0.send(message)
+                assert await _wait_for(lambda: len(inboxes[1]) == 1)
+                assert inboxes[1][0] == message
+                # And the other direction.
+                reply = AccuseMessage(sender_node=1, dest_node=0, group=1,
+                                      accuser=1, accused=0, accused_phase=2)
+                t1.send(reply)
+                assert await _wait_for(lambda: len(inboxes[0]) == 1)
+                assert inboxes[0][0] == reply
+            finally:
+                t0.close()
+                t1.close()
+
+        run(main())
+
+    def test_garbage_datagrams_are_dropped_not_delivered(self):
+        async def main():
+            t0, t1, inboxes = await _open_pair()
+            try:
+                loop = asyncio.get_running_loop()
+                garbage_sender, _ = await loop.create_datagram_endpoint(
+                    asyncio.DatagramProtocol, local_addr=("127.0.0.1", 0)
+                )
+                garbage_sender.sendto(
+                    b"\xde\xad\xbe\xef not a frame", t1._addresses[1]
+                )
+                t0.send(AccuseMessage(sender_node=0, dest_node=1, group=1,
+                                      accuser=0, accused=1, accused_phase=0))
+                assert await _wait_for(lambda: len(inboxes[1]) == 1)
+                assert await _wait_for(lambda: t1.stats.frames_rejected == 1)
+                assert len(inboxes[1]) == 1  # the garbage never surfaced
+                garbage_sender.close()
+            finally:
+                t0.close()
+                t1.close()
+
+        run(main())
+
+    def test_unroutable_destination_is_counted_and_dropped(self):
+        async def main():
+            t0, t1, _ = await _open_pair()
+            try:
+                t0.send(AccuseMessage(sender_node=0, dest_node=77, group=1,
+                                      accuser=0, accused=1, accused_phase=0))
+                assert t0.stats.unroutable == 1
+                assert t0.stats.frames_sent == 0
+            finally:
+                t0.close()
+                t1.close()
+
+        run(main())
+
+    def test_send_after_close_is_a_noop(self):
+        async def main():
+            t0, t1, _ = await _open_pair()
+            t1.close()
+            t0.close()
+            t0.send(AccuseMessage(sender_node=0, dest_node=1, group=1,
+                                  accuser=0, accused=1, accused_phase=0))
+            assert t0.stats.frames_sent == 0
+
+        run(main())
+
+    def test_requires_local_node_in_address_book(self):
+        with pytest.raises(ValueError):
+            UdpTransport(5, {0: ("127.0.0.1", 1)}, lambda m: None)

@@ -115,6 +115,76 @@ class TestCancellation:
         assert not keep.cancelled
 
 
+class TestPendingCountCounter:
+    """pending_count() is a live O(1) counter, exact through every path."""
+
+    def _scan(self, sim):
+        """Ground truth the counter must always agree with."""
+        return sum(1 for e in sim._heap if not e.cancelled and e.fn is not None)
+
+    def test_tracks_schedule_execute_and_cancel(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_count() == 10 == self._scan(sim)
+        sim.cancel(events[0])
+        events[1].cancel()  # both cancellation entry points count
+        assert sim.pending_count() == 8 == self._scan(sim)
+        sim.run_until(5.0)  # fires events 3..5 and skips the two cancelled
+        assert sim.pending_count() == 5 == self._scan(sim)
+        sim.run_until(100.0)
+        assert sim.pending_count() == 0 == self._scan(sim)
+
+    def test_exact_across_compaction(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(300)]
+        for event in events[::2]:
+            sim.cancel(event)
+        assert sim.compactions >= 1
+        assert sim.pending_count() == 150 == self._scan(sim)
+
+    def test_double_cancel_counts_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        event.cancel()
+        assert sim.pending_count() == 0 == self._scan(sim)
+
+    def test_cancel_after_fire_does_not_go_negative(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        sim.cancel(event)
+        event.cancel()
+        assert sim.pending_count() == 0 == self._scan(sim)
+
+    def test_exact_when_read_inside_a_callback(self, sim):
+        observed = []
+        sim.schedule(2.0, lambda: None)
+
+        def probe():
+            observed.append(sim.pending_count())
+
+        sim.schedule(1.0, probe)
+        sim.run_until(3.0)
+        # While probe runs, only the t=2 event is still pending.
+        assert observed == [1]
+
+    def test_exact_after_peek_time_pops_cancelled_heads(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(first)
+        assert sim.peek_time() == 2.0
+        assert sim.pending_count() == 1 == self._scan(sim)
+
+    def test_pending_count_does_not_scan_the_heap(self, sim):
+        """The counter must answer without touching heap entries."""
+        for i in range(50):
+            sim.schedule(float(i + 1), lambda: None)
+        heap = sim._heap
+        sim._heap = None  # a scan would now raise
+        try:
+            assert sim.pending_count() == 50
+        finally:
+            sim._heap = heap
+
+
 class TestCompaction:
     """The batch drain of cancelled entries (Simulator._compact)."""
 
