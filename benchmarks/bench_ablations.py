@@ -146,13 +146,13 @@ def run_flush_cell(urgent_flush, duration, warmup, seed=3):
         host.add_application(app)
         host.start()
         NodeChurnInjector(
-            sim, network.node(node_id), rng.stream(f"churn.node.{node_id}")
+            scheduler=sim, node=network.node(node_id), rng=rng.stream(f"churn.node.{node_id}")
         ).start()
     for link in network.links():
         LinkChurnInjector(
-            sim,
-            link,
-            rng.stream(f"churn.link.{link.src}.{link.dst}"),
+            scheduler=sim,
+            link=link,
+            rng=rng.stream(f"churn.link.{link.src}.{link.dst}"),
             mean_uptime=60.0,
             mean_downtime=3.0,
         ).start()

@@ -143,9 +143,9 @@ def build_cluster(seed=11):
     injectors = []
     for node_id in range(N_NODES):
         injector = NodeChurnInjector(
-            sim,
-            network.node(node_id),
-            rng.stream(f"churn.{node_id}"),
+            scheduler=sim,
+            node=network.node(node_id),
+            rng=rng.stream(f"churn.{node_id}"),
             mean_uptime=120.0,
             mean_downtime=4.0,
         )

@@ -1,0 +1,71 @@
+"""Deterministic chaos harness: scripted adversaries, invariant checkers
+and seed-replayable scenario fuzzing.
+
+The paper's core claim (§5-6) is *stability* — once a leader with a
+well-behaved failure detector is elected, it stays leader despite
+workstation churn, lossy links and link crashes.  The chaos harness
+attacks that claim with adversarial, *scripted* network conditions far
+beyond the two exponential injectors of §6.1:
+
+* :mod:`repro.chaos.script` — a declarative scenario DSL
+  (:class:`ChaosScript`): timed steps like ``partition(groups)``,
+  ``asym_link(a, b)``, ``drop(rate)``, ``duplicate(prob)``,
+  ``reorder(jitter)``, ``clock_drift(node, skew)``, ``churn_burst(k)``,
+  ``heal()``;
+* :mod:`repro.chaos.transport` — :class:`ChaosTransport`, a fault-injecting
+  wrapper over the :class:`~repro.runtime.base.Transport` protocol, so the
+  same script drives the discrete-event simulator and (for the
+  transport-level subset) a live asyncio/UDP cluster;
+* :mod:`repro.chaos.controller` — compiles a script onto a
+  :class:`~repro.runtime.base.Scheduler`, applying each step at its time;
+* :mod:`repro.chaos.invariants` — post-run checkers over the
+  :mod:`repro.metrics.trace` event log: eventual-single-stable-leader,
+  leader validity, bounded re-election latency vs. the FD QoS, and
+  no stable-leadership flapping;
+* :mod:`repro.chaos.run` — build + run one scripted scenario in the
+  simulator and fold the trace into an invariant report;
+* :mod:`repro.chaos.fuzz` — a seeded scenario grammar, an
+  orchestrator-parallel fuzz loop, failure shrinking to a minimal step
+  list, and the bit-identical seed-replay contract
+  (``python -m repro chaos replay --seed S``).
+"""
+
+from repro.chaos.controller import ChaosController, FaultPlane
+from repro.chaos.invariants import InvariantReport, Violation, check_invariants
+from repro.chaos.run import ChaosRunConfig, ChaosRunResult, run_scripted
+from repro.chaos.script import (
+    ChaosScript,
+    ChaosStep,
+    asym_link,
+    churn_burst,
+    clock_drift,
+    drop,
+    duplicate,
+    heal,
+    partition,
+    reorder,
+)
+from repro.chaos.transport import ChaosStats, ChaosTransport
+
+__all__ = [
+    "ChaosController",
+    "ChaosRunConfig",
+    "ChaosRunResult",
+    "ChaosScript",
+    "ChaosStats",
+    "ChaosStep",
+    "ChaosTransport",
+    "FaultPlane",
+    "InvariantReport",
+    "Violation",
+    "asym_link",
+    "check_invariants",
+    "churn_burst",
+    "clock_drift",
+    "drop",
+    "duplicate",
+    "heal",
+    "partition",
+    "reorder",
+    "run_scripted",
+]

@@ -1,0 +1,156 @@
+"""Compiling a ChaosScript onto the Scheduler/Transport protocols.
+
+The controller schedules each step of a script at its time and applies it
+to a :class:`~repro.chaos.transport.ChaosTransport` (transport-level
+steps) and, when available, a :class:`FaultPlane` (host-level steps:
+crashing nodes, skewing clocks).  In the simulator the plane manipulates
+:class:`~repro.net.node.Node` and the per-node
+:class:`~repro.sim.engine.DriftingScheduler` views; a live cluster runs
+with ``plane=None`` and supports the transport-level subset only
+(:attr:`ChaosScript.live_supported` gates that at load time).
+
+Each applied step is stamped into the trace (``chaos`` events), so the
+scenario is part of the run's event log — and therefore part of the
+bit-identical replay digest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.chaos.script import (
+    AsymLink,
+    ChaosScript,
+    ChurnBurst,
+    ClockDrift,
+    Drop,
+    Duplicate,
+    Heal,
+    Partition,
+    Reorder,
+)
+from repro.chaos.transport import ChaosTransport
+from repro.metrics.trace import TraceRecorder
+from repro.runtime.base import Scheduler, TimerHandle
+
+__all__ = ["FaultPlane", "ChaosController"]
+
+
+class FaultPlane(Protocol):
+    """Host-level fault injection: what the transport wrapper cannot do."""
+
+    def node_ids(self) -> Sequence[int]:
+        """All node ids, in a stable order."""
+        ...
+
+    def up_node_ids(self) -> Sequence[int]:
+        """Currently-up node ids, in a stable order."""
+        ...
+
+    def crash_node(self, node_id: int) -> None: ...
+
+    def recover_node(self, node_id: int) -> None: ...
+
+    def set_clock_rate(self, node_id: int, rate: float) -> None: ...
+
+    def resync_clocks(self) -> None: ...
+
+
+class ChaosController:
+    """Applies a script's steps at their scheduled times."""
+
+    def __init__(
+        self,
+        script: ChaosScript,
+        scheduler: Scheduler,
+        transport: ChaosTransport,
+        rng: np.random.Generator,
+        plane: Optional[FaultPlane] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if plane is None and not script.live_supported:
+            unsupported = sorted(
+                {step.name for step in script.steps if step.requires_fault_plane}
+            )
+            raise ValueError(
+                "script needs a FaultPlane for host-level steps "
+                f"({', '.join(unsupported)}) but none was provided"
+            )
+        self.script = script
+        self.scheduler = scheduler
+        self.transport = transport
+        self.plane = plane
+        self._rng = rng
+        self.trace = trace
+        self.steps_applied = 0
+        self._handles: List[TimerHandle] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm every step relative to the scheduler's current time."""
+        if self._started:
+            raise RuntimeError("controller already started")
+        self._started = True
+        for step in self.script.steps:
+            self._handles.append(
+                self.scheduler.schedule(step.at, lambda s=step: self._apply(s))
+            )
+
+    def stop(self) -> None:
+        """Cancel all still-pending steps."""
+        for handle in self._handles:
+            self.scheduler.cancel(handle)
+        self._handles.clear()
+
+    # ------------------------------------------------------------------
+    # Step application
+    # ------------------------------------------------------------------
+    def _apply(self, step) -> None:
+        if isinstance(step, Partition):
+            self.transport.set_partition(step.groups)
+        elif isinstance(step, AsymLink):
+            self.transport.cut_link(step.src, step.dst)
+        elif isinstance(step, Drop):
+            self.transport.set_drop(step.rate)
+        elif isinstance(step, Duplicate):
+            self.transport.set_duplicate(step.prob)
+        elif isinstance(step, Reorder):
+            self.transport.set_reorder(step.jitter)
+        elif isinstance(step, ClockDrift):
+            assert self.plane is not None  # enforced at construction
+            self.plane.set_clock_rate(step.node, 1.0 + step.skew)
+        elif isinstance(step, ChurnBurst):
+            self._apply_burst(step)
+        elif isinstance(step, Heal):
+            self._apply_heal()
+        else:  # pragma: no cover - new step types must be wired here
+            raise TypeError(f"unhandled chaos step {type(step).__name__}")
+        self.steps_applied += 1
+        if self.trace is not None:
+            self.trace.record_chaos(self.scheduler.now, step.describe())
+
+    def _apply_burst(self, step: ChurnBurst) -> None:
+        assert self.plane is not None
+        victims = list(self.plane.up_node_ids())
+        if not victims:
+            return
+        k = min(step.k, len(victims))
+        chosen = self._rng.choice(len(victims), size=k, replace=False)
+        for index in sorted(int(i) for i in chosen):
+            node_id = victims[index]
+            self.plane.crash_node(node_id)
+            self.scheduler.schedule(
+                step.downtime, lambda n=node_id: self.plane.recover_node(n)
+            )
+
+    def _apply_heal(self) -> None:
+        self.transport.heal()
+        if self.plane is not None:
+            self.plane.resync_clocks()
+            for node_id in self.plane.node_ids():
+                self.plane.recover_node(node_id)

@@ -1,0 +1,369 @@
+"""Post-run invariant checkers over the experiment trace.
+
+Every chaos run ends with a ``heal()`` followed by a settle window; the
+checkers measure what the paper's §5 properties *guarantee* once the
+network is nominal again, which keeps them sound under arbitrarily
+hostile mid-run conditions (during a partition "eventually one leader"
+is simply not decidable, so nothing is asserted there).
+
+Four invariants, all folded from :func:`repro.metrics.leadership.leader_intervals`
+and the raw event list:
+
+* **single-stable-leader** — by the end of the run the group has one
+  commonly-agreed alive leader, held for at least ``hold`` seconds.
+* **bounded-reelection** — the post-heal stabilization (start of the
+  first interval that reaches ``hold``) happens within
+  ``stabilize_bound`` seconds of the heal.  The default bound derives
+  from the FD QoS: the detection time bounds how fast a crashed or
+  partitioned-away leader is noticed, gossip spreads membership within a
+  few HELLO periods, and the estimator needs a handful of reconfiguration
+  rounds to wash adversarial samples out of its windows.
+* **no-flapping** — once stabilized after the heal, leadership never
+  changes again (a stable leader that is demoted without cause is exactly
+  the paper's "unjustified demotion", λu).
+* **leader-validity** — no *alive* process keeps a crashed leader in its
+  view longer than ``validity_bound`` seconds past the crash.  Detecting
+  a dead leader needs no connectivity at all — a crashed process sends no
+  ALIVEs, so every viewer's local failure detector must fire within its
+  detection budget even mid-partition — which is what lets this checker
+  run against the chaos window itself, not just the settle phase.  It is
+  the checker that catches a disabled-demotion regression even when the
+  crashed leader later reboots and the group looks healthy again by the
+  end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.fd.qos import FDQoS
+from repro.metrics.leadership import leader_intervals
+from repro.metrics.trace import TraceEvent
+
+__all__ = [
+    "Violation",
+    "InvariantReport",
+    "default_stabilize_bound",
+    "default_validity_bound",
+    "check_invariants",
+]
+
+#: Invariant names, in the order they are checked and reported.
+INVARIANTS = (
+    "single-stable-leader",
+    "bounded-reelection",
+    "no-flapping",
+    "leader-validity",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored at the time it became undeniable."""
+
+    invariant: str
+    time: float
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"invariant": self.invariant, "time": self.time, "detail": self.detail}
+
+
+@dataclass
+class InvariantReport:
+    """The verdict of every checker over one run."""
+
+    end_time: float
+    heal_time: float
+    violations: List[Violation] = field(default_factory=list)
+    #: Start of the first post-heal interval that reached ``hold`` (None =
+    #: the run never stabilized).
+    stabilized_at: Optional[float] = None
+    final_leader: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "end_time": self.end_time,
+            "heal_time": self.heal_time,
+            "stabilized_at": self.stabilized_at,
+            "final_leader": self.final_leader,
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+
+def default_stabilize_bound(qos: FDQoS, hello_period: float = 1.0) -> float:
+    """How long post-heal re-stabilization may take, from the FD QoS.
+
+    Detection of stale state takes up to one detection time; spreading the
+    resulting accusations and membership repairs a few HELLO periods; and
+    the link-quality estimator needs reconfiguration rounds (the service
+    re-runs the configurator every 5 s) to unlearn the chaos window.  The
+    constants are deliberately generous — an invariant checker used as a
+    CI gate must never flake on a healthy run — while staying far below
+    the settle windows the fuzzer grants (so a genuinely wedged election
+    is still caught long before the run ends).
+    """
+    return 20.0 * qos.detection_time + 10.0 * hello_period + 15.0
+
+
+def default_validity_bound(qos: FDQoS, hello_period: float = 1.0) -> float:
+    """How long an alive process may keep a *crashed* leader in its view.
+
+    The local FD suspects a silent sender within one detection time; the
+    generous multiple absorbs trust-seeding grace windows (HELLO replies
+    grant a rebooting monitor one extra detection budget), reorder jitter
+    re-delivering pre-crash ALIVEs, and drifted local clocks."""
+    return 10.0 * qos.detection_time + 5.0 * hello_period + 5.0
+
+
+def check_invariants(
+    events: Iterable[TraceEvent],
+    *,
+    group: int,
+    end_time: float,
+    heal_time: float,
+    qos: Optional[FDQoS] = None,
+    hold: float = 15.0,
+    stabilize_bound: Optional[float] = None,
+    validity_bound: Optional[float] = None,
+    hello_period: float = 1.0,
+) -> InvariantReport:
+    """Run every invariant checker; returns the collected report.
+
+    ``heal_time`` is when the scenario returned to nominal (the script's
+    last heal); ``hold`` is how long an agreed leader must persist to
+    count as stable.  Bounds default from the FD ``qos``.
+    """
+    if end_time <= heal_time:
+        raise ValueError(
+            f"end_time {end_time} must leave a settle window after heal {heal_time}"
+        )
+    qos = qos if qos is not None else FDQoS()
+    if stabilize_bound is None:
+        stabilize_bound = default_stabilize_bound(qos, hello_period)
+    if validity_bound is None:
+        validity_bound = default_validity_bound(qos, hello_period)
+
+    events = list(events)
+    report = InvariantReport(end_time=end_time, heal_time=heal_time)
+    intervals = leader_intervals(events, group, end_time)
+
+    # --- single-stable-leader -----------------------------------------
+    final = intervals[-1] if intervals else None
+    if final is None or final.end < end_time:
+        report.violations.append(
+            Violation(
+                invariant="single-stable-leader",
+                time=end_time,
+                detail="no commonly-agreed alive leader at the end of the run",
+            )
+        )
+    elif final.duration < hold:
+        report.violations.append(
+            Violation(
+                invariant="single-stable-leader",
+                time=end_time,
+                detail=(
+                    f"final leader {final.leader} held only {final.duration:.2f}s "
+                    f"(< hold {hold:.2f}s)"
+                ),
+            )
+        )
+    else:
+        report.final_leader = final.leader
+
+    # --- bounded-reelection + no-flapping ------------------------------
+    # The first post-heal interval that reaches `hold` marks stabilization.
+    # An interval spanning the heal counts from the heal itself (the
+    # leader rode out the chaos — stabilization cost zero).
+    stabilized_at: Optional[float] = None
+    stable_index: Optional[int] = None
+    for index, interval in enumerate(intervals):
+        if interval.end <= heal_time:
+            continue
+        effective_start = max(interval.start, heal_time)
+        if interval.end - effective_start >= hold or (
+            interval.end >= end_time and index == len(intervals) - 1
+        ):
+            stabilized_at = effective_start
+            stable_index = index
+            break
+    report.stabilized_at = stabilized_at
+
+    if stabilized_at is None:
+        report.violations.append(
+            Violation(
+                invariant="bounded-reelection",
+                time=end_time,
+                detail=(
+                    f"no stable leader within {end_time - heal_time:.2f}s of the "
+                    f"heal (bound {stabilize_bound:.2f}s)"
+                ),
+            )
+        )
+    elif stabilized_at - heal_time > stabilize_bound:
+        report.violations.append(
+            Violation(
+                invariant="bounded-reelection",
+                time=stabilized_at,
+                detail=(
+                    f"re-election took {stabilized_at - heal_time:.2f}s after the "
+                    f"heal (bound {stabilize_bound:.2f}s from FD QoS "
+                    f"T_D={qos.detection_time}s)"
+                ),
+            )
+        )
+
+    if stable_index is not None:
+        stable_leader = intervals[stable_index].leader
+        for interval in intervals[stable_index + 1 :]:
+            report.violations.append(
+                Violation(
+                    invariant="no-flapping",
+                    time=interval.start,
+                    detail=(
+                        f"leadership moved from {stable_leader} to "
+                        f"{interval.leader} at t={interval.start:.2f} after the "
+                        f"group had stabilized at t={stabilized_at:.2f}"
+                    ),
+                )
+            )
+        if intervals[stable_index].end < end_time and not intervals[
+            stable_index + 1 :
+        ]:
+            report.violations.append(
+                Violation(
+                    invariant="no-flapping",
+                    time=intervals[stable_index].end,
+                    detail=(
+                        f"stable leader {stable_leader} was lost at "
+                        f"t={intervals[stable_index].end:.2f} and never replaced"
+                    ),
+                )
+            )
+
+    # --- leader-validity ----------------------------------------------
+    report.violations.extend(
+        _check_leader_validity(
+            events,
+            group=group,
+            end_time=end_time,
+            bound=validity_bound,
+        )
+    )
+
+    report.violations.sort(key=lambda violation: (violation.time, violation.invariant))
+    return report
+
+
+def _check_leader_validity(
+    events: List[TraceEvent],
+    *,
+    group: int,
+    end_time: float,
+    bound: float,
+) -> List[Violation]:
+    """Alive processes must drop a crashed leader from their view in time.
+
+    For every (viewer, dead leader) pair a deadline is armed at
+    ``crash_time + bound``.  No heal gating is needed: a dead leader
+    sends nothing, so the viewer's *local* failure detector starves and
+    fires regardless of partitions or cuts between the viewer and the
+    rest of the group.  The deadline clears when the viewer changes its
+    view, crashes itself, or the leader's process rejoins (the view
+    became valid again).
+    """
+    relevant = sorted(
+        (e for e in events if e.group == group or e.group is None),
+        key=lambda e: e.time,
+    )
+    views: Dict[int, Optional[int]] = {}
+    pid_to_node: Dict[int, int] = {}
+    node_pids: Dict[int, set] = {}
+    process_up: Dict[int, bool] = {}
+    deadlines: Dict[int, float] = {}  # viewer pid -> deadline
+    stale_leader: Dict[int, int] = {}  # viewer pid -> the dead leader it trusts
+    violations: List[Violation] = []
+
+    def arm(viewer: int, leader: int, when: float) -> None:
+        deadlines[viewer] = when + bound
+        stale_leader[viewer] = leader
+
+    def clear(viewer: int) -> None:
+        deadlines.pop(viewer, None)
+        stale_leader.pop(viewer, None)
+
+    def flush(now: float) -> None:
+        for viewer, deadline in list(deadlines.items()):
+            if now > deadline:
+                violations.append(
+                    Violation(
+                        invariant="leader-validity",
+                        time=deadline,
+                        detail=(
+                            f"process {viewer} still viewed crashed leader "
+                            f"{stale_leader[viewer]} at t={deadline:.2f} "
+                            f"(bound {bound:.2f}s)"
+                        ),
+                    )
+                )
+                clear(viewer)
+
+    for event in relevant:
+        if event.time > end_time:
+            break
+        flush(event.time)
+        if event.kind == "join":
+            pid_to_node[event.pid] = event.node
+            node_pids.setdefault(event.node, set()).add(event.pid)
+            process_up[event.pid] = True
+            views[event.pid] = None
+            clear(event.pid)
+            # The rejoined process is a valid leader again for its viewers.
+            for viewer, leader in list(stale_leader.items()):
+                if leader == event.pid:
+                    clear(viewer)
+        elif event.kind == "view":
+            views[event.pid] = event.leader
+            clear(event.pid)
+            if (
+                event.leader is not None
+                and not process_up.get(event.leader, False)
+                and event.leader in pid_to_node
+                and process_up.get(event.pid, False)
+            ):
+                arm(event.pid, event.leader, event.time)
+        elif event.kind == "crash":
+            dead_pids = node_pids.get(event.node, set())
+            for pid in dead_pids:
+                process_up[pid] = False
+                clear(pid)  # a dead viewer owes nothing
+            for pid in dead_pids:
+                for viewer, view in views.items():
+                    if (
+                        view == pid
+                        and viewer not in dead_pids
+                        and process_up.get(viewer, False)
+                    ):
+                        arm(viewer, pid, event.time)
+
+    flush(end_time)
+    for viewer, deadline in deadlines.items():
+        if deadline < end_time:  # pragma: no cover - caught by flush above
+            violations.append(
+                Violation(
+                    invariant="leader-validity",
+                    time=deadline,
+                    detail=(
+                        f"process {viewer} still viewed crashed leader "
+                        f"{stale_leader[viewer]} at end of run"
+                    ),
+                )
+            )
+    return violations

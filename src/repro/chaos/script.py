@@ -1,0 +1,333 @@
+"""The declarative chaos-scenario DSL.
+
+A :class:`ChaosScript` is an ordered list of timed steps plus a total
+duration.  Steps are plain frozen dataclasses, so a script is a *value*:
+it serializes losslessly to JSON (for artifacts and replay files), it
+hashes stably, and shrinking a failing script is just list surgery.
+
+Two families of steps:
+
+* **transport-level** — partition, asym_link, drop, duplicate, reorder:
+  they only reconfigure the fault-injecting
+  :class:`~repro.chaos.transport.ChaosTransport` and therefore run
+  unchanged against the simulator *and* a live UDP cluster;
+* **host-level** — churn_burst, clock_drift: they need a
+  :class:`~repro.chaos.controller.FaultPlane` (crash/recover nodes, skew
+  clocks) and are simulator-only today.
+
+``heal()`` returns the world to nominal: all overlays cleared, all nodes
+recovered, all clocks resynced.  Every well-formed adversarial script ends
+with a heal followed by a settle window — the invariant checkers measure
+stabilization *after* the last heal, which keeps them sound under
+arbitrarily hostile mid-run conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "ChaosStep",
+    "Partition",
+    "AsymLink",
+    "Drop",
+    "Duplicate",
+    "Reorder",
+    "ClockDrift",
+    "ChurnBurst",
+    "Heal",
+    "ChaosScript",
+    "partition",
+    "asym_link",
+    "drop",
+    "duplicate",
+    "reorder",
+    "clock_drift",
+    "churn_burst",
+    "heal",
+]
+
+
+@dataclass(frozen=True)
+class ChaosStep:
+    """Base of every scripted step; ``at`` is seconds from scenario start."""
+
+    at: float
+
+    #: Step name on the wire (JSON) and in trace labels.
+    name = "step"
+    #: True when applying the step needs a FaultPlane (simulator-only).
+    requires_fault_plane = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"step time must be >= 0 (got {self.at})")
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if f.name != "at"
+        )
+        return f"{self.name}({params})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"step": self.name}
+        for f in fields(self):
+            record[f.name] = getattr(self, f.name)
+        return record
+
+
+@dataclass(frozen=True)
+class Partition(ChaosStep):
+    """Split the cluster into isolated components.
+
+    ``groups`` lists the components as tuples of node ids; nodes not named
+    in any group form one implicit remainder component.  Messages cross
+    component boundaries in neither direction.  A later partition replaces
+    the current one.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    name = "partition"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.groups:
+            raise ValueError("partition needs at least one group")
+        seen: set = set()
+        for group in self.groups:
+            for node in group:
+                if node in seen:
+                    raise ValueError(f"node {node} appears in two partition groups")
+                seen.add(node)
+
+
+@dataclass(frozen=True)
+class AsymLink(ChaosStep):
+    """Cut the directed link ``src`` → ``dst`` (the reverse stays up).
+
+    The paper's link-crash model (§6.1, footnote 5) already drops one
+    direction; this step makes the asymmetry *scripted* and persistent,
+    the adversarial case PALE's evaluation singles out.
+    """
+
+    src: int = 0
+    dst: int = 1
+    name = "asym_link"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.src == self.dst:
+            raise ValueError("asym_link needs two distinct nodes")
+
+
+@dataclass(frozen=True)
+class Drop(ChaosStep):
+    """Drop every message independently with probability ``rate``.
+
+    Applies on top of whatever the underlying links already lose — a
+    cluster-wide lossy overlay.
+    """
+
+    rate: float = 0.1
+    name = "drop"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1] (got {self.rate})")
+
+
+@dataclass(frozen=True)
+class Duplicate(ChaosStep):
+    """Duplicate every message with probability ``prob`` (UDP does this)."""
+
+    prob: float = 0.5
+    name = "duplicate"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"duplicate prob must be in [0, 1] (got {self.prob})")
+
+
+@dataclass(frozen=True)
+class Reorder(ChaosStep):
+    """Delay each message by an extra uniform(0, ``jitter``) seconds.
+
+    Independent per-message delays reorder messages in flight — the
+    adversarial amplification of the paper's exponential link delays.
+    """
+
+    jitter: float = 0.5
+    name = "reorder"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.jitter < 0:
+            raise ValueError(f"reorder jitter must be >= 0 (got {self.jitter})")
+
+
+@dataclass(frozen=True)
+class ClockDrift(ChaosStep):
+    """Run ``node``'s clock at rate ``1 + skew`` (skew 0.01 = 1% fast).
+
+    Attacks NFD-S's synchronized-clock assumption through the per-node
+    :class:`~repro.sim.engine.DriftingScheduler` views.
+    """
+
+    node: int = 0
+    skew: float = 0.01
+    name = "clock_drift"
+    requires_fault_plane = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.skew <= -1.0:
+            raise ValueError(f"skew must keep the clock rate positive (got {self.skew})")
+
+
+@dataclass(frozen=True)
+class ChurnBurst(ChaosStep):
+    """Crash ``k`` randomly-chosen up nodes at once; each recovers after
+    ``downtime`` seconds.
+
+    The correlated-failure counterpart of §6.1's independent exponential
+    workstation churn (a rack power event, not a lone reboot).
+    """
+
+    k: int = 1
+    downtime: float = 3.0
+    name = "churn_burst"
+    requires_fault_plane = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.k < 1:
+            raise ValueError(f"churn_burst needs k >= 1 (got {self.k})")
+        if self.downtime <= 0:
+            raise ValueError(f"downtime must be positive (got {self.downtime})")
+
+
+@dataclass(frozen=True)
+class Heal(ChaosStep):
+    """Return the world to nominal: clear every transport overlay, recover
+    every crashed node, resync every clock."""
+
+    name = "heal"
+
+
+_STEP_TYPES: Dict[str, Type[ChaosStep]] = {
+    cls.name: cls
+    for cls in (Partition, AsymLink, Drop, Duplicate, Reorder, ClockDrift, ChurnBurst, Heal)
+}
+
+
+@dataclass(frozen=True)
+class ChaosScript:
+    """An ordered, timed chaos scenario over ``[0, duration]`` seconds."""
+
+    steps: Tuple[ChaosStep, ...]
+    duration: float
+    #: Free-form provenance (e.g. the fuzz case seed that generated it).
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive (got {self.duration})")
+        times = [step.at for step in self.steps]
+        if times != sorted(times):
+            raise ValueError("steps must be ordered by time")
+        if times and times[-1] > self.duration:
+            raise ValueError(
+                f"last step at t={times[-1]} exceeds duration {self.duration}"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def heal_time(self) -> Optional[float]:
+        """Time of the last heal step, or None if the script never heals."""
+        for step in reversed(self.steps):
+            if isinstance(step, Heal):
+                return step.at
+        return None
+
+    @property
+    def live_supported(self) -> bool:
+        """True when every step runs against a bare Transport (no FaultPlane)."""
+        return not any(step.requires_fault_plane for step in self.steps)
+
+    def without_step(self, index: int) -> "ChaosScript":
+        """A copy with step ``index`` removed (the shrinker's move)."""
+        remaining = tuple(
+            step for i, step in enumerate(self.steps) if i != index
+        )
+        return ChaosScript(steps=remaining, duration=self.duration, comment=self.comment)
+
+    # ------------------------------------------------------------------
+    # Serialization (artifacts, replay files, shrunken repro scripts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "duration": self.duration,
+            "comment": self.comment,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "ChaosScript":
+        steps: List[ChaosStep] = []
+        for raw in record.get("steps", ()):
+            raw = dict(raw)
+            name = raw.pop("step", None)
+            step_type = _STEP_TYPES.get(name)
+            if step_type is None:
+                raise ValueError(f"unknown chaos step {name!r}")
+            if name == "partition":
+                raw["groups"] = tuple(tuple(group) for group in raw.get("groups", ()))
+            steps.append(step_type(**raw))
+        return cls(
+            steps=tuple(steps),
+            duration=float(record["duration"]),
+            comment=str(record.get("comment", "")),
+        )
+
+
+# ----------------------------------------------------------------------
+# Builder functions — the DSL surface the ISSUE and README advertise.
+# ----------------------------------------------------------------------
+def partition(at: float, groups) -> Partition:
+    """``partition(t, [[0,1,2], [3,4,5]])`` — split into components at t."""
+    return Partition(at=at, groups=tuple(tuple(group) for group in groups))
+
+
+def asym_link(at: float, src: int, dst: int) -> AsymLink:
+    return AsymLink(at=at, src=src, dst=dst)
+
+
+def drop(at: float, rate: float) -> Drop:
+    return Drop(at=at, rate=rate)
+
+
+def duplicate(at: float, prob: float) -> Duplicate:
+    return Duplicate(at=at, prob=prob)
+
+
+def reorder(at: float, jitter: float) -> Reorder:
+    return Reorder(at=at, jitter=jitter)
+
+
+def clock_drift(at: float, node: int, skew: float) -> ClockDrift:
+    return ClockDrift(at=at, node=node, skew=skew)
+
+
+def churn_burst(at: float, k: int, downtime: float = 3.0) -> ChurnBurst:
+    return ChurnBurst(at=at, k=k, downtime=downtime)
+
+
+def heal(at: float) -> Heal:
+    return Heal(at=at)

@@ -9,6 +9,8 @@ Subcommands::
         --ports 47001,47002,47003                 # one daemon (used by live)
     python -m repro.cli experiment ...            # forwarded verbatim to
                                                   # repro.experiments.cli
+    python -m repro.cli chaos fuzz --runs 50      # forwarded verbatim to
+                                                  # repro.chaos.cli
 
 ``live`` is the quickest way to see the paper's service as a *service*:
 real daemons, real UDP datagrams, a real ``kill -9`` of the leader, and a
@@ -98,10 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit voluntarily after this many seconds (default: run forever)",
     )
+    node.add_argument(
+        "--chaos-script",
+        type=Path,
+        default=None,
+        help="ChaosScript JSON applied to this node's transport "
+        "(transport-level steps only)",
+    )
 
     sub.add_parser(
         "experiment",
         help="simulated experiments (all further args go to repro.experiments.cli)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "chaos",
+        help="chaos harness: scripted scenarios, invariant checks, "
+        "seed-replayable fuzzing (all further args go to repro.chaos.cli)",
         add_help=False,
     )
     return parser
@@ -138,8 +153,8 @@ def _run_node(args: argparse.Namespace) -> int:
         print(f"--ports must be comma-separated integers (got {args.ports!r})",
               file=sys.stderr)
         return 2
-    return node_main(
-        LiveNodeConfig(
+    try:
+        config = LiveNodeConfig(
             node_id=args.node_id,
             ports=ports,
             host=args.host,
@@ -148,19 +163,30 @@ def _run_node(args: argparse.Namespace) -> int:
             detection_time=args.detection_time,
             fd_variant=args.fd_variant,
             duration=args.duration,
+            chaos_script=args.chaos_script,
         )
-    )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return node_main(config)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # `experiment` forwards everything (including --help) verbatim.
+    # `experiment` and `chaos` forward everything (including --help) verbatim.
     if argv and argv[0] == "experiment":
         from repro.experiments.cli import main as experiment_main
 
         return experiment_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    if argv and argv[0] == "chaos":
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "live":
+        if args.nodes < 2:
+            parser.error(f"--nodes must be >= 2 (got {args.nodes})")
         return _run_live(args)
     return _run_node(args)
 

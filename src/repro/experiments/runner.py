@@ -15,8 +15,8 @@ reflect the steady state (the paper measures long steady-state runs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
 from repro.core.api import Application, ServiceHost
 from repro.core.service import ServiceConfig
@@ -28,10 +28,15 @@ from repro.metrics.usage import UsageReport
 from repro.net.faults import LinkChurnInjector, NodeChurnInjector
 from repro.net.links import LinkConfig
 from repro.net.network import Network, NetworkConfig
+from repro.runtime.base import Scheduler, Transport
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
 __all__ = ["ExperimentResult", "run_experiment", "build_system", "System"]
+
+#: Hook signatures for chaos builds (see :func:`build_system`).
+TransportWrapper = Callable[[Network, Simulator, RngRegistry], Transport]
+NodeSchedulerFactory = Callable[[int, Simulator], Scheduler]
 
 
 @dataclass
@@ -47,6 +52,12 @@ class System:
     apps: List[Application]
     node_injectors: List[NodeChurnInjector]
     link_injectors: List[LinkChurnInjector]
+    #: What the daemons actually send through — the bare network, or a
+    #: chaos wrapper around it (see ``transport_wrapper`` in build_system).
+    transport: Optional[Transport] = None
+    #: The scheduler each daemon sees — the shared simulator, or a
+    #: per-node drifting clock view in chaos builds.
+    node_schedulers: Dict[int, Scheduler] = field(default_factory=dict)
 
 
 @dataclass
@@ -71,8 +82,24 @@ class ExperimentResult:
         return self.leadership.mistake_rate
 
 
-def build_system(config: ExperimentConfig) -> System:
-    """Wire up the simulated deployment described by ``config``."""
+def build_system(
+    config: ExperimentConfig,
+    *,
+    transport_wrapper: Optional[TransportWrapper] = None,
+    node_scheduler_factory: Optional[NodeSchedulerFactory] = None,
+) -> System:
+    """Wire up the simulated deployment described by ``config``.
+
+    The two hooks exist for the chaos harness (and stay None for the
+    paper's experiments):
+
+    * ``transport_wrapper(network, sim, rng)`` — returns the Transport the
+      daemons send through (e.g. a fault-injecting
+      :class:`~repro.chaos.transport.ChaosTransport` around the network);
+    * ``node_scheduler_factory(node_id, sim)`` — returns the Scheduler each
+      daemon sees (e.g. a per-node
+      :class:`~repro.sim.engine.DriftingScheduler` clock view).
+    """
     sim = Simulator()
     rng = RngRegistry(config.seed)
     link_config = LinkConfig(
@@ -84,6 +111,17 @@ def build_system(config: ExperimentConfig) -> System:
     network = Network(
         sim, NetworkConfig(n_nodes=config.n_nodes, default_link=link_config), rng
     )
+    transport: Transport = (
+        transport_wrapper(network, sim, rng) if transport_wrapper is not None else network
+    )
+    node_schedulers: Dict[int, Scheduler] = {
+        node_id: (
+            node_scheduler_factory(node_id, sim)
+            if node_scheduler_factory is not None
+            else sim
+        )
+        for node_id in range(config.n_nodes)
+    }
     trace = TraceRecorder()
     cache = ConfiguratorCache()
     service_config = ServiceConfig(
@@ -96,8 +134,8 @@ def build_system(config: ExperimentConfig) -> System:
     start_stream = rng.stream("experiment.start_stagger")
     for node_id in range(config.n_nodes):
         host = ServiceHost(
-            scheduler=sim,
-            transport=network,
+            scheduler=node_schedulers[node_id],
+            transport=transport,
             node=network.node(node_id),
             peer_nodes=peer_nodes,
             config=service_config,
@@ -117,9 +155,9 @@ def build_system(config: ExperimentConfig) -> System:
     if config.node_churn:
         for node_id in range(config.n_nodes):
             injector = NodeChurnInjector(
-                sim,
-                network.node(node_id),
-                rng.stream(f"churn.node.{node_id}"),
+                scheduler=sim,
+                node=network.node(node_id),
+                rng=rng.stream(f"churn.node.{node_id}"),
                 mean_uptime=config.node_mttf,
                 mean_downtime=config.node_mttr,
             )
@@ -130,9 +168,9 @@ def build_system(config: ExperimentConfig) -> System:
     if config.link_mttf is not None:
         for link in network.links():
             injector = LinkChurnInjector(
-                sim,
-                link,
-                rng.stream(f"churn.link.{link.src}.{link.dst}"),
+                scheduler=sim,
+                link=link,
+                rng=rng.stream(f"churn.link.{link.src}.{link.dst}"),
                 mean_uptime=config.link_mttf,
                 mean_downtime=config.link_mttr,
             )
@@ -149,6 +187,8 @@ def build_system(config: ExperimentConfig) -> System:
         apps=apps,
         node_injectors=node_injectors,
         link_injectors=link_injectors,
+        transport=transport,
+        node_schedulers=node_schedulers,
     )
 
 

@@ -14,17 +14,20 @@ The paper evaluates the service with three leader-election QoS metrics (its
 
 from repro.metrics.leadership import (
     DemotionEvent,
+    LeaderInterval,
     LeadershipMetrics,
     RecoverySample,
     analyze_leadership,
+    leader_intervals,
 )
 from repro.metrics.stats import Summary, mean_confidence_interval, summarize
-from repro.metrics.trace import TraceEvent, TraceRecorder
+from repro.metrics.trace import TraceEvent, TraceRecorder, trace_digest
 from repro.metrics.usage import CostModel, UsageMeter, UsageReport
 
 __all__ = [
     "CostModel",
     "DemotionEvent",
+    "LeaderInterval",
     "LeadershipMetrics",
     "RecoverySample",
     "Summary",
@@ -33,6 +36,8 @@ __all__ = [
     "UsageMeter",
     "UsageReport",
     "analyze_leadership",
+    "leader_intervals",
     "mean_confidence_interval",
     "summarize",
+    "trace_digest",
 ]

@@ -39,7 +39,9 @@ __all__ = [
     "RecoverySample",
     "DemotionEvent",
     "LeadershipMetrics",
+    "LeaderInterval",
     "analyze_leadership",
+    "leader_intervals",
 ]
 
 
@@ -158,6 +160,76 @@ def _common_leader(
     if info is None or not info[1] or not process_up.get(leader, False):
         return None
     return leader
+
+
+@dataclass(frozen=True)
+class LeaderInterval:
+    """A maximal interval during which the group had one common leader."""
+
+    start: float
+    end: float
+    leader: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def leader_intervals(
+    events: Iterable[TraceEvent], group: int, end_time: float
+) -> List[LeaderInterval]:
+    """Maximal common-leader intervals of ``group`` over ``[0, end_time]``.
+
+    The predicate is the paper's (the same one :func:`analyze_leadership`
+    integrates for availability): at each instant either the group has one
+    commonly-agreed, alive, present leader — an interval — or it has none.
+    The chaos invariant checkers consume this view directly: stability,
+    flapping and re-election latency are all statements about the interval
+    list.
+    """
+    relevant = sorted(
+        (e for e in events if e.group == group or e.group is None),
+        key=lambda e: e.time,
+    )
+    membership: Dict[int, Tuple[int, bool]] = {}
+    process_up: Dict[int, bool] = {}
+    views: Dict[int, Optional[int]] = {}
+    pid_to_node: Dict[int, int] = {}
+    node_pids: Dict[int, set] = {}
+
+    intervals: List[LeaderInterval] = []
+    current: Optional[int] = None
+    started = 0.0
+
+    for event in relevant:
+        if event.time > end_time:
+            break
+        if event.kind == "view":
+            views[event.pid] = event.leader
+        elif event.kind == "join":
+            membership[event.pid] = (event.node, True)
+            pid_to_node[event.pid] = event.node
+            node_pids.setdefault(event.node, set()).add(event.pid)
+            process_up[event.pid] = True
+            views[event.pid] = None
+        elif event.kind == "leave":
+            node = pid_to_node.get(event.pid, 0)
+            membership[event.pid] = (node, False)
+        elif event.kind == "crash":
+            for pid in node_pids.get(event.node, ()):
+                process_up[pid] = False
+
+        new_leader = _common_leader(membership, process_up, views)
+        if new_leader == current:
+            continue
+        if current is not None and event.time > started:
+            intervals.append(LeaderInterval(started, event.time, current))
+        current = new_leader
+        started = event.time
+
+    if current is not None and end_time > started:
+        intervals.append(LeaderInterval(started, end_time, current))
+    return intervals
 
 
 def analyze_leadership(

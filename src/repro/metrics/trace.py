@@ -11,15 +11,23 @@ Event kinds:
 * ``view``    — process ``pid``'s leader view in ``group`` became ``leader``
   (None = no leader known);
 * ``join``/``leave`` — process ``pid`` (on ``node``) entered/left ``group``;
-* ``crash``/``recover`` — workstation ``node`` went down/came back.
+* ``crash``/``recover`` — workstation ``node`` went down/came back;
+* ``chaos``   — a chaos-script step was applied (``label`` describes it).
+
+A trace can be folded into one :func:`trace_digest` — a SHA-256 over a
+canonical rendering of every event, ``repr``-exact on the float timestamps.
+Two runs whose digests match produced bit-identical event traces, which is
+the replay contract the chaos fuzzer (``repro chaos replay --seed S``)
+verifies.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = ["TraceEvent", "TraceRecorder", "trace_digest"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +40,24 @@ class TraceEvent:
     pid: Optional[int] = None
     node: Optional[int] = None
     leader: Optional[int] = None
+    #: Free-form annotation; used by ``chaos`` events to name the step.
+    label: Optional[str] = None
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """A SHA-256 digest over the canonical rendering of ``events``.
+
+    ``repr`` round-trips floats exactly, so two traces share a digest iff
+    every event matches bit-for-bit (timestamps included) in order.
+    """
+    hasher = hashlib.sha256()
+    for event in events:
+        line = (
+            f"{event.time!r}|{event.kind}|{event.group}|{event.pid}"
+            f"|{event.node}|{event.leader}|{event.label}\n"
+        )
+        hasher.update(line.encode("utf-8"))
+    return hasher.hexdigest()
 
 
 class TraceRecorder:
@@ -70,6 +96,10 @@ class TraceRecorder:
     def record_recover(self, time: float, node: int) -> None:
         self.events.append(TraceEvent(time=time, kind="recover", node=node))
 
+    def record_chaos(self, time: float, label: str) -> None:
+        """A chaos-script step was applied (partition, drop, heal, ...)."""
+        self.events.append(TraceEvent(time=time, kind="chaos", label=label))
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -86,6 +116,10 @@ class TraceRecorder:
             if event.group is not None and event.group not in seen:
                 seen.append(event.group)
         return seen
+
+    def digest(self) -> str:
+        """The :func:`trace_digest` of everything recorded so far."""
+        return trace_digest(self.events)
 
     def __len__(self) -> int:
         return len(self.events)

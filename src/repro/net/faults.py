@@ -32,7 +32,7 @@ class NodeChurnInjector:
 
     def __init__(
         self,
-        sim: Scheduler,
+        scheduler: Scheduler,
         node: Node,
         rng: np.random.Generator,
         mean_uptime: float = 600.0,
@@ -40,7 +40,7 @@ class NodeChurnInjector:
     ) -> None:
         if mean_uptime <= 0 or mean_downtime <= 0:
             raise ValueError("mean uptime and downtime must be positive")
-        self.sim = sim
+        self.scheduler = scheduler
         self.node = node
         self._rng = rng
         self.mean_uptime = mean_uptime
@@ -55,18 +55,18 @@ class NodeChurnInjector:
     def stop(self) -> None:
         """Halt churn; the node stays in its current state."""
         if self._event is not None:
-            self.sim.cancel(self._event)
+            self.scheduler.cancel(self._event)
             self._event = None
 
     def _schedule_crash(self) -> None:
         delay = float(self._rng.exponential(self.mean_uptime))
-        self._event = self.sim.schedule(delay, self._crash)
+        self._event = self.scheduler.schedule(delay, self._crash)
 
     def _crash(self) -> None:
         self.crashes_injected += 1
         self.node.crash()
         delay = float(self._rng.exponential(self.mean_downtime))
-        self._event = self.sim.schedule(delay, self._recover)
+        self._event = self.scheduler.schedule(delay, self._recover)
 
     def _recover(self) -> None:
         self.node.recover()
@@ -78,7 +78,7 @@ class LinkChurnInjector:
 
     def __init__(
         self,
-        sim: Scheduler,
+        scheduler: Scheduler,
         link: Link,
         rng: np.random.Generator,
         mean_uptime: float,
@@ -86,7 +86,7 @@ class LinkChurnInjector:
     ) -> None:
         if mean_uptime <= 0 or mean_downtime <= 0:
             raise ValueError("mean uptime and downtime must be positive")
-        self.sim = sim
+        self.scheduler = scheduler
         self.link = link
         self._rng = rng
         self.mean_uptime = mean_uptime
@@ -101,18 +101,18 @@ class LinkChurnInjector:
     def stop(self) -> None:
         """Halt churn; the link stays in its current state."""
         if self._event is not None:
-            self.sim.cancel(self._event)
+            self.scheduler.cancel(self._event)
             self._event = None
 
     def _schedule_crash(self) -> None:
         delay = float(self._rng.exponential(self.mean_uptime))
-        self._event = self.sim.schedule(delay, self._crash)
+        self._event = self.scheduler.schedule(delay, self._crash)
 
     def _crash(self) -> None:
         self.crashes_injected += 1
         self.link.set_down(True)
         delay = float(self._rng.exponential(self.mean_downtime))
-        self._event = self.sim.schedule(delay, self._recover)
+        self._event = self.scheduler.schedule(delay, self._recover)
 
     def _recover(self) -> None:
         self.link.set_down(False)

@@ -66,6 +66,11 @@ class LiveNodeConfig:
     fd_variant: str = "nfds"
     #: Seconds to serve before exiting voluntarily (None: until killed).
     duration: Optional[float] = None
+    #: Optional ChaosScript JSON file applied to this node's transport.
+    #: Only the transport-level subset (partition, asym_link, drop,
+    #: duplicate, reorder, heal) is supported live — host-level steps
+    #: need the simulator's fault plane and are rejected at load time.
+    chaos_script: Optional[Path] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.node_id < len(self.ports):
@@ -90,6 +95,39 @@ async def run_node(config: LiveNodeConfig) -> None:
     :func:`repro.experiments.runner.build_system`: same daemon, same
     failure detector, same election algorithm — only the engine differs.
     """
+    script = None
+    if config.chaos_script is not None:
+        # Imported lazily: plain clusters should not pay for (or depend
+        # on) the chaos machinery.  Parsed and validated before any
+        # socket is bound so an unsupported script fails cleanly.
+        import json
+
+        from repro.chaos.script import ChaosScript
+
+        try:
+            raw = config.chaos_script.read_text()
+        except OSError as exc:
+            # Distinct from a socket-bind OSError: a missing script file
+            # must not be diagnosed as "cannot serve on <port>".
+            raise ValueError(
+                f"cannot read chaos script {config.chaos_script}: {exc}"
+            ) from exc
+        try:
+            script = ChaosScript.from_dict(json.loads(raw))
+        except (json.JSONDecodeError, TypeError, KeyError, ValueError) as exc:
+            raise ValueError(
+                f"invalid chaos script {config.chaos_script}: {exc}"
+            ) from exc
+        if not script.live_supported:
+            unsupported = sorted(
+                {step.name for step in script.steps if step.requires_fault_plane}
+            )
+            raise ValueError(
+                "chaos script uses host-level steps not supported on a live "
+                f"node ({', '.join(unsupported)}); only transport-level steps "
+                "(partition, asym_link, drop, duplicate, reorder, heal) run live"
+            )
+
     loop = asyncio.get_running_loop()
     scheduler = RealtimeScheduler(loop)
     node = Node(scheduler, config.node_id)
@@ -97,9 +135,33 @@ async def run_node(config: LiveNodeConfig) -> None:
     transport = UdpTransport(config.node_id, addresses, node.deliver)
     await transport.open()
 
+    chaos_controller = None
+    send_transport = transport
+    if script is not None:
+        import numpy as np
+
+        from repro.chaos.controller import ChaosController
+        from repro.chaos.transport import ChaosTransport
+
+        send_transport = ChaosTransport(
+            transport,
+            scheduler,
+            np.random.default_rng(
+                np.random.SeedSequence(entropy=config.node_id + 1)
+            ),
+        )
+        chaos_controller = ChaosController(
+            script=script,
+            scheduler=scheduler,
+            transport=send_transport,
+            rng=np.random.default_rng(
+                np.random.SeedSequence(entropy=1000 + config.node_id)
+            ),
+        )
+
     service = LeaderElectionService(
         scheduler=scheduler,
-        transport=transport,
+        transport=send_transport,
         node=node,
         peer_nodes=tuple(range(len(config.ports))),
         config=ServiceConfig(
@@ -127,6 +189,12 @@ async def run_node(config: LiveNodeConfig) -> None:
         on_leader_change=on_leader_change,
     )
     _emit(f"READY node={config.node_id} port={config.ports[config.node_id]}")
+    if chaos_controller is not None:
+        chaos_controller.start()
+        _emit(
+            f"CHAOS node={config.node_id} "
+            f"steps={len(chaos_controller.script.steps)}"
+        )
 
     stop = asyncio.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -136,14 +204,33 @@ async def run_node(config: LiveNodeConfig) -> None:
         loop.call_later(config.duration, stop.set)
     await stop.wait()
 
+    if chaos_controller is not None:
+        chaos_controller.stop()
     service.shutdown()
     transport.close()
     _emit(f"DONE node={config.node_id}")
 
 
 def node_main(config: LiveNodeConfig) -> int:
-    """Synchronous entry point for ``repro.cli node``."""
-    asyncio.run(run_node(config))
+    """Synchronous entry point for ``repro.cli node``.
+
+    Environment failures — an unbindable UDP port, an unreadable or
+    live-unsupported chaos script — exit with status 2 and one stderr
+    line instead of a traceback: the parent orchestrator (and any human
+    driving ``repro.cli node`` by hand) needs the reason, not the stack.
+    """
+    try:
+        asyncio.run(run_node(config))
+    except OSError as exc:
+        print(
+            f"node {config.node_id}: cannot serve on "
+            f"{config.host}:{config.ports[config.node_id]}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"node {config.node_id}: invalid configuration: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

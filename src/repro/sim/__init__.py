@@ -12,13 +12,14 @@ while the identical service code also runs on the realtime asyncio engine
 (:mod:`repro.runtime.realtime`).
 """
 
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import DriftingScheduler, Event, SimulationError, Simulator
 from repro.sim.process import Component
 from repro.sim.rng import RngRegistry
 from repro.sim.timers import PeriodicTimer, VariableTimer
 
 __all__ = [
     "Component",
+    "DriftingScheduler",
     "Event",
     "PeriodicTimer",
     "RngRegistry",

@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
-__all__ = ["Event", "SimulationError", "Simulator"]
+__all__ = ["Event", "SimulationError", "Simulator", "DriftingScheduler"]
 
 
 class SimulationError(RuntimeError):
@@ -306,3 +306,120 @@ class Simulator:
             f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
             f"executed={self.events_executed})"
         )
+
+
+class _DriftHandle:
+    """Timer handle of a :class:`DriftingScheduler`.
+
+    Wraps the base scheduler's handle so ``time`` is expressed on the
+    *drifted* clock — callers like
+    :class:`~repro.runtime.timers.VariableTimer` compare handle times
+    against deadlines of their own clock, so the two must share a domain.
+    """
+
+    __slots__ = ("time", "inner")
+
+    def __init__(self, time: float, inner) -> None:
+        self.time = time
+        self.inner = inner
+
+    @property
+    def cancelled(self) -> bool:
+        return self.inner.cancelled
+
+    def cancel(self) -> None:
+        self.inner.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_DriftHandle(t={self.time:.6f}, inner={self.inner!r})"
+
+
+class DriftingScheduler:
+    """A per-node *view* of a base scheduler whose clock can drift.
+
+    The paper's failure detector assumes synchronized workstation clocks
+    (NFD-S compares sender timestamps with the local clock); chaos
+    scenarios attack exactly that assumption.  A ``DriftingScheduler``
+    wraps the shared simulator and presents a node-local clock
+
+        ``now = local_anchor + (base.now - base_anchor) * rate``
+
+    where ``rate`` is local seconds per base second (1.0 = perfect sync,
+    1.02 = a clock running 2% fast).  Rate changes preserve continuity
+    (the local clock never jumps when drift starts or changes), and
+    :meth:`resync` models an NTP step back onto the base clock.
+
+    Delays handed to :meth:`schedule` are *local* seconds and are mapped
+    onto the base clock, so a fast node really does fire its heartbeat
+    timers early relative to the rest of the cluster.  ``schedule_at``
+    clamps targets that drifted into the past to "now" (the realtime
+    scheduler does the same — wall clocks cannot re-run the past).
+    """
+
+    def __init__(self, base, rate: float = 1.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"clock rate must be positive (got {rate})")
+        self._base = base
+        self._rate = float(rate)
+        self._base_anchor = base.now
+        self._local_anchor = base.now
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._local_anchor + (self._base.now - self._base_anchor) * self._rate
+
+    @property
+    def rate(self) -> float:
+        """Local seconds per base second (1.0 = no drift)."""
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the drift rate; the local clock stays continuous."""
+        if rate <= 0:
+            raise ValueError(f"clock rate must be positive (got {rate})")
+        self._local_anchor = self.now
+        self._base_anchor = self._base.now
+        self._rate = float(rate)
+
+    def resync(self) -> None:
+        """Step the local clock back onto the base clock (rate 1, offset 0).
+
+        The step may move local time in either direction; pending timers
+        keep their base-clock fire points (re-arming timers such as
+        :class:`~repro.runtime.timers.VariableTimer` self-correct on the
+        next firing, exactly as they would after a real NTP step).
+        """
+        self._rate = 1.0
+        self._base_anchor = self._base.now
+        self._local_anchor = self._base.now
+
+    @property
+    def offset(self) -> float:
+        """Current local-minus-base clock offset, in seconds."""
+        return self.now - self._base.now
+
+    # ------------------------------------------------------------------
+    # Scheduler protocol
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _DriftHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        inner = self._base.schedule(delay / self._rate, fn)
+        return _DriftHandle(self.now + delay, inner)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> _DriftHandle:
+        delay = max(0.0, time - self.now)
+        inner = self._base.schedule(delay / self._rate, fn)
+        return _DriftHandle(max(time, self.now), inner)
+
+    def cancel(self, handle) -> None:
+        if handle is None:
+            return
+        inner = handle.inner if isinstance(handle, _DriftHandle) else handle
+        self._base.cancel(inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DriftingScheduler(now={self.now:.6f}, rate={self._rate})"

@@ -1,0 +1,98 @@
+"""DriftingScheduler: per-node clock views over the shared simulator."""
+
+import pytest
+
+from repro.runtime.base import Clock, Scheduler
+from repro.sim.engine import DriftingScheduler, SimulationError
+
+
+class TestClock:
+    def test_satisfies_the_protocols(self, sim):
+        view = DriftingScheduler(sim)
+        assert isinstance(view, Clock)
+        assert isinstance(view, Scheduler)
+
+    def test_no_drift_tracks_base_clock(self, sim):
+        view = DriftingScheduler(sim)
+        sim.run_until(10.0)
+        assert view.now == pytest.approx(10.0)
+        assert view.offset == pytest.approx(0.0)
+
+    def test_fast_clock_runs_ahead(self, sim):
+        view = DriftingScheduler(sim, rate=1.1)
+        sim.run_until(10.0)
+        assert view.now == pytest.approx(11.0)
+        assert view.offset == pytest.approx(1.0)
+
+    def test_rate_change_is_continuous(self, sim):
+        view = DriftingScheduler(sim)
+        sim.run_until(10.0)
+        view.set_rate(2.0)
+        assert view.now == pytest.approx(10.0)  # no jump at the change
+        sim.run_until(15.0)
+        assert view.now == pytest.approx(20.0)
+
+    def test_resync_steps_back_onto_base(self, sim):
+        view = DriftingScheduler(sim, rate=1.5)
+        sim.run_until(10.0)
+        assert view.now == pytest.approx(15.0)
+        view.resync()
+        assert view.now == pytest.approx(10.0)
+        assert view.rate == 1.0
+        sim.run_until(20.0)
+        assert view.now == pytest.approx(20.0)
+
+    def test_rejects_nonpositive_rates(self, sim):
+        with pytest.raises(ValueError):
+            DriftingScheduler(sim, rate=0.0)
+        view = DriftingScheduler(sim)
+        with pytest.raises(ValueError):
+            view.set_rate(-1.0)
+
+
+class TestScheduling:
+    def test_local_delay_maps_to_base_delay(self, sim):
+        view = DriftingScheduler(sim, rate=2.0)
+        fired = []
+        view.schedule(10.0, lambda: fired.append(sim.now))
+        sim.run_until(20.0)
+        # 10 local seconds at rate 2 = 5 base seconds.
+        assert fired == [pytest.approx(5.0)]
+
+    def test_handle_time_is_in_local_clock(self, sim):
+        view = DriftingScheduler(sim, rate=2.0)
+        handle = view.schedule(10.0, lambda: None)
+        assert handle.time == pytest.approx(10.0)
+
+    def test_schedule_at_local_time(self, sim):
+        view = DriftingScheduler(sim, rate=2.0)
+        fired = []
+        view.schedule_at(8.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [pytest.approx(4.0)]
+
+    def test_schedule_at_past_clamps_to_now(self, sim):
+        sim.run_until(5.0)
+        view = DriftingScheduler(sim)
+        fired = []
+        view.schedule_at(1.0, lambda: fired.append(True))  # in the past
+        sim.run_until(5.0)
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self, sim):
+        view = DriftingScheduler(sim)
+        with pytest.raises(SimulationError):
+            view.schedule(-1.0, lambda: None)
+
+    def test_cancel_via_view_and_via_handle(self, sim):
+        view = DriftingScheduler(sim)
+        fired = []
+        first = view.schedule(1.0, lambda: fired.append(1))
+        second = view.schedule(2.0, lambda: fired.append(2))
+        view.cancel(first)
+        second.cancel()
+        assert first.cancelled and second.cancelled
+        view.cancel(None)  # no-op, like the engines
+        sim.run_until(5.0)
+        assert fired == []
+        assert sim.pending_count() == 0

@@ -1,0 +1,195 @@
+"""Invariant checkers over hand-written traces.
+
+Synthetic traces make each checker's trigger condition explicit, the same
+way tests/metrics/test_leadership.py pins the paper's metric definitions.
+"""
+
+import pytest
+
+from repro.chaos.invariants import check_invariants
+from repro.metrics.trace import TraceRecorder
+
+GROUP = 1
+
+
+def build_trace(n: int = 3) -> TraceRecorder:
+    """n processes join at t=0 (pid = node id)."""
+    trace = TraceRecorder()
+    for pid in range(n):
+        trace.record_join(0.0, GROUP, pid, pid)
+    return trace
+
+
+def all_view(trace: TraceRecorder, time: float, leader, n: int = 3) -> None:
+    for pid in range(n):
+        trace.record_view(time, GROUP, pid, leader)
+
+
+def check(trace: TraceRecorder, *, end_time=100.0, heal_time=40.0, **kwargs):
+    return check_invariants(
+        trace.events,
+        group=GROUP,
+        end_time=end_time,
+        heal_time=heal_time,
+        **kwargs,
+    )
+
+
+class TestSingleStableLeader:
+    def test_stable_run_passes(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        report = check(trace)
+        assert report.ok
+        assert report.final_leader == 0
+        assert report.stabilized_at == pytest.approx(40.0)  # spans the heal
+
+    def test_no_leader_at_end_fails(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_view(95.0, GROUP, 1, None)  # disagreement at the end
+        report = check(trace)
+        assert not report.ok
+        assert any(
+            v.invariant == "single-stable-leader" for v in report.violations
+        )
+
+    def test_too_short_final_interval_fails(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_view(60.0, GROUP, 1, None)
+        all_view(trace, 95.0, 2)  # re-agrees, but holds only 5 s < hold 15 s
+        report = check(trace)
+        assert not report.ok
+        assert any(
+            v.invariant == "single-stable-leader" for v in report.violations
+        )
+
+
+class TestBoundedReelection:
+    def test_prompt_post_heal_stabilization_passes(self):
+        trace = build_trace()
+        trace.record_view(1.0, GROUP, 0, None)  # no agreement during chaos
+        all_view(trace, 45.0, 2)  # 5 s after the heal
+        report = check(trace)
+        assert report.ok
+        assert report.stabilized_at == pytest.approx(45.0)
+
+    def test_slow_stabilization_breaches_the_qos_bound(self):
+        trace = build_trace()
+        trace.record_view(1.0, GROUP, 0, None)
+        all_view(trace, 75.0, 2)  # 35 s after heal
+        report = check(trace, stabilize_bound=20.0)
+        assert not report.ok
+        assert any(v.invariant == "bounded-reelection" for v in report.violations)
+
+    def test_never_stabilizing_fails(self):
+        trace = build_trace()
+        trace.record_view(1.0, GROUP, 0, None)
+        report = check(trace)
+        assert not report.ok
+        assert any(v.invariant == "bounded-reelection" for v in report.violations)
+
+
+class TestNoFlapping:
+    def test_leader_change_after_stabilization_fails(self):
+        trace = build_trace()
+        all_view(trace, 41.0, 0)
+        all_view(trace, 70.0, 1)  # stable for 29 s, then flips
+        report = check(trace)
+        assert any(v.invariant == "no-flapping" for v in report.violations)
+
+    def test_stable_leader_lost_and_never_replaced_fails(self):
+        trace = build_trace()
+        all_view(trace, 41.0, 0)
+        trace.record_view(70.0, GROUP, 1, None)
+        report = check(trace)
+        flapping = [v for v in report.violations if v.invariant == "no-flapping"]
+        assert flapping and "never replaced" in flapping[0].detail
+
+    def test_flicker_before_heal_is_not_flapping(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_view(20.0, GROUP, 1, None)  # mid-chaos disagreement
+        all_view(trace, 22.0, 0)
+        report = check(trace)
+        assert report.ok
+
+
+class TestLeaderValidity:
+    def test_timely_demotion_of_dead_leader_passes(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_crash(10.0, 0)
+        # Survivors drop the dead leader within the bound and re-elect.
+        for pid in (1, 2):
+            trace.record_view(11.0, GROUP, pid, None)
+        trace.record_view(12.0, GROUP, 1, 1)
+        trace.record_view(12.0, GROUP, 2, 1)
+        report = check(trace, validity_bound=20.0)
+        assert report.ok
+
+    def test_stale_view_of_dead_leader_fails(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_crash(10.0, 0)
+        # Processes 1 and 2 never update their views.
+        report = check(trace, validity_bound=20.0)
+        stale = [v for v in report.violations if v.invariant == "leader-validity"]
+        assert len(stale) == 2
+        assert all(v.time == pytest.approx(30.0) for v in stale)
+
+    def test_rejoin_of_the_leader_revalidates_views(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_crash(10.0, 0)
+        trace.record_recover(12.0, 0)
+        trace.record_join(12.1, GROUP, 0, 0)  # back before the bound expires
+        report = check(trace, validity_bound=20.0)
+        assert not any(
+            v.invariant == "leader-validity" for v in report.violations
+        )
+
+    def test_dead_viewer_owes_nothing(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_crash(10.0, 0)
+        trace.record_crash(10.5, 1)  # viewer 1 dies holding the stale view
+        trace.record_view(11.0, GROUP, 2, 2)
+        report = check(trace, validity_bound=20.0)
+        assert not any(
+            v.invariant == "leader-validity" for v in report.violations
+        )
+
+    def test_adopting_an_already_dead_leader_arms_the_deadline(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        trace.record_crash(10.0, 0)
+        trace.record_view(11.0, GROUP, 1, 1)
+        trace.record_view(11.0, GROUP, 2, 1)
+        trace.record_view(50.0, GROUP, 2, 0)  # adopts the long-dead pid 0
+        report = check(trace, validity_bound=20.0)
+        stale = [v for v in report.violations if v.invariant == "leader-validity"]
+        assert any(v.time == pytest.approx(70.0) for v in stale)
+
+
+class TestReportShape:
+    def test_requires_a_settle_window(self):
+        trace = build_trace()
+        with pytest.raises(ValueError):
+            check(trace, end_time=40.0, heal_time=40.0)
+
+    def test_report_serializes(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        record = check(trace).to_dict()
+        assert record["ok"] is True
+        assert record["violations"] == []
+        assert record["final_leader"] == 0
+
+    def test_violations_sorted_by_time(self):
+        trace = build_trace()
+        trace.record_view(1.0, GROUP, 0, None)
+        report = check(trace)
+        times = [v.time for v in report.violations]
+        assert times == sorted(times)

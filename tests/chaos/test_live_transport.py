@@ -1,0 +1,130 @@
+"""The same chaos machinery over the realtime engine: real UDP sockets.
+
+The ISSUE's portability claim in miniature — a ChaosTransport +
+ChaosController compiled onto the asyncio scheduler drive real datagrams,
+with the identical script semantics the simulator sees.  Real sockets and
+real (small) delays, same budget discipline as tests/runtime.
+"""
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.script import ChaosScript, heal, partition
+from repro.chaos.transport import ChaosTransport
+from repro.net.message import AccuseMessage
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+
+
+def free_udp_ports(count: int) -> list:
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def accuse(src: int, dst: int) -> AccuseMessage:
+    return AccuseMessage(
+        sender_node=src, dest_node=dst, group=1, accuser=src, accused=dst,
+        accused_phase=0,
+    )
+
+
+async def open_pair():
+    ports = free_udp_ports(2)
+    addresses = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
+    received = []
+    sender = UdpTransport(0, addresses, lambda m: None)
+    receiver = UdpTransport(1, addresses, received.append)
+    await sender.open()
+    await receiver.open()
+    return sender, receiver, received
+
+
+class TestLiveChaosTransport:
+    def test_drop_then_heal_over_real_udp(self):
+        async def main():
+            sender, receiver, received = await open_pair()
+            try:
+                scheduler = RealtimeScheduler(asyncio.get_running_loop())
+                chaos = ChaosTransport(sender, scheduler, np.random.default_rng(1))
+                chaos.set_drop(1.0)
+                for _ in range(5):
+                    chaos.send(accuse(0, 1))
+                await asyncio.sleep(0.05)
+                assert received == []
+                assert chaos.stats.dropped_rate == 5
+                chaos.heal()
+                chaos.send(accuse(0, 1))
+                await asyncio.sleep(0.1)
+                assert len(received) == 1
+            finally:
+                sender.close()
+                receiver.close()
+
+        asyncio.run(main())
+
+    def test_scripted_partition_applies_on_the_realtime_clock(self):
+        async def main():
+            sender, receiver, received = await open_pair()
+            try:
+                scheduler = RealtimeScheduler(asyncio.get_running_loop())
+                chaos = ChaosTransport(sender, scheduler, np.random.default_rng(1))
+                script = ChaosScript(
+                    steps=(partition(0.02, [[0], [1]]), heal(0.1)),
+                    duration=0.2,
+                )
+                controller = ChaosController(
+                    script=script,
+                    scheduler=scheduler,
+                    transport=chaos,
+                    rng=np.random.default_rng(2),
+                )
+                controller.start()
+                chaos.send(accuse(0, 1))  # before the partition: delivered
+                await asyncio.sleep(0.05)
+                chaos.send(accuse(0, 1))  # during: dropped
+                await asyncio.sleep(0.1)
+                chaos.send(accuse(0, 1))  # after the heal: delivered
+                await asyncio.sleep(0.1)
+                assert len(received) == 2
+                assert chaos.stats.dropped_partition == 1
+                assert controller.steps_applied == 2
+            finally:
+                sender.close()
+                receiver.close()
+
+        asyncio.run(main())
+
+    def test_host_level_scripts_are_rejected_live(self):
+        async def main():
+            sender, receiver, _ = await open_pair()
+            try:
+                scheduler = RealtimeScheduler(asyncio.get_running_loop())
+                chaos = ChaosTransport(sender, scheduler, np.random.default_rng(1))
+                from repro.chaos.script import churn_burst
+
+                script = ChaosScript(
+                    steps=(churn_burst(0.01, 1), heal(0.1)), duration=0.2
+                )
+                with pytest.raises(ValueError, match="churn_burst"):
+                    ChaosController(
+                        script=script,
+                        scheduler=scheduler,
+                        transport=chaos,
+                        rng=np.random.default_rng(2),
+                    )
+            finally:
+                sender.close()
+                receiver.close()
+
+        asyncio.run(main())

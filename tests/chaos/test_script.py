@@ -1,0 +1,134 @@
+"""The chaos scenario DSL: validation, serialization, introspection."""
+
+import pytest
+
+from repro.chaos.script import (
+    AsymLink,
+    ChaosScript,
+    ChurnBurst,
+    ClockDrift,
+    Drop,
+    Duplicate,
+    Heal,
+    Partition,
+    Reorder,
+    asym_link,
+    churn_burst,
+    clock_drift,
+    drop,
+    duplicate,
+    heal,
+    partition,
+    reorder,
+)
+
+
+def sample_script() -> ChaosScript:
+    return ChaosScript(
+        steps=(
+            partition(10.0, [[0, 1], [2, 3]]),
+            asym_link(12.0, 0, 3),
+            drop(15.0, 0.3),
+            duplicate(18.0, 0.5),
+            reorder(20.0, 0.25),
+            clock_drift(22.0, 1, 0.01),
+            churn_burst(25.0, 2, downtime=4.0),
+            heal(40.0),
+        ),
+        duration=100.0,
+        comment="exercise all step kinds",
+    )
+
+
+class TestSteps:
+    def test_builders_produce_typed_steps(self):
+        assert isinstance(partition(1.0, [[0]]), Partition)
+        assert isinstance(asym_link(1.0, 0, 1), AsymLink)
+        assert isinstance(drop(1.0, 0.5), Drop)
+        assert isinstance(duplicate(1.0, 0.5), Duplicate)
+        assert isinstance(reorder(1.0, 0.5), Reorder)
+        assert isinstance(clock_drift(1.0, 0, 0.01), ClockDrift)
+        assert isinstance(churn_burst(1.0, 2), ChurnBurst)
+        assert isinstance(heal(1.0), Heal)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            drop(-1.0, 0.5)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_drop_rate_bounds(self, rate):
+        with pytest.raises(ValueError):
+            drop(1.0, rate)
+
+    def test_partition_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError):
+            partition(1.0, [[0, 1], [1, 2]])
+
+    def test_partition_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Partition(at=1.0, groups=())
+
+    def test_asym_link_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            asym_link(1.0, 2, 2)
+
+    def test_churn_burst_validation(self):
+        with pytest.raises(ValueError):
+            churn_burst(1.0, 0)
+        with pytest.raises(ValueError):
+            churn_burst(1.0, 1, downtime=0.0)
+
+    def test_describe_names_step_and_params(self):
+        text = drop(5.0, 0.25).describe()
+        assert text.startswith("drop(")
+        assert "0.25" in text
+        assert "at=" not in text
+
+    def test_host_level_steps_flagged(self):
+        assert churn_burst(1.0, 1).requires_fault_plane
+        assert clock_drift(1.0, 0, 0.01).requires_fault_plane
+        assert not drop(1.0, 0.5).requires_fault_plane
+        assert not heal(1.0).requires_fault_plane
+
+
+class TestScript:
+    def test_steps_must_be_time_ordered(self):
+        with pytest.raises(ValueError):
+            ChaosScript(steps=(drop(10.0, 0.5), drop(5.0, 0.5)), duration=20.0)
+
+    def test_steps_must_fit_duration(self):
+        with pytest.raises(ValueError):
+            ChaosScript(steps=(heal(30.0),), duration=20.0)
+
+    def test_heal_time_is_last_heal(self):
+        script = ChaosScript(
+            steps=(heal(5.0), drop(10.0, 0.5), heal(20.0)), duration=30.0
+        )
+        assert script.heal_time == 20.0
+        assert ChaosScript(steps=(drop(1.0, 0.5),), duration=10.0).heal_time is None
+
+    def test_live_supported_excludes_host_level_steps(self):
+        assert ChaosScript(
+            steps=(drop(1.0, 0.5), heal(5.0)), duration=10.0
+        ).live_supported
+        assert not ChaosScript(
+            steps=(churn_burst(1.0, 1), heal(5.0)), duration=10.0
+        ).live_supported
+
+    def test_without_step(self):
+        script = sample_script()
+        shrunk = script.without_step(0)
+        assert len(shrunk.steps) == len(script.steps) - 1
+        assert shrunk.duration == script.duration
+        assert not any(isinstance(step, Partition) for step in shrunk.steps)
+
+    def test_dict_round_trip_is_lossless(self):
+        script = sample_script()
+        rebuilt = ChaosScript.from_dict(script.to_dict())
+        assert rebuilt == script
+
+    def test_from_dict_rejects_unknown_step(self):
+        with pytest.raises(ValueError):
+            ChaosScript.from_dict(
+                {"duration": 10.0, "steps": [{"step": "meteor", "at": 1.0}]}
+            )

@@ -1,0 +1,95 @@
+"""ResultCache: the on-disk per-cell store behind ``--resume``.
+
+tests/experiments/test_orchestrator.py covers the cache end-to-end (a
+corrupted entry makes the orchestrator re-run its cell); these are the
+direct unit tests of every load/store/quarantine contract.
+"""
+
+import json
+
+from repro.experiments.cache import CACHE_SCHEMA, ResultCache
+
+
+def valid_record(key: str) -> dict:
+    return {
+        "schema": CACHE_SCHEMA,
+        "cache_key": key,
+        "config_hash": key,
+        "seed": 7,
+        "result": {"events_executed": 42},
+    }
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.store("abc", valid_record("abc"))
+        assert path.exists()
+        record = cache.load("abc")
+        assert record == valid_record("abc")
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("nothing-here") is None
+
+    def test_store_creates_the_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "cache"
+        ResultCache(target).store("abc", valid_record("abc"))
+        assert (target / "abc.json").exists()
+
+    def test_store_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", valid_record("abc"))
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestQuarantine:
+    def entry(self, tmp_path, text: str) -> ResultCache:
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abc.json").write_text(text)
+        return cache
+
+    def assert_quarantined(self, tmp_path) -> None:
+        assert not (tmp_path / "abc.json").exists()
+        assert (tmp_path / "abc.json.corrupt").exists()
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        cache = self.entry(tmp_path, '{"schema": "repro.cell/1", "cache_')
+        assert cache.load("abc") is None
+        self.assert_quarantined(tmp_path)
+
+    def test_non_dict_payload_is_quarantined(self, tmp_path):
+        cache = self.entry(tmp_path, json.dumps([1, 2, 3]))
+        assert cache.load("abc") is None
+        self.assert_quarantined(tmp_path)
+
+    def test_missing_required_keys_is_quarantined(self, tmp_path):
+        record = valid_record("abc")
+        del record["result"]
+        cache = self.entry(tmp_path, json.dumps(record))
+        assert cache.load("abc") is None
+        self.assert_quarantined(tmp_path)
+
+    def test_wrong_schema_version_is_quarantined(self, tmp_path):
+        record = valid_record("abc")
+        record["schema"] = "repro.cell/0"
+        cache = self.entry(tmp_path, json.dumps(record))
+        assert cache.load("abc") is None
+        self.assert_quarantined(tmp_path)
+
+    def test_key_mismatch_is_quarantined(self, tmp_path):
+        # A record copied (or renamed) to the wrong filename must not be
+        # served as that cell's result.
+        cache = self.entry(tmp_path, json.dumps(valid_record("other-key")))
+        assert cache.load("abc") is None
+        self.assert_quarantined(tmp_path)
+
+    def test_quarantined_entry_is_inspectable_and_rerunnable(self, tmp_path):
+        cache = self.entry(tmp_path, "garbage")
+        assert cache.load("abc") is None
+        # The corrupt file keeps its bytes for post-mortems...
+        assert (tmp_path / "abc.json.corrupt").read_text() == "garbage"
+        # ...and the slot accepts a fresh result.
+        cache.store("abc", valid_record("abc"))
+        assert cache.load("abc") == valid_record("abc")

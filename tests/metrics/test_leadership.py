@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.leadership import analyze_leadership
+from repro.metrics.leadership import analyze_leadership, leader_intervals
 from repro.metrics.trace import TraceEvent, TraceRecorder
 
 
@@ -284,3 +284,64 @@ class TestValidation:
         summary = m.recovery_summary()
         assert summary.n == 1
         assert summary.mean == pytest.approx(1.0)
+
+
+class TestLeaderIntervals:
+    def test_single_interval_spans_agreement(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(1.0, 1, 1), view(1.0, 2, 1),
+        )
+        intervals = leader_intervals(trace.events, group=1, end_time=10.0)
+        assert len(intervals) == 1
+        assert intervals[0].leader == 1
+        assert intervals[0].start == pytest.approx(1.0)
+        assert intervals[0].end == pytest.approx(10.0)
+        assert intervals[0].duration == pytest.approx(9.0)
+
+    def test_gap_splits_intervals(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(1.0, 1, 1), view(1.0, 2, 1),
+            view(4.0, 2, None),               # disagreement opens a gap
+            view(6.0, 2, 1),                  # agreement returns
+        )
+        intervals = leader_intervals(trace.events, group=1, end_time=10.0)
+        assert [(i.start, i.end, i.leader) for i in intervals] == [
+            (pytest.approx(1.0), pytest.approx(4.0), 1),
+            (pytest.approx(6.0), pytest.approx(10.0), 1),
+        ]
+
+    def test_direct_leader_handover_has_no_gap(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(1.0, 1, 1), view(1.0, 2, 1),
+            view(5.0, 1, 2),                  # both switch at the same instant
+        )
+        trace.events.append(TraceEvent(time=5.0, kind="view", group=1, pid=2, leader=2))
+        intervals = leader_intervals(trace.events, group=1, end_time=10.0)
+        assert [i.leader for i in intervals] == [1, 2]
+        assert intervals[0].end == intervals[1].start == pytest.approx(5.0)
+
+    def test_crash_of_the_leader_ends_the_interval(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(1.0, 1, 1), view(1.0, 2, 1),
+            crash(6.0, 1),
+        )
+        intervals = leader_intervals(trace.events, group=1, end_time=10.0)
+        assert len(intervals) == 1
+        assert intervals[0].end == pytest.approx(6.0)
+
+    def test_no_agreement_no_intervals(self):
+        trace = build_trace(join(0.0, 1), join(0.0, 2), view(1.0, 1, 1))
+        assert leader_intervals(trace.events, group=1, end_time=10.0) == []
+
+    def test_events_past_end_time_ignored(self):
+        trace = build_trace(
+            join(0.0, 1), join(0.0, 2),
+            view(1.0, 1, 1), view(1.0, 2, 1),
+            view(50.0, 2, None),
+        )
+        intervals = leader_intervals(trace.events, group=1, end_time=10.0)
+        assert intervals[0].end == pytest.approx(10.0)

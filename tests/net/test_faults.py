@@ -10,8 +10,11 @@ from repro.net.node import Node
 class TestNodeChurn:
     def test_node_crashes_and_recovers(self, sim, rng):
         node = Node(sim, 0)
+        # Keyword form pins the protocol-era parameter name (scheduler=,
+        # finishing the sim= rename of the runtime refactor).
         injector = NodeChurnInjector(
-            sim, node, rng.stream("churn"), mean_uptime=10.0, mean_downtime=1.0
+            scheduler=sim, node=node, rng=rng.stream("churn"),
+            mean_uptime=10.0, mean_downtime=1.0,
         )
         injector.start()
         sim.run_until(500.0)
@@ -51,7 +54,8 @@ class TestLinkChurn:
     def test_link_goes_down_and_up(self, sim, rng):
         link = Link(sim, 0, 1, LinkConfig(), rng.stream("l"))
         injector = LinkChurnInjector(
-            sim, link, rng.stream("churn"), mean_uptime=10.0, mean_downtime=3.0
+            scheduler=sim, link=link, rng=rng.stream("churn"),
+            mean_uptime=10.0, mean_downtime=3.0,
         )
         injector.start()
         # Sample the state over time; both states must be visited.

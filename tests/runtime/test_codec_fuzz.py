@@ -1,0 +1,149 @@
+"""Hypothesis fuzzing of the wire codec.
+
+Two properties an open UDP port lives or dies by:
+
+* **decode never crashes** — arbitrary bytes (including mutated valid
+  frames, the adversarial middle ground) either parse into a Message or
+  raise CodecError; no other exception may escape, because the transport
+  only catches CodecError before the datagram reaches the daemon;
+* **encode → decode is the identity** for every well-formed message the
+  service can produce.
+
+The deterministic, example-based counterparts of these tests live in
+tests/runtime/test_codec.py; Hypothesis explores the input space those
+examples cannot enumerate.
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.message import (
+    AccEntry,
+    AccuseMessage,
+    AliveMessage,
+    HelloMessage,
+    MemberInfo,
+    RateRequestMessage,
+)
+from repro.runtime.codec import CodecError, decode_message, encode_message
+
+I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+I64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+# Finite doubles round-trip exactly through IEEE-754 (NaN breaks equality).
+F64 = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+members = st.builds(
+    MemberInfo,
+    pid=I32,
+    node=I32,
+    incarnation=I64,
+    candidate=st.booleans(),
+    present=st.booleans(),
+    joined_at=F64,
+)
+
+acc_entries = st.builds(AccEntry, pid=I32, acc_time=F64, phase=I32)
+
+alive_messages = st.builds(
+    AliveMessage,
+    sender_node=I32,
+    dest_node=I32,
+    group=I32,
+    pid=I32,
+    seq=I64,
+    send_time=F64,
+    interval=F64,
+    acc_time=F64,
+    phase=I32,
+    local_leader=st.none() | I32,
+    local_leader_acc=st.none() | F64,
+    members=st.lists(members, max_size=8).map(tuple),
+)
+
+hello_messages = st.builds(
+    HelloMessage,
+    sender_node=I32,
+    dest_node=I32,
+    group=I32,
+    kind=st.sampled_from(("gossip", "join", "reply")),
+    members=st.lists(members, max_size=8).map(tuple),
+    leader_hint=st.none() | acc_entries,
+    acc_table=st.lists(acc_entries, max_size=8).map(tuple),
+    trusted=st.lists(I32, max_size=8).map(tuple),
+)
+
+accuse_messages = st.builds(
+    AccuseMessage,
+    sender_node=I32,
+    dest_node=I32,
+    group=I32,
+    accuser=I32,
+    accused=I32,
+    accused_phase=I32,
+)
+
+rate_messages = st.builds(
+    RateRequestMessage,
+    sender_node=I32,
+    dest_node=I32,
+    group=I32,
+    pid=I32,
+    target_pid=I32,
+    interval=F64,
+)
+
+any_message = st.one_of(
+    alive_messages, hello_messages, accuse_messages, rate_messages
+)
+
+
+class TestDecodeNeverCrashes:
+    @given(data=st.binary(max_size=512))
+    @settings(max_examples=300)
+    def test_random_bytes(self, data):
+        try:
+            decode_message(data)
+        except CodecError:
+            pass  # the only permitted failure mode
+
+    @given(message=any_message, data=st.data())
+    @settings(max_examples=150)
+    def test_mutated_valid_frames(self, message, data):
+        """Bit-flipped real frames are the adversarial middle ground:
+        they pass the magic check far more often than random bytes."""
+        frame = bytearray(encode_message(message))
+        index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        frame[index] ^= 1 << bit
+        try:
+            decode_message(bytes(frame))
+        except CodecError:
+            pass
+
+    @given(message=any_message, cut=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=150)
+    def test_truncated_valid_frames(self, message, cut):
+        frame = encode_message(message)
+        truncated = frame[: max(0, len(frame) - cut)]
+        if truncated == frame:
+            return
+        try:
+            decode_message(truncated)
+        except CodecError:
+            pass
+
+
+class TestRoundTrip:
+    @given(message=any_message)
+    @settings(max_examples=300)
+    def test_encode_decode_identity(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @given(message=any_message)
+    @settings(max_examples=50)
+    def test_frames_are_self_delimiting(self, message):
+        frame = encode_message(message)
+        (length,) = struct.unpack_from("!I", frame, 0)
+        assert length + 4 == len(frame)
