@@ -1,0 +1,304 @@
+"""Core hot-path benchmark: the cells, measurements and regression checks.
+
+This module is the library behind ``tools/bench.py`` (and the CI
+``perf-smoke`` job).  It measures the simulator's raw single-process
+throughput on three *headline cells* that bracket the hot paths:
+
+* ``heartbeat`` — the paper's 12-workstation LAN deployment, no churn:
+  pure heartbeat/election traffic, the cell the tentpole optimizations
+  target (buffered RNG, lazy timers, allocation-light delivery, memoized
+  leader choice);
+* ``lossy`` — 8 nodes over (10 ms, 1%) links: exercises the loss-coin +
+  delay-draw interleaving on every link stream (the buffered RNG's
+  adaptive passthrough path);
+* ``churn`` — 8 nodes with workstation churn: exercises monitor teardown,
+  re-election and the engine's cancellation/compaction machinery.
+
+Three measurements per cell:
+
+* **events/sec** — wall-clock throughput, best of ``repeats`` runs (best,
+  not mean: scheduler noise only ever slows a run down);
+* **trace digest** — the cell is fixed-seed, so its digest doubles as a
+  determinism regression check (hardware-independent);
+* **allocation profile** — tracemalloc peak KiB and live blocks after the
+  run (hardware-independent, catches "accidentally quadratic memory" and
+  per-event allocation regressions that wall clock may hide on fast
+  machines).
+
+Cross-machine comparability: raw events/sec on a CI runner says little
+against a baseline recorded elsewhere, so the file also records a
+*calibration* score — a fixed pure-Python workload shaped like the
+simulator's hot path — and the regression check compares events/sec
+*normalized by calibration* (with digests and allocations compared
+directly).  See :func:`compare_results`.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+
+__all__ = [
+    "CORE_CELLS",
+    "CellResult",
+    "BenchResult",
+    "calibration_kops",
+    "run_cell",
+    "run_core_bench",
+    "compare_results",
+]
+
+#: Virtual-seconds horizon per mode; quick keeps the CI job under a minute.
+DURATIONS = {"full": 300.0, "quick": 120.0}
+REPEATS = {"full": 5, "quick": 3}
+
+
+def _cell(name: str, **kw) -> Callable[[float], ExperimentConfig]:
+    def make(duration: float) -> ExperimentConfig:
+        return ExperimentConfig(
+            name=name, duration=duration, warmup=min(30.0, duration / 4), **kw
+        )
+
+    return make
+
+
+#: name -> duration -> ExperimentConfig.  Fixed seeds: the digests are part
+#: of the committed baseline.
+CORE_CELLS: Dict[str, Callable[[float], ExperimentConfig]] = {
+    "heartbeat": _cell(
+        "heartbeat", algorithm="omega_lc", n_nodes=12, seed=42, node_churn=False
+    ),
+    "lossy": _cell(
+        "lossy",
+        algorithm="omega_lc",
+        n_nodes=8,
+        seed=7,
+        node_churn=False,
+        link_delay_mean=0.010,
+        link_loss_prob=0.01,
+    ),
+    "churn": _cell(
+        "churn", algorithm="omega_lc", n_nodes=8, seed=11, node_churn=True
+    ),
+}
+
+
+@dataclass
+class CellResult:
+    """One cell's measurements (see module docstring)."""
+
+    name: str
+    duration: float
+    events: int
+    wall_seconds: float  # best run
+    events_per_sec: float
+    digest: str
+    alloc_peak_kib: Optional[float] = None
+    alloc_live_blocks: Optional[int] = None
+
+    def to_json(self) -> dict:
+        return {
+            "duration_virtual_s": self.duration,
+            "events": self.events,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "digest": self.digest,
+            "alloc_peak_kib": self.alloc_peak_kib,
+            "alloc_live_blocks": self.alloc_live_blocks,
+        }
+
+
+@dataclass
+class BenchResult:
+    """One full bench run (one mode)."""
+
+    mode: str
+    calibration_kops: float
+    cells: Dict[str, CellResult] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "calibration_kops": round(self.calibration_kops, 1),
+            "cells": {name: cell.to_json() for name, cell in self.cells.items()},
+        }
+
+
+def calibration_kops(iterations: int = 1_500_000) -> float:
+    """Machine-speed score in kilo-iterations/sec of a hot-path-shaped loop.
+
+    Dict lookups, float arithmetic, method calls and small-list churn — the
+    same mix the simulator's per-event work is made of.  Normalizing
+    events/sec by this score makes the committed baseline comparable across
+    machines (a CI runner ~40% slower than the laptop that wrote the
+    baseline scores ~40% lower here too, cancelling out).
+    """
+    table = {i: float(i) for i in range(97)}
+    acc = 0.0
+    items: List[float] = []
+    append = items.append
+    start = time.perf_counter()
+    for i in range(iterations):
+        acc += table[i % 97] * 1.0000001
+        append(acc)
+        if len(items) > 32:
+            items.clear()
+    wall = time.perf_counter() - start
+    return iterations / wall / 1000.0
+
+
+def run_cell(
+    name: str,
+    mode: str = "full",
+    repeats: Optional[int] = None,
+    measure_allocations: bool = True,
+) -> CellResult:
+    """Measure one core cell; see the module docstring for what and why."""
+    make = CORE_CELLS[name]
+    duration = DURATIONS[mode]
+    repeats = REPEATS[mode] if repeats is None else repeats
+    best_wall = float("inf")
+    events = 0
+    digest = ""
+    for repeat in range(repeats):
+        system = build_system(make(duration))
+        start = time.perf_counter()
+        system.sim.run_until(duration)
+        wall = time.perf_counter() - start
+        best_wall = min(best_wall, wall)
+        if repeat and (
+            digest != system.trace.digest()
+            or events != system.sim.events_executed
+        ):
+            # The digests double as determinism checks; repeats of a
+            # fixed-seed cell disagreeing is itself the regression.
+            raise AssertionError(
+                f"cell '{name}' is nondeterministic across repeats: "
+                f"{events}/{digest[:12]}… then "
+                f"{system.sim.events_executed}/{system.trace.digest()[:12]}…"
+            )
+        events = system.sim.events_executed
+        digest = system.trace.digest()
+    result = CellResult(
+        name=name,
+        duration=duration,
+        events=events,
+        wall_seconds=best_wall,
+        events_per_sec=events / best_wall,
+        digest=digest,
+    )
+    if measure_allocations:
+        # Separate pass: tracemalloc slows execution several-fold, so it
+        # must never share a run with the timing measurement.
+        system = build_system(make(duration))
+        tracemalloc.start()
+        system.sim.run_until(duration)
+        peak = tracemalloc.get_traced_memory()[1]
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        result.alloc_peak_kib = round(peak / 1024.0, 1)
+        result.alloc_live_blocks = sum(
+            stat.count for stat in snapshot.statistics("filename")
+        )
+    return result
+
+
+def run_core_bench(
+    mode: str = "full",
+    cells: Optional[List[str]] = None,
+    measure_allocations: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchResult:
+    """Run the core bench in ``mode`` over ``cells`` (default: all)."""
+    names = list(CORE_CELLS) if cells is None else cells
+    result = BenchResult(mode=mode, calibration_kops=calibration_kops())
+    if progress:
+        progress(f"calibration: {result.calibration_kops:,.0f} kops")
+    for name in names:
+        cell = run_cell(name, mode=mode, measure_allocations=measure_allocations)
+        result.cells[name] = cell
+        if progress:
+            progress(
+                f"{name}: {cell.events_per_sec:,.0f} events/s "
+                f"({cell.events} events in {cell.wall_seconds:.2f}s)"
+            )
+    return result
+
+
+def compare_results(
+    baseline: dict, current: BenchResult, tolerance: float = 0.20
+) -> List[str]:
+    """Regression check of ``current`` against a committed ``baseline`` blob.
+
+    Returns a list of human-readable failures (empty = pass):
+
+    * digest mismatch — the cell no longer reproduces the baseline trace
+      (determinism regression; not subject to tolerance);
+    * normalized events/sec below ``(1 - tolerance) ×`` baseline —
+      throughput regression, where *normalized* means divided by each
+      machine's calibration score;
+    * live allocation blocks above ``(1 + tolerance) ×`` baseline —
+      allocation regression (hardware-independent).
+    """
+    failures: List[str] = []
+    base_mode = baseline.get("modes", {}).get(current.mode)
+    if base_mode is None:
+        return [f"baseline has no '{current.mode}' mode section"]
+    base_calibration = base_mode.get("calibration_kops") or 1.0
+    for name, cell in current.cells.items():
+        base_cell = base_mode.get("cells", {}).get(name)
+        if base_cell is None:
+            failures.append(f"{name}: not present in baseline")
+            continue
+        if base_cell["digest"] != cell.digest:
+            failures.append(
+                f"{name}: trace digest changed "
+                f"({base_cell['digest'][:12]}… -> {cell.digest[:12]}…); "
+                "simulation behaviour is no longer bit-identical to the "
+                "committed baseline — if intentional, re-run "
+                "tools/bench.py --update"
+            )
+        base_events = base_cell.get("events")
+        if base_events is not None and base_events != cell.events:
+            # Exact, like the digest: traces are sparse (view changes,
+            # crashes), so a steady-state perturbation can leave the digest
+            # untouched while the event count moves.  Both must hold.
+            failures.append(
+                f"{name}: executed event count changed "
+                f"({base_events} -> {cell.events}); the fixed-seed cell no "
+                "longer reproduces the committed baseline — if intentional, "
+                "re-run tools/bench.py --update"
+            )
+        base_norm = base_cell["events_per_sec"] / base_calibration
+        norm = cell.events_per_sec / current.calibration_kops
+        if norm < (1.0 - tolerance) * base_norm:
+            failures.append(
+                f"{name}: normalized throughput regressed "
+                f"{(1.0 - norm / base_norm) * 100:.1f}% "
+                f"(baseline {base_cell['events_per_sec']:,.0f} ev/s @ "
+                f"{base_calibration:,.0f} kops, "
+                f"current {cell.events_per_sec:,.0f} ev/s @ "
+                f"{current.calibration_kops:,.0f} kops, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+        base_blocks = base_cell.get("alloc_live_blocks")
+        if base_blocks and cell.alloc_live_blocks:
+            if cell.alloc_live_blocks > (1.0 + tolerance) * base_blocks:
+                failures.append(
+                    f"{name}: live allocation blocks grew "
+                    f"{base_blocks} -> {cell.alloc_live_blocks} "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+        base_peak = base_cell.get("alloc_peak_kib")
+        if base_peak and cell.alloc_peak_kib:
+            if cell.alloc_peak_kib > (1.0 + tolerance) * base_peak:
+                failures.append(
+                    f"{name}: peak traced memory grew "
+                    f"{base_peak:.0f} -> {cell.alloc_peak_kib:.0f} KiB "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+    return failures

@@ -158,7 +158,7 @@ class ChaosTransport:
             if self.reorder_jitter > 0.0:
                 delay = float(self._rng.uniform(0.0, self.reorder_jitter))
                 self.stats.delayed += 1
-                self.scheduler.schedule(delay, lambda m=message: self.inner.send(m))
+                self.scheduler.schedule(delay, self.inner.send, message)
             else:
                 self.inner.send(message)
         self.stats.forwarded += 1

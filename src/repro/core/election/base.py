@@ -66,6 +66,17 @@ class GroupContext:
     def member_joined_at(self, pid: int) -> Optional[float]:
         raise NotImplementedError
 
+    @property
+    def membership_version(self) -> int:
+        """Monotonic counter, bumped on every effective membership change.
+
+        Lets algorithms memoize derived state (Ω_lc's leader choice) with a
+        cheap validity stamp instead of re-deriving per event.  Optional:
+        contexts that do not implement it (bare test fakes) make algorithms
+        fall back to recomputing every time.
+        """
+        raise NotImplementedError
+
     # --- actions ----------------------------------------------------------
     def send_accuse(self, accused: int, accused_phase: int) -> None:
         """Send an accusation to the (node of the) suspected process."""

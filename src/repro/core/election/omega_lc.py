@@ -70,30 +70,67 @@ class OmegaLc(ElectionAlgorithm):
         self._forwards: Dict[int, Tuple[int, float]] = {}
         self.accusations_received = 0
         self._last_broadcast_local: Optional[Tuple[float, int]] = None
+        # Leader-choice memo.  The choice is a pure function of
+        # (_info, _forwards, acc_time, FD trust, membership); every mutation
+        # of the first three bumps _mutations, trust flips arrive through
+        # on_trust/on_suspect (which bump too), and membership changes bump
+        # the context's membership_version — so a (mutations, version) stamp
+        # identifies the inputs exactly and steady-state ALIVEs (identical
+        # piggybacked state, by far the common case) skip the O(members +
+        # forwards) recomputation entirely.  Contexts that do not expose a
+        # membership version (bare test fakes) disable the memo and compute
+        # every time, exactly as before.
+        self._mutations = 0
+        self._stamp_mutations = -1  # _mutations value the memo was built at
+        self._stamp_version = -1  # membership_version it was built at
+        self._cached_local: Optional[Tuple[float, int]] = None
+        self._cached_leader: Optional[Tuple[float, int]] = None
+        #: Ω_lc's wants_to_send is constant (is_candidate), so the sender
+        #: needs syncing exactly once per start, not once per refresh.
+        self._sender_synced = False
+        try:
+            ctx.membership_version
+            self._cache_enabled = True
+        except (AttributeError, NotImplementedError):
+            self._cache_enabled = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.acc_time = self.ctx.join_time
+        self._mutations += 1
+        self._sender_synced = False
         super().start()
+
+    def stop(self) -> None:
+        self._sender_synced = False
+        super().stop()
 
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
     def on_alive(self, message: AliveMessage) -> None:
-        self._observe(message.pid, message.acc_time, message.phase)
-        if message.local_leader is not None and message.local_leader_acc is not None:
-            self._forwards[message.pid] = (
-                message.local_leader,
-                message.local_leader_acc,
-            )
+        pid = message.pid
+        self._observe(pid, message.acc_time, message.phase)
+        local_leader = message.local_leader
+        local_leader_acc = message.local_leader_acc
+        if local_leader is not None and local_leader_acc is not None:
+            forward = (local_leader, local_leader_acc)
+            if self._forwards.get(pid) != forward:
+                self._forwards[pid] = forward
+                self._mutations += 1
             # A forwarded accusation time is evidence about the forwarded
             # process too (accusation times are monotonic, max = freshest).
-            self._observe_floor(message.local_leader, message.local_leader_acc)
+            self._observe_floor(local_leader, local_leader_acc)
+        self._refresh()
+
+    def on_trust(self, pid: int) -> None:
+        self._mutations += 1
         self._refresh()
 
     def on_suspect(self, pid: int) -> None:
+        self._mutations += 1
         _, phase = self._info.get(pid, (0.0, 0))
         self.ctx.send_accuse(pid, phase)
         self._refresh()
@@ -103,6 +140,7 @@ class OmegaLc(ElectionAlgorithm):
             return False  # stale accusation: refers to an older phase
         self.accusations_received += 1
         self.acc_time = self.ctx.now
+        self._mutations += 1
         self._refresh()
         # Tell the group immediately: until our bumped accusation time is
         # out, everyone else still follows us while we already stepped down.
@@ -124,7 +162,10 @@ class OmegaLc(ElectionAlgorithm):
             return
         current = self._info.get(pid)
         if current is None or acc_time >= current[0]:
-            self._info[pid] = (acc_time, phase)
+            observation = (acc_time, phase)
+            if observation != current:  # identical re-observation: no-op
+                self._info[pid] = observation
+                self._mutations += 1
 
     def _observe_floor(self, pid: int, acc_time: float) -> None:
         """Raise the known accusation time of ``pid`` from secondhand
@@ -134,8 +175,10 @@ class OmegaLc(ElectionAlgorithm):
         current = self._info.get(pid)
         if current is None:
             self._info[pid] = (acc_time, 0)
+            self._mutations += 1
         elif acc_time > current[0]:
             self._info[pid] = (acc_time, current[1])
+            self._mutations += 1
 
     # ------------------------------------------------------------------
     # Leader computation
@@ -150,23 +193,67 @@ class OmegaLc(ElectionAlgorithm):
         joined = self.ctx.member_joined_at(pid)
         return joined if joined is not None else 0.0
 
-    def local_leader(self) -> Optional[Tuple[float, int]]:
-        """Stage 1: earliest (acc, pid) among trusted candidates ∪ self."""
+    def _current(self) -> Tuple[Optional[Tuple[float, int]], Optional[Tuple[float, int]]]:
+        """The memoized (stage-1, stage-2) choice pair (see __init__)."""
+        if self._cache_enabled:
+            mutations = self._mutations
+            version = self.ctx.membership_version
+            if self._stamp_mutations == mutations and self._stamp_version == version:
+                return self._cached_local, self._cached_leader
+            local = self._compute_local_leader()
+            self._cached_local = local
+            self._cached_leader = self._compute_leader(local)
+            self._stamp_mutations = mutations
+            self._stamp_version = version
+            return local, self._cached_leader
+        local = self._compute_local_leader()
+        return local, self._compute_leader(local)
+
+    def _compute_local_leader(self) -> Optional[Tuple[float, int]]:
         ctx = self.ctx
+        local_pid = ctx.local_pid
+        info = self._info
+        trusted = ctx.trusted
         best: Optional[Tuple[float, int]] = None
         for member in ctx.candidate_members():
             pid = member.pid
-            if pid == ctx.local_pid:
+            if pid == local_pid:
                 if not ctx.is_candidate:
                     continue
                 key = (self.acc_time, pid)
-            elif ctx.trusted(pid):
-                key = (self._acc_of(pid), pid)
+            elif trusted(pid):
+                entry = info.get(pid)
+                if entry is not None:
+                    key = (entry[0], pid)
+                else:  # never heard from: ranked by its join time
+                    joined = ctx.member_joined_at(pid)
+                    key = (joined if joined is not None else 0.0, pid)
             else:
                 continue
             if best is None or key < best:
                 best = key
         return best
+
+    def _compute_leader(
+        self, local: Optional[Tuple[float, int]]
+    ) -> Optional[Tuple[float, int]]:
+        ctx = self.ctx
+        trusted = ctx.trusted
+        is_present_candidate = ctx.is_present_candidate
+        best = local
+        for forwarder, (pid, acc) in self._forwards.items():
+            if not trusted(forwarder):
+                continue
+            if not is_present_candidate(pid):
+                continue  # stale forward of a process that left the group
+            key = (max(acc, self._acc_of(pid)), pid)
+            if best is None or key < best:
+                best = key
+        return best
+
+    def local_leader(self) -> Optional[Tuple[float, int]]:
+        """Stage 1: earliest (acc, pid) among trusted candidates ∪ self."""
+        return self._current()[0]
 
     def leader(self) -> Optional[int]:
         """Stage 2: earliest among own local leader and trusted forwards.
@@ -176,29 +263,30 @@ class OmegaLc(ElectionAlgorithm):
         locally-known values), so one up-to-date report immediately
         supersedes any number of stale forwards of a demoted leader.
         """
-        ctx = self.ctx
-        best = self.local_leader()
-        for forwarder, (pid, acc) in self._forwards.items():
-            if not ctx.trusted(forwarder):
-                continue
-            if not ctx.is_present_candidate(pid):
-                continue  # stale forward of a process that left the group
-            key = (max(acc, self._acc_of(pid)), pid)
-            if best is None or key < best:
-                best = key
+        best = self._current()[1]
         return best[1] if best is not None else None
 
     # ------------------------------------------------------------------
     # Outputs
     # ------------------------------------------------------------------
     def _refresh(self) -> None:
-        super()._refresh()
+        """One memo lookup serves both the stage-2 view-change check and the
+        stage-1 broadcast check; side-effect order (sync_sender, leader view
+        notification, flush request) is identical to the uncached path."""
         if not self._started:
             return
+        self._pre_refresh()
+        if not self._sender_synced:
+            self.ctx.sync_sender()
+            self._sender_synced = True
+        local, best = self._current()
+        leader = best[1] if best is not None else None
+        if leader != self._last_leader:
+            self._last_leader = leader
+            self.ctx.on_leader_view(leader)
         # Broadcast stage-1 changes immediately: our forwards are inputs to
         # everyone else's stage 2, and a stale forward holds the whole group
         # on a demoted leader.
-        local = self.local_leader()
         if local != self._last_broadcast_local:
             self._last_broadcast_local = local
             self.ctx.request_flush()

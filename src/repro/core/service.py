@@ -152,7 +152,12 @@ class GroupRuntime(GroupContext):
         #: Per-sender memo of the last merged membership digest (by object
         #: identity): skips re-merging the unchanged digest piggybacked on
         #: every ALIVE (the sender's digest tuple is cached until it changes).
+        #: Safe because views are monotone lattices — re-merging an
+        #: already-merged record set can never change the view.
         self._merged_digests: Dict[int, Tuple] = {}
+        #: Same memo for HELLO gossip, keyed by sender *node* (HELLOs carry
+        #: no pid); gossip re-sends an unchanged view once per period.
+        self._merged_hello_digests: Dict[int, Tuple] = {}
         self._shut_down = False
 
         self.algorithm = create_algorithm(algorithm_name, self)
@@ -262,6 +267,10 @@ class GroupRuntime(GroupContext):
     def member_joined_at(self, pid: int) -> Optional[float]:
         return self.view.joined_at(pid)
 
+    @property
+    def membership_version(self) -> int:
+        return self.view.version
+
     def send_accuse(self, accused: int, accused_phase: int) -> None:
         node = self.view.node_of(accused)
         if node is None or node == self.service.node.node_id:
@@ -339,7 +348,11 @@ class GroupRuntime(GroupContext):
             self._sync_membership_dependents()
 
     def handle_hello(self, message: HelloMessage) -> None:
-        changed = self.view.merge(message.members)
+        if self._merged_hello_digests.get(message.sender_node) is message.members:
+            changed = False  # identical record set already merged
+        else:
+            changed = self.view.merge(message.members)
+            self._merged_hello_digests[message.sender_node] = message.members
         if changed:
             self._sync_membership_dependents()
         if message.kind == "join":
@@ -617,25 +630,26 @@ class LeaderElectionService:
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
+    #: Exact-type dispatch: one dict lookup instead of an isinstance chain
+    #: per received message.  The four concrete message types are the whole
+    #: wire protocol (the codec can produce nothing else); unknown types are
+    #: ignored, as the isinstance chain did.
+    _DISPATCH = {
+        AliveMessage: GroupRuntime.handle_alive,
+        HelloMessage: GroupRuntime.handle_hello,
+        AccuseMessage: GroupRuntime.handle_accuse,
+        RateRequestMessage: GroupRuntime.handle_rate_request,
+    }
+
     def handle_message(self, message: Message) -> None:
         if self._shut_down:
             return
-        if isinstance(message, AliveMessage):
-            runtime = self._groups.get(message.group)
-            if runtime is not None:
-                runtime.handle_alive(message)
-        elif isinstance(message, HelloMessage):
-            runtime = self._groups.get(message.group)
-            if runtime is not None:
-                runtime.handle_hello(message)
-        elif isinstance(message, AccuseMessage):
-            runtime = self._groups.get(message.group)
-            if runtime is not None:
-                runtime.handle_accuse(message)
-        elif isinstance(message, RateRequestMessage):
-            runtime = self._groups.get(message.group)
-            if runtime is not None:
-                runtime.handle_rate_request(message)
+        handler = self._DISPATCH.get(type(message))
+        if handler is None:
+            return
+        runtime = self._groups.get(message.group)
+        if runtime is not None:
+            handler(runtime, message)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -58,16 +58,20 @@ def configure(qos: FDQoS, estimate: LinkEstimate) -> FDParams:
 
     # log Pr[mistake at a freshness point], vectorized over the η grid:
     # for each η, the product over k = 0..⌊δ/η⌋ of (pL + (1-pL)·Pr[D > δ-kη]).
+    # The whole (k, η) plane is evaluated as one matrix (one delay_survival
+    # and one log call instead of one per k); the accumulation over k stays
+    # a sequential row loop so the floating-point sum order — and therefore
+    # the chosen (η, δ) and every digest downstream — matches the scalar
+    # formulation bit-for-bit.
     p_l = estimate.loss_prob
     log_p = np.zeros_like(etas)
     k_max = int(np.floor((deltas / etas).max()))
-    for k in range(k_max + 1):
-        x = deltas - k * etas
-        active = x >= 0.0
-        if not active.any():
-            break
-        terms = p_l + (1.0 - p_l) * delay_survival(np.maximum(x, 0.0), estimate)
-        log_p += np.where(active, np.log(np.maximum(terms, 1e-300)), 0.0)
+    ks = np.arange(k_max + 1, dtype=float)[:, np.newaxis]
+    x = deltas[np.newaxis, :] - ks * etas[np.newaxis, :]
+    terms = p_l + (1.0 - p_l) * delay_survival(np.maximum(x, 0.0), estimate)
+    contributions = np.where(x >= 0.0, np.log(np.maximum(terms, 1e-300)), 0.0)
+    for row in contributions:
+        log_p += row
 
     with np.errstate(over="ignore"):
         recurrence = etas / np.exp(log_p)

@@ -72,27 +72,38 @@ class LinkQualityEstimator:
         the sender's timestamp carried in the message.
         """
         gap = 0
-        if self._last_seq is not None and seq > self._last_seq:
-            gap = seq - self._last_seq - 1
+        last_seq = self._last_seq
+        if last_seq is None:
+            self._last_seq = seq
+        elif seq > last_seq:
+            gap = seq - last_seq - 1
+            self._last_seq = seq
         # seq <= last_seq: reordered duplicate or a sender restart; in both
         # cases no loss information can be extracted, only the delay sample.
-        self._last_seq = max(seq, self._last_seq) if self._last_seq is not None else seq
 
-        self._received = self._received * self._loss_decay + 1.0
-        self._lost = self._lost * self._loss_decay + gap
+        decay = self._loss_decay
+        self._received = self._received * decay + 1.0
+        self._lost = self._lost * decay + gap
 
-        delay = max(arrival_time - send_time, 0.0)
-        self._samples += 1
-        if self._samples == 1:
+        delay = arrival_time - send_time
+        if delay < 0.0:
+            delay = 0.0
+        samples = self._samples + 1
+        self._samples = samples
+        if samples == 1:
             self._delay_mean = delay
             self._delay_var = 0.0
         else:
-            alpha = max(self._delay_alpha, 1.0 / self._samples)
+            alpha = self._delay_alpha
+            inverse = 1.0 / samples
+            if inverse > alpha:
+                alpha = inverse
             previous_mean = self._delay_mean
-            self._delay_mean += alpha * (delay - previous_mean)
+            centered = delay - previous_mean
+            self._delay_mean = previous_mean + alpha * centered
             # EWMA Welford update: unbiased-ish online variance with decay.
             self._delay_var = (1.0 - alpha) * (
-                self._delay_var + alpha * (delay - previous_mean) ** 2
+                self._delay_var + alpha * centered * centered
             )
 
     # ------------------------------------------------------------------

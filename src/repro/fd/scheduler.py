@@ -166,23 +166,32 @@ class HeartbeatSender:
         template = self._payload_fn()
         now = self.scheduler.now
         interval = self.interval()
+        seqs = self._seqs
+        send = self.transport.send
+        acc_time = template.acc_time
+        phase = template.phase
+        local_leader = template.local_leader
+        local_leader_acc = template.local_leader_acc
+        members = template.members
         for pid, dest_node in self._dest_nodes.items():
-            message = AliveMessage(
-                sender_node=self.node_id,
-                dest_node=dest_node,
-                group=self.group,
-                pid=self.pid,
-                seq=self._seqs[pid],
-                send_time=now,
-                interval=interval,
-                acc_time=template.acc_time,
-                phase=template.phase,
-                local_leader=template.local_leader,
-                local_leader_acc=template.local_leader_acc,
-                members=template.members,
+            seq = seqs[pid]
+            seqs[pid] = seq + 1
+            send(
+                AliveMessage(
+                    sender_node=self.node_id,
+                    dest_node=dest_node,
+                    group=self.group,
+                    pid=self.pid,
+                    seq=seq,
+                    send_time=now,
+                    interval=interval,
+                    acc_time=acc_time,
+                    phase=phase,
+                    local_leader=local_leader,
+                    local_leader_acc=local_leader_acc,
+                    members=members,
+                )
             )
-            self._seqs[pid] += 1
-            self.transport.send(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

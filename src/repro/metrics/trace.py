@@ -25,14 +25,18 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "TraceRecorder", "trace_digest"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One timestamped trace record (see module docstring for kinds)."""
+    """One timestamped trace record (see module docstring for kinds).
+
+    Slotted: experiment traces hold hundreds of thousands of these, and the
+    per-instance ``__dict__`` would roughly triple their memory footprint.
+    """
 
     time: float
     kind: str
@@ -110,12 +114,17 @@ class TraceRecorder:
                 yield event
 
     def groups(self) -> List[int]:
-        """All group ids that appear in the trace."""
-        seen = []
+        """All group ids that appear in the trace, in first-seen order.
+
+        O(n) via a dict-as-ordered-set; the previous ``list.__contains__``
+        membership test made this quadratic in the number of groups.
+        """
+        seen: Dict[int, None] = {}
         for event in self.events:
-            if event.group is not None and event.group not in seen:
-                seen.append(event.group)
-        return seen
+            group = event.group
+            if group is not None and group not in seen:
+                seen[group] = None
+        return list(seen)
 
     def digest(self) -> str:
         """The :func:`trace_digest` of everything recorded so far."""

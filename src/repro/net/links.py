@@ -22,8 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-import numpy as np
-
 from repro.net.message import Message
 from repro.runtime.base import Scheduler
 
@@ -90,15 +88,36 @@ class Link:
         src: int,
         dst: int,
         config: LinkConfig,
-        rng: np.random.Generator,
+        rng,
     ) -> None:
         self.sim = sim
         self.src = src
         self.dst = dst
         self.config = config
         self._rng = rng
+        # Hot-path copies of the (frozen) config scalars: transmit() runs
+        # once per offered message, and attribute-hopping through the
+        # dataclass costs more than the draws it guards.
+        self._loss_prob = config.loss_prob
+        self._delay_mean = config.delay_mean
         self.down = False
         self.stats = LinkStats()
+
+    @property
+    def rng(self):
+        """The link's RNG stream (shared by rebuilt links, see with_config)."""
+        return self._rng
+
+    def with_config(self, config: LinkConfig) -> "Link":
+        """A link with new stochastic behaviour but this link's identity.
+
+        Keeps the RNG stream (so reconfiguring one link never perturbs the
+        draws of any other) and the up/down state; counters start fresh,
+        matching the semantics of installing a new link.
+        """
+        new = Link(self.sim, self.src, self.dst, config, self._rng)
+        new.down = self.down
+        return new
 
     def set_down(self, down: bool) -> None:
         """Crash (``True``) or recover (``False``) this link."""
@@ -106,16 +125,19 @@ class Link:
 
     def transmit(self, message: Message, deliver: Callable[[Message], None]) -> None:
         """Offer ``message`` to the link; maybe schedule its delivery."""
-        self.stats.offered += 1
+        stats = self.stats
+        stats.offered += 1
         if self.down:
-            self.stats.dropped_down += 1
+            stats.dropped_down += 1
             return
-        config = self.config
-        if config.loss_prob > 0.0 and self._rng.random() < config.loss_prob:
-            self.stats.dropped_loss += 1
+        loss_prob = self._loss_prob
+        if loss_prob > 0.0 and self._rng.random() < loss_prob:
+            stats.dropped_loss += 1
             return
-        delay = self._rng.exponential(config.delay_mean) if config.delay_mean else 0.0
-        self.sim.schedule(delay, lambda: self._deliver(message, deliver))
+        delay_mean = self._delay_mean
+        delay = self._rng.exponential(delay_mean) if delay_mean else 0.0
+        # Prebound method + carried args: no per-message closure allocation.
+        self.sim.schedule(delay, self._deliver, message, deliver)
 
     def _deliver(self, message: Message, deliver: Callable[[Message], None]) -> None:
         # A message already "on the wire" when the link crashes is still

@@ -43,7 +43,7 @@ _MEMBER_ENTRY_BYTES = 16
 _ACC_ENTRY_BYTES = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemberInfo:
     """A compact membership record gossiped on HELLO/ALIVE messages.
 
@@ -61,7 +61,7 @@ class MemberInfo:
     joined_at: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccEntry:
     """One (pid, accusation time, phase) triple, used to seed joiners."""
 
@@ -70,12 +70,24 @@ class AccEntry:
     phase: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """Base class for all inter-node service messages."""
+    """Base class for all inter-node service messages.
+
+    Messages are slotted (no per-instance ``__dict__`` — the simulator
+    allocates hundreds of thousands per run) and cache their wire size:
+    the send path consults :meth:`wire_bytes` three times per delivered
+    message (sender meter, link byte counter, receiver meter), so the size
+    is computed once and memoized.  Size-relevant fields (``members``,
+    ``acc_table``, ``trusted``, ``leader_hint``) must therefore not be
+    mutated after a message has been offered to a transport — in the
+    protocol they never are (templates are stamped *before* sending).
+    """
 
     sender_node: int
     dest_node: int
+    #: Memoized wire_bytes() result; None until first computed.
+    _wire: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def payload_bytes(self) -> int:
         """Serialized payload size in bytes (excluding packet overhead)."""
@@ -83,10 +95,13 @@ class Message:
 
     def wire_bytes(self) -> int:
         """Total on-wire size of the packet carrying this message."""
-        return WIRE_OVERHEAD_BYTES + self.payload_bytes()
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = WIRE_OVERHEAD_BYTES + self.payload_bytes()
+        return wire
 
 
-@dataclass
+@dataclass(slots=True)
 class AliveMessage(Message):
     """The heartbeat of the Chen et al. failure detector.
 
@@ -124,7 +139,7 @@ class AliveMessage(Message):
         return self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.members)
 
 
-@dataclass
+@dataclass(slots=True)
 class HelloMessage(Message):
     """Group-maintenance gossip: the sender's view of a group's membership.
 
@@ -162,7 +177,7 @@ class HelloMessage(Message):
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class AccuseMessage(Message):
     """An accusation: the sender suspects ``accused`` in ``group``.
 
@@ -186,7 +201,7 @@ class AccuseMessage(Message):
         return self._PAYLOAD_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class RateRequestMessage(Message):
     """Feedback from a monitor: "send me ALIVEs every ``interval`` seconds".
 

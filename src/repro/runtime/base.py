@@ -80,12 +80,17 @@ class Scheduler(Clock, Protocol):
     fire in scheduling order.
     """
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
-        """Run ``fn`` after ``delay`` (>= 0) seconds; returns the handle."""
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` (>= 0) seconds; returns the handle.
+
+        Positional arguments are carried on the timer entry (as with
+        ``asyncio.call_later``), so hot paths can schedule a prebound method
+        with per-event data instead of allocating a closure per event.
+        """
         ...
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> TimerHandle:
-        """Run ``fn`` at absolute time ``time`` on this scheduler's clock."""
+    def schedule_at(self, time: float, fn: Callable[..., None], *args) -> TimerHandle:
+        """Run ``fn(*args)`` at absolute time ``time`` on this scheduler's clock."""
         ...
 
     def cancel(self, handle: "TimerHandle | None") -> None:

@@ -77,23 +77,25 @@ class RealtimeScheduler:
         """Unix epoch seconds (see module docstring for why not loop.time)."""
         return time.time()
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> RealtimeHandle:
-        """Run ``fn`` after ``delay`` seconds on the loop thread."""
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> RealtimeHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds on the loop thread."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self._arm(self.now + delay, delay, fn)
+        return self._arm(self.now + delay, delay, fn, args)
 
-    def schedule_at(self, when: float, fn: Callable[[], None]) -> RealtimeHandle:
-        """Run ``fn`` at epoch time ``when``.
+    def schedule_at(self, when: float, fn: Callable[..., None], *args) -> RealtimeHandle:
+        """Run ``fn(*args)`` at epoch time ``when``.
 
         Unlike the simulator, a ``when`` slightly in the past is *not* an
         error here — wall time advances while code runs, so realtime callers
         cannot avoid small negative slacks; the callback just fires on the
         next loop iteration.
         """
-        return self._arm(when, max(0.0, when - self.now), fn)
+        return self._arm(when, max(0.0, when - self.now), fn, args)
 
-    def _arm(self, fire_time: float, delay: float, fn: Callable[[], None]) -> RealtimeHandle:
+    def _arm(
+        self, fire_time: float, delay: float, fn: Callable[..., None], args: tuple = ()
+    ) -> RealtimeHandle:
         handle = RealtimeHandle(fire_time)
 
         def run() -> None:
@@ -101,7 +103,7 @@ class RealtimeScheduler:
                 return
             handle._timer = None
             self.events_executed += 1
-            fn()
+            fn(*args)
 
         handle._timer = self._loop.call_later(delay, run)
         self.events_scheduled += 1

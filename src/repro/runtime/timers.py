@@ -35,6 +35,15 @@ class PeriodicTimer:
     happens after ``initial_delay`` (default: one period).
     """
 
+    __slots__ = (
+        "_scheduler",
+        "_period_fn",
+        "_callback",
+        "_handle",
+        "_running",
+        "_initial_delay",
+    )
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -90,6 +99,8 @@ class VariableTimer:
     passes.  Only one scheduler entry exists at a time; early firings re-arm.
     """
 
+    __slots__ = ("_scheduler", "_callback", "_deadline", "_handle")
+
     def __init__(self, scheduler: Scheduler, callback: Callable[[], None]) -> None:
         self._scheduler = scheduler
         self._callback = callback
@@ -120,9 +131,19 @@ class VariableTimer:
         # else: lazy — the existing entry fires first and re-arms.
 
     def extend_to(self, deadline: float) -> None:
-        """Move the deadline to ``deadline`` if that is later than current."""
-        if self._deadline is None or deadline > self._deadline:
-            self.set_deadline(deadline)
+        """Move the deadline to ``deadline`` if that is later than current.
+
+        The per-heartbeat fast path: when an entry is already armed it
+        necessarily fires at or before the old deadline (and re-arms
+        lazily), so extending never needs the earlier-deadline re-insertion
+        branch of :meth:`set_deadline` — just the soft-deadline store.
+        """
+        current = self._deadline
+        if current is None or deadline > current:
+            self._deadline = deadline
+            handle = self._handle
+            if handle is None or handle.cancelled:
+                self._handle = self._scheduler.schedule_at(deadline, self._fire)
 
     def clear(self) -> None:
         """Disarm the timer."""

@@ -1,9 +1,11 @@
 """The discrete-event simulation engine.
 
-The engine is a classic calendar queue built on :mod:`heapq`: events are
-``(time, sequence_number)``-ordered callbacks.  Cancellation is lazy (events
-are flagged and skipped when popped), which keeps both :meth:`Simulator.cancel`
-and the hot pop path O(log n) amortized.
+The engine is a classic calendar queue built on :mod:`heapq`: heap entries
+are ``(time, sequence_number, event)`` tuples, so heap sifts compare plain
+floats and ints at C speed — an :class:`Event` is never compared (sequence
+numbers are unique) and needs no ``__lt__``.  Cancellation is lazy (events
+are flagged and skipped when popped), which keeps both
+:meth:`Simulator.cancel` and the hot pop path O(log n) amortized.
 
 Two mitigations keep cancellation-heavy workloads (failure-detector timers
 re-armed on every heartbeat) from degrading the pop path:
@@ -11,10 +13,17 @@ re-armed on every heartbeat) from degrading the pop path:
 * Cancellations routed through :meth:`Simulator.cancel` are counted, and once
   cancelled entries dominate the heap it is *compacted* in one O(n) pass —
   a batch drain that bounds the fraction of dead entries every pop has to
-  step over.
+  step over.  Cancelled entries that reach the heap top are popped eagerly
+  by :meth:`Simulator._drop_cancelled_head`, the one place that skips dead
+  entries for ``step``/``run_until``/``peek_time`` alike.
 * The ``run_until`` loop binds the heap and ``heappop`` locally and counts
   executed events in a local, so the per-event cost is one pop, one clock
   store and the callback itself.
+
+Callbacks may be scheduled with positional arguments
+(``schedule(delay, fn, *args)``), which lets hot paths pass per-event data
+without allocating a fresh closure per event — the network delivery path
+relies on this.
 
 Determinism guarantees:
 
@@ -34,9 +43,12 @@ real wall-clock time.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from heapq import heappush as _heappush
+from typing import Callable, Optional, Tuple
 
 __all__ = ["Event", "SimulationError", "Simulator", "DriftingScheduler"]
+
+_NO_ARGS: tuple = ()
 
 
 class SimulationError(RuntimeError):
@@ -51,18 +63,20 @@ class Event:
     fires; a cancelled event is silently skipped by the event loop.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "_owner")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_owner")
 
     def __init__(
         self,
         time: float,
         seq: int,
-        fn: Callable[[], None],
+        fn: Callable[..., None],
+        args: tuple = _NO_ARGS,
         owner: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
-        self.fn: Optional[Callable[[], None]] = fn
+        self.fn: Optional[Callable[..., None]] = fn
+        self.args = args
         self.cancelled = False
         self._owner = owner
 
@@ -79,14 +93,13 @@ class Event:
             self.cancelled = True
             self.fn = None
 
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+#: One heap entry: (fire time, tie-break sequence number, event record).
+_HeapEntry = Tuple[float, int, Event]
 
 
 class Simulator:
@@ -109,7 +122,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self._heap: list[_HeapEntry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -135,30 +148,33 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run ``delay`` seconds from now.
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
         ``delay`` must be non-negative.  Returns the :class:`Event` handle,
         which can be cancelled.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        event = Event(self._now + delay, self._seq, fn, owner=self)
-        heapq.heappush(self._heap, event)
+        time = self._now + delay
+        seq = self._seq + 1
+        self._seq = seq
+        event = Event(time, seq, fn, args, owner=self)
+        _heappush(self._heap, (time, seq, event))
         self.events_scheduled += 1
         self._live += 1
         return event
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` at absolute virtual time ``time``."""
+    def schedule_at(self, time: float, fn: Callable[..., None], *args) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
-        self._seq += 1
-        event = Event(time, self._seq, fn, owner=self)
-        heapq.heappush(self._heap, event)
+        seq = self._seq + 1
+        self._seq = seq
+        event = Event(time, seq, fn, args, owner=self)
+        _heappush(self._heap, (time, seq, event))
         self.events_scheduled += 1
         self._live += 1
         return event
@@ -177,6 +193,7 @@ class Simulator:
             pending = event.fn is not None
             event.cancelled = True
             event.fn = None  # break reference cycles early
+            event.args = _NO_ARGS
             if pending:
                 self._live -= 1
                 self._cancelled_pending += 1
@@ -194,31 +211,44 @@ class Simulator:
         triggered from inside an event callback.
         """
         heap = self._heap
-        heap[:] = [e for e in heap if not e.cancelled]
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
         heapq.heapify(heap)
         self._cancelled_pending = 0
         self.compactions += 1
+
+    def _drop_cancelled_head(self) -> None:
+        """Pop cancelled entries off the heap top, keeping counters exact.
+
+        The single owner of the "skip dead heads" logic: ``step``,
+        ``run_until`` and ``peek_time`` all call it, so the heap head is
+        always the next event that will actually fire and the
+        cancelled-entry accounting cannot drift between entry points.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            if self._cancelled_pending:
+                self._cancelled_pending -= 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
+        self._drop_cancelled_head()
         heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                if self._cancelled_pending:
-                    self._cancelled_pending -= 1
-                continue
-            self._now = event.time
-            fn = event.fn
-            event.fn = None
-            self.events_executed += 1
-            self._live -= 1
-            fn()  # type: ignore[misc]  (non-cancelled events keep their fn)
-            return True
-        return False
+        if not heap:
+            return False
+        _, _, event = heapq.heappop(heap)
+        self._now = event.time
+        fn = event.fn
+        args = event.args
+        event.fn = None
+        event.args = _NO_ARGS
+        self.events_executed += 1
+        self._live -= 1
+        fn(*args)  # type: ignore[misc]  (non-cancelled events keep their fn)
+        return True
 
     def run_until(self, time: float) -> None:
         """Run events until the virtual clock reaches ``time``.
@@ -231,28 +261,27 @@ class Simulator:
             raise SimulationError(f"cannot run backwards (t={time} < now={self._now})")
         heap = self._heap
         heappop = heapq.heappop
+        drop_cancelled_head = self._drop_cancelled_head
         executed = 0
         self._stopped = False
         self._running = True
         try:
             while heap and not self._stopped:
-                event = heap[0]
-                if event.time > time:
-                    break
-                heappop(heap)
-                if event.cancelled:
-                    # Decrement immediately (not batched in the finally):
-                    # a mid-run compaction resets the counter, and a batched
-                    # subtraction would then double-count these skips.
-                    if self._cancelled_pending:
-                        self._cancelled_pending -= 1
+                head = heap[0]
+                if head[2].cancelled:
+                    drop_cancelled_head()
                     continue
+                if head[0] > time:
+                    break
+                _, _, event = heappop(heap)
                 self._now = event.time
                 fn = event.fn
+                args = event.args
                 event.fn = None
+                event.args = _NO_ARGS
                 executed += 1
                 self._live -= 1
-                fn()  # type: ignore[misc]
+                fn(*args)  # type: ignore[misc]
         finally:
             self._running = False
             self.events_executed += executed
@@ -292,14 +321,12 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next pending event, or None.
 
-        Pops any cancelled entries sitting at the head so the answer is the
-        next event that will actually fire.
+        Pops any cancelled entries sitting at the head (via
+        :meth:`_drop_cancelled_head`) so the answer is the next event that
+        will actually fire.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            if self._cancelled_pending:
-                self._cancelled_pending -= 1
-        return self._heap[0].time if self._heap else None
+        self._drop_cancelled_head()
+        return self._heap[0][0] if self._heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -404,15 +431,15 @@ class DriftingScheduler:
     # ------------------------------------------------------------------
     # Scheduler protocol
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[[], None]) -> _DriftHandle:
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> _DriftHandle:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        inner = self._base.schedule(delay / self._rate, fn)
+        inner = self._base.schedule(delay / self._rate, fn, *args)
         return _DriftHandle(self.now + delay, inner)
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> _DriftHandle:
+    def schedule_at(self, time: float, fn: Callable[..., None], *args) -> _DriftHandle:
         delay = max(0.0, time - self.now)
-        inner = self._base.schedule(delay / self._rate, fn)
+        inner = self._base.schedule(delay / self._rate, fn, *args)
         return _DriftHandle(max(time, self.now), inner)
 
     def cancel(self, handle) -> None:

@@ -122,3 +122,50 @@ class TestCrashProneLink:
         sim.schedule(0.0001, lambda: link.set_down(True))
         sim.run_until(5.0)
         assert len(received) == 1
+
+
+class TestWithConfig:
+    """Link.with_config: rebuild behaviour, keep identity and RNG stream."""
+
+    def test_keeps_stream_and_down_state(self, sim, rng):
+        link = make_link(sim, rng, loss_prob=0.5)
+        link.set_down(True)
+        rebuilt = link.with_config(LinkConfig(delay_mean=1.0))
+        assert rebuilt.rng is link.rng
+        assert rebuilt.down
+        assert rebuilt.src == link.src and rebuilt.dst == link.dst
+        assert rebuilt.config.delay_mean == 1.0
+
+    def test_counters_start_fresh(self, sim, rng):
+        link = make_link(sim, rng)
+        link.transmit(make_message(), lambda m: None)
+        rebuilt = link.with_config(LinkConfig())
+        assert link.stats.offered == 1
+        assert rebuilt.stats.offered == 0
+
+    def test_stream_continues_across_reconfig(self, sim, rng):
+        """The rebuilt link draws the *continuation* of the old link's
+        stream — reconfiguring one link never perturbs any other."""
+        stream_a = rng.stream("link.cont.a")
+        reference = [stream_a.exponential(0.5) for _ in range(6)]
+
+        registry2 = type(rng)(rng.seed)
+        link = Link(sim, 0, 1, LinkConfig(delay_mean=0.5),
+                    registry2.stream("link.cont.a"))
+        delays = []
+        original_schedule = sim.schedule
+
+        def capture(delay, fn, *args):
+            delays.append(delay)
+            return original_schedule(delay, fn, *args)
+
+        sim.schedule = capture
+        try:
+            for _ in range(3):
+                link.transmit(make_message(), lambda m: None)
+            link = link.with_config(LinkConfig(delay_mean=0.5))
+            for _ in range(3):
+                link.transmit(make_message(), lambda m: None)
+        finally:
+            del sim.schedule  # restore the class method
+        assert delays == reference

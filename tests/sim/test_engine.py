@@ -119,8 +119,14 @@ class TestPendingCountCounter:
     """pending_count() is a live O(1) counter, exact through every path."""
 
     def _scan(self, sim):
-        """Ground truth the counter must always agree with."""
-        return sum(1 for e in sim._heap if not e.cancelled and e.fn is not None)
+        """Ground truth the counter must always agree with.
+
+        Heap entries are (time, seq, event) tuples; the event record carries
+        the cancellation state.
+        """
+        return sum(
+            1 for _, _, e in sim._heap if not e.cancelled and e.fn is not None
+        )
 
     def test_tracks_schedule_execute_and_cancel(self, sim):
         events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
@@ -238,6 +244,84 @@ class TestCompaction:
             sim.cancel(sim.schedule(1.0, lambda: None))
         assert sim.compactions == 0
         sim.run_until(2.0)
+
+
+class TestDropCancelledHead:
+    """The shared cancelled-head drain (Simulator._drop_cancelled_head):
+    peek_time, step and run_until all route dead heap heads through one
+    helper, so the heap head, pending_count and the cancelled-entry counter
+    stay mutually consistent no matter which entry point runs first."""
+
+    def _live_scan(self, sim):
+        return sum(1 for _, _, e in sim._heap if not e.cancelled)
+
+    def test_peek_time_after_cancelled_head(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(first)
+        assert sim.peek_time() == 2.0
+        # The dead head was physically popped, and every counter agrees.
+        assert len(sim._heap) == 1
+        assert sim.pending_count() == 1 == self._live_scan(sim)
+
+    def test_step_after_cancelled_heads(self, sim):
+        fired = []
+        for i in range(5):
+            sim.cancel(sim.schedule(float(i + 1), lambda: None))
+        sim.schedule(10.0, lambda: fired.append(1))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.pending_count() == 0 == self._live_scan(sim)
+
+    def test_run_until_then_peek_then_step_consistent(self, sim):
+        """Interleave all three entry points across cancellations."""
+        fired = []
+        events = [sim.schedule(float(i + 1), lambda i=i: fired.append(i)) for i in range(6)]
+        sim.cancel(events[0])
+        sim.run_until(2.0)  # skips the cancelled head, fires event 1
+        assert fired == [1]
+        sim.cancel(events[2])
+        assert sim.peek_time() == 4.0  # pops the dead t=3 head
+        assert sim.pending_count() == 3 == self._live_scan(sim)
+        assert sim.step()  # fires event 3 at t=4
+        assert fired == [1, 3]
+        assert sim.pending_count() == 2 == self._live_scan(sim)
+
+    def test_peek_time_on_fully_cancelled_heap(self, sim):
+        for i in range(4):
+            sim.cancel(sim.schedule(float(i + 1), lambda: None))
+        assert sim.peek_time() is None
+        assert sim._heap == []
+        assert sim.pending_count() == 0
+        assert not sim.step()
+
+
+class TestScheduleArgs:
+    """schedule()/schedule_at() carry positional args to the callback
+    (the allocation-light alternative to a per-event closure)."""
+
+    def test_schedule_passes_args(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda a, b: fired.append((a, b)), "x", 2)
+        sim.run_until(2.0)
+        assert fired == [("x", 2)]
+
+    def test_schedule_at_passes_args(self, sim):
+        fired = []
+        sim.schedule_at(1.5, fired.append, "payload")
+        sim.run_until(2.0)
+        assert fired == ["payload"]
+
+    def test_step_passes_args(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 7)
+        assert sim.step()
+        assert fired == [7]
+
+    def test_cancel_releases_args(self, sim):
+        event = sim.schedule(1.0, print, "large payload")
+        sim.cancel(event)
+        assert event.args == ()  # no reference kept alive until the pop
 
 
 class TestRunControl:

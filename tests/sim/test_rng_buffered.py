@@ -1,0 +1,144 @@
+"""BufferedStream bit-exactness: batched serving == scalar draws.
+
+The whole value of the buffered façade rests on one property: for ANY call
+sequence, the draws it serves are bit-identical to the same calls made
+directly on the wrapped ``numpy.random.Generator``.  These tests drive
+twin streams (one buffered, one raw) through homogeneous runs (which
+trigger block buffering and growth), adversarial kind-switches mid-block
+(which trigger the rewind-resync path), delegated Generator methods, and
+randomized interleavings, asserting equality draw by draw.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import BufferedStream, RngRegistry
+
+
+def twins(seed=1234):
+    """A buffered stream and a raw generator over identical bit streams."""
+    return (
+        BufferedStream(np.random.default_rng(seed)),
+        np.random.default_rng(seed),
+    )
+
+
+class TestBitExactness:
+    def test_homogeneous_exponential_run(self):
+        buffered, raw = twins()
+        for _ in range(20_000):  # far past every block-growth threshold
+            assert buffered.exponential(2.5) == raw.exponential(2.5)
+
+    def test_homogeneous_random_run(self):
+        buffered, raw = twins()
+        for _ in range(20_000):
+            assert buffered.random() == raw.random()
+
+    def test_uniform_parameterizations_share_the_buffer(self):
+        buffered, raw = twins()
+        for i in range(5_000):
+            low, high = -float(i % 7), float(i % 13) + 1.0
+            assert buffered.uniform(low, high) == raw.uniform(low, high)
+
+    def test_exponential_means_share_the_buffer(self):
+        buffered, raw = twins()
+        for i in range(5_000):
+            mean = 0.5 + (i % 11)
+            assert buffered.exponential(mean) == raw.exponential(mean)
+
+    def test_kind_switch_mid_block_rewinds_exactly(self):
+        buffered, raw = twins()
+        # Long exponential run to buffer a large block...
+        for _ in range(100):
+            assert buffered.exponential(1.0) == raw.exponential(1.0)
+        # ...then an abrupt switch while most of the block is unconsumed.
+        assert buffered.random() == raw.random()
+        for _ in range(100):
+            assert buffered.exponential(1.0) == raw.exponential(1.0)
+
+    def test_alternating_pattern_stays_exact(self):
+        """The lossy-link pattern: loss coin then delay, every message."""
+        buffered, raw = twins()
+        for _ in range(2_000):
+            assert buffered.random() == raw.random()
+            assert buffered.exponential(0.01) == raw.exponential(0.01)
+
+    def test_randomized_interleaving(self):
+        mixer = random.Random(99)
+        buffered, raw = twins()
+        calls = {
+            "r": lambda s: s.random(),
+            "u": lambda s: s.uniform(1.0, 3.0),
+            "e": lambda s: s.exponential(0.7),
+            "se": lambda s: s.standard_exponential(),
+        }
+        for _ in range(10_000):
+            call = calls[mixer.choice(list(calls))]
+            assert call(buffered) == call(raw)
+
+    def test_batched_size_calls_interleave_exactly(self):
+        buffered, raw = twins()
+        for _ in range(50):
+            assert buffered.exponential(1.0) == raw.exponential(1.0)
+        assert list(buffered.random(16)) == list(raw.random(16))
+        assert list(buffered.exponential(2.0, 8)) == list(raw.exponential(2.0, 8))
+        assert list(buffered.uniform(0.0, 1.0, 4)) == list(raw.uniform(0.0, 1.0, 4))
+        for _ in range(50):
+            assert buffered.random() == raw.random()
+
+    def test_delegated_methods_resync_first(self):
+        buffered, raw = twins()
+        for _ in range(200):  # active exponential block
+            assert buffered.exponential(1.0) == raw.exponential(1.0)
+        assert buffered.integers(0, 1000) == raw.integers(0, 1000)
+        assert list(buffered.choice(20, size=3, replace=False)) == list(
+            raw.choice(20, size=3, replace=False)
+        )
+        for _ in range(200):
+            assert buffered.exponential(1.0) == raw.exponential(1.0)
+
+    def test_generator_property_resyncs(self):
+        buffered, raw = twins()
+        for _ in range(100):
+            buffered.exponential(1.0)
+            raw.exponential(1.0)
+        assert buffered.generator.normal() == raw.normal()
+        assert buffered.random() == raw.random()
+
+    def test_missing_attribute_raises_without_desync(self):
+        buffered, raw = twins()
+        for _ in range(100):
+            buffered.exponential(1.0)
+            raw.exponential(1.0)
+        with pytest.raises(AttributeError):
+            buffered.not_a_generator_method
+        # The failed lookup must not have consumed or perturbed anything.
+        for _ in range(100):
+            assert buffered.exponential(1.0) == raw.exponential(1.0)
+
+    def test_scalar_draws_return_python_floats(self):
+        buffered, _ = twins()
+        assert type(buffered.random()) is float
+        assert type(buffered.exponential(1.0)) is float
+        assert type(buffered.uniform(0.0, 2.0)) is float
+        assert type(buffered.standard_exponential()) is float
+
+
+class TestRegistryIntegration:
+    def test_registry_hands_out_buffered_streams(self):
+        stream = RngRegistry(42).stream("link.0.1")
+        assert isinstance(stream, BufferedStream)
+
+    def test_registry_streams_match_pre_facade_draws(self):
+        """The registry's draws equal a raw generator built from the same
+        (seed, name) derivation — i.e. the façade changed nothing."""
+        from repro.sim.rng import _spawn_key_for
+
+        stream = RngRegistry(42).stream("link.0.1")
+        raw = np.random.default_rng(
+            np.random.SeedSequence(entropy=42, spawn_key=_spawn_key_for("link.0.1"))
+        )
+        for _ in range(1_000):
+            assert stream.exponential(0.1) == raw.exponential(0.1)
