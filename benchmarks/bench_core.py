@@ -12,9 +12,14 @@ throughput on three *headline cells* that bracket the hot paths:
   delay-draw interleaving on every link stream (the buffered RNG's
   adaptive passthrough path);
 * ``churn`` — 8 nodes with workstation churn: exercises monitor teardown,
-  re-election and the engine's cancellation/compaction machinery.
+  re-election and the engine's cancellation/compaction machinery;
+* ``many_groups`` — the multi-group scale-out's headline: 12 nodes each
+  hosting **64 groups** over one shared node-level FD plane.  Wire
+  bytes/sec must stay near-flat in the group count (batched frames +
+  change-triggered cells + delta gossip), which is what the cell's
+  wire-bytes metric pins against the committed baseline.
 
-Three measurements per cell:
+Four measurements per cell:
 
 * **events/sec** — wall-clock throughput, best of ``repeats`` runs (best,
   not mean: scheduler noise only ever slows a run down);
@@ -23,7 +28,11 @@ Three measurements per cell:
 * **allocation profile** — tracemalloc peak KiB and live blocks after the
   run (hardware-independent, catches "accidentally quadratic memory" and
   per-event allocation regressions that wall clock may hide on fast
-  machines).
+  machines);
+* **wire bytes** — total on-wire bytes sent across all nodes, and the
+  per-second rate.  Deterministic for a fixed-seed cell, so it is compared
+  *exactly* against the baseline: any protocol change that moves bytes on
+  the wire must re-record intentionally.
 
 Cross-machine comparability: raw events/sec on a CI runner says little
 against a baseline recorded elsewhere, so the file also records a
@@ -57,6 +66,12 @@ __all__ = [
 DURATIONS = {"full": 300.0, "quick": 120.0}
 REPEATS = {"full": 5, "quick": 3}
 
+#: Per-cell horizon overrides: the 64-group cell processes ~64 cells per
+#: delivered frame, so a shorter horizon keeps its wall clock in line with
+#: the other cells while still covering hundreds of emission periods.
+CELL_DURATIONS = {"many_groups": {"full": 60.0, "quick": 30.0}}
+CELL_REPEATS = {"many_groups": {"full": 3, "quick": 2}}
+
 
 def _cell(name: str, **kw) -> Callable[[float], ExperimentConfig]:
     def make(duration: float) -> ExperimentConfig:
@@ -85,6 +100,14 @@ CORE_CELLS: Dict[str, Callable[[float], ExperimentConfig]] = {
     "churn": _cell(
         "churn", algorithm="omega_lc", n_nodes=8, seed=11, node_churn=True
     ),
+    "many_groups": _cell(
+        "many_groups",
+        algorithm="omega_lc",
+        n_nodes=12,
+        n_groups=64,
+        seed=202,
+        node_churn=False,
+    ),
 }
 
 
@@ -98,8 +121,14 @@ class CellResult:
     wall_seconds: float  # best run
     events_per_sec: float
     digest: str
+    #: Total on-wire bytes sent across all nodes (deterministic).
+    wire_bytes: int = 0
     alloc_peak_kib: Optional[float] = None
     alloc_live_blocks: Optional[int] = None
+
+    @property
+    def wire_kb_per_virtual_sec(self) -> float:
+        return self.wire_bytes / self.duration / 1000.0
 
     def to_json(self) -> dict:
         return {
@@ -108,6 +137,8 @@ class CellResult:
             "wall_seconds": round(self.wall_seconds, 4),
             "events_per_sec": round(self.events_per_sec, 1),
             "digest": self.digest,
+            "wire_bytes": self.wire_bytes,
+            "wire_kb_per_virtual_sec": round(self.wire_kb_per_virtual_sec, 2),
             "alloc_peak_kib": self.alloc_peak_kib,
             "alloc_live_blocks": self.alloc_live_blocks,
         }
@@ -159,11 +190,13 @@ def run_cell(
 ) -> CellResult:
     """Measure one core cell; see the module docstring for what and why."""
     make = CORE_CELLS[name]
-    duration = DURATIONS[mode]
-    repeats = REPEATS[mode] if repeats is None else repeats
+    duration = CELL_DURATIONS.get(name, DURATIONS)[mode]
+    if repeats is None:
+        repeats = CELL_REPEATS.get(name, REPEATS)[mode]
     best_wall = float("inf")
     events = 0
     digest = ""
+    wire_bytes = 0
     for repeat in range(repeats):
         system = build_system(make(duration))
         start = time.perf_counter()
@@ -183,6 +216,9 @@ def run_cell(
             )
         events = system.sim.events_executed
         digest = system.trace.digest()
+        wire_bytes = sum(
+            node.meter.bytes_sent for node in system.network.nodes.values()
+        )
     result = CellResult(
         name=name,
         duration=duration,
@@ -190,6 +226,7 @@ def run_cell(
         wall_seconds=best_wall,
         events_per_sec=events / best_wall,
         digest=digest,
+        wire_bytes=wire_bytes,
     )
     if measure_allocations:
         # Separate pass: tracemalloc slows execution several-fold, so it
@@ -224,7 +261,8 @@ def run_core_bench(
         if progress:
             progress(
                 f"{name}: {cell.events_per_sec:,.0f} events/s "
-                f"({cell.events} events in {cell.wall_seconds:.2f}s)"
+                f"({cell.events} events in {cell.wall_seconds:.2f}s, "
+                f"{cell.wire_kb_per_virtual_sec:,.1f} KB/s on wire)"
             )
     return result
 
@@ -271,6 +309,16 @@ def compare_results(
                 f"{name}: executed event count changed "
                 f"({base_events} -> {cell.events}); the fixed-seed cell no "
                 "longer reproduces the committed baseline — if intentional, "
+                "re-run tools/bench.py --update"
+            )
+        base_wire = base_cell.get("wire_bytes")
+        if base_wire is not None and base_wire != cell.wire_bytes:
+            # Exact, like the digest: bytes on the wire are deterministic
+            # for a fixed seed, and this is the metric the multi-group
+            # scale-out exists to hold down.
+            failures.append(
+                f"{name}: wire bytes changed ({base_wire} -> {cell.wire_bytes}); "
+                "the protocol's on-wire footprint moved — if intentional, "
                 "re-run tools/bench.py --update"
             )
         base_norm = base_cell["events_per_sec"] / base_calibration

@@ -48,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_profile_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--nodes", type=int, default=None, help="cluster size")
         p.add_argument(
+            "--groups", type=int, default=None, help="hosted groups per daemon"
+        )
+        p.add_argument(
             "--algorithm", default=None, choices=available_algorithms()
         )
         p.add_argument(
@@ -101,6 +104,8 @@ def _profile_from_args(args: argparse.Namespace) -> FuzzProfile:
     changes = {}
     if args.nodes is not None:
         changes["n_nodes"] = args.nodes
+    if args.groups is not None:
+        changes["n_groups"] = args.groups
     if args.algorithm is not None:
         changes["algorithm"] = args.algorithm
     if args.detection_time is not None:
@@ -220,6 +225,7 @@ def _run_script(args: argparse.Namespace) -> int:
             name=f"chaos/script/{args.script.stem}",
             script=script,
             n_nodes=profile.n_nodes,
+            n_groups=profile.n_groups,
             algorithm=profile.algorithm,
             seed=args.seed,
             detection_time=profile.detection_time,

@@ -27,6 +27,7 @@ from repro.chaos.script import (
     ClockDrift,
     Drop,
     Duplicate,
+    GroupFault,
     Heal,
     Partition,
     Reorder,
@@ -121,6 +122,8 @@ class ChaosController:
             self.transport.set_duplicate(step.prob)
         elif isinstance(step, Reorder):
             self.transport.set_reorder(step.jitter)
+        elif isinstance(step, GroupFault):
+            self.transport.set_group_fault(step.group, step.rate)
         elif isinstance(step, ClockDrift):
             assert self.plane is not None  # enforced at construction
             self.plane.set_clock_rate(step.node, 1.0 + step.skew)

@@ -43,6 +43,7 @@ from repro.chaos.script import (
     clock_drift,
     drop,
     duplicate,
+    group_fault,
     heal,
     partition,
     reorder,
@@ -80,6 +81,11 @@ class FuzzProfile:
     """
 
     n_nodes: int = 6
+    #: Hosted groups per daemon: 2 by default since the multi-group
+    #: scale-out, so every batch exercises the shared FD plane's isolation
+    #: (group-scoped faults, cross-group invariant) alongside the classic
+    #: single-group adversaries.
+    n_groups: int = 2
     algorithm: str = "omega_lc"
     detection_time: float = 1.0
     min_steps: int = 1
@@ -96,6 +102,8 @@ class FuzzProfile:
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError(f"need at least 2 nodes (got {self.n_nodes})")
+        if self.n_groups < 1:
+            raise ValueError(f"need at least 1 group (got {self.n_groups})")
         if not 1 <= self.min_steps <= self.max_steps:
             raise ValueError("need 1 <= min_steps <= max_steps")
         if self.settle <= self.hold:
@@ -106,13 +114,14 @@ class FuzzProfile:
 #: dominate (they are the live-cluster-portable subset); bursts and drift
 #: stay rarer because each one is a full crash/skew episode.
 _STEP_KINDS = (
-    ("partition", 0.18),
-    ("asym_link", 0.16),
-    ("drop", 0.16),
-    ("duplicate", 0.12),
-    ("reorder", 0.12),
-    ("clock_drift", 0.10),
-    ("churn_burst", 0.16),
+    ("partition", 0.16),
+    ("asym_link", 0.14),
+    ("drop", 0.14),
+    ("duplicate", 0.11),
+    ("reorder", 0.11),
+    ("group_fault", 0.10),
+    ("clock_drift", 0.09),
+    ("churn_burst", 0.15),
 )
 
 
@@ -155,6 +164,10 @@ def generate_script(seed: int, profile: Optional[FuzzProfile] = None) -> ChaosSc
             steps.append(duplicate(at, float(rng.uniform(0.1, 0.9))))
         elif kind == "reorder":
             steps.append(reorder(at, float(rng.uniform(0.05, profile.max_jitter))))
+        elif kind == "group_fault":
+            # Target any hosted group; a rate high enough to bite.
+            target = 1 + int(rng.integers(profile.n_groups))
+            steps.append(group_fault(at, target, float(rng.uniform(0.3, 1.0))))
         elif kind == "clock_drift":
             node = int(rng.integers(profile.n_nodes))
             skew = float(rng.uniform(-profile.max_skew, profile.max_skew))
@@ -189,6 +202,7 @@ def config_for_case(
         name=f"chaos/fuzz/{seed}",
         script=generate_script(seed, profile),
         n_nodes=profile.n_nodes,
+        n_groups=profile.n_groups,
         algorithm=profile.algorithm,
         seed=RngRegistry.derive_seed(seed, "chaos.system"),
         detection_time=profile.detection_time,
@@ -213,6 +227,7 @@ def _experiment_cell(seed: int, profile: FuzzProfile) -> ExperimentConfig:
         name=f"chaos/fuzz/{seed}",
         algorithm=profile.algorithm,
         n_nodes=profile.n_nodes,
+        n_groups=profile.n_groups,
         duration=script.duration,
         warmup=0.0,
         seed=seed,
@@ -225,6 +240,7 @@ def fuzz_cell_runner(config: ExperimentConfig) -> Dict[str, Any]:
     """Orchestrator worker entry: run the fuzz case encoded in ``config``."""
     profile = FuzzProfile(
         n_nodes=config.n_nodes,
+        n_groups=config.n_groups,
         algorithm=config.algorithm,
         detection_time=config.qos.detection_time,
     )
@@ -305,6 +321,8 @@ def replay_command(seed: int, profile: Optional[FuzzProfile] = None) -> str:
         defaults = FuzzProfile()
         if profile.n_nodes != defaults.n_nodes:
             command += f" --nodes {profile.n_nodes}"
+        if profile.n_groups != defaults.n_groups:
+            command += f" --groups {profile.n_groups}"
         if profile.algorithm != defaults.algorithm:
             command += f" --algorithm {profile.algorithm}"
         if profile.detection_time != defaults.detection_time:
@@ -334,6 +352,7 @@ def run_fuzz(
     profile = profile if profile is not None else FuzzProfile()
     if workers > 1 and profile != FuzzProfile(
         n_nodes=profile.n_nodes,
+        n_groups=profile.n_groups,
         algorithm=profile.algorithm,
         detection_time=profile.detection_time,
     ):
@@ -343,8 +362,8 @@ def run_fuzz(
         # the workers than the parent shrinks and replays.
         raise ValueError(
             "workers > 1 supports only the CLI-expressible profile knobs "
-            "(n_nodes, algorithm, detection_time); run custom-grammar "
-            "profiles with workers=1"
+            "(n_nodes, n_groups, algorithm, detection_time); run "
+            "custom-grammar profiles with workers=1"
         )
     seeds = [case_seed(master_seed, index) for index in range(runs)]
     cells = [_experiment_cell(seed, profile) for seed in seeds]

@@ -34,8 +34,9 @@ and the raw event list:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fd.qos import FDQoS
 from repro.metrics.leadership import leader_intervals
@@ -47,6 +48,7 @@ __all__ = [
     "default_stabilize_bound",
     "default_validity_bound",
     "check_invariants",
+    "check_cross_group_isolation",
 ]
 
 #: Invariant names, in the order they are checked and reported.
@@ -55,6 +57,7 @@ INVARIANTS = (
     "bounded-reelection",
     "no-flapping",
     "leader-validity",
+    "cross-group-isolation",
 )
 
 
@@ -260,6 +263,101 @@ def check_invariants(
 
     report.violations.sort(key=lambda violation: (violation.time, violation.invariant))
     return report
+
+
+_GROUP_FAULT_TARGET = re.compile(r"group=(-?\d+)")
+
+
+def check_cross_group_isolation(
+    events: Iterable[TraceEvent],
+    *,
+    groups: Sequence[int],
+    end_time: float,
+    pre_stability: float = 5.0,
+) -> List[Violation]:
+    """Group-scoped faults must not flip *other* groups' stable leaders.
+
+    The shared node-level FD plane makes this the scale-out's key safety
+    property: a ``group_fault`` step starves one group's cells, HELLOs and
+    accusations, but node liveness — the input of every other group's
+    election — flows on the untouched frame headers.  For every
+    ``group_fault`` window during which the world is otherwise nominal (no
+    global overlay active, no crash), any *other* group whose leader had
+    been stable for ``pre_stability`` seconds before the fault must keep
+    that leader until the window closes (the next non-group-scoped chaos
+    step, heal, or the end of the run).
+
+    Windows that overlap global faults or crashes are skipped — a flip
+    there cannot be attributed to the group-scoped fault.
+    """
+    events = sorted(events, key=lambda e: e.time)
+    chaos: List[Tuple[float, str]] = [
+        (e.time, e.label or "") for e in events if e.kind == "chaos"
+    ]
+    crash_times = [e.time for e in events if e.kind == "crash"]
+
+    # Walk the chaos timeline: a group_fault window qualifies only while no
+    # global (non-group-scoped) overlay is active, closes at the *next*
+    # chaos step of any kind (another step makes attribution ambiguous),
+    # and excludes every group whose own fault is still active at that
+    # point — overlays persist until the heal, so an earlier group_fault's
+    # target must never be judged as an "other" group in a later window.
+    windows: List[Tuple[float, float, frozenset]] = []  # (start, end, targets)
+    global_active = False
+    active_targets: set = set()
+    for index, (time, label) in enumerate(chaos):
+        name = label.split("(", 1)[0]
+        if name == "heal":
+            global_active = False
+            active_targets.clear()
+            continue
+        if name != "group_fault":
+            global_active = True
+            continue
+        match = _GROUP_FAULT_TARGET.search(label)
+        if match is None:
+            continue
+        active_targets.add(int(match.group(1)))
+        if global_active:
+            continue
+        window_end = chaos[index + 1][0] if index + 1 < len(chaos) else end_time
+        windows.append((time, window_end, frozenset(active_targets)))
+
+    violations: List[Violation] = []
+    if not windows:
+        return violations
+    intervals_by_group = {
+        group: leader_intervals(events, group, end_time) for group in groups
+    }
+    for start, window_end, targets in windows:
+        target = ", ".join(str(t) for t in sorted(targets))
+        for group in groups:
+            if group in targets:
+                continue
+            for interval in intervals_by_group[group]:
+                if not (interval.start <= start < interval.end):
+                    continue
+                if start - interval.start < pre_stability:
+                    break  # not yet stable when the fault hit: inconclusive
+                flip = interval.end
+                if flip >= window_end:
+                    break  # leader rode out the whole window
+                if any(start <= crash <= flip for crash in crash_times):
+                    break  # a crash explains the flip, not the fault
+                violations.append(
+                    Violation(
+                        invariant="cross-group-isolation",
+                        time=flip,
+                        detail=(
+                            f"group {group} lost stable leader "
+                            f"{interval.leader} at t={flip:.2f} during a fault "
+                            f"scoped to group(s) {target} (window "
+                            f"{start:.2f}-{window_end:.2f})"
+                        ),
+                    )
+                )
+                break
+    return violations
 
 
 def _check_leader_validity(

@@ -20,7 +20,11 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from repro.chaos.controller import ChaosController
-from repro.chaos.invariants import InvariantReport, check_invariants
+from repro.chaos.invariants import (
+    InvariantReport,
+    check_cross_group_isolation,
+    check_invariants,
+)
 from repro.chaos.script import ChaosScript
 from repro.chaos.transport import ChaosTransport
 from repro.experiments.runner import build_system
@@ -43,6 +47,9 @@ class ChaosRunConfig:
     name: str
     script: ChaosScript
     n_nodes: int = 6
+    #: Hosted groups per daemon (ids CHAOS_GROUP .. CHAOS_GROUP+n_groups-1);
+    #: every group's invariants are checked, plus cross-group isolation.
+    n_groups: int = 1
     algorithm: str = "omega_lc"
     seed: int = 1
     detection_time: float = 1.0
@@ -56,6 +63,8 @@ class ChaosRunConfig:
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError(f"need at least 2 nodes (got {self.n_nodes})")
+        if self.n_groups < 1:
+            raise ValueError(f"need at least 1 group (got {self.n_groups})")
         if self.script.heal_time is None:
             raise ValueError("chaos scripts must end with a heal() step")
         if self.script.heal_time >= self.script.duration:
@@ -75,6 +84,7 @@ class ChaosRunConfig:
             name=self.name,
             algorithm=self.algorithm,
             n_nodes=self.n_nodes,
+            n_groups=self.n_groups,
             duration=self.script.duration,
             warmup=0.0,
             seed=self.seed,
@@ -107,6 +117,7 @@ class ChaosRunResult:
             "name": self.config.name,
             "seed": self.config.seed,
             "n_nodes": self.config.n_nodes,
+            "n_groups": self.config.n_groups,
             "algorithm": self.config.algorithm,
             "detection_time": self.config.detection_time,
             "ok": self.ok,
@@ -188,11 +199,20 @@ def build_chaos_system(config: ChaosRunConfig) -> tuple:
 
 
 def run_scripted(config: ChaosRunConfig) -> ChaosRunResult:
-    """Run one scripted scenario and check every invariant."""
+    """Run one scripted scenario and check every invariant.
+
+    Every hosted group is held to the full invariant set (the per-group
+    checkers are pure trace folds, so checking 2+ groups costs nothing),
+    and multi-group runs additionally check cross-group isolation: a
+    ``group_fault`` window must not flip any *other* group's stable
+    leader.  Violations of non-primary groups are folded into the primary
+    report, tagged with their group id.
+    """
     system, controller = build_chaos_system(config)
     controller.start()
     system.sim.run_until(config.script.duration)
 
+    groups = tuple(range(CHAOS_GROUP, CHAOS_GROUP + config.n_groups))
     report = check_invariants(
         system.trace.events,
         group=CHAOS_GROUP,
@@ -202,6 +222,29 @@ def run_scripted(config: ChaosRunConfig) -> ChaosRunResult:
         hold=config.hold,
         stabilize_bound=config.stabilize_bound,
     )
+    for group in groups[1:]:
+        secondary = check_invariants(
+            system.trace.events,
+            group=group,
+            end_time=config.script.duration,
+            heal_time=config.script.heal_time,
+            qos=config.qos,
+            hold=config.hold,
+            stabilize_bound=config.stabilize_bound,
+        )
+        for violation in secondary.violations:
+            report.violations.append(
+                replace(violation, detail=f"[group {group}] {violation.detail}")
+            )
+    if len(groups) > 1:
+        report.violations.extend(
+            check_cross_group_isolation(
+                system.trace.events,
+                groups=groups,
+                end_time=config.script.duration,
+            )
+        )
+    report.violations.sort(key=lambda v: (v.time, v.invariant))
     transport = system.transport
     stats = transport.stats if isinstance(transport, ChaosTransport) else None
     return ChaosRunResult(
@@ -215,6 +258,8 @@ def run_scripted(config: ChaosRunConfig) -> ChaosRunResult:
             "dropped_partition": stats.dropped_partition,
             "dropped_cut": stats.dropped_cut,
             "dropped_rate": stats.dropped_rate,
+            "dropped_group": stats.dropped_group,
+            "dropped_group_cells": stats.dropped_group_cells,
             "duplicated": stats.duplicated,
             "delayed": stats.delayed,
         }

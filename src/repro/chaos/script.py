@@ -34,6 +34,7 @@ __all__ = [
     "Drop",
     "Duplicate",
     "Reorder",
+    "GroupFault",
     "ClockDrift",
     "ChurnBurst",
     "Heal",
@@ -43,6 +44,7 @@ __all__ = [
     "drop",
     "duplicate",
     "reorder",
+    "group_fault",
     "clock_drift",
     "churn_burst",
     "heal",
@@ -171,6 +173,27 @@ class Reorder(ChaosStep):
 
 
 @dataclass(frozen=True)
+class GroupFault(ChaosStep):
+    """Drop one *group*'s traffic (cells, HELLOs, accusations) at ``rate``.
+
+    The scale-out counterpart of :class:`Drop`: with the shared node-level
+    FD plane, a fault scoped to one group's payload must not disturb any
+    other group's failure detection or leadership — the
+    ``cross_group_isolation`` invariant checks it.  Transport-level, so it
+    runs against live clusters too.
+    """
+
+    group: int = 1
+    rate: float = 1.0
+    name = "group_fault"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"group fault rate must be in [0, 1] (got {self.rate})")
+
+
+@dataclass(frozen=True)
 class ClockDrift(ChaosStep):
     """Run ``node``'s clock at rate ``1 + skew`` (skew 0.01 = 1% fast).
 
@@ -221,7 +244,10 @@ class Heal(ChaosStep):
 
 _STEP_TYPES: Dict[str, Type[ChaosStep]] = {
     cls.name: cls
-    for cls in (Partition, AsymLink, Drop, Duplicate, Reorder, ClockDrift, ChurnBurst, Heal)
+    for cls in (
+        Partition, AsymLink, Drop, Duplicate, Reorder, GroupFault,
+        ClockDrift, ChurnBurst, Heal,
+    )
 }
 
 
@@ -319,6 +345,11 @@ def duplicate(at: float, prob: float) -> Duplicate:
 
 def reorder(at: float, jitter: float) -> Reorder:
     return Reorder(at=at, jitter=jitter)
+
+
+def group_fault(at: float, group: int, rate: float = 1.0) -> GroupFault:
+    """``group_fault(t, g, 0.8)`` — drop 80% of group ``g``'s traffic."""
+    return GroupFault(at=at, group=group, rate=rate)
 
 
 def clock_drift(at: float, node: int, skew: float) -> ClockDrift:

@@ -9,7 +9,15 @@ transport-level chaos overlays:
 * **asymmetric cuts** (a set of blocked directed node pairs),
 * a global **drop rate**, **duplication probability** and **reorder
   jitter** (an extra uniform delay per message, drawn independently so
-  messages overtake each other).
+  messages overtake each other),
+* **group-scoped faults**: a drop rate applied only to one group's
+  traffic — its HELLOs and accusations, and its *cells* inside the
+  multiplexed :class:`~repro.net.message.BatchFrame`s.  The frame header
+  itself (the shared node-level FD stream) is deliberately untouched:
+  with the shared plane, node liveness is common infrastructure, so a
+  per-group fault can starve a group's election payload but not another
+  group's failure detection.  The ``cross_group_isolation`` invariant
+  (see :mod:`repro.chaos.invariants`) asserts exactly that.
 
 Because it only uses ``Transport.send`` and ``Scheduler.schedule``, the
 same wrapper — and therefore the same :class:`~repro.chaos.script.ChaosScript`
@@ -30,7 +38,7 @@ from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.net.message import Message
+from repro.net.message import BatchFrame, Message
 from repro.runtime.base import Scheduler, Transport
 
 __all__ = ["ChaosStats", "ChaosTransport"]
@@ -44,12 +52,19 @@ class ChaosStats:
     dropped_partition: int = 0
     dropped_cut: int = 0
     dropped_rate: int = 0
+    dropped_group: int = 0
+    dropped_group_cells: int = 0
     duplicated: int = 0
     delayed: int = 0
 
     @property
     def dropped(self) -> int:
-        return self.dropped_partition + self.dropped_cut + self.dropped_rate
+        return (
+            self.dropped_partition
+            + self.dropped_cut
+            + self.dropped_rate
+            + self.dropped_group
+        )
 
 
 class ChaosTransport:
@@ -71,6 +86,8 @@ class ChaosTransport:
         self._component: Optional[Dict[int, int]] = None
         #: Blocked directed (src, dst) pairs.
         self._cuts: Set[Tuple[int, int]] = set()
+        #: group id → drop rate for that group's traffic only.
+        self._group_faults: Dict[int, float] = {}
         self.stats = ChaosStats()
 
     # ------------------------------------------------------------------
@@ -114,6 +131,21 @@ class ChaosTransport:
             raise ValueError(f"reorder jitter must be >= 0 (got {jitter})")
         self.reorder_jitter = float(jitter)
 
+    def set_group_fault(self, group: int, rate: float) -> None:
+        """Drop ``group``'s traffic (cells, HELLOs, accusations) at ``rate``.
+
+        Scoped strictly to the group's payload: the node-pair frame
+        header keeps flowing, so the shared FD plane — and with it every
+        *other* group's failure detection — is untouched.  ``rate`` 0
+        removes the fault for that group.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"group fault rate must be in [0, 1] (got {rate})")
+        if rate == 0.0:
+            self._group_faults.pop(group, None)
+        else:
+            self._group_faults[group] = float(rate)
+
     def heal(self) -> None:
         """Remove every overlay; traffic flows untouched again."""
         self.drop_rate = 0.0
@@ -121,6 +153,7 @@ class ChaosTransport:
         self.reorder_jitter = 0.0
         self._component = None
         self._cuts.clear()
+        self._group_faults.clear()
 
     @property
     def partitioned(self) -> bool:
@@ -150,6 +183,35 @@ class ChaosTransport:
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.dropped_rate += 1
             return
+        faults = self._group_faults
+        if faults:
+            group = getattr(message, "group", None)
+            if group is not None:
+                rate = faults.get(group)
+                if rate is not None and self._rng.random() < rate:
+                    self.stats.dropped_group += 1
+                    return
+            elif type(message) is BatchFrame and message.cells:
+                # Strip doomed cells; the frame (the shared FD header plus
+                # every other group's cells) still goes through.  Draws
+                # happen only for cells of faulted groups, in cell order,
+                # so RNG consumption stays exactly script-determined.
+                kept = tuple(
+                    cell
+                    for cell in message.cells
+                    if (rate := faults.get(cell.group)) is None
+                    or self._rng.random() >= rate
+                )
+                if len(kept) != len(message.cells):
+                    self.stats.dropped_group_cells += len(message.cells) - len(kept)
+                    message = BatchFrame(
+                        sender_node=message.sender_node,
+                        dest_node=message.dest_node,
+                        seq=message.seq,
+                        send_time=message.send_time,
+                        interval=message.interval,
+                        cells=kept,
+                    )
         copies = 1
         if self.duplicate_prob > 0.0 and self._rng.random() < self.duplicate_prob:
             copies = 2
@@ -175,4 +237,6 @@ class ChaosTransport:
             overlays.append(f"dup={self.duplicate_prob}")
         if self.reorder_jitter:
             overlays.append(f"jitter={self.reorder_jitter}")
+        if self._group_faults:
+            overlays.append(f"group_faults={sorted(self._group_faults)}")
         return f"ChaosTransport({', '.join(overlays) or 'nominal'})"

@@ -45,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
         "verify re-election",
     )
     live.add_argument("--nodes", type=int, default=3, help="daemon processes")
+    live.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help="groups hosted per daemon (ids 1..N; one shared FD plane)",
+    )
     live.add_argument("--host", default="127.0.0.1")
     live.add_argument(
         "--base-port",
@@ -88,7 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated UDP port of every node, indexed by node id",
     )
     node.add_argument("--host", default="127.0.0.1")
-    node.add_argument("--group", type=int, default=1)
+    node.add_argument(
+        "--group", type=int, default=1, help="first hosted group id"
+    )
+    node.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help="number of hosted groups (ids group..group+N-1)",
+    )
     node.add_argument(
         "--algorithm", default="omega_lc", choices=available_algorithms()
     )
@@ -130,6 +144,7 @@ def _run_live(args: argparse.Namespace) -> int:
         ports = [args.base_port + i for i in range(args.nodes)]
     report = run_cluster(
         args.nodes,
+        groups=args.groups,
         host=args.host,
         ports=ports,
         algorithm=args.algorithm,
@@ -158,7 +173,7 @@ def _run_node(args: argparse.Namespace) -> int:
             node_id=args.node_id,
             ports=ports,
             host=args.host,
-            group=args.group,
+            groups=tuple(range(args.group, args.group + args.groups)),
             algorithm=args.algorithm,
             detection_time=args.detection_time,
             fd_variant=args.fd_variant,
@@ -187,6 +202,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "live":
         if args.nodes < 2:
             parser.error(f"--nodes must be >= 2 (got {args.nodes})")
+        if args.groups < 1:
+            parser.error(f"--groups must be >= 1 (got {args.groups})")
         return _run_live(args)
     return _run_node(args)
 

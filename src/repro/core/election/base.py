@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
-from repro.net.message import AccEntry, AliveMessage, HelloMessage, MemberInfo
+from repro.net.message import AccEntry, AliveCell, HelloMessage, MemberInfo
 
 __all__ = ["GroupContext", "ElectionAlgorithm"]
 
@@ -129,7 +129,7 @@ class ElectionAlgorithm:
     # ------------------------------------------------------------------
     # Events (all default to a recompute; subclasses extend)
     # ------------------------------------------------------------------
-    def on_alive(self, message: AliveMessage) -> None:
+    def on_alive(self, message: AliveCell) -> None:
         self._refresh()
 
     def on_suspect(self, pid: int) -> None:
@@ -165,7 +165,7 @@ class ElectionAlgorithm:
         """Should the local process currently emit ALIVEs for this group?"""
         raise NotImplementedError
 
-    def fill_alive(self, message: AliveMessage) -> None:
+    def fill_alive(self, message: AliveCell) -> None:
         """Stamp algorithm-specific fields onto an outgoing ALIVE."""
 
     def acc_entries(self) -> Tuple[AccEntry, ...]:

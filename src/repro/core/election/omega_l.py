@@ -40,7 +40,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.election.base import ElectionAlgorithm, GroupContext
-from repro.net.message import AccEntry, AliveMessage, HelloMessage
+from repro.net.message import AccEntry, AliveCell, HelloMessage
 
 __all__ = ["OmegaL"]
 
@@ -71,7 +71,7 @@ class OmegaL(ElectionAlgorithm):
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
-    def on_alive(self, message: AliveMessage) -> None:
+    def on_alive(self, message: AliveCell) -> None:
         self._competitors[message.pid] = (message.acc_time, message.phase)
         self._refresh()
 
@@ -149,7 +149,7 @@ class OmegaL(ElectionAlgorithm):
     def wants_to_send(self) -> bool:
         return self.competing
 
-    def fill_alive(self, message: AliveMessage) -> None:
+    def fill_alive(self, message: AliveCell) -> None:
         message.acc_time = self.acc_time
         message.phase = self.phase
 

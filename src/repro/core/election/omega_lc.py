@@ -48,7 +48,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.election.base import ElectionAlgorithm, GroupContext
-from repro.net.message import AccEntry, AliveMessage, HelloMessage
+from repro.net.message import AccEntry, AliveCell, HelloMessage
 
 __all__ = ["OmegaLc"]
 
@@ -110,7 +110,7 @@ class OmegaLc(ElectionAlgorithm):
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
-    def on_alive(self, message: AliveMessage) -> None:
+    def on_alive(self, message: AliveCell) -> None:
         pid = message.pid
         self._observe(pid, message.acc_time, message.phase)
         local_leader = message.local_leader
@@ -295,7 +295,7 @@ class OmegaLc(ElectionAlgorithm):
         # All alive candidates stay "active" (paper §4 / [4]).
         return self.ctx.is_candidate
 
-    def fill_alive(self, message: AliveMessage) -> None:
+    def fill_alive(self, message: AliveCell) -> None:
         message.acc_time = self.acc_time
         message.phase = self.phase
         local = self.local_leader()

@@ -14,15 +14,33 @@ Record order: higher ``incarnation`` wins; within one incarnation a tombstone
 Incarnations are globally monotonic per pid because they encode the node's
 boot counter (which survives crashes) in the high bits and a per-boot join
 counter in the low bits — see :meth:`make_incarnation`.
+
+Since the multi-group scale-out, views support **delta gossip**: every
+effective change bumps :attr:`MembershipView.version` and stamps the changed
+record with it, so a sender can ship only :meth:`delta_since` the version it
+last sent to a destination instead of the full view.  Lost deltas are
+repaired by anti-entropy: every delta-carrying message also carries
+:meth:`digest64` — a 64-bit order-independent digest of the full record set
+— and a receiver whose own digest differs after merging answers with a
+full-view sync.  Because the merge is a join-semilattice, any interleaving
+of deltas, syncs, duplicates and reorderings converges to the same view as
+full-view merge (property-tested in ``tests/core/test_group_delta.py``).
 """
 
 from __future__ import annotations
 
+import struct
+from hashlib import blake2b
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.message import MemberInfo
 
-__all__ = ["MembershipView", "make_incarnation", "prefer_record"]
+__all__ = [
+    "MembershipView",
+    "make_incarnation",
+    "prefer_record",
+    "record_digest64",
+]
 
 #: Joins per node boot supported by the incarnation encoding.
 _JOINS_PER_BOOT = 1_000_000
@@ -66,6 +84,28 @@ def prefer_record(a: MemberInfo, b: MemberInfo) -> MemberInfo:
     return a if key(a) >= key(b) else b
 
 
+_RECORD_PACK = struct.Struct("!iiq??d")
+
+
+def record_digest64(record: MemberInfo) -> int:
+    """A stable 64-bit hash of one record (process-independent).
+
+    Built from a packed binary rendering (never Python ``hash``, which is
+    salted per process — live nodes must agree on digests).  Individual
+    record hashes are XOR-combined into the view digest, which makes the
+    view digest order-independent and incrementally updatable.
+    """
+    packed = _RECORD_PACK.pack(
+        record.pid,
+        record.node,
+        record.incarnation,
+        record.candidate,
+        record.present,
+        record.joined_at,
+    )
+    return int.from_bytes(blake2b(packed, digest_size=8).digest(), "big")
+
+
 class MembershipView:
     """One node's replica of a group's membership map."""
 
@@ -74,6 +114,10 @@ class MembershipView:
         self._records: Dict[int, MemberInfo] = {}
         #: Bumped on every effective change; cheap "did anything change" check.
         self.version = 0
+        #: Version at which each pid's record last changed (delta stamps).
+        self._record_versions: Dict[int, int] = {}
+        #: XOR of per-record 64-bit hashes; maintained incrementally.
+        self._digest64 = 0
         self._digest_cache: Optional[Tuple[MemberInfo, ...]] = None
 
     # ------------------------------------------------------------------
@@ -85,12 +129,16 @@ class MembershipView:
         if current is None:
             self._records[record.pid] = record
             self.version += 1
+            self._record_versions[record.pid] = self.version
+            self._digest64 ^= record_digest64(record)
             self._digest_cache = None
             return True
         winner = prefer_record(current, record)
         if winner is not current:
             self._records[record.pid] = winner
             self.version += 1
+            self._record_versions[record.pid] = self.version
+            self._digest64 ^= record_digest64(current) ^ record_digest64(winner)
             self._digest_cache = None
             return True
         return False
@@ -171,15 +219,42 @@ class MembershipView:
         return record.joined_at if record is not None else None
 
     def digest(self) -> Tuple[MemberInfo, ...]:
-        """All records (including tombstones) for gossip.
+        """All records (including tombstones) for full-view gossip.
 
         The tuple is cached until the view changes, so every message carrying
-        an unchanged view shares one object — receivers exploit the identity
-        to skip redundant merges (see ``GroupRuntime.handle_alive``).
+        an unchanged view shares one object.
         """
         if self._digest_cache is None:
             self._digest_cache = tuple(self._records.values())
         return self._digest_cache
+
+    def digest64(self) -> int:
+        """64-bit order-independent digest of the full record set.
+
+        Two views hash equal iff they hold identical record sets (up to the
+        astronomically unlikely XOR collision), regardless of merge order —
+        the anti-entropy trigger: a receiver whose digest differs from the
+        sender's after merging requests a full sync.
+        """
+        return self._digest64
+
+    def delta_since(self, version: int) -> Tuple[MemberInfo, ...]:
+        """Records changed after ``version``, in change order.
+
+        Empty in steady state (the common case, checked without allocation);
+        ``delta_since(0)`` is the full view, which is what bootstraps a
+        destination never gossiped to before.
+        """
+        if version >= self.version:
+            return ()
+        versions = self._record_versions
+        changed = [
+            (versions[pid], record)
+            for pid, record in self._records.items()
+            if versions[pid] > version
+        ]
+        changed.sort(key=lambda item: item[0])
+        return tuple(record for _, record in changed)
 
     def __len__(self) -> int:
         return len(self.members())

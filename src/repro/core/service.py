@@ -5,17 +5,22 @@ group the local application joined, a :class:`GroupRuntime` that wires
 together the four core modules of the paper's architecture:
 
 * **Group Maintenance** — a :class:`~repro.core.group.MembershipView`
-  maintained by HELLO gossip (periodic anti-entropy, join announcements and
-  join replies) plus membership piggybacked on every ALIVE;
-* **Failure Detector** — one :class:`~repro.fd.monitor.NfdsMonitor` per
-  monitored remote process, fed by a per-stream
-  :class:`~repro.fd.estimator.LinkQualityEstimator` and periodically
-  re-configured against the application's QoS (rate changes are pushed to
-  the sender with RATE-REQUEST messages);
+  maintained by HELLO gossip and membership *deltas* piggybacked on ALIVE
+  cells, with digest-triggered full-view anti-entropy (a receiver whose
+  64-bit view digest differs from the sender's after merging pushes a full
+  ``"sync"`` HELLO);
+* **Failure Detector** — the node-level plane shared by every group: one
+  :class:`~repro.fd.monitor.NfdsMonitor` per *peer node* (see
+  :mod:`repro.fd.plane`), periodically re-configured against the strictest
+  QoS of the interested groups (rate changes are pushed to the peer with
+  node-level RATE-REQUEST messages).  Trust transitions fan out to every
+  hosted group, translated from nodes to the pids living there;
 * **Leader Election Algorithm** — a pluggable
   :class:`~repro.core.election.base.ElectionAlgorithm`;
-* the ALIVE **scheduler** — a :class:`~repro.fd.scheduler.HeartbeatSender`
-  the algorithm can switch on and off (Ω_l's communication efficiency).
+* the ALIVE **scheduler** — one :class:`~repro.fd.scheduler.AliveBatcher`
+  per daemon that multiplexes every emitting group's cell into one
+  :class:`~repro.net.message.BatchFrame` per destination node, so heartbeat
+  wire traffic grows O(node pairs) instead of O(groups × node pairs).
 
 Like the paper's daemon, the service's state is volatile: a workstation crash
 destroys it, and recovery starts a fresh instance (see
@@ -31,20 +36,20 @@ paper's scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.core.election.base import GroupContext
 from repro.core.election.registry import create_algorithm
 from repro.core.group import MembershipView, make_incarnation
 from repro.fd.configurator import ConfiguratorCache, bootstrap_params
-from repro.fd.estimator import LinkQualityEstimator
-from repro.fd.monitor import MonitorEvents, NfdsMonitor
+from repro.fd.plane import NodeFdPlane, StreamMonitor
 from repro.fd.qos import FDQoS
-from repro.fd.scheduler import HeartbeatSender
+from repro.fd.scheduler import AliveBatcher
 from repro.metrics.trace import TraceRecorder
 from repro.net.message import (
     AccuseMessage,
-    AliveMessage,
+    AliveCell,
+    BatchFrame,
     HelloMessage,
     Message,
     RateRequestMessage,
@@ -60,6 +65,10 @@ LeaderCallback = Callable[[int, Optional[int]], None]
 
 
 def _load_nfds_monitor():
+    # Already loaded via repro.fd.plane's top-level imports; the loader
+    # exists for registry symmetry with the genuinely lazy nfde variant.
+    from repro.fd.monitor import NfdsMonitor
+
     return NfdsMonitor
 
 
@@ -70,8 +79,8 @@ def _load_nfde_monitor():
 
 
 #: fd_variant name → monitor-class loader.  The single source of truth for
-#: which variants exist: ServiceConfig validation and monitor construction
-#: both consult this mapping, so they cannot drift apart.
+#: which variants exist: ServiceConfig validation and the FD plane's monitor
+#: construction both consult this mapping, so they cannot drift apart.
 FD_MONITOR_LOADERS = {
     "nfds": _load_nfds_monitor,
     "nfde": _load_nfde_monitor,
@@ -88,19 +97,26 @@ class ServiceConfig:
     default_qos: FDQoS = field(default_factory=FDQoS)
     #: Period of group-maintenance gossip.
     hello_period: float = 1.0
-    #: How often each monitor re-runs the FD configurator.
+    #: How often the FD plane re-runs the configurator over its node pairs.
     reconfig_interval: float = 5.0
-    #: Relative η change that triggers a RATE-REQUEST to the sender.
+    #: Relative η change that triggers a RATE-REQUEST to the peer node.
     rate_change_threshold: float = 0.15
     #: Link quality estimator windows (messages).
     loss_window: int = 512
     delay_window: int = 64
     estimator_ready_threshold: int = 8
-    #: Emit an out-of-schedule ALIVE round when election-relevant state
+    #: Emit an out-of-schedule frame round when election-relevant state
     #: changes (accusation bumps, local-leader changes).  Disable only for
     #: the ablation study: without it every demotion splits the group for
     #: up to a heartbeat period.
     urgent_flush: bool = True
+    #: Steady-state cell refresh period.  Heartbeat *frames* flow at the
+    #: FD-negotiated η per node pair, but an ``all_candidates`` group's
+    #: election payload rides along only when it changed — plus one
+    #: periodic refresh per this many seconds, which repairs lost change
+    #: cells and doubles as membership anti-entropy.  This is what keeps
+    #: heartbeat bytes O(node pairs) instead of O(groups × node pairs).
+    cell_refresh: float = 1.0
     #: Failure-detector variant: "nfds" (Chen et al.'s synchronized-clock
     #: algorithm, what the paper's service runs) or "nfde" (the
     #: expected-arrival variant for unsynchronized clocks).
@@ -120,6 +136,10 @@ class ServiceConfig:
         if self.reconfig_interval <= 0:
             raise ValueError(
                 f"reconfig_interval must be positive (got {self.reconfig_interval})"
+            )
+        if self.cell_refresh <= 0:
+            raise ValueError(
+                f"cell_refresh must be positive (got {self.cell_refresh})"
             )
 
 
@@ -145,47 +165,39 @@ class GroupRuntime(GroupContext):
         self.qos = qos
         self._on_leader_change = on_leader_change
         self.view = MembershipView(group)
-        self.monitors: Dict[int, NfdsMonitor] = {}
         self._join_time = self.scheduler.now
         self._leader_view: Optional[int] = None
-        self._last_requested_rate: Dict[int, float] = {}
-        #: Per-sender memo of the last merged membership digest (by object
-        #: identity): skips re-merging the unchanged digest piggybacked on
-        #: every ALIVE (the sender's digest tuple is cached until it changes).
-        #: Safe because views are monotone lattices — re-merging an
-        #: already-merged record set can never change the view.
-        self._merged_digests: Dict[int, Tuple] = {}
-        #: Same memo for HELLO gossip, keyed by sender *node* (HELLOs carry
-        #: no pid); gossip re-sends an unchanged view once per period.
-        self._merged_hello_digests: Dict[int, Tuple] = {}
+        #: Highest own-view version already shipped (as delta or full view)
+        #: to each peer node — shared by ALIVE cells and gossip HELLOs.
+        self._sent_version: Dict[int, int] = {}
+        #: Anti-entropy rate limit: earliest time a full sync may be pushed
+        #: to each peer node again.
+        self._next_sync: Dict[int, float] = {}
+        #: Per-destination (election payload, send time) of the last cell,
+        #: for change-triggered emission with periodic refresh.
+        self._cell_state: Dict[int, Tuple[tuple, float]] = {}
+        #: Remote nodes hosting present members (frame destinations).
+        self._dest_nodes: Tuple[int, ...] = ()
+        #: Nodes this group subscribed to on the shared FD plane.
+        self._interested_nodes: Set[int] = set()
         self._shut_down = False
 
         self.algorithm = create_algorithm(algorithm_name, self)
+        #: Per-sender cell-stream monitors; only ``senders_only`` election
+        #: algorithms (Ω_l) need them — node-level liveness cannot see a
+        #: *voluntarily* silent competitor.  None under ``all_candidates``.
+        self._stream_monitors: Optional[Dict[int, StreamMonitor]] = (
+            {} if self.algorithm.monitor_policy == "senders_only" else None
+        )
         rng = service.rng.stream(f"service.{service.node.node_id}.group.{group}")
         self._rng = rng
-        self.sender = HeartbeatSender(
-            scheduler=self.scheduler,
-            transport=self.transport,
-            node_id=service.node.node_id,
-            group=group,
-            pid=pid,
-            default_interval=bootstrap_params(qos).eta,
-            payload_fn=self._build_alive,
-            rng=rng,
-            meter=service.node.meter,
-        )
         config = service.config
+        service.batcher.add_group(group, self, eta=bootstrap_params(qos).eta)
         self._hello_timer = PeriodicTimer(
             self.scheduler,
             period_fn=lambda: config.hello_period,
             callback=self._send_hellos,
             initial_delay=float(rng.uniform(0.0, config.hello_period)),
-        )
-        self._reconfig_timer = PeriodicTimer(
-            self.scheduler,
-            period_fn=lambda: config.reconfig_interval,
-            callback=self._reconfigure,
-            initial_delay=float(rng.uniform(0.5, 1.0)) * config.reconfig_interval,
         )
 
     # ------------------------------------------------------------------
@@ -208,7 +220,6 @@ class GroupRuntime(GroupContext):
         self.algorithm.start()
         self._announce_join()
         self._hello_timer.start()
-        self._reconfig_timer.start()
         self._sync_membership_dependents()
 
     def leave(self) -> None:
@@ -227,11 +238,16 @@ class GroupRuntime(GroupContext):
         self._shut_down = True
         self.algorithm.stop()
         self._hello_timer.stop()
-        self._reconfig_timer.stop()
-        self.sender.shutdown()
-        for monitor in self.monitors.values():
-            monitor.stop()
-        self.monitors.clear()
+        self.service.batcher.remove_group(self.group)
+        plane = self.service.plane
+        for node in self._interested_nodes:
+            if plane.unregister_interest(self.group, node):
+                self.service.forget_peer(node)
+        self._interested_nodes.clear()
+        if self._stream_monitors is not None:
+            for monitor in self._stream_monitors.values():
+                monitor.stop()
+            self._stream_monitors.clear()
 
     # ------------------------------------------------------------------
     # GroupContext interface (what the election algorithm sees)
@@ -255,7 +271,13 @@ class GroupRuntime(GroupContext):
     def trusted(self, pid: int) -> bool:
         if pid == self.pid:
             return True
-        monitor = self.monitors.get(pid)
+        node = self.view.node_of(pid)
+        if node is None or not self.service.plane.trusted(node):
+            return False
+        monitors = self._stream_monitors
+        if monitors is None:
+            return True  # all_candidates: node liveness is process liveness
+        monitor = monitors.get(pid)
         return monitor is not None and monitor.trusted
 
     def candidate_members(self):
@@ -287,13 +309,29 @@ class GroupRuntime(GroupContext):
         )
 
     def ensure_monitor(self, pid: int) -> None:
-        """Monitor ``pid`` with optimistic grace (hint-based creation)."""
+        """Optimistically trust ``pid`` for one detection budget (hints).
+
+        Grants grace on the shared node monitor of ``pid``'s workstation
+        and, under ``senders_only``, on its cell-stream monitor.  Monitors
+        with first-hand evidence ignore the grace.
+        """
         if pid == self.pid:
             return
-        monitor = self.monitors.get(pid)
-        if monitor is None:
-            monitor = self._create_monitor(pid)
-        monitor.grant_grace()
+        node = self.view.node_of(pid)
+        if node is None:
+            return  # unknown host: the hint cannot be validated yet
+        service = self.service
+        if node != service.node.node_id:
+            if node not in self._interested_nodes:
+                service.plane.register_interest(self.group, node, self.qos, self)
+                self._interested_nodes.add(node)
+            service.plane.grant_grace(node)
+        monitors = self._stream_monitors
+        if monitors is not None:
+            monitor = monitors.get(pid)
+            if monitor is None:
+                monitor = self._create_stream_monitor(pid)
+            monitor.grant_grace(self.scheduler.now + self.qos.detection_time)
 
     def on_leader_view(self, leader: Optional[int]) -> None:
         if leader == self._leader_view:
@@ -306,14 +344,30 @@ class GroupRuntime(GroupContext):
     def sync_sender(self) -> None:
         if self._shut_down:
             return
-        if self.algorithm.wants_to_send():
-            self.sender.start()
-        else:
-            self.sender.stop()
+        self.service.batcher.set_active(self.group, self.algorithm.wants_to_send())
 
     def request_flush(self) -> None:
         if not self._shut_down and self.service.config.urgent_flush:
-            self.sender.flush()
+            self.service.batcher.flush()
+
+    # ------------------------------------------------------------------
+    # Node-level trust bus (PlaneListener)
+    # ------------------------------------------------------------------
+    def on_node_trust(self, node: int) -> None:
+        """The shared plane started trusting ``node``: fan out per pid."""
+        if self._shut_down:
+            return
+        for record in self.view.members():
+            if record.node == node and record.pid != self.pid:
+                self.algorithm.on_trust(record.pid)
+
+    def on_node_suspect(self, node: int) -> None:
+        """The shared plane suspects ``node``: every pid there is suspect."""
+        if self._shut_down:
+            return
+        for record in self.view.members():
+            if record.node == node and record.pid != self.pid:
+                self.algorithm.on_suspect(record.pid)
 
     # ------------------------------------------------------------------
     # Leader query (the API's "query" notification mode)
@@ -326,33 +380,35 @@ class GroupRuntime(GroupContext):
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
-    def handle_alive(self, message: AliveMessage) -> None:
-        changed = False
-        if self._merged_digests.get(message.pid) is not message.members:
-            changed = self.view.merge(message.members)
-            self._merged_digests[message.pid] = message.members
-        monitor = self.monitors.get(message.pid)
-        if monitor is None:
-            # senders_only policy: monitors spring up on first contact.
-            # (Under all_candidates the membership merge above usually
-            # created it already; if the sender is brand new, create now.)
-            monitor = self._create_monitor(message.pid)
-        # Payload before trust: the election must ingest the carried state
-        # (in particular a rebooted sender's *fresh* accusation time) before
-        # the monitor's trust transition triggers a leader recomputation —
-        # otherwise every re-trust briefly elects the sender on stale state.
-        self.algorithm.on_alive(message)
-        monitor.on_alive(message.seq, message.send_time, message.interval)
+    def handle_cell(self, sender: int, frame: BatchFrame, cell: AliveCell) -> None:
+        """Ingest one group cell of a received frame.
+
+        Payload before trust: the election must ingest the carried state
+        (in particular a rebooted sender's *fresh* accusation time) before
+        any trust transition triggers a leader recomputation — otherwise
+        every re-trust briefly elects the sender on stale state.  The
+        node-level monitor is fed *after* every cell of the frame (see
+        ``LeaderElectionService._handle_frame``); the per-stream monitors
+        below follow the same order within the cell.
+        """
+        changed = self.view.merge(cell.delta) if cell.delta else False
+        self.algorithm.on_alive(cell)
+        monitors = self._stream_monitors
+        if monitors is not None:
+            monitor = monitors.get(cell.pid)
+            if monitor is None:
+                monitor = self._create_stream_monitor(cell.pid)
+            monitor.on_cell(
+                frame.send_time + frame.interval + self.service.plane.delta_for(sender)
+            )
         if changed:
             self.algorithm.on_membership_changed()
             self._sync_membership_dependents()
+        if cell.view_digest != self.view.digest64():
+            self._push_sync(sender)
 
     def handle_hello(self, message: HelloMessage) -> None:
-        if self._merged_hello_digests.get(message.sender_node) is message.members:
-            changed = False  # identical record set already merged
-        else:
-            changed = self.view.merge(message.members)
-            self._merged_hello_digests[message.sender_node] = message.members
+        changed = self.view.merge(message.members) if message.members else False
         if changed:
             self._sync_membership_dependents()
         if message.kind == "join":
@@ -366,6 +422,10 @@ class GroupRuntime(GroupContext):
             self.algorithm.on_hello_seed(message)
         if changed:
             self.algorithm.on_membership_changed()
+        # Anti-entropy: diverging digests after the merge trigger a full
+        # sync (a join is already answered with a full-view reply).
+        if message.kind != "join" and message.view_digest != self.view.digest64():
+            self._push_sync(message.sender_node)
 
     def handle_accuse(self, message: AccuseMessage) -> None:
         if message.accused == self.pid:
@@ -375,75 +435,177 @@ class GroupRuntime(GroupContext):
                     self.scheduler.now, self.group, self.pid
                 )
 
-    def handle_rate_request(self, message: RateRequestMessage) -> None:
-        if message.target_pid == self.pid:
-            self.sender.set_interval(message.pid, message.interval)
+    # ------------------------------------------------------------------
+    # Cell emission (CellSource for the AliveBatcher)
+    # ------------------------------------------------------------------
+    def dest_nodes(self) -> Tuple[int, ...]:
+        """Frame destinations for this group (CellSource protocol)."""
+        return self._dest_nodes
+
+    def emit_cells(self):
+        """Yield ``(dest_node, cell)`` for one emission round.
+
+        The node-level FD header flows on every frame; a cell only needs to
+        ride along when it carries *news*.  Under ``all_candidates`` (node
+        liveness is process liveness) a destination's cell is therefore
+        suppressed while the election payload is unchanged, no membership
+        delta is owed, and a refresh went out within ``cell_refresh``
+        seconds — the refresh repairs lost change cells and carries the
+        anti-entropy digest.  ``senders_only`` groups (Ω_l) emit every
+        round: their receivers' stream monitors feed on the cells
+        themselves.
+
+        One template cell is built per round; destinations owing no
+        membership delta share it, so a steady-state round allocates at
+        most one cell per group regardless of fan-out.
+        """
+        dests = self._dest_nodes
+        if not dests:
+            return
+        view = self.view
+        version = view.version
+        digest = view.digest64()
+        template = AliveCell(
+            group=self.group,
+            pid=self.pid,
+            view_version=version,
+            view_digest=digest,
+        )
+        self.algorithm.fill_alive(template)
+        payload = (
+            template.acc_time,
+            template.phase,
+            template.local_leader,
+            template.local_leader_acc,
+        )
+        suppressible = self._stream_monitors is None
+        refresh = self.service.config.cell_refresh
+        now = self.scheduler.now
+        sent = self._sent_version
+        cell_state = self._cell_state
+        for dest in dests:
+            last = sent.get(dest, 0)
+            if last >= version:
+                if suppressible:
+                    state = cell_state.get(dest)
+                    if (
+                        state is not None
+                        and state[0] == payload
+                        and now - state[1] < refresh
+                    ):
+                        continue
+                cell_state[dest] = (payload, now)
+                yield dest, template
+                continue
+            sent[dest] = version
+            cell_state[dest] = (payload, now)
+            cell = AliveCell(
+                group=self.group,
+                pid=self.pid,
+                acc_time=template.acc_time,
+                phase=template.phase,
+                local_leader=template.local_leader,
+                local_leader_acc=template.local_leader_acc,
+                delta=view.delta_since(last),
+                view_version=version,
+                view_digest=digest,
+            )
+            yield dest, cell
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _create_monitor(self, pid: int) -> NfdsMonitor:
-        estimator = self.service.estimator_for(self.group, pid)
-        # Validated by ServiceConfig.__post_init__ against the same mapping;
-        # re-checked here because a construction-time crash mid-run would be
-        # far worse than the eager one.
-        variant = self.service.config.fd_variant
-        loader = FD_MONITOR_LOADERS.get(variant)
-        if loader is None:
-            raise ValueError(f"unknown fd_variant {variant!r}")
-        monitor_class = loader()
-        monitor = monitor_class(
-            scheduler=self.scheduler,
-            pid=pid,
-            qos=self.qos,
-            estimator=estimator,
-            cache=self.service.configurator_cache,
-            events=MonitorEvents(
-                on_trust=self.algorithm.on_trust,
-                on_suspect=self.algorithm.on_suspect,
-            ),
-            meter=self.service.node.meter,
+    def _create_stream_monitor(self, pid: int) -> StreamMonitor:
+        monitor = StreamMonitor(
+            self.scheduler,
+            pid,
+            on_trust=self.algorithm.on_trust,
+            on_suspect=self.algorithm.on_suspect,
         )
-        self.monitors[pid] = monitor
+        self._stream_monitors[pid] = monitor
         return monitor
 
     def _sync_membership_dependents(self) -> None:
-        """Align monitors and heartbeat destinations with the member set."""
+        """Align FD-plane interest and frame destinations with the members."""
         if self._shut_down:
             return
-        # Heartbeats go to every present member except ourselves (so passive
-        # members track the leader too).
-        destinations = {
-            record.pid: record.node
-            for record in self.view.members()
-            if record.pid != self.pid
+        service = self.service
+        my_node = service.node.node_id
+        current = {
+            record.node for record in self.view.members() if record.node != my_node
         }
-        self.sender.set_destinations(destinations)
-        if self.algorithm.monitor_policy == "all_candidates":
-            # Monitors born from bare membership records start *suspected* —
-            # the record proves nothing about the process being up; trust
-            # comes from ALIVEs or an explicit trust seed (grant_grace).
+        self._dest_nodes = tuple(sorted(current))
+        plane = service.plane
+        for node in current - self._interested_nodes:
+            plane.register_interest(self.group, node, self.qos, self)
+        for node in self._interested_nodes - current:
+            if plane.unregister_interest(self.group, node):
+                # No group watches this peer anymore: its requested rate
+                # must stop pinning the shared heartbeat interval.
+                service.forget_peer(node)
+            self._cell_state.pop(node, None)
+            self._next_sync.pop(node, None)
+            # Forget what we shipped: if the node id returns with a fresh
+            # daemon, its first cell must bootstrap with the full view.
+            self._sent_version.pop(node, None)
+        self._interested_nodes = current
+        if self._stream_monitors is None:
+            # all_candidates: node monitors exist for every candidate's
+            # workstation, born *suspected* — the record proves nothing
+            # about the process being up; trust comes from frames or an
+            # explicit trust seed (grant_grace).
             for record in self.view.candidates():
-                if record.pid != self.pid and record.pid not in self.monitors:
-                    self._create_monitor(record.pid)
-        # Drop monitors of processes that left the group.
-        for pid in list(self.monitors):
-            if not self.view.is_present(pid):
-                self.monitors.pop(pid).stop()
+                if record.node != my_node:
+                    plane.ensure_monitor(record.node)
+        else:
+            # Drop stream monitors of processes that left the group.
+            for pid in list(self._stream_monitors):
+                if not self.view.is_present(pid):
+                    self._stream_monitors.pop(pid).stop()
 
-    def _build_alive(self) -> AliveMessage:
-        message = AliveMessage(sender_node=0, dest_node=0)
-        self.algorithm.fill_alive(message)
-        message.members = self.view.digest()
-        return message
+    def _hello_fields(self) -> dict:
+        view = self.view
+        return {
+            "view_version": view.version,
+            "view_digest": view.digest64(),
+        }
+
+    def _push_sync(self, dest_node: int) -> None:
+        """Push the full view to a diverged peer (rate-limited anti-entropy).
+
+        Convergence takes at most two pushes: after the peer merges our full
+        view its records are a superset of ours, and its answering sync (its
+        digest still differs) makes our view the same superset.
+        """
+        if self._shut_down:
+            return
+        now = self.scheduler.now
+        if now < self._next_sync.get(dest_node, 0.0):
+            return
+        self._next_sync[dest_node] = now + self.service.config.hello_period
+        view = self.view
+        self._sent_version[dest_node] = view.version
+        self.transport.send(
+            HelloMessage(
+                sender_node=self.service.node.node_id,
+                dest_node=dest_node,
+                group=self.group,
+                kind="sync",
+                members=view.digest(),
+                **self._hello_fields(),
+            )
+        )
 
     def _announce_join(self) -> None:
         """Flood the join to the bootstrap peer set (paper: the workstations
         configured to run the service)."""
-        digest = self.view.digest()
+        view = self.view
+        digest = view.digest()
+        fields = self._hello_fields()
         for node_id in self.service.peer_nodes:
             if node_id == self.service.node.node_id:
                 continue
+            self._sent_version[node_id] = view.version
             self.transport.send(
                 HelloMessage(
                     sender_node=self.service.node.node_id,
@@ -451,14 +613,20 @@ class GroupRuntime(GroupContext):
                     group=self.group,
                     kind="join",
                     members=digest,
+                    **fields,
                 )
             )
 
     def _send_hello_reply(self, dest_node: int) -> None:
         trusted = tuple(
             [self.pid]
-            + [pid for pid, monitor in self.monitors.items() if monitor.trusted]
+            + [
+                record.pid
+                for record in self.view.members()
+                if record.pid != self.pid and self.trusted(record.pid)
+            ]
         )
+        self._sent_version[dest_node] = self.view.version
         self.transport.send(
             HelloMessage(
                 sender_node=self.service.node.node_id,
@@ -469,54 +637,54 @@ class GroupRuntime(GroupContext):
                 leader_hint=self.algorithm.leader_hint(),
                 acc_table=self.algorithm.acc_entries(),
                 trusted=trusted,
+                **self._hello_fields(),
             )
         )
 
     def _send_hellos(self) -> None:
+        """Periodic gossip: a membership *delta* (and digest) per peer node.
+
+        Steady state ships an empty delta — the digest doubles as the
+        anti-entropy heartbeat that lets a diverged peer notice and repair
+        even when this group's cells are silent.  A peer that received a
+        cell within the last hello period already holds our current digest
+        (cells carry it), so its gossip is skipped entirely — in a healthy
+        all-candidates group the cell refreshes replace gossip wholesale,
+        removing the last O(groups × node pairs) steady-state message
+        stream.
+        """
         if self._shut_down:
             return
-        self.service.node.meter.on_timer()
-        digest = self.view.digest()
+        self.service.node.meter.on_timer(self.group)
+        view = self.view
+        version = view.version
+        fields = self._hello_fields()
         my_node = self.service.node.node_id
+        hello_period = self.service.config.hello_period
+        now = self.scheduler.now
+        sent = self._sent_version
+        cell_state = self._cell_state
         sent_to = set()
         for record in self.view.members():
-            if record.node == my_node or record.node in sent_to:
+            node = record.node
+            if node == my_node or node in sent_to:
                 continue
-            sent_to.add(record.node)
+            sent_to.add(node)
+            delta = view.delta_since(sent.get(node, 0))
+            if not delta:
+                state = cell_state.get(node)
+                if state is not None and now - state[1] < hello_period:
+                    continue  # a fresh cell already carried our digest
+            else:
+                sent[node] = version
             self.transport.send(
                 HelloMessage(
                     sender_node=my_node,
-                    dest_node=record.node,
-                    group=self.group,
-                    kind="gossip",
-                    members=digest,
-                )
-            )
-
-    def _reconfigure(self) -> None:
-        """Periodic FD reconfiguration for every monitor of this group."""
-        if self._shut_down:
-            return
-        threshold = self.service.config.rate_change_threshold
-        for pid, monitor in self.monitors.items():
-            if not monitor.estimator.ready:
-                continue
-            params = monitor.reconfigure()
-            last = self._last_requested_rate.get(pid)
-            if last is not None and abs(params.eta - last) <= threshold * last:
-                continue
-            node = self.view.node_of(pid)
-            if node is None:
-                continue
-            self._last_requested_rate[pid] = params.eta
-            self.transport.send(
-                RateRequestMessage(
-                    sender_node=self.service.node.node_id,
                     dest_node=node,
                     group=self.group,
-                    pid=self.pid,
-                    target_pid=pid,
-                    interval=params.eta,
+                    kind="gossip",
+                    members=delta,
+                    **fields,
                 )
             )
 
@@ -547,9 +715,43 @@ class LeaderElectionService:
         )
         self._registered: Dict[int, str] = {}
         self._groups: Dict[int, GroupRuntime] = {}
-        self._estimators: Dict[Tuple[int, int], LinkQualityEstimator] = {}
         self._join_seq = 0
         self._shut_down = False
+
+        service_config = self.config
+        # Validated by ServiceConfig.__post_init__ against the same mapping;
+        # re-checked here because a boot-time crash beats a KeyError later.
+        loader = FD_MONITOR_LOADERS.get(service_config.fd_variant)
+        if loader is None:
+            raise ValueError(f"unknown fd_variant {service_config.fd_variant!r}")
+        stream = self.rng.stream(f"service.{node.node_id}.fd")
+        self.plane = NodeFdPlane(
+            scheduler=scheduler,
+            node_id=node.node_id,
+            monitor_class=loader(),
+            cache=self.configurator_cache,
+            loss_window=service_config.loss_window,
+            delay_window=service_config.delay_window,
+            ready_threshold=service_config.estimator_ready_threshold,
+            meter=node.meter,
+        )
+        self.batcher = AliveBatcher(
+            scheduler=scheduler,
+            transport=transport,
+            node_id=node.node_id,
+            rng=stream,
+            meter=node.meter,
+        )
+        #: Last η requested from each peer node (rate-change hysteresis).
+        self._last_requested_rate: Dict[int, float] = {}
+        self._reconfig_timer = PeriodicTimer(
+            scheduler,
+            period_fn=lambda: service_config.reconfig_interval,
+            callback=self._reconfigure,
+            initial_delay=float(stream.uniform(0.5, 1.0))
+            * service_config.reconfig_interval,
+        )
+        self._reconfig_timer.start()
         node.service = self
         node.set_receiver(self.handle_message)
 
@@ -630,26 +832,46 @@ class LeaderElectionService:
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
-    #: Exact-type dispatch: one dict lookup instead of an isinstance chain
-    #: per received message.  The four concrete message types are the whole
-    #: wire protocol (the codec can produce nothing else); unknown types are
-    #: ignored, as the isinstance chain did.
+    #: Exact-type dispatch for the group-scoped message types; frames and
+    #: rate requests are node-level and handled before the lookup.  Unknown
+    #: types are ignored, as the isinstance chain once was.
     _DISPATCH = {
-        AliveMessage: GroupRuntime.handle_alive,
         HelloMessage: GroupRuntime.handle_hello,
         AccuseMessage: GroupRuntime.handle_accuse,
-        RateRequestMessage: GroupRuntime.handle_rate_request,
     }
 
     def handle_message(self, message: Message) -> None:
         if self._shut_down:
             return
-        handler = self._DISPATCH.get(type(message))
+        message_type = type(message)
+        if message_type is BatchFrame:
+            self._handle_frame(message)
+            return
+        if message_type is RateRequestMessage:
+            if message.interval > 0:  # network input: never crash on junk
+                self.batcher.set_requested(message.sender_node, message.interval)
+            return
+        handler = self._DISPATCH.get(message_type)
         if handler is None:
             return
         runtime = self._groups.get(message.group)
         if runtime is not None:
             handler(runtime, message)
+
+    def _handle_frame(self, frame: BatchFrame) -> None:
+        """One frame: every group cell first, then the node-level FD header.
+
+        Cell payloads must be ingested before the node monitor's trust
+        transition fans out (payload before trust, see
+        :meth:`GroupRuntime.handle_cell`).
+        """
+        sender = frame.sender_node
+        groups = self._groups
+        for cell in frame.cells:
+            runtime = groups.get(cell.group)
+            if runtime is not None:
+                runtime.handle_cell(sender, frame, cell)
+        self.plane.observe_frame(sender, frame.seq, frame.send_time, frame.interval)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -663,23 +885,36 @@ class LeaderElectionService:
             runtime.shutdown()
         self._groups.clear()
         self._registered.clear()
+        self._reconfig_timer.stop()
+        self.batcher.shutdown()
+        self.plane.shutdown()
 
     # ------------------------------------------------------------------
     # Shared FD plumbing
     # ------------------------------------------------------------------
-    def estimator_for(self, group: int, pid: int) -> LinkQualityEstimator:
-        """The (persistent) link quality estimator for one ALIVE stream."""
-        key = (group, pid)
-        estimator = self._estimators.get(key)
-        if estimator is None:
-            config = self.config
-            estimator = LinkQualityEstimator(
-                loss_window=config.loss_window,
-                delay_window=config.delay_window,
-                ready_threshold=config.estimator_ready_threshold,
+    def _reconfigure(self) -> None:
+        """Periodic FD reconfiguration, once over the whole node plane."""
+        if self._shut_down:
+            return
+        self.node.meter.on_timer()
+        threshold = self.config.rate_change_threshold
+        for peer, params in self.plane.reconfigure_ready():
+            last = self._last_requested_rate.get(peer)
+            if last is not None and abs(params.eta - last) <= threshold * last:
+                continue
+            self._last_requested_rate[peer] = params.eta
+            self.transport.send(
+                RateRequestMessage(
+                    sender_node=self.node.node_id,
+                    dest_node=peer,
+                    interval=params.eta,
+                )
             )
-            self._estimators[key] = estimator
-        return estimator
+
+    def forget_peer(self, node: int) -> None:
+        """A peer left every hosted group: drop its node-level rate state."""
+        self.batcher.forget_node(node)
+        self._last_requested_rate.pop(node, None)
 
     def next_join_seq(self) -> int:
         self._join_seq += 1

@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--nodes", type=int, default=12, help="workstations")
     parser.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help="groups hosted per daemon (one shared FD plane; metrics are "
+        "reported for the primary group)",
+    )
+    parser.add_argument(
         "--duration",
         type=float,
         default=None,
@@ -121,6 +128,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         name=f"cli/{args.algorithm}",
         algorithm=args.algorithm,
         n_nodes=args.nodes,
+        n_groups=args.groups,
         duration=args.duration if args.duration is not None else 1800.0,
         warmup=args.warmup if args.warmup is not None else 300.0,
         seed=args.seed,

@@ -144,7 +144,8 @@ def build_system(
             configurator_cache=cache,
         )
         app = Application(pid=node_id)
-        app.join(config.group, candidate=True, qos=config.qos)
+        for group in config.groups:
+            app.join(group, candidate=True, qos=config.qos)
         host.add_application(app)
         hosts.append(host)
         apps.append(app)
@@ -198,15 +199,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim = system.sim
 
     # Warm up (group formation, estimator convergence), then reset the usage
-    # meters so overhead numbers are steady-state.
+    # meters (totals and per-group ledgers) so overhead numbers are
+    # steady-state.
     sim.run_until(config.warmup)
     for node in system.network.nodes.values():
-        meter = node.meter
-        meter.messages_sent = 0
-        meter.messages_received = 0
-        meter.bytes_sent = 0
-        meter.bytes_received = 0
-        meter.cpu_us = 0.0
+        node.meter.reset_counters()
 
     sim.run_until(config.duration)
 

@@ -46,6 +46,11 @@ class ExperimentConfig:
     algorithm: str = "omega_lc"
     n_nodes: int = 12
     group: int = 1
+    #: Hosted groups per daemon: every application joins groups
+    #: ``group .. group + n_groups - 1``.  Leadership metrics are reported
+    #: for the primary ``group``; the shared FD plane serves all of them
+    #: from one heartbeat stream per node pair (the multi-group scale-out).
+    n_groups: int = 1
     duration: float = 3600.0
     warmup: float = 300.0
     seed: int = 1
@@ -68,10 +73,17 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError(f"need at least 2 nodes (got {self.n_nodes})")
+        if self.n_groups < 1:
+            raise ValueError(f"need at least 1 group (got {self.n_groups})")
         if self.duration <= self.warmup:
             raise ValueError(
                 f"duration {self.duration} must exceed warmup {self.warmup}"
             )
+
+    @property
+    def groups(self) -> "tuple[int, ...]":
+        """The hosted group ids (primary first)."""
+        return tuple(range(self.group, self.group + self.n_groups))
 
     def with_(self, **changes) -> "ExperimentConfig":
         """A modified copy (convenience for sweeps)."""

@@ -11,8 +11,12 @@ This package implements the three modules of the paper's Figure 1:
   link estimate it computes the heartbeat period ``η`` and the timeout shift
   ``δ`` of Chen et al.'s NFD-S algorithm.
 * :mod:`repro.fd.monitor` + :mod:`repro.fd.scheduler` — the **Scheduler**:
-  the sender side emits ALIVEs every ``η``; the receiver side applies the
-  NFD-S freshness-point rule and raises trust/suspect notifications.
+  the sender side emits one batched frame per destination node every ``η``;
+  the receiver side applies the NFD-S freshness-point rule and raises
+  trust/suspect notifications.
+* :mod:`repro.fd.plane` — the **shared node-level FD plane**: one monitor
+  and estimator per node pair, shared by every hosted group, with a
+  trust/suspect fan-out bus toward the groups' elections.
 
 :mod:`repro.fd.qos` holds the QoS types and the closed-form NFD-S analysis
 used by the configurator; :mod:`repro.fd.nfde` adds Chen et al.'s NFD-E
@@ -35,18 +39,21 @@ from repro.fd.qos import (
     query_accuracy,
     worst_case_detection_time,
 )
-from repro.fd.scheduler import HeartbeatSender
+from repro.fd.plane import NodeFdPlane, StreamMonitor
+from repro.fd.scheduler import AliveBatcher
 
 __all__ = [
     "ConfiguratorCache",
     "FDParams",
     "FDQoS",
-    "HeartbeatSender",
+    "AliveBatcher",
     "LinkEstimate",
     "LinkQualityEstimator",
     "MonitorEvents",
+    "NodeFdPlane",
     "NfdeMonitor",
     "NfdsMonitor",
+    "StreamMonitor",
     "configure",
     "expected_detection_time",
     "expected_mistake_duration",

@@ -1,0 +1,329 @@
+"""The shared node-level failure-detection plane.
+
+Before the multi-group scale-out, every (group, remote process) pair ran its
+own :class:`~repro.fd.monitor.NfdsMonitor` fed by its own ALIVE stream, so
+FD timer load and heartbeat traffic grew with the number of hosted groups.
+The paper's architecture is one daemon per workstation serving *many*
+application processes and groups (§3-§4); what actually crashes is the
+workstation, so one failure detector per **node pair** suffices — every
+group's election consumes the same trust/suspect output, translated from
+nodes to the pids hosted there.
+
+:class:`NodeFdPlane` owns, per peer node: one monitor (NFD-S or NFD-E), one
+persistent :class:`~repro.fd.estimator.LinkQualityEstimator`, and the set of
+*interested* groups with their FD QoS.  The effective QoS of a node pair is
+the strictest (smallest detection time) among the interested groups, so no
+group's detection bound is ever loosened by sharing.  Trust transitions fan
+out through the registered listeners (the group runtimes), which map the
+node to their local pids — the trust/suspect bus of the service layer.
+
+:class:`StreamMonitor` is the cheap per-(group, sender) complement used only
+by ``senders_only`` election algorithms (Ω_l): node-level liveness cannot
+distinguish a *voluntarily silent* competitor (it stopped contributing cells
+to the node's frames) from an active one, so each directly-heard sender gets
+a lazy deadline timer keyed to its cells.  In steady state only the leader
+sends, so this costs one timer per group, not one per (group, peer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Protocol, Tuple, Type
+
+from repro.fd.configurator import ConfiguratorCache, bootstrap_params
+from repro.fd.estimator import LinkQualityEstimator
+from repro.fd.monitor import MonitorEvents, NfdsMonitor
+from repro.fd.qos import FDParams, FDQoS
+from repro.metrics.usage import UsageMeter
+from repro.runtime.timers import VariableTimer
+
+__all__ = ["PlaneListener", "NodeFdPlane", "StreamMonitor"]
+
+
+class PlaneListener(Protocol):
+    """What a group runtime exposes to the node-level trust/suspect bus."""
+
+    def on_node_trust(self, node: int) -> None: ...
+
+    def on_node_suspect(self, node: int) -> None: ...
+
+
+class NodeFdPlane:
+    """One failure detector per peer *node*, shared by every hosted group."""
+
+    def __init__(
+        self,
+        scheduler,
+        node_id: int,
+        monitor_class: Type[NfdsMonitor],
+        cache: ConfiguratorCache,
+        loss_window: int = 512,
+        delay_window: int = 64,
+        ready_threshold: int = 8,
+        meter: Optional[UsageMeter] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.node_id = node_id
+        self._monitor_class = monitor_class
+        self._cache = cache
+        self._loss_window = loss_window
+        self._delay_window = delay_window
+        self._ready_threshold = ready_threshold
+        self._meter = meter
+        self.monitors: Dict[int, NfdsMonitor] = {}
+        #: Estimators persist across monitor churn: link quality outlives
+        #: any one group's interest in the peer.
+        self._estimators: Dict[int, LinkQualityEstimator] = {}
+        #: node -> group -> (qos, listener); insertion order = fan-out order.
+        self._interests: Dict[int, Dict[int, Tuple[FDQoS, PlaneListener]]] = {}
+        #: node -> strictest QoS among interested groups.
+        self._effective_qos: Dict[int, FDQoS] = {}
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # Interest registration (the fan-out bus)
+    # ------------------------------------------------------------------
+    def register_interest(
+        self, group: int, node: int, qos: FDQoS, listener: PlaneListener
+    ) -> None:
+        """Subscribe ``group`` to trust transitions of ``node``.
+
+        The node pair's monitor (if any) is re-tightened to the strictest
+        QoS among all subscribed groups.
+        """
+        if node == self.node_id or self._shut_down:
+            return
+        self._interests.setdefault(node, {})[group] = (qos, listener)
+        self._refresh_qos(node)
+
+    def unregister_interest(self, group: int, node: int) -> bool:
+        """Drop ``group``'s subscription; the last leaver tears the pair down.
+
+        Returns True when that happened — the caller then also forgets the
+        peer's node-level state (its requested heartbeat rate).
+        """
+        groups = self._interests.get(node)
+        if groups is None or group not in groups:
+            return False
+        del groups[group]
+        if groups:
+            self._refresh_qos(node)
+            return False
+        del self._interests[node]
+        self._effective_qos.pop(node, None)
+        monitor = self.monitors.pop(node, None)
+        if monitor is not None:
+            monitor.stop()
+        return True
+
+    def _refresh_qos(self, node: int) -> None:
+        qos = min(
+            (qos for qos, _ in self._interests[node].values()),
+            key=lambda q: q.detection_time,
+        )
+        self._effective_qos[node] = qos
+        monitor = self.monitors.get(node)
+        if monitor is not None and monitor.qos is not qos:
+            monitor.qos = qos
+            # Re-derive the timeout shift immediately: a strict-QoS group
+            # must not inherit a looser group's detection bound until the
+            # next periodic reconfiguration comes around.  With a warm
+            # estimator the configurator gives the exact parameters; before
+            # that, the bootstrap values of the new QoS bound δ from above.
+            if monitor.estimator.ready:
+                monitor.reconfigure()
+            else:
+                params = bootstrap_params(qos)
+                if params.delta < monitor.delta:
+                    monitor.delta = params.delta
+                if params.eta < monitor.desired_eta:
+                    monitor.desired_eta = params.eta
+
+    # ------------------------------------------------------------------
+    # Monitor plumbing
+    # ------------------------------------------------------------------
+    def _estimator(self, node: int) -> LinkQualityEstimator:
+        estimator = self._estimators.get(node)
+        if estimator is None:
+            estimator = LinkQualityEstimator(
+                loss_window=self._loss_window,
+                delay_window=self._delay_window,
+                ready_threshold=self._ready_threshold,
+            )
+            self._estimators[node] = estimator
+        return estimator
+
+    def ensure_monitor(self, node: int) -> Optional[NfdsMonitor]:
+        """The node pair's monitor, created *suspected* if missing.
+
+        A monitor born here has no evidence the peer is up (a bare
+        membership record proves nothing); trust comes from received frames
+        or an explicit :meth:`grant_grace` seed.
+        """
+        if node == self.node_id or self._shut_down:
+            return None
+        monitor = self.monitors.get(node)
+        if monitor is None:
+            qos = self._effective_qos.get(node)
+            if qos is None:
+                return None  # no group cares about this node
+            monitor = self._monitor_class(
+                scheduler=self.scheduler,
+                pid=node,  # the monitored identity is the peer node
+                qos=qos,
+                estimator=self._estimator(node),
+                cache=self._cache,
+                events=MonitorEvents(
+                    on_trust=self._fan_trust, on_suspect=self._fan_suspect
+                ),
+                meter=self._meter,
+            )
+            self.monitors[node] = monitor
+        return monitor
+
+    def observe_frame(
+        self, sender: int, seq: int, send_time: float, interval: float
+    ) -> None:
+        """Feed one received frame header to the sender's node monitor."""
+        monitor = self.ensure_monitor(sender)
+        if monitor is not None:
+            monitor.on_alive(seq, send_time, interval)
+
+    def trusted(self, node: int) -> bool:
+        """Node-level FD output (a node always trusts itself)."""
+        if node == self.node_id:
+            return True
+        monitor = self.monitors.get(node)
+        return monitor is not None and monitor.trusted
+
+    def grant_grace(self, node: int) -> None:
+        """Optimistically trust ``node`` for one detection budget.
+
+        Used to seed a joiner's view from a live peer's trust report; a
+        monitor with first-hand evidence ignores the grace (see
+        :meth:`~repro.fd.monitor.NfdsMonitor.grant_grace`).
+        """
+        monitor = self.ensure_monitor(node)
+        if monitor is not None:
+            monitor.grant_grace()
+
+    def delta_for(self, node: int) -> float:
+        """Current timeout shift δ toward ``node`` (bootstrap if unknown)."""
+        monitor = self.monitors.get(node)
+        if monitor is not None:
+            return monitor.delta
+        qos = self._effective_qos.get(node)
+        return bootstrap_params(qos if qos is not None else FDQoS()).delta
+
+    # ------------------------------------------------------------------
+    # Fan-out (node -> every interested group)
+    # ------------------------------------------------------------------
+    def _fan_trust(self, node: int) -> None:
+        for _, listener in list(self._interests.get(node, {}).values()):
+            listener.on_node_trust(node)
+
+    def _fan_suspect(self, node: int) -> None:
+        for _, listener in list(self._interests.get(node, {}).values()):
+            listener.on_node_suspect(node)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def reconfigure_ready(self) -> Iterator[Tuple[int, FDParams]]:
+        """Re-run the configurator for every monitor with a ready estimator.
+
+        One pass covers every node pair — the per-group reconfiguration
+        timers this plane replaced ran the same computation once per
+        (group, peer).  Yields ``(node, params)`` so the service can
+        renegotiate the node-level heartbeat rate.
+        """
+        for node, monitor in self.monitors.items():
+            if monitor.estimator.ready:
+                yield node, monitor.reconfigure()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Crash path: disarm every monitor, drop all interest."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for monitor in self.monitors.values():
+            monitor.stop()
+        self.monitors.clear()
+        self._interests.clear()
+        self._effective_qos.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        trusted = sorted(n for n, m in self.monitors.items() if m.trusted)
+        return f"NodeFdPlane(node={self.node_id}, trusted={trusted})"
+
+
+class StreamMonitor:
+    """Per-(group, sender) cell-stream freshness for ``senders_only`` modes.
+
+    Tracks whether one remote process is still *competing* (contributing
+    cells) — the node-level plane already answers whether its workstation is
+    up.  Shares the lazy-deadline timer idiom of
+    :class:`~repro.fd.monitor.NfdsMonitor`; the deadline itself is computed
+    by the caller from the frame's sender schedule plus the node pair's
+    current δ, so stream monitors never need their own estimator.
+    """
+
+    __slots__ = (
+        "scheduler",
+        "pid",
+        "trusted",
+        "cells_received",
+        "suspicions",
+        "_on_trust",
+        "_on_suspect",
+        "_timer",
+    )
+
+    def __init__(
+        self,
+        scheduler,
+        pid: int,
+        on_trust: Callable[[int], None],
+        on_suspect: Callable[[int], None],
+    ) -> None:
+        self.scheduler = scheduler
+        self.pid = pid
+        self.trusted = False
+        self.cells_received = 0
+        self.suspicions = 0
+        self._on_trust = on_trust
+        self._on_suspect = on_suspect
+        self._timer = VariableTimer(scheduler, self._on_timeout)
+
+    def on_cell(self, deadline: float) -> None:
+        """A cell arrived; stay trusted until ``deadline``."""
+        self.cells_received += 1
+        if deadline <= self.scheduler.now:
+            return  # stale: its freshness interval already expired
+        self._timer.extend_to(deadline)
+        if not self.trusted:
+            self.trusted = True
+            self._on_trust(self.pid)
+
+    def grant_grace(self, horizon: float) -> None:
+        """Optimistic trust until ``horizon`` (hint seeding, no evidence)."""
+        if self.cells_received > 0 or self.suspicions > 0 or self.trusted:
+            return
+        self.trusted = True
+        self._timer.extend_to(horizon)
+        self._on_trust(self.pid)
+
+    def _on_timeout(self) -> None:
+        if self.trusted:
+            self.trusted = False
+            self.suspicions += 1
+            self._on_suspect(self.pid)
+
+    def stop(self) -> None:
+        self._timer.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "trusted" if self.trusted else "suspected"
+        return f"StreamMonitor(pid={self.pid}, {state})"

@@ -1,147 +1,199 @@
-"""Sender side of the FD scheduler: ALIVE emission for one group.
+"""Sender side of the shared FD plane: batched ALIVE emission per node.
 
-One :class:`HeartbeatSender` serves one (group, local process) pair.  Like a
-real daemon, it wakes up once per period and emits one ALIVE *to every
-destination* — a single timer, synchronized emission times.  The aligned
-schedule matters beyond efficiency: all receivers then share the sender's
-freshness-point grid, so after a crash they suspect (and re-elect) nearly
-simultaneously, which is what keeps the group-wide leader recovery time near
+One :class:`AliveBatcher` serves the whole daemon.  It wakes up once per
+period and emits one :class:`~repro.net.message.BatchFrame` *per destination
+node*, each carrying the node-pair FD header plus one cell per hosted group
+that is currently emitting toward that destination.  This replaces the
+per-group heartbeat senders: wire traffic and timer load are O(node pairs),
+not O(groups × node pairs), which is the multi-group scale-out's headline
+property.
+
+The aligned schedule matters beyond efficiency: all receivers share the
+sender's freshness-point grid, so after a crash they suspect (and re-elect)
+nearly simultaneously, which is what keeps group-wide leader recovery near
 δ + η/2 instead of δ + η (the paper's Tr sits well below the worst case for
 exactly this reason).
 
 Per-destination state that must *not* be shared:
 
-* sequence numbers — receivers estimate loss per directed link from gaps,
-  so each stream is numbered independently and **pauses** (never skips)
-  while the sender is voluntarily silent: an Ω_l process dropping out of the
-  competition must not be scored as message loss downstream;
+* sequence numbers — receivers estimate loss per directed node pair from
+  gaps, so each stream is numbered independently and **pauses** (never
+  skips) while the sender has nothing for that destination: a node whose
+  every group went voluntarily silent (Ω_l dropping out of the competition)
+  must not be scored as message loss downstream;
 * requested rates — each receiver's configurator may ask for its own η; the
-  sender emits at the fastest requested rate (extra heartbeats only improve
-  the slower receivers' detection).
+  sender emits at the fastest rate any *group* bootstraps or any *peer*
+  requested (extra heartbeats only improve the slower receivers' detection).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict, Iterable, Optional, Protocol, Tuple
 
 import numpy as np
 
 from repro.metrics.usage import UsageMeter
-from repro.net.message import AliveMessage
+from repro.net.message import AliveCell, BatchFrame
 from repro.runtime.base import Scheduler, Transport
 from repro.runtime.timers import PeriodicTimer
 
-__all__ = ["HeartbeatSender"]
+__all__ = ["CellSource", "AliveBatcher"]
 
 
-class HeartbeatSender:
-    """Emits ALIVEs for one group from one local process."""
+class CellSource(Protocol):
+    """What a group runtime exposes to the batcher."""
+
+    def dest_nodes(self) -> Iterable[int]:
+        """Nodes this group's frames must reach (cells or not)."""
+        ...
+
+    def emit_cells(self) -> Iterable[Tuple[int, AliveCell]]:
+        """Yield ``(dest_node, cell)`` pairs for one emission round.
+
+        May yield fewer destinations than :meth:`dest_nodes`: a group whose
+        election payload is unchanged suppresses its cell and relies on the
+        frame header alone (the node-level FD needs no payload).
+        """
+        ...
+
+
+class AliveBatcher:
+    """Emits one multiplexed heartbeat frame per destination node."""
 
     def __init__(
         self,
         scheduler: Scheduler,
         transport: Transport,
         node_id: int,
-        group: int,
-        pid: int,
-        default_interval: float,
-        payload_fn: Callable[[], AliveMessage],
         rng: np.random.Generator,
         meter: Optional[UsageMeter] = None,
     ) -> None:
-        """``payload_fn`` returns a template ALIVE (routing/seq fields unset);
-        the sender stamps per-destination fields on copies of it.  ``meter``,
-        when given, is charged one timer tick per emission round."""
         self.scheduler = scheduler
         self.transport = transport
         self.node_id = node_id
-        self.group = group
-        self.pid = pid
-        self.default_interval = default_interval
-        self._payload_fn = payload_fn
         self._rng = rng
         self._meter = meter
-        self._requested: Dict[int, float] = {}  # dest pid -> requested η
-        self._dest_nodes: Dict[int, int] = {}  # dest pid -> node id
-        self._seqs: Dict[int, int] = {}  # dest pid -> next sequence number
-        self._timer = PeriodicTimer(
-            scheduler,
-            period_fn=self.interval,
-            callback=self._tick,
-            # A random initial phase; avoids synchronizing distinct senders.
-            initial_delay=float(rng.uniform(0.0, default_interval)),
-        )
+        #: group -> cell source; dict order is the frame's cell order.
+        self._sources: Dict[int, CellSource] = {}
+        self._active: Dict[int, bool] = {}
+        #: group -> its QoS-derived bootstrap period η.
+        self._group_eta: Dict[int, float] = {}
+        #: peer node -> peer-requested η (node-level RATE-REQUESTs).
+        self._requested: Dict[int, float] = {}
+        #: dest node -> next sequence number (pauses during silence).
+        self._seqs: Dict[int, int] = {}
+        #: Created on first resume so the random initial phase is drawn
+        #: against the *actual* bootstrap interval of the hosted groups.
+        self._timer: Optional[PeriodicTimer] = None
         self.active = False
-        self._started_once = False
+        self._shut_down = False
 
     # ------------------------------------------------------------------
-    # Destination management (driven by group membership)
+    # Group registration (driven by joins/leaves)
     # ------------------------------------------------------------------
-    def set_destinations(self, dest_nodes: Dict[int, int]) -> None:
-        """Reconcile the destination set: ``{dest_pid: node_id}``."""
-        for pid in list(self._dest_nodes):
-            if pid not in dest_nodes:
-                del self._dest_nodes[pid]
-                self._requested.pop(pid, None)
-        for pid, node_id in dest_nodes.items():
-            self._dest_nodes[pid] = node_id
-            self._seqs.setdefault(pid, 0)
+    def add_group(self, group: int, source: CellSource, eta: float) -> None:
+        """Register a hosted group's cell source with bootstrap period η."""
+        if eta <= 0:
+            raise ValueError(f"eta must be positive (got {eta})")
+        self._sources[group] = source
+        self._group_eta[group] = eta
+        self._active.setdefault(group, False)
+
+    def remove_group(self, group: int) -> None:
+        self._sources.pop(group, None)
+        self._group_eta.pop(group, None)
+        was_active = self._active.pop(group, False)
+        if was_active and not any(self._active.values()):
+            self._pause()
+
+    def set_active(self, group: int, active: bool) -> None:
+        """A group's election switched its emission on or off (Ω_l).
+
+        The node-level stream runs while *any* group emits.  A group joining
+        an already-running stream flushes immediately — the whole point of
+        (re)entering the competition is to tell the group something changed.
+        """
+        if group not in self._sources or self._active.get(group) == active:
+            return
+        self._active[group] = active
+        if active:
+            if self.active:
+                self.flush()  # announce the newly-active group's cell now
+            else:
+                self._resume()
+        elif not any(self._active.values()):
+            self._pause()
 
     # ------------------------------------------------------------------
-    # Rate negotiation
+    # Rates
     # ------------------------------------------------------------------
     def interval(self) -> float:
-        """The period in force: the fastest rate any receiver requested.
+        """The period in force: the fastest rate any peer requested.
 
-        Until the first RATE-REQUEST arrives, the conservative bootstrap
-        period applies.  Receivers compute freshness from the *advertised*
-        interval carried on each ALIVE, so honouring a slower negotiated
-        rate never breaks detection — a receiver that still wants a faster
-        rate simply requests it and the minimum wins.
+        Until the first node-level RATE-REQUEST arrives, the conservative
+        bootstrap period (the fastest among the currently-emitting groups)
+        applies.  Receivers compute freshness from the *advertised* interval
+        carried on each frame, so honouring a slower negotiated rate never
+        breaks detection — a peer whose plane wants a faster rate (e.g.
+        because a tighter-QoS group just subscribed) simply requests it at
+        its next reconfiguration and the minimum wins.
         """
-        if not self._requested:
-            return self.default_interval
-        return min(self._requested.values())
+        if self._requested:
+            return min(self._requested.values())
+        candidates = [
+            eta for group, eta in self._group_eta.items() if self._active.get(group)
+        ]
+        return min(candidates) if candidates else 0.25
 
-    def set_interval(self, pid: int, interval: float) -> None:
-        """Apply a receiver-requested rate (RATE-REQUEST handler)."""
+    def set_requested(self, node: int, interval: float) -> None:
+        """Apply a peer node's requested rate (RATE-REQUEST handler)."""
         if interval <= 0:
             raise ValueError(f"interval must be positive (got {interval})")
-        self._requested[pid] = interval
+        self._requested[node] = interval
         # Takes effect from the next firing; rate renegotiations move η by
         # modest factors, so the one-period transient is harmless.
 
-    # ------------------------------------------------------------------
-    # Activity (Ω_l competition on/off; Ω_id/Ω_lc keep it always on)
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Begin (or resume) emitting ALIVEs.
+    def forget_node(self, node: int) -> None:
+        """Drop a departed peer's requested rate and stream state."""
+        self._requested.pop(node, None)
 
-        The very first start waits a random phase (so distinct senders do
-        not synchronize); a *resume* — an Ω_l candidate re-entering the
-        competition — emits immediately, because the whole point of resuming
-        is to tell the group something changed.
-        """
-        if self.active:
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+    def _resume(self) -> None:
+        if self.active or self._shut_down:
             return
         self.active = True
-        resuming = self._started_once
-        self._started_once = True
-        self._timer.start()
-        if resuming:
+        if self._timer is None:
+            # A random initial phase; avoids synchronizing distinct nodes.
+            self._timer = PeriodicTimer(
+                self.scheduler,
+                period_fn=self.interval,
+                callback=self._tick,
+                initial_delay=float(self._rng.uniform(0.0, self.interval())),
+            )
+            self._timer.start()
+        else:
+            # A resume — some group re-entered the competition — emits
+            # immediately: the whole point is to tell the group something
+            # changed.
+            self._timer.start()
             self._tick()
 
-    def stop(self) -> None:
+    def _pause(self) -> None:
         """Stop emitting; sequence counters freeze (silence, not loss)."""
         if not self.active:
             return
         self.active = False
-        self._timer.stop()
+        if self._timer is not None:
+            self._timer.stop()
 
     def shutdown(self) -> None:
-        """Stop permanently (node crash / group leave)."""
-        self.stop()
-        self._dest_nodes.clear()
+        """Stop permanently (node crash)."""
+        self._shut_down = True
+        self._pause()
+        self._sources.clear()
+        self._active.clear()
 
     # ------------------------------------------------------------------
     # Emission
@@ -149,52 +201,59 @@ class HeartbeatSender:
     def flush(self) -> None:
         """Emit one out-of-schedule round *now* and restart the period.
 
-        Used when election-relevant state changes (an accusation bumped our
-        accusation time, our local leader changed): waiting up to a full
-        period to tell the group would leave it split over the old and new
-        leader for that long.  An early extra ALIVE can only extend
-        receivers' freshness deadlines, so this is always safe.
+        Used when election-relevant state changes (an accusation bumped a
+        group's accusation time, a local leader changed): waiting up to a
+        full period to tell the group would leave it split over the old and
+        new leader for that long.  An early extra frame can only extend
+        receivers' freshness deadlines, so this is always safe — and since
+        frames are multiplexed, one group's urgency refreshes everyone.
         """
         if not self.active:
             return
         self._tick()
         self._timer.start()  # next regular tick one full period from now
 
+    #: Shared empty-cells tuple: steady-state frames are mostly cell-less.
+    _NO_CELLS: Tuple[AliveCell, ...] = ()
+
     def _tick(self) -> None:
         if self._meter is not None:
             self._meter.on_timer()
-        template = self._payload_fn()
+        # Every destination of an emitting group gets a frame — the FD
+        # header must flow at η even when every cell is suppressed.
+        per_dest: Dict[int, Optional[list]] = {}
+        for group, source in self._sources.items():
+            if not self._active.get(group):
+                continue
+            for dest in source.dest_nodes():
+                per_dest.setdefault(dest, None)
+            for dest, cell in source.emit_cells():
+                cells = per_dest.get(dest)
+                if cells is None:
+                    per_dest[dest] = [cell]
+                else:
+                    cells.append(cell)
+        if not per_dest:
+            return
         now = self.scheduler.now
         interval = self.interval()
         seqs = self._seqs
         send = self.transport.send
-        acc_time = template.acc_time
-        phase = template.phase
-        local_leader = template.local_leader
-        local_leader_acc = template.local_leader_acc
-        members = template.members
-        for pid, dest_node in self._dest_nodes.items():
-            seq = seqs[pid]
-            seqs[pid] = seq + 1
+        node_id = self.node_id
+        for dest, cells in per_dest.items():
+            seq = seqs.get(dest, 0)
+            seqs[dest] = seq + 1
             send(
-                AliveMessage(
-                    sender_node=self.node_id,
-                    dest_node=dest_node,
-                    group=self.group,
-                    pid=self.pid,
+                BatchFrame(
+                    sender_node=node_id,
+                    dest_node=dest,
                     seq=seq,
                     send_time=now,
                     interval=interval,
-                    acc_time=acc_time,
-                    phase=phase,
-                    local_leader=local_leader,
-                    local_leader_acc=local_leader_acc,
-                    members=members,
+                    cells=self._NO_CELLS if cells is None else tuple(cells),
                 )
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"HeartbeatSender(group={self.group}, pid={self.pid}, "
-            f"active={self.active}, dests={sorted(self._dest_nodes)})"
-        )
+        active = sorted(g for g, a in self._active.items() if a)
+        return f"AliveBatcher(node={self.node_id}, active_groups={active})"

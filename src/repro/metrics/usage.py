@@ -13,13 +13,40 @@ calibration.
 
 Bandwidth needs no modelling: the network counts real on-wire bytes
 (:meth:`repro.net.message.Message.wire_bytes`).
+
+Since the multi-group scale-out, meters also keep a **per-group ledger**:
+each packet's bytes are attributed to the groups riding in it via
+:meth:`~repro.net.message.Message.group_shares` (the shared FD plane's
+envelope amortized across them), modeled CPU follows the byte shares, and
+group-owned timers charge their group directly.  Traffic no single group
+owns — cell-less frames, node-level rate requests, plane-wide timers —
+lands in the ``"shared"`` bucket, so the ledger always sums to the totals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Optional
 
-__all__ = ["CostModel", "UsageMeter", "UsageReport"]
+__all__ = [
+    "CostModel",
+    "UsageMeter",
+    "UsageReport",
+    "SHARED_GROUP_LABEL",
+    "SHARED_USAGE_KEY",
+]
+
+#: Ledger key for bytes/CPU no single group owns (the shared FD plane).
+#: Canonical home of the constant; :mod:`repro.net.message` re-exports it
+#: (the message layer cannot be imported from here without a cycle).
+SHARED_USAGE_KEY = -1
+
+#: Per-group ledger key for costs no single group owns.
+SHARED_GROUP_LABEL = "shared"
+
+
+def _group_label(key: int) -> str:
+    return SHARED_GROUP_LABEL if key == SHARED_USAGE_KEY else str(key)
 
 
 @dataclass(frozen=True)
@@ -48,33 +75,82 @@ class UsageMeter:
     bytes_sent: int = 0
     bytes_received: int = 0
     cpu_us: float = 0.0
+    #: Per-group ledgers; keys are group ids plus :data:`SHARED_USAGE_KEY`.
+    group_bytes: Dict[int, float] = field(default_factory=dict)
+    group_cpu_us: Dict[int, float] = field(default_factory=dict)
 
-    def on_send(self, wire_bytes: int) -> None:
+    def _attribute(
+        self, shares: Optional[Dict[int, int]], wire_bytes: int, cpu: float
+    ) -> None:
+        if shares is None:
+            return
+        group_bytes = self.group_bytes
+        group_cpu = self.group_cpu_us
+        for key, share in shares.items():
+            group_bytes[key] = group_bytes.get(key, 0.0) + share
+            group_cpu[key] = group_cpu.get(key, 0.0) + cpu * (share / wire_bytes)
+
+    def on_send(
+        self, wire_bytes: int, shares: Optional[Dict[int, int]] = None
+    ) -> None:
         self.messages_sent += 1
         self.bytes_sent += wire_bytes
-        self.cpu_us += self.cost_model.us_per_send
+        cost = self.cost_model.us_per_send
+        self.cpu_us += cost
+        self._attribute(shares, wire_bytes, cost)
 
-    def on_receive(self, wire_bytes: int) -> None:
+    def on_receive(
+        self, wire_bytes: int, shares: Optional[Dict[int, int]] = None
+    ) -> None:
         self.messages_received += 1
         self.bytes_received += wire_bytes
-        self.cpu_us += self.cost_model.us_per_recv
+        cost = self.cost_model.us_per_recv
+        self.cpu_us += cost
+        self._attribute(shares, wire_bytes, cost)
 
-    def on_timer(self) -> None:
-        self.cpu_us += self.cost_model.us_per_timer
+    def on_timer(self, group: Optional[int] = None) -> None:
+        """One timer dispatch; ``group`` attributes group-owned timers."""
+        cost = self.cost_model.us_per_timer
+        self.cpu_us += cost
+        key = SHARED_USAGE_KEY if group is None else group
+        self.group_cpu_us[key] = self.group_cpu_us.get(key, 0.0) + cost
 
     def on_reconfig(self) -> None:
-        self.cpu_us += self.cost_model.us_per_reconfig
+        cost = self.cost_model.us_per_reconfig
+        self.cpu_us += cost
+        self.group_cpu_us[SHARED_USAGE_KEY] = (
+            self.group_cpu_us.get(SHARED_USAGE_KEY, 0.0) + cost
+        )
+
+    def reset_counters(self) -> None:
+        """Zero every counter (steady-state measurement after warm-up)."""
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.cpu_us = 0.0
+        self.group_bytes.clear()
+        self.group_cpu_us.clear()
 
     def report(self, duration: float) -> "UsageReport":
         """Summarize over ``duration`` seconds of (virtual) run time."""
         if duration <= 0:
             raise ValueError(f"duration must be positive (got {duration})")
+        per_group: Dict[str, Dict[str, float]] = {}
+        for key in sorted(set(self.group_bytes) | set(self.group_cpu_us)):
+            per_group[_group_label(key)] = {
+                "kb_per_second": self.group_bytes.get(key, 0.0) / (duration * 1000.0),
+                "cpu_percent": 100.0
+                * self.group_cpu_us.get(key, 0.0)
+                / (duration * 1e6),
+            }
         return UsageReport(
             cpu_percent=100.0 * self.cpu_us / (duration * 1e6),
             kb_per_second=(self.bytes_sent + self.bytes_received)
             / (duration * 1000.0),
             messages_per_second=(self.messages_sent + self.messages_received)
             / duration,
+            per_group=per_group,
         )
 
 
@@ -84,11 +160,14 @@ class UsageReport:
 
     ``kb_per_second`` counts both directions (sent + received) in kilobytes
     (1 KB = 1000 B) per second; ``cpu_percent`` is the share of one CPU.
+    ``per_group`` splits both by group id (string keys for JSON fidelity;
+    ``"shared"`` is the FD plane's unamortizable remainder).
     """
 
     cpu_percent: float
     kb_per_second: float
     messages_per_second: float
+    per_group: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @staticmethod
     def average(reports: "list[UsageReport]") -> "UsageReport":
@@ -96,8 +175,21 @@ class UsageReport:
         if not reports:
             raise ValueError("cannot average zero reports")
         n = len(reports)
+        groups: Dict[str, Dict[str, float]] = {}
+        for report in reports:
+            for label, values in report.per_group.items():
+                bucket = groups.setdefault(
+                    label, {"kb_per_second": 0.0, "cpu_percent": 0.0}
+                )
+                for key, value in values.items():
+                    bucket[key] = bucket.get(key, 0.0) + value
+        per_group = {
+            label: {key: value / n for key, value in values.items()}
+            for label, values in sorted(groups.items())
+        }
         return UsageReport(
             cpu_percent=sum(r.cpu_percent for r in reports) / n,
             kb_per_second=sum(r.kb_per_second for r in reports) / n,
             messages_per_second=sum(r.messages_per_second for r in reports) / n,
+            per_group=per_group,
         )

@@ -20,7 +20,8 @@ from repro.net.message import (
     WIRE_OVERHEAD_BYTES,
     AccEntry,
     AccuseMessage,
-    AliveMessage,
+    AliveCell,
+    BatchFrame,
     HelloMessage,
     MemberInfo,
     Message,
@@ -33,7 +34,8 @@ from repro.net.faults import LinkChurnInjector, NodeChurnInjector
 __all__ = [
     "AccEntry",
     "AccuseMessage",
-    "AliveMessage",
+    "AliveCell",
+    "BatchFrame",
     "HelloMessage",
     "Link",
     "LinkChurnInjector",

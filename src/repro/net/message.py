@@ -3,29 +3,45 @@
 The paper's daemon exchanges three kinds of messages (its Figure 2): ALIVE
 (failure detection + election state), HELLO (group maintenance), and the
 accusations used by the Ω_lc/Ω_l algorithms.  We add a small RATE-REQUEST
-control message with which a monitoring process asks a monitored process for
-a heartbeat rate: the Chen et al. configurator runs at the *receiver*, but
+control message with which a monitoring node asks a monitored node for a
+heartbeat rate: the Chen et al. configurator runs at the *receiver*, but
 the *sender* must apply the resulting period η, so some feedback channel is
 implied by the architecture and we make it explicit.
 
+Since the multi-group scale-out, heartbeats are **multiplexed per node
+pair**: one :class:`BatchFrame` per destination node carries the node-level
+failure-detection header (sequence number, send time, period) plus one
+:class:`AliveCell` per hosted group that is currently emitting.  The shared
+FD plane (one monitor per node pair, see :mod:`repro.fd.plane`) consumes the
+header; each group's election consumes its cell.  Membership is no longer
+piggybacked in full: cells and gossip HELLOs carry **version-stamped
+deltas** plus a 64-bit order-independent digest of the sender's full view,
+and a full-view exchange (HELLO kind ``"sync"``) happens only on digest
+mismatch (anti-entropy).
+
 Bandwidth in the paper is measured on the wire, so each message declares its
 payload size and :data:`WIRE_OVERHEAD_BYTES` (Ethernet 18 + IPv4 20 + UDP 8)
-is added per packet.  Membership is piggybacked on ALIVE and HELLO messages
-as compact per-member entries, which makes message size grow with group
-size — one of the effects behind the paper's Figure 6 scalability curves.
+is added per packet.  With batching and deltas, steady-state heartbeat bytes
+grow O(node pairs) + O(groups) per frame instead of
+O(groups × node pairs × members) — the scaling the many-groups benchmark
+cell pins down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+from repro.metrics.usage import SHARED_USAGE_KEY
 
 __all__ = [
     "WIRE_OVERHEAD_BYTES",
+    "SHARED_USAGE_KEY",
     "MemberInfo",
     "AccEntry",
     "Message",
-    "AliveMessage",
+    "AliveCell",
+    "BatchFrame",
     "HelloMessage",
     "AccuseMessage",
     "RateRequestMessage",
@@ -34,7 +50,7 @@ __all__ = [
 #: Per-packet overhead: Ethernet header+FCS (18) + IPv4 (20) + UDP (8).
 WIRE_OVERHEAD_BYTES = 46
 
-#: Serialized size of one piggybacked membership entry:
+#: Serialized size of one membership entry (delta or full-view record):
 #: pid (4) + node (4) + incarnation (4) + flags (1) + padding/seq (3).
 _MEMBER_ENTRY_BYTES = 16
 
@@ -45,7 +61,7 @@ _ACC_ENTRY_BYTES = 16
 
 @dataclass(frozen=True, slots=True)
 class MemberInfo:
-    """A compact membership record gossiped on HELLO/ALIVE messages.
+    """A compact membership record gossiped on HELLO messages and cells.
 
     ``incarnation`` increases each time the member's workstation reboots or
     the process re-joins, so records merge with last-writer-wins semantics
@@ -78,16 +94,19 @@ class Message:
     allocates hundreds of thousands per run) and cache their wire size:
     the send path consults :meth:`wire_bytes` three times per delivered
     message (sender meter, link byte counter, receiver meter), so the size
-    is computed once and memoized.  Size-relevant fields (``members``,
-    ``acc_table``, ``trusted``, ``leader_hint``) must therefore not be
-    mutated after a message has been offered to a transport — in the
-    protocol they never are (templates are stamped *before* sending).
+    is computed once and memoized.  Size-relevant fields must therefore not
+    be mutated after a message has been offered to a transport — in the
+    protocol they never are (cells and tables are stamped *before* sending).
     """
 
     sender_node: int
     dest_node: int
     #: Memoized wire_bytes() result; None until first computed.
     _wire: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    #: Memoized group_shares() result; None until first computed.
+    _shares: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def payload_bytes(self) -> int:
         """Serialized payload size in bytes (excluding packet overhead)."""
@@ -100,16 +119,32 @@ class Message:
             wire = self._wire = WIRE_OVERHEAD_BYTES + self.payload_bytes()
         return wire
 
+    def group_shares(self) -> Dict[int, int]:
+        """Per-group attribution of this packet's wire bytes.
+
+        Returns ``{group_or_SHARED_USAGE_KEY: bytes}`` summing exactly to
+        :meth:`wire_bytes`.  Group-scoped messages charge their group in
+        full; multiplexed frames split the shared envelope across the
+        groups riding in them (the FD plane's cost amortized); purely
+        node-level control traffic lands on :data:`SHARED_USAGE_KEY`.
+        """
+        group = getattr(self, "group", None)
+        if group is None:
+            return {SHARED_USAGE_KEY: self.wire_bytes()}
+        return {group: self.wire_bytes()}
+
+    def wire_shares(self) -> Dict[int, int]:
+        """Memoized :meth:`group_shares` (sender and receiver meters both
+        consult it once per delivered packet)."""
+        shares = self._shares
+        if shares is None:
+            shares = self._shares = self.group_shares()
+        return shares
+
 
 @dataclass(slots=True)
-class AliveMessage(Message):
-    """The heartbeat of the Chen et al. failure detector.
-
-    FD fields: per-stream sequence number ``seq``, the sender's timestamp
-    ``send_time`` (NFD-S freshness points are computed from the *sender's*
-    schedule) and the sender's current period ``interval`` toward this
-    destination (so the receiver can compute the next freshness point even
-    while a rate renegotiation is in flight).
+class AliveCell:
+    """One group's election payload inside a :class:`BatchFrame`.
 
     Election fields carried for the sender's group:
 
@@ -117,56 +152,122 @@ class AliveMessage(Message):
     * ``local_leader``/``local_leader_acc`` — the sender's *local* leader and
       that leader's accusation time (Ω_lc's forwarding stage; Ω_id/Ω_l leave
       them None);
-    * ``members`` — piggybacked membership entries (anti-entropy).
+    * ``delta`` — membership records changed since the last frame this
+      destination was sent (usually empty in steady state);
+    * ``view_version``/``view_digest`` — the sender's full-view version and
+      64-bit order-independent digest; a receiver whose merged view hashes
+      differently triggers a full HELLO sync (anti-entropy).
+
+    Cells are not messages: they have no routing and no packet overhead of
+    their own.  The node-level FD fields (seq, send_time, interval) live on
+    the enclosing frame, once per node pair.
     """
 
-    group: int = 0
-    pid: int = 0
-    seq: int = 0
-    send_time: float = 0.0
-    interval: float = 0.25
+    group: int
+    pid: int
     acc_time: float = 0.0
     phase: int = 0
     local_leader: Optional[int] = None
     local_leader_acc: Optional[float] = None
-    members: Tuple[MemberInfo, ...] = ()
+    delta: Tuple[MemberInfo, ...] = ()
+    view_version: int = 0
+    view_digest: int = 0
 
-    #: group (4) + pid (4) + seq (4) + send_time (8) + interval (8) +
-    #: acc_time (8) + phase (4) + local leader pid+acc (12) + count (2).
-    _BASE_BYTES = 54
+    #: group (4) + pid (4) + acc_time (8) + phase (4) + local leader
+    #: flag+pid+acc (13) + view_version (4) + view_digest (8) + delta
+    #: count (1).
+    _BASE_BYTES = 46
 
     def payload_bytes(self) -> int:
-        return self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.members)
+        return self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.delta)
+
+
+@dataclass(slots=True)
+class BatchFrame(Message):
+    """The node-pair heartbeat envelope: one FD header, many group cells.
+
+    FD fields (consumed by the shared node-level plane): per-node-pair
+    sequence number ``seq``, the sender's timestamp ``send_time`` (NFD-S
+    freshness points are computed from the *sender's* schedule) and the
+    sender's current period ``interval`` toward this destination.  The
+    sequence pauses — never skips — while the sender has no cells for this
+    destination, so voluntary silence is not scored as message loss.
+    """
+
+    seq: int = 0
+    send_time: float = 0.0
+    interval: float = 0.25
+    cells: Tuple[AliveCell, ...] = ()
+
+    #: seq (4) + send_time (8) + interval (8) + cell count (2).
+    _BASE_BYTES = 22
+
+    def payload_bytes(self) -> int:
+        return self._BASE_BYTES + sum(cell.payload_bytes() for cell in self.cells)
+
+    def group_shares(self) -> Dict[int, int]:
+        """Cells charge their group; the shared envelope is split evenly.
+
+        The frame header + packet overhead is the amortized cost of the
+        shared FD plane: it is divided across the riding groups (integer
+        split, remainder to the shared bucket so shares always sum to
+        ``wire_bytes``).  A cell-less frame is pure FD-plane traffic.
+        """
+        cells = self.cells
+        total = self.wire_bytes()
+        if not cells:
+            return {SHARED_USAGE_KEY: total}
+        shares: Dict[int, int] = {}
+        cell_bytes = 0
+        for cell in cells:
+            size = cell.payload_bytes()
+            cell_bytes += size
+            shares[cell.group] = shares.get(cell.group, 0) + size
+        envelope = total - cell_bytes
+        per_group = envelope // len(shares)
+        for group in shares:
+            shares[group] += per_group
+        remainder = envelope - per_group * len(shares)
+        if remainder:
+            shares[SHARED_USAGE_KEY] = remainder
+        return shares
 
 
 @dataclass(slots=True)
 class HelloMessage(Message):
     """Group-maintenance gossip: the sender's view of a group's membership.
 
-    ``kind`` distinguishes periodic anti-entropy (``"gossip"``), the
-    announcement a joiner floods (``"join"``) and the unicast answer members
-    send back (``"reply"``).  Replies additionally seed the joiner's election
-    state: ``leader_hint`` carries the responder's current leader,
-    ``acc_table`` the accusation times it knows, and ``trusted`` the set of
-    processes the responder's failure detector currently trusts.  A
-    (re)joining process grants an optimistic detection-budget of trust only
-    to processes in ``trusted`` — never to arbitrary membership records, or
-    it would forward long-dead processes as leaders — and thereby adopts the
-    established leader within one round trip instead of electing itself
-    (the paper's service keeps recovering processes from disrupting the
-    group, §1).
+    ``kind`` distinguishes periodic anti-entropy (``"gossip"``, carrying a
+    membership *delta* since the last send to this destination), the
+    announcement a joiner floods (``"join"``, full view), the unicast answer
+    members send back (``"reply"``, full view) and the digest-mismatch
+    repair (``"sync"``, full view).  Every kind carries the sender's view
+    ``view_version`` and ``view_digest`` so the receiver can detect
+    divergence after merging.
+
+    Replies additionally seed the joiner's election state: ``leader_hint``
+    carries the responder's current leader, ``acc_table`` the accusation
+    times it knows, and ``trusted`` the set of processes the responder's
+    failure detector currently trusts.  A (re)joining process grants an
+    optimistic detection-budget of trust only to processes in ``trusted`` —
+    never to arbitrary membership records, or it would forward long-dead
+    processes as leaders — and thereby adopts the established leader within
+    one round trip instead of electing itself (the paper's service keeps
+    recovering processes from disrupting the group, §1).
     """
 
     group: int = 0
     kind: str = "gossip"
     members: Tuple[MemberInfo, ...] = ()
+    view_version: int = 0
+    view_digest: int = 0
     leader_hint: Optional[AccEntry] = None
     acc_table: Tuple[AccEntry, ...] = ()
     trusted: Tuple[int, ...] = ()
 
     #: group (4) + kind (1) + member count (2) + acc count (2) + hint flag
-    #: (1) + trusted count (2).
-    _BASE_BYTES = 12
+    #: (1) + trusted count (2) + view_version (4) + view_digest (8).
+    _BASE_BYTES = 24
 
     def payload_bytes(self) -> int:
         size = self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.members)
@@ -203,19 +304,19 @@ class AccuseMessage(Message):
 
 @dataclass(slots=True)
 class RateRequestMessage(Message):
-    """Feedback from a monitor: "send me ALIVEs every ``interval`` seconds".
+    """Feedback from the FD plane: "send me frames every ``interval`` s".
 
-    Sent only when the receiver-side configurator output changes materially,
-    so its bandwidth contribution is negligible.
+    Node-level since the shared FD plane: the receiver-side configurator
+    runs once per node pair, so the renegotiated rate applies to the whole
+    heartbeat stream between two nodes, not to one group's slice of it.
+    Sent only when the configurator output changes materially, so its
+    bandwidth contribution is negligible.
     """
 
-    group: int = 0
-    pid: int = 0
-    target_pid: int = 0
     interval: float = 0.25
 
-    #: group (4) + pids (8) + interval (8).
-    _PAYLOAD_BYTES = 20
+    #: interval (8) + padding (4).
+    _PAYLOAD_BYTES = 12
 
     def payload_bytes(self) -> int:
         return self._PAYLOAD_BYTES

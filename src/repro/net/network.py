@@ -114,7 +114,7 @@ class Network:
         sender, link, deliver = self._routes[message.sender_node][message.dest_node]
         if not sender.up:
             return
-        sender.meter.on_send(message.wire_bytes())
+        sender.meter.on_send(message.wire_bytes(), message.wire_shares())
         link.transmit(message, deliver)
 
     def broadcast(self, messages: Iterable[Message]) -> None:

@@ -84,7 +84,7 @@ class Node:
         """Hand a message that survived the link to this node."""
         if not self.up or self._receiver is None:
             return  # a crashed workstation receives nothing
-        self.meter.on_receive(message.wire_bytes())
+        self.meter.on_receive(message.wire_bytes(), message.wire_shares())
         self._receiver(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -18,10 +18,13 @@ Two layers:
 The line protocol children speak (one event per line, ``key=value``)::
 
     READY node=2 port=47012
-    LEADER node=2 leader=0 t=1721901758.482911
+    LEADER node=2 group=1 leader=0 t=1721901758.482911
     DONE node=2
 
-``leader=none`` means the node currently sees no leader.
+``leader=none`` means the node currently sees no leader for that group.
+Since the multi-group scale-out a daemon hosts ``--groups N`` groups over
+one shared FD plane; every group elects (and re-elects) independently and
+the orchestrator tracks one leader board per group.
 """
 
 from __future__ import annotations
@@ -60,7 +63,8 @@ class LiveNodeConfig:
     #: UDP port of every node, indexed by node id (len == cluster size).
     ports: Tuple[int, ...]
     host: str = "127.0.0.1"
-    group: int = 1
+    #: Group ids this daemon hosts (all served by one shared FD plane).
+    groups: Tuple[int, ...] = (1,)
     algorithm: str = "omega_lc"
     detection_time: float = 1.0
     fd_variant: str = "nfds"
@@ -81,6 +85,10 @@ class LiveNodeConfig:
             raise ValueError(
                 f"detection_time must be positive (got {self.detection_time})"
             )
+        if not self.groups:
+            raise ValueError("need at least one group")
+        if len(set(self.groups)) != len(self.groups):
+            raise ValueError(f"duplicate group ids in {self.groups}")
 
 
 def _emit(line: str) -> None:
@@ -176,18 +184,20 @@ async def run_node(config: LiveNodeConfig) -> None:
     def on_leader_change(group: int, leader: Optional[int]) -> None:
         shown = "none" if leader is None else leader
         _emit(
-            f"LEADER node={config.node_id} leader={shown} t={scheduler.now:.6f}"
+            f"LEADER node={config.node_id} group={group} leader={shown} "
+            f"t={scheduler.now:.6f}"
         )
 
     pid = config.node_id  # one application process per node, pid = node id
     service.register(pid)
-    service.join(
-        pid,
-        config.group,
-        candidate=True,
-        qos=FDQoS(detection_time=config.detection_time),
-        on_leader_change=on_leader_change,
-    )
+    for group in config.groups:
+        service.join(
+            pid,
+            group,
+            candidate=True,
+            qos=FDQoS(detection_time=config.detection_time),
+            on_leader_change=on_leader_change,
+        )
     _emit(f"READY node={config.node_id} port={config.ports[config.node_id]}")
     if chaos_controller is not None:
         chaos_controller.start()
@@ -244,7 +254,11 @@ class ClusterReport:
     ok: bool = False
     reason: str = ""
     n_nodes: int = 0
+    n_groups: int = 1
     first_leader: Optional[int] = None
+    #: Per-group outcomes (the scalar fields mirror the primary group).
+    first_leaders: Dict[int, int] = field(default_factory=dict)
+    new_leaders: Dict[int, int] = field(default_factory=dict)
     #: Seconds from cluster start to the first whole-cluster agreement.
     election_seconds: Optional[float] = None
     killed_leader: Optional[int] = None
@@ -258,14 +272,24 @@ class ClusterReport:
     def summary(self) -> str:
         if not self.ok:
             return f"FAILED: {self.reason}"
+        shown = (
+            f"leaders {self.first_leaders}"
+            if self.n_groups > 1
+            else f"leader {self.first_leader}"
+        )
         parts = [
-            f"{self.n_nodes} nodes elected leader {self.first_leader} "
-            f"in {self.election_seconds:.2f}s"
+            f"{self.n_nodes} nodes x {self.n_groups} group(s) elected "
+            f"{shown} in {self.election_seconds:.2f}s"
         ]
         if self.killed_leader is not None:
+            shown = (
+                f"leaders {self.new_leaders}"
+                if self.n_groups > 1
+                else f"leader {self.new_leader}"
+            )
             parts.append(
                 f"killed node {self.killed_leader}; survivors re-elected "
-                f"leader {self.new_leader} in {self.reelection_seconds:.2f}s"
+                f"{shown} in {self.reelection_seconds:.2f}s"
             )
         return "; ".join(parts)
 
@@ -297,6 +321,7 @@ def _spawn_node(
     detection_time: float,
     fd_variant: str,
     duration: float,
+    groups: int,
 ) -> subprocess.Popen:
     command = [
         sys.executable,
@@ -309,6 +334,8 @@ def _spawn_node(
         ",".join(map(str, ports)),
         "--host",
         host,
+        "--groups",
+        str(groups),
         "--algorithm",
         algorithm,
         "--detection-time",
@@ -342,8 +369,12 @@ def _pump_output(
         queue.put((node_id, line))
 
 
-def _parse_leader(line: str) -> Optional[Tuple[int, Optional[int]]]:
-    """``LEADER node=2 leader=0 t=...`` → (2, 0); non-LEADER lines → None."""
+def _parse_leader(line: str) -> Optional[Tuple[int, int, Optional[int]]]:
+    """``LEADER node=2 group=1 leader=0 t=...`` → (2, 1, 0); else None.
+
+    Lines without a ``group`` field (single-group daemons predating the
+    scale-out) parse as group 1.
+    """
     if not line.startswith("LEADER "):
         return None
     fields = dict(
@@ -351,34 +382,41 @@ def _parse_leader(line: str) -> Optional[Tuple[int, Optional[int]]]:
     )
     try:
         node = int(fields["node"])
+        group = int(fields.get("group", 1))
         leader = None if fields["leader"] == "none" else int(fields["leader"])
     except (KeyError, ValueError):
         return None
-    return node, leader
+    return node, group, leader
 
 
 class _LeaderBoard:
-    """Tracks every node's last announced leader view."""
+    """Tracks every node's last announced leader view, per group."""
 
     def __init__(self) -> None:
-        self.views: Dict[int, Optional[int]] = {}
+        self.views: Dict[Tuple[int, int], Optional[int]] = {}  # (group, node)
 
-    def record(self, node: int, leader: Optional[int]) -> None:
-        self.views[node] = leader
+    def record(self, node: int, group: int, leader: Optional[int]) -> None:
+        self.views[(group, node)] = leader
 
-    def agreed_leader(self, alive: List[int]) -> Optional[int]:
-        """The single leader all ``alive`` nodes agree on, else None."""
-        views = {self.views.get(node, None) for node in alive}
+    def agreed_leader(self, group: int, alive: List[int]) -> Optional[int]:
+        """The single leader all ``alive`` nodes agree on for ``group``."""
+        views = {self.views.get((group, node), None) for node in alive}
         if len(views) == 1:
             (leader,) = views
             if leader is not None and leader in alive:
                 return leader
         return None
 
+    def drop_node(self, node: int) -> None:
+        """Forget a dead node's views (they must not satisfy agreement)."""
+        for key in [key for key in self.views if key[1] == node]:
+            del self.views[key]
+
 
 def run_cluster(
     n_nodes: int = 3,
     *,
+    groups: int = 1,
     host: str = "127.0.0.1",
     ports: Optional[List[int]] = None,
     algorithm: str = "omega_lc",
@@ -392,14 +430,19 @@ def run_cluster(
 ) -> ClusterReport:
     """Boot an N-process localhost cluster and exercise a leader crash.
 
-    Phases: elect (all nodes agree on one leader and hold it for
-    ``stable_seconds``) → kill (SIGKILL the leader's process) → re-elect
-    (all survivors agree on one *new* leader and hold it).  ``timeout``
-    bounds each agreement phase.  Returns a :class:`ClusterReport`;
-    ``report.ok`` is the CI assertion.
+    Each daemon hosts ``groups`` groups (ids 1..groups) over one shared FD
+    plane.  Phases: elect (for every group, all nodes agree on one leader
+    and hold it for ``stable_seconds``) → kill (SIGKILL the process of
+    group 1's leader — a workstation crash that hits every group hosted
+    there) → re-elect (for every group, all survivors agree on one alive
+    leader and hold it; group 1's must be *new*).  ``timeout`` bounds each
+    agreement phase.  Returns a :class:`ClusterReport`; ``report.ok`` is
+    the CI assertion.
     """
     if n_nodes < 2:
         raise ValueError(f"a cluster needs at least 2 nodes (got {n_nodes})")
+    if groups < 1:
+        raise ValueError(f"need at least 1 group (got {groups})")
     if ports is None:
         ports = _reserve_udp_ports(host, n_nodes)
     if len(ports) != n_nodes:
@@ -407,7 +450,8 @@ def run_cluster(
     log_dir = Path(log_dir) if log_dir is not None else Path("live-cluster-logs")
     log_dir.mkdir(parents=True, exist_ok=True)
 
-    report = ClusterReport(n_nodes=n_nodes, log_dir=log_dir)
+    report = ClusterReport(n_nodes=n_nodes, n_groups=groups, log_dir=log_dir)
+    group_ids = list(range(1, groups + 1))
     # Children outlive every phase timeout, then exit on their own even if
     # this orchestrator dies mid-run.
     child_duration = timeout * 3 + 30.0
@@ -444,7 +488,7 @@ def run_cluster(
         ]
 
     def await_agreement(
-        alive: List[int], deadline: float, label: str
+        group: int, alive: List[int], deadline: float, label: str
     ) -> Optional[int]:
         """Wait for one leader all ``alive`` nodes agree on, held stably.
 
@@ -462,7 +506,7 @@ def run_cluster(
                 report.reason = f"daemon exited early during {label}: {losses}"
                 return None
             drain(deadline)
-            current = board.agreed_leader(alive)
+            current = board.agreed_leader(group, alive)
             if current is None:
                 agreed_since, agreed = None, None
                 continue
@@ -474,12 +518,15 @@ def run_cluster(
         return None
 
     try:
-        note(f"starting {n_nodes} daemons on {host} ports {ports}")
+        note(
+            f"starting {n_nodes} daemons x {groups} group(s) on {host} "
+            f"ports {ports}"
+        )
         start_time = time.time()
         for node_id in range(n_nodes):
             child = _spawn_node(
                 node_id, ports, host, algorithm, detection_time,
-                fd_variant, child_duration,
+                fd_variant, child_duration, groups,
             )
             children[node_id] = child
             log = open(log_dir / f"node-{node_id}.log", "w")
@@ -493,39 +540,54 @@ def run_cluster(
             threads.append(thread)
 
         alive = list(range(n_nodes))
-        leader = await_agreement(alive, start_time + timeout, "first election")
-        if leader is None:
-            report.reason = (
-                report.reason or "no whole-cluster leader agreement within timeout"
+        deadline = start_time + timeout
+        for group in group_ids:
+            leader = await_agreement(
+                group, alive, deadline, f"first election (group {group})"
             )
-            return report
-        report.first_leader = leader
+            if leader is None:
+                report.reason = report.reason or (
+                    f"no whole-cluster leader agreement for group {group} "
+                    "within timeout"
+                )
+                return report
+            report.first_leaders[group] = leader
+        report.first_leader = report.first_leaders[group_ids[0]]
         report.election_seconds = time.time() - start_time
-        note(f"cluster agreed on leader {leader} after {report.election_seconds:.2f}s")
+        note(
+            f"cluster agreed on leader(s) {report.first_leaders} after "
+            f"{report.election_seconds:.2f}s"
+        )
 
         if kill_leader:
-            note(f"killing leader process (node {leader}) with SIGKILL")
+            leader = report.first_leader
+            note(f"killing group-1 leader process (node {leader}) with SIGKILL")
             children[leader].kill()
             children[leader].wait()
             report.killed_leader = leader
             kill_time = time.time()
             alive = [node for node in alive if node != leader]
-            # The dead node's stale view must not satisfy the agreement.
-            board.views.pop(leader, None)
-            new_leader = await_agreement(
-                alive, kill_time + timeout, "re-election"
-            )
-            if new_leader is None:
-                report.reason = (
-                    report.reason or "survivors did not re-elect within timeout"
+            # The dead node's stale views must not satisfy any agreement.
+            board.drop_node(leader)
+            deadline = kill_time + timeout
+            for group in group_ids:
+                new_leader = await_agreement(
+                    group, alive, deadline, f"re-election (group {group})"
                 )
-                return report
-            # agreed_leader only returns members of `alive`, and the killed
-            # leader was removed from it, so new_leader != leader holds.
-            report.new_leader = new_leader
+                if new_leader is None:
+                    report.reason = report.reason or (
+                        f"survivors did not re-elect group {group} within "
+                        "timeout"
+                    )
+                    return report
+                # agreed_leader only returns members of `alive`, and the
+                # killed node was removed from it, so every group ends on
+                # an alive leader — for group 1 necessarily a *new* one.
+                report.new_leaders[group] = new_leader
+            report.new_leader = report.new_leaders[group_ids[0]]
             report.reelection_seconds = time.time() - kill_time
             note(
-                f"survivors re-elected leader {new_leader} after "
+                f"survivors re-elected leader(s) {report.new_leaders} after "
                 f"{report.reelection_seconds:.2f}s"
             )
 

@@ -16,6 +16,13 @@ doubles.  The length prefix makes frames self-delimiting, so the same codec
 works over stream transports (TCP) as well as datagrams, and lets the
 decoder reject truncated input explicitly instead of mis-parsing it.
 
+Codec version 2 (the multi-group scale-out): the per-group ALIVE message
+(type tag 1, retired — tags are never reused) was replaced by the
+:class:`~repro.net.message.BatchFrame` envelope (tag 5) carrying one
+node-pair FD header plus per-group cells with membership *deltas* and a
+64-bit view digest; HELLOs gained the ``"sync"`` kind and the view
+version/digest pair; RATE-REQUESTs became node-level.
+
 Strings never appear on the wire: the only enumerated field
 (:attr:`HelloMessage.kind`) travels as one byte.  Optional fields carry a
 one-byte presence flag.  Decoding is strict — unknown magic, version, type
@@ -34,7 +41,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 from repro.net.message import (
     AccEntry,
     AccuseMessage,
-    AliveMessage,
+    AliveCell,
+    BatchFrame,
     HelloMessage,
     MemberInfo,
     Message,
@@ -44,39 +52,44 @@ from repro.net.message import (
 __all__ = ["CodecError", "encode_message", "decode_message", "MAX_FRAME_BYTES"]
 
 _MAGIC = 0x03A9  # Ω, fittingly
-_VERSION = 1
+_VERSION = 2
 
 #: Upper bound on a frame we are willing to decode (or encode).  Generous —
-#: a 4096-member ALIVE digest is ~111 KB — while still rejecting nonsense
-#: length prefixes before any allocation happens.
+#: a 64-cell batch with 4096-member deltas would not fit a datagram anyway —
+#: while still rejecting nonsense length prefixes before any allocation.
 MAX_FRAME_BYTES = 1 << 20
 
 _HEADER = struct.Struct("!IHBB")  # length, magic, version, type tag
 
-# Per-type tags (never reuse or renumber once released).
-_TAG_ALIVE = 1
+# Per-type tags (never reuse or renumber once released; tag 1 was the
+# retired per-group ALIVE of codec version 1).
 _TAG_HELLO = 2
 _TAG_ACCUSE = 3
 _TAG_RATE_REQUEST = 4
+_TAG_BATCH = 5
 
-_HELLO_KINDS = ("gossip", "join", "reply")
+_HELLO_KINDS = ("gossip", "join", "reply", "sync")
 
 _ROUTING = struct.Struct("!ii")  # sender_node, dest_node
 _MEMBER = struct.Struct("!iiq??d")  # pid, node, incarnation, cand, present, joined_at
 _ACC_ENTRY = struct.Struct("!idi")  # pid, acc_time, phase
-_ALIVE_FIXED = struct.Struct("!iiqdddi")  # group, pid, seq, send_time, interval,
-#                                           acc_time, phase
 # Independent presence flags: a leader forward may carry no accusation time
 # (Ω_lc treats leader-without-acc differently from acc 0.0), so None must
 # survive the round trip rather than collapse to 0.0.
 _OPT_PID_ACC = struct.Struct("!??id")  # has_leader, has_acc, leader, acc
 _U16 = struct.Struct("!H")
 _I32 = struct.Struct("!i")
-_HELLO_FIXED = struct.Struct("!iBHHH?")  # group, kind, n_members, n_acc,
-#                                          n_trusted, has_leader_hint
+_BATCH_FIXED = struct.Struct("!qddH")  # seq, send_time, interval, n_cells
+_CELL_FIXED = struct.Struct("!iidi")  # group, pid, acc_time, phase
+_CELL_VIEW = struct.Struct("!IQH")  # view_version, view_digest, n_delta
+_HELLO_FIXED = struct.Struct("!iBHHH?IQ")  # group, kind, n_members, n_acc,
+#                                            n_trusted, has_leader_hint,
+#                                            view_version, view_digest
 _ACCUSE_BODY = struct.Struct("!iiii")  # group, accuser, accused, accused_phase
-_RATE_BODY = struct.Struct("!iiid")  # group, pid, target_pid, interval
+_RATE_BODY = struct.Struct("!d")  # interval
 _U16_MAX = 0xFFFF
+_U32_MAX = 0xFFFFFFFF
+_U64_MAX = 0xFFFFFFFFFFFFFFFF
 
 
 class CodecError(ValueError):
@@ -118,6 +131,14 @@ def _check_count(label: str, n: int) -> int:
     return n
 
 
+def _check_view(version: int, digest: int) -> Tuple[int, int]:
+    if not 0 <= version <= _U32_MAX:
+        raise CodecError(f"view version {version} out of u32 range")
+    if not 0 <= digest <= _U64_MAX:
+        raise CodecError(f"view digest {digest} out of u64 range")
+    return version, digest
+
+
 def _encode_members(members: Tuple[MemberInfo, ...]) -> List[bytes]:
     return [
         _MEMBER.pack(
@@ -127,28 +148,38 @@ def _encode_members(members: Tuple[MemberInfo, ...]) -> List[bytes]:
     ]
 
 
-def _encode_alive(message: AliveMessage) -> List[bytes]:
-    has_leader = message.local_leader is not None
-    has_acc = message.local_leader_acc is not None
-    parts = [
-        _ALIVE_FIXED.pack(
-            message.group,
-            message.pid,
-            message.seq,
-            message.send_time,
-            message.interval,
-            message.acc_time,
-            message.phase,
-        ),
+def _encode_cell(cell: AliveCell, parts: List[bytes]) -> None:
+    has_leader = cell.local_leader is not None
+    has_acc = cell.local_leader_acc is not None
+    version, digest = _check_view(cell.view_version, cell.view_digest)
+    parts.append(
+        _CELL_FIXED.pack(cell.group, cell.pid, cell.acc_time, cell.phase)
+    )
+    parts.append(
         _OPT_PID_ACC.pack(
             has_leader,
             has_acc,
-            message.local_leader if has_leader else 0,
-            message.local_leader_acc if has_acc else 0.0,
-        ),
-        _U16.pack(_check_count("members", len(message.members))),
+            cell.local_leader if has_leader else 0,
+            cell.local_leader_acc if has_acc else 0.0,
+        )
+    )
+    parts.append(
+        _CELL_VIEW.pack(version, digest, _check_count("delta records", len(cell.delta)))
+    )
+    parts.extend(_encode_members(cell.delta))
+
+
+def _encode_batch(message: BatchFrame) -> List[bytes]:
+    parts = [
+        _BATCH_FIXED.pack(
+            message.seq,
+            message.send_time,
+            message.interval,
+            _check_count("cells", len(message.cells)),
+        )
     ]
-    parts.extend(_encode_members(message.members))
+    for cell in message.cells:
+        _encode_cell(cell, parts)
     return parts
 
 
@@ -158,6 +189,7 @@ def _encode_hello(message: HelloMessage) -> List[bytes]:
     except ValueError:
         raise CodecError(f"unknown HELLO kind {message.kind!r}") from None
     hint = message.leader_hint
+    version, digest = _check_view(message.view_version, message.view_digest)
     parts = [
         _HELLO_FIXED.pack(
             message.group,
@@ -166,6 +198,8 @@ def _encode_hello(message: HelloMessage) -> List[bytes]:
             _check_count("acc entries", len(message.acc_table)),
             _check_count("trusted pids", len(message.trusted)),
             hint is not None,
+            version,
+            digest,
         )
     ]
     if hint is not None:
@@ -185,15 +219,11 @@ def _encode_accuse(message: AccuseMessage) -> List[bytes]:
 
 
 def _encode_rate_request(message: RateRequestMessage) -> List[bytes]:
-    return [
-        _RATE_BODY.pack(
-            message.group, message.pid, message.target_pid, message.interval
-        )
-    ]
+    return [_RATE_BODY.pack(message.interval)]
 
 
 _ENCODERS: Dict[Type[Message], Tuple[int, Callable[[Message], List[bytes]]]] = {
-    AliveMessage: (_TAG_ALIVE, _encode_alive),
+    BatchFrame: (_TAG_BATCH, _encode_batch),
     HelloMessage: (_TAG_HELLO, _encode_hello),
     AccuseMessage: (_TAG_ACCUSE, _encode_accuse),
     RateRequestMessage: (_TAG_RATE_REQUEST, _encode_rate_request),
@@ -234,29 +264,48 @@ def _decode_members(reader: _Reader, count: int) -> Tuple[MemberInfo, ...]:
     )
 
 
-def _decode_alive(reader: _Reader, sender: int, dest: int) -> AliveMessage:
-    group, pid, seq, send_time, interval, acc_time, phase = reader.unpack(_ALIVE_FIXED)
+def _decode_cell(reader: _Reader) -> AliveCell:
+    group, pid, acc_time, phase = reader.unpack(_CELL_FIXED)
     has_leader, has_acc, leader, leader_acc = reader.unpack(_OPT_PID_ACC)
-    (n_members,) = reader.unpack(_U16)
-    members = _decode_members(reader, n_members)
-    return AliveMessage(
-        sender_node=sender,
-        dest_node=dest,
+    view_version, view_digest, n_delta = reader.unpack(_CELL_VIEW)
+    delta = _decode_members(reader, n_delta)
+    return AliveCell(
         group=group,
         pid=pid,
-        seq=seq,
-        send_time=send_time,
-        interval=interval,
         acc_time=acc_time,
         phase=phase,
         local_leader=leader if has_leader else None,
         local_leader_acc=leader_acc if has_acc else None,
-        members=members,
+        delta=delta,
+        view_version=view_version,
+        view_digest=view_digest,
+    )
+
+
+def _decode_batch(reader: _Reader, sender: int, dest: int) -> BatchFrame:
+    seq, send_time, interval, n_cells = reader.unpack(_BATCH_FIXED)
+    cells = tuple(_decode_cell(reader) for _ in range(n_cells))
+    return BatchFrame(
+        sender_node=sender,
+        dest_node=dest,
+        seq=seq,
+        send_time=send_time,
+        interval=interval,
+        cells=cells,
     )
 
 
 def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
-    group, kind, n_members, n_acc, n_trusted, has_hint = reader.unpack(_HELLO_FIXED)
+    (
+        group,
+        kind,
+        n_members,
+        n_acc,
+        n_trusted,
+        has_hint,
+        view_version,
+        view_digest,
+    ) = reader.unpack(_HELLO_FIXED)
     if kind >= len(_HELLO_KINDS):
         raise CodecError(f"unknown HELLO kind tag {kind}")
     hint: Optional[AccEntry] = None
@@ -271,6 +320,8 @@ def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
         group=group,
         kind=_HELLO_KINDS[kind],
         members=members,
+        view_version=view_version,
+        view_digest=view_digest,
         leader_hint=hint,
         acc_table=acc_table,
         trusted=trusted,
@@ -290,19 +341,16 @@ def _decode_accuse(reader: _Reader, sender: int, dest: int) -> AccuseMessage:
 
 
 def _decode_rate_request(reader: _Reader, sender: int, dest: int) -> RateRequestMessage:
-    group, pid, target_pid, interval = reader.unpack(_RATE_BODY)
+    (interval,) = reader.unpack(_RATE_BODY)
     return RateRequestMessage(
         sender_node=sender,
         dest_node=dest,
-        group=group,
-        pid=pid,
-        target_pid=target_pid,
         interval=interval,
     )
 
 
 _DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
-    _TAG_ALIVE: _decode_alive,
+    _TAG_BATCH: _decode_batch,
     _TAG_HELLO: _decode_hello,
     _TAG_ACCUSE: _decode_accuse,
     _TAG_RATE_REQUEST: _decode_rate_request,

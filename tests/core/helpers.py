@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.election.base import GroupContext
-from repro.net.message import AliveMessage, MemberInfo
+from repro.net.message import AliveCell, MemberInfo
 
 
 def member(pid, node=None, candidate=True, present=True, joined=0.0, incarnation=1):
@@ -20,13 +20,10 @@ def member(pid, node=None, candidate=True, present=True, joined=0.0, incarnation
 
 
 def alive(pid, acc_time=0.0, phase=0, local_leader=None, local_leader_acc=None):
-    return AliveMessage(
-        sender_node=pid,
-        dest_node=0,
+    """One group's heartbeat payload as the election algorithms see it."""
+    return AliveCell(
         group=1,
         pid=pid,
-        seq=0,
-        send_time=0.0,
         acc_time=acc_time,
         phase=phase,
         local_leader=local_leader,

@@ -226,8 +226,63 @@ class TestQoSPlumbing:
         assert runtime.qos.detection_time == 0.5
 
     def test_estimators_persist_across_monitor_churn(self, sim):
+        """The plane keeps one estimator per peer *node*, shared by every
+        group and surviving monitor teardown."""
         _, services, _ = build(sim)
-        est1 = services[0].estimator_for(1, 7)
-        est2 = services[0].estimator_for(1, 7)
+        plane = services[0].plane
+        est1 = plane._estimator(2)
+        est2 = plane._estimator(2)
         assert est1 is est2
-        assert services[0].estimator_for(2, 7) is not est1
+        assert plane._estimator(3) is not est1
+
+    def test_departed_peer_rate_no_longer_pins_the_interval(self, sim):
+        """A peer that left every hosted group must stop forcing the
+        heartbeat rate it once requested (node-level RATE-REQUEST)."""
+        from repro.net.message import RateRequestMessage
+
+        _, services, _ = build(sim)
+        for node_id in (0, 1, 2):
+            services[node_id].register(node_id)
+            services[node_id].join(node_id, group=1)
+        sim.run_until(5.0)
+        services[0].handle_message(
+            RateRequestMessage(sender_node=1, dest_node=0, interval=0.05)
+        )
+        assert services[0].batcher.interval() == pytest.approx(0.05)
+        services[1].leave(1, group=1)
+        sim.run_until(10.0)  # the tombstone gossips to node 0
+        assert services[0].batcher.interval() > 0.05
+
+    def test_strictest_qos_wins_on_the_shared_plane(self, sim):
+        """Two groups watching the same node: the tighter detection time
+        governs the shared monitor."""
+        _, services, _ = build(sim)
+        services[0].register(0)
+        services[0].join(0, group=1, qos=FDQoS(detection_time=2.0))
+        services[0].join(0, group=2, qos=FDQoS(detection_time=0.5))
+        services[1].register(1)
+        services[1].join(1, group=1)
+        services[1].join(1, group=2)
+        sim.run_until(5.0)
+        monitor = services[0].plane.monitors[1]
+        assert monitor.qos.detection_time == 0.5
+
+    def test_tighter_group_tightens_delta_immediately(self, sim):
+        """The strict group's detection bound must apply the moment it
+        subscribes — not one reconfiguration period later."""
+        from repro.fd.configurator import bootstrap_params
+
+        _, services, _ = build(sim)
+        for node_id in (0, 1):
+            services[node_id].register(node_id)
+            services[node_id].join(node_id, group=1, qos=FDQoS(detection_time=2.0))
+        sim.run_until(1.0)
+        monitor = services[0].plane.monitors[1]
+        loose_delta = monitor.delta
+        for node_id in (0, 1):
+            services[node_id].join(
+                node_id, group=2, qos=FDQoS(detection_time=0.5)
+            )
+        sim.run_until(1.1)  # the join announcement reaches node 0
+        tight = bootstrap_params(FDQoS(detection_time=0.5))
+        assert monitor.delta <= tight.delta < loose_delta

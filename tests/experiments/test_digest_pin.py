@@ -36,8 +36,8 @@ PINNED_CONFIG = dict(
     seed=123,
     node_churn=True,
 )
-PINNED_EVENTS = 6437
-PINNED_DIGEST = "0948d18465ccc804b041a99f0f7984da850131c3b67cdd7c74f93e1a974a97a8"
+PINNED_EVENTS = 5719
+PINNED_DIGEST = "2f1b955793b10d8646854d011edf6e18268c5cc78b07a1db2ac4ac3ac5e270d8"
 
 
 class TestDigestPin:

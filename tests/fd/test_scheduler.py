@@ -1,9 +1,9 @@
-"""Unit tests for the heartbeat sender."""
+"""Unit tests for the node-level ALIVE batcher."""
 
 import pytest
 
-from repro.fd.scheduler import HeartbeatSender
-from repro.net.message import AliveMessage
+from repro.fd.scheduler import AliveBatcher
+from repro.net.message import AliveCell, BatchFrame
 from repro.net.network import Network, NetworkConfig
 
 
@@ -13,16 +13,28 @@ def network(sim, rng):
     return net
 
 
-def make_sender(sim, network, rng, interval=0.25):
-    return HeartbeatSender(
+class FakeSource:
+    """A scripted cell source for one group (no suppression: every round)."""
+
+    def __init__(self, group, dests, acc_time=0.0):
+        self.group = group
+        self.dests = list(dests)
+        self.acc_time = acc_time
+
+    def dest_nodes(self):
+        return tuple(self.dests)
+
+    def emit_cells(self):
+        for dest in self.dests:
+            yield dest, AliveCell(group=self.group, pid=0, acc_time=self.acc_time)
+
+
+def make_batcher(sim, network, rng):
+    return AliveBatcher(
         scheduler=sim,
         transport=network,
         node_id=0,
-        group=1,
-        pid=0,
-        default_interval=interval,
-        payload_fn=lambda: AliveMessage(sender_node=0, dest_node=0, acc_time=1.5),
-        rng=rng.stream("sender"),
+        rng=rng.stream("batcher"),
     )
 
 
@@ -33,123 +45,173 @@ def collect(network, node_id):
 
 
 class TestEmission:
-    def test_sends_to_all_destinations_each_period(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+    def test_sends_one_frame_per_destination_each_period(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
         boxes = {n: collect(network, n) for n in (1, 2, 3)}
-        sender.set_destinations({1: 1, 2: 2, 3: 3})
-        sender.start()
+        batcher.add_group(1, FakeSource(1, [1, 2, 3]), eta=0.25)
+        batcher.set_active(1, True)
         sim.run_until(10.0)
         for box in boxes.values():
             assert 38 <= len(box) <= 41  # ~10 s / 0.25 s
 
+    def test_many_groups_share_one_frame(self, sim, network, rng):
+        """The scale-out property: frames per period are O(node pairs),
+        however many groups are hosted."""
+        batcher = make_batcher(sim, network, rng)
+        box = collect(network, 1)
+        for group in range(1, 9):
+            batcher.add_group(group, FakeSource(group, [1]), eta=0.25)
+            batcher.set_active(group, True)
+        sim.run_until(10.0)
+        assert 38 <= len(box) <= 50  # still one frame per period (+ flushes)
+        steady = box[-1]
+        assert isinstance(steady, BatchFrame)
+        assert [cell.group for cell in steady.cells] == list(range(1, 9))
+
     def test_emissions_to_all_destinations_are_simultaneous(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+        batcher = make_batcher(sim, network, rng)
         send_times = {1: [], 2: []}
         network.node(1).set_receiver(lambda m: send_times[1].append(m.send_time))
         network.node(2).set_receiver(lambda m: send_times[2].append(m.send_time))
-        sender.set_destinations({1: 1, 2: 2})
-        sender.start()
+        batcher.add_group(1, FakeSource(1, [1, 2]), eta=0.25)
+        batcher.set_active(1, True)
         sim.run_until(5.0)
         assert send_times[1] == send_times[2]  # one shared schedule
 
     def test_sequences_are_per_destination_and_contiguous(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+        batcher = make_batcher(sim, network, rng)
         box = collect(network, 1)
-        sender.set_destinations({1: 1})
-        sender.start()
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
         sim.run_until(5.0)
         seqs = [m.seq for m in box]
         assert seqs == list(range(len(seqs)))
 
     def test_payload_fields_stamped(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+        batcher = make_batcher(sim, network, rng)
         box = collect(network, 1)
-        sender.set_destinations({1: 1})
-        sender.start()
+        batcher.add_group(1, FakeSource(1, [1], acc_time=1.5), eta=0.25)
+        batcher.set_active(1, True)
         sim.run_until(1.0)
-        msg = box[0]
-        assert msg.group == 1
-        assert msg.pid == 0
-        assert msg.acc_time == 1.5
-        assert msg.interval == pytest.approx(0.25)
-        assert msg.send_time <= sim.now
+        frame = box[0]
+        assert frame.sender_node == 0
+        assert frame.interval == pytest.approx(0.25)
+        assert frame.send_time <= sim.now
+        (cell,) = frame.cells
+        assert cell.group == 1
+        assert cell.pid == 0
+        assert cell.acc_time == 1.5
 
 
 class TestSilence:
-    def test_stop_freezes_sequences(self, sim, network, rng):
+    def test_all_groups_silent_freezes_sequences(self, sim, network, rng):
         """Voluntary silence must not look like loss: sequences pause."""
-        sender = make_sender(sim, network, rng)
+        batcher = make_batcher(sim, network, rng)
         box = collect(network, 1)
-        sender.set_destinations({1: 1})
-        sender.start()
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
         sim.run_until(2.0)
-        sender.stop()
+        batcher.set_active(1, False)
         sim.run_until(6.0)
-        sender.start()
+        batcher.set_active(1, True)
         sim.run_until(8.0)
         seqs = [m.seq for m in box]
         assert seqs == list(range(len(seqs)))  # contiguous across the pause
 
-    def test_stop_start_idempotent(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
-        sender.set_destinations({1: 1})
-        sender.start()
-        sender.start()
-        sender.stop()
-        sender.stop()
-        assert not sender.active
+    def test_resume_emits_immediately(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
+        box = collect(network, 1)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
+        sim.run_until(2.0)
+        batcher.set_active(1, False)
+        sim.run_until(6.0)
+        count = len(box)
+        batcher.set_active(1, True)
+        sim.run_until(6.1)  # just the link delay: no full period elapses
+        assert len(box) == count + 1
+
+    def test_newly_active_group_joins_running_stream_immediately(
+        self, sim, network, rng
+    ):
+        batcher = make_batcher(sim, network, rng)
+        box = collect(network, 1)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
+        sim.run_until(2.0)
+        batcher.add_group(2, FakeSource(2, [1]), eta=0.25)
+        batcher.set_active(2, True)
+        sim.run_until(2.1)  # just the link delay of the activation flush
+        assert {cell.group for cell in box[-1].cells} == {1, 2}
+
+    def test_set_active_idempotent(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
+        batcher.set_active(1, True)
+        batcher.set_active(1, False)
+        batcher.set_active(1, False)
+        assert not batcher.active
 
 
 class TestRates:
-    def test_fastest_requested_rate_wins(self, sim, network, rng):
-        sender = make_sender(sim, network, rng, interval=0.5)
-        sender.set_destinations({1: 1, 2: 2})
-        sender.set_interval(1, 0.1)
-        sender.set_interval(2, 0.4)
-        assert sender.interval() == pytest.approx(0.1)
+    def test_fastest_rate_wins_across_groups_and_peers(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.5)
+        batcher.add_group(2, FakeSource(2, [1]), eta=0.3)
+        batcher.set_active(1, True)
+        batcher.set_active(2, True)
+        assert batcher.interval() == pytest.approx(0.3)
+        batcher.set_requested(1, 0.1)
+        assert batcher.interval() == pytest.approx(0.1)
+
+    def test_silent_group_does_not_force_its_rate(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.5)
+        batcher.add_group(2, FakeSource(2, [1]), eta=0.05)
+        batcher.set_active(1, True)
+        assert batcher.interval() == pytest.approx(0.5)
 
     def test_negotiated_slower_rate_honoured(self, sim, network, rng):
-        sender = make_sender(sim, network, rng, interval=0.5)
-        sender.set_destinations({1: 1})
-        sender.set_interval(1, 2.0)
-        assert sender.interval() == pytest.approx(2.0)
-
-    def test_bootstrap_until_first_request(self, sim, network, rng):
-        sender = make_sender(sim, network, rng, interval=0.5)
-        sender.set_destinations({1: 1})
-        assert sender.interval() == pytest.approx(0.5)
+        """Once peers negotiate, the bootstrap period stops being a floor."""
+        batcher = make_batcher(sim, network, rng)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.5)
+        batcher.set_active(1, True)
+        batcher.set_requested(1, 2.0)
+        assert batcher.interval() == pytest.approx(2.0)
 
     def test_rejects_nonpositive_interval(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+        batcher = make_batcher(sim, network, rng)
         with pytest.raises(ValueError):
-            sender.set_interval(1, 0.0)
+            batcher.set_requested(1, 0.0)
 
-    def test_departed_destination_rate_forgotten(self, sim, network, rng):
-        sender = make_sender(sim, network, rng, interval=0.5)
-        sender.set_destinations({1: 1})
-        sender.set_interval(1, 0.05)
-        sender.set_destinations({})
-        assert sender.interval() == pytest.approx(0.5)
+    def test_forgotten_peer_rate_dropped(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.5)
+        batcher.set_active(1, True)
+        batcher.set_requested(1, 0.05)
+        batcher.forget_node(1)
+        assert batcher.interval() == pytest.approx(0.5)
 
 
-class TestDestinations:
-    def test_destination_removal_stops_traffic(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+class TestLifecycle:
+    def test_removed_group_stops_contributing(self, sim, network, rng):
+        batcher = make_batcher(sim, network, rng)
         box = collect(network, 1)
-        sender.set_destinations({1: 1})
-        sender.start()
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
         sim.run_until(2.0)
         count = len(box)
-        sender.set_destinations({})
+        batcher.remove_group(1)
         sim.run_until(5.0)
         assert len(box) == count
 
     def test_shutdown_clears_everything(self, sim, network, rng):
-        sender = make_sender(sim, network, rng)
+        batcher = make_batcher(sim, network, rng)
         box = collect(network, 1)
-        sender.set_destinations({1: 1})
-        sender.start()
-        sender.shutdown()
+        batcher.add_group(1, FakeSource(1, [1]), eta=0.25)
+        batcher.set_active(1, True)
+        batcher.shutdown()
         sim.run_until(5.0)
         assert box == []
-        assert not sender.active
+        assert not batcher.active

@@ -7,7 +7,7 @@ vs linear scaling of the two algorithms.
 
 from repro.experiments.runner import build_system
 from repro.experiments.scenario import ExperimentConfig
-from repro.net.message import AliveMessage
+from repro.net.message import BatchFrame
 
 
 def run_and_count_alives(algorithm, n, seed=5, measure=(30.0, 60.0)):
@@ -26,7 +26,7 @@ def run_and_count_alives(algorithm, n, seed=5, measure=(30.0, 60.0)):
     original_send = system.network.send
 
     def counting_send(message):
-        if isinstance(message, AliveMessage) and message.send_time >= measure[0]:
+        if isinstance(message, BatchFrame) and message.send_time >= measure[0]:
             counts[message.sender_node] += 1
         original_send(message)
 

@@ -31,11 +31,11 @@ class TestRateNegotiation:
         0.25 s; the sender must end up using the negotiated interval."""
         config, system = build()
         system.sim.run_until(120.0)
-        runtime = system.hosts[0].service.group_runtime(1)
-        interval = runtime.sender.interval()
+        service = system.hosts[0].service
+        interval = service.batcher.interval()
         assert interval > 0.26  # relaxed beyond the bootstrap period
         # And the detection budget is still respected end to end:
-        for monitor in runtime.monitors.values():
+        for monitor in service.plane.monitors.values():
             assert interval + monitor.delta <= config.qos.detection_time * 1.25
 
     def test_rates_tighten_on_lossy_links(self):
@@ -43,8 +43,8 @@ class TestRateNegotiation:
         lan.sim.run_until(120.0)
         _, lossy = build(seed=5, link_delay_mean=0.1, link_loss_prob=0.1)
         lossy.sim.run_until(120.0)
-        lan_eta = lan.hosts[0].service.group_runtime(1).sender.interval()
-        lossy_eta = lossy.hosts[0].service.group_runtime(1).sender.interval()
+        lan_eta = lan.hosts[0].service.batcher.interval()
+        lossy_eta = lossy.hosts[0].service.batcher.interval()
         assert lossy_eta < lan_eta
 
     def test_tighter_qos_means_faster_heartbeats(self):
@@ -52,16 +52,15 @@ class TestRateNegotiation:
         slow.sim.run_until(120.0)
         _, fast = build(seed=5, qos=FDQoS(detection_time=0.25))
         fast.sim.run_until(120.0)
-        slow_eta = slow.hosts[0].service.group_runtime(1).sender.interval()
-        fast_eta = fast.hosts[0].service.group_runtime(1).sender.interval()
+        slow_eta = slow.hosts[0].service.batcher.interval()
+        fast_eta = fast.hosts[0].service.batcher.interval()
         assert fast_eta < slow_eta / 2
 
     def test_monitor_deltas_track_estimates(self):
         """δ must end up near T_D^U − η once the estimator warms up."""
         config, system = build()
         system.sim.run_until(120.0)
-        runtime = system.hosts[0].service.group_runtime(1)
-        for monitor in runtime.monitors.values():
+        for monitor in system.hosts[0].service.plane.monitors.values():
             assert monitor.delta + monitor.desired_eta == pytest.approx(
                 config.qos.detection_time, rel=0.02
             )
@@ -114,9 +113,24 @@ class TestNfdeVariant:
         assert metrics.recovery_samples[0].duration < 2.5
 
     def test_unknown_variant_rejected(self):
-        config, system = build()
-        system.sim.run_until(5.0)
-        service = system.hosts[0].service
-        object.__setattr__(service.config, "fd_variant", "bogus")
+        """Even a config whose eager validation was bypassed cannot reach
+        monitor creation: the daemon resolves the variant at boot."""
+        from repro.core.service import LeaderElectionService
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngRegistry
+        from repro.net.network import Network, NetworkConfig
+
+        sim = Simulator()
+        rng = RngRegistry(1)
+        network = Network(sim, NetworkConfig(n_nodes=2), rng)
+        config = ServiceConfig()
+        object.__setattr__(config, "fd_variant", "bogus")
         with pytest.raises(ValueError, match="fd_variant"):
-            service.group_runtime(1)._create_monitor(99)
+            LeaderElectionService(
+                scheduler=sim,
+                transport=network,
+                node=network.node(0),
+                peer_nodes=(0, 1),
+                config=config,
+                rng=rng,
+            )

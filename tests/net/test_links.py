@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.links import Link, LinkConfig
-from repro.net.message import AliveMessage
+from repro.net.message import BatchFrame
 
 
 def make_link(sim, rng, **kwargs):
@@ -12,7 +12,7 @@ def make_link(sim, rng, **kwargs):
 
 
 def make_message():
-    return AliveMessage(sender_node=0, dest_node=1)
+    return BatchFrame(sender_node=0, dest_node=1)
 
 
 class TestLinkConfig:

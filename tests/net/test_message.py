@@ -3,10 +3,12 @@
 import pytest
 
 from repro.net.message import (
+    SHARED_USAGE_KEY,
     WIRE_OVERHEAD_BYTES,
     AccEntry,
     AccuseMessage,
-    AliveMessage,
+    AliveCell,
+    BatchFrame,
     HelloMessage,
     MemberInfo,
     Message,
@@ -25,30 +27,47 @@ def member(pid, node=0, incarnation=1, candidate=True, present=True, joined=0.0)
     )
 
 
+def cell(group=1, pid=0, delta=()):
+    return AliveCell(group=group, pid=pid, delta=tuple(delta))
+
+
 class TestWireSizes:
     def test_base_message_is_abstract(self):
         with pytest.raises(NotImplementedError):
             Message(sender_node=0, dest_node=1).payload_bytes()
 
-    def test_alive_base_size(self):
-        msg = AliveMessage(sender_node=0, dest_node=1)
-        assert msg.payload_bytes() == AliveMessage._BASE_BYTES
-        assert msg.wire_bytes() == WIRE_OVERHEAD_BYTES + AliveMessage._BASE_BYTES
+    def test_empty_frame_base_size(self):
+        msg = BatchFrame(sender_node=0, dest_node=1)
+        assert msg.payload_bytes() == BatchFrame._BASE_BYTES
+        assert msg.wire_bytes() == WIRE_OVERHEAD_BYTES + BatchFrame._BASE_BYTES
 
-    def test_alive_grows_with_membership(self):
-        small = AliveMessage(sender_node=0, dest_node=1, members=(member(1),))
-        large = AliveMessage(
-            sender_node=0, dest_node=1, members=tuple(member(i) for i in range(12))
+    def test_frame_grows_per_cell_not_per_member(self):
+        """Steady-state cells carry no membership: frame size is the header
+        plus one fixed-size cell per group, however large the groups are."""
+        one = BatchFrame(sender_node=0, dest_node=1, cells=(cell(group=1),))
+        many = BatchFrame(
+            sender_node=0, dest_node=1, cells=tuple(cell(group=g) for g in range(1, 9))
         )
-        assert large.wire_bytes() - small.wire_bytes() == 11 * 16
+        assert many.wire_bytes() - one.wire_bytes() == 7 * AliveCell._BASE_BYTES
 
-    def test_alive_12_member_size_matches_paper_scale(self):
-        """The paper's worst-case traffic implies ~300 B ALIVEs; ours land
-        in that band with a 12-member group."""
-        msg = AliveMessage(
-            sender_node=0, dest_node=1, members=tuple(member(i) for i in range(12))
+    def test_cell_grows_with_delta(self):
+        empty = cell()
+        with_delta = cell(delta=(member(1), member(2)))
+        assert with_delta.payload_bytes() == empty.payload_bytes() + 2 * 16
+
+    def test_steady_state_frame_beats_per_group_alives(self):
+        """The scale-out's point: 64 groups in one frame cost far less than
+        64 standalone packets (each of which would repay the 46-byte packet
+        overhead and carry full membership)."""
+        frame = BatchFrame(
+            sender_node=0,
+            dest_node=1,
+            cells=tuple(cell(group=g) for g in range(64)),
         )
-        assert 250 <= msg.wire_bytes() <= 350
+        per_group_layout = 64 * (
+            WIRE_OVERHEAD_BYTES + AliveCell._BASE_BYTES + 12 * 16
+        )
+        assert frame.wire_bytes() < per_group_layout / 2
 
     def test_hello_size_components(self):
         base = HelloMessage(sender_node=0, dest_node=1).payload_bytes()
@@ -79,10 +98,38 @@ class TestWireSizes:
         assert msg.payload_bytes() == 24
 
     def test_rate_request_fixed_size(self):
-        msg = RateRequestMessage(
-            sender_node=0, dest_node=1, group=1, pid=2, target_pid=3, interval=0.25
+        msg = RateRequestMessage(sender_node=0, dest_node=1, interval=0.25)
+        assert msg.payload_bytes() == 12
+
+
+class TestGroupShares:
+    def test_group_scoped_message_charges_its_group(self):
+        msg = HelloMessage(sender_node=0, dest_node=1, group=7)
+        assert msg.group_shares() == {7: msg.wire_bytes()}
+
+    def test_rate_request_is_shared_fd_traffic(self):
+        msg = RateRequestMessage(sender_node=0, dest_node=1)
+        assert msg.group_shares() == {SHARED_USAGE_KEY: msg.wire_bytes()}
+
+    def test_frame_shares_sum_to_wire_bytes(self):
+        frame = BatchFrame(
+            sender_node=0,
+            dest_node=1,
+            cells=(cell(group=1), cell(group=2, delta=(member(5),)), cell(group=3)),
         )
-        assert msg.payload_bytes() == 20
+        shares = frame.group_shares()
+        assert sum(shares.values()) == frame.wire_bytes()
+        assert set(shares) <= {1, 2, 3, SHARED_USAGE_KEY}
+        # The delta-carrying cell pays for its own extra bytes.
+        assert shares[2] > shares[1] == shares[3]
+
+    def test_cellless_frame_is_shared(self):
+        frame = BatchFrame(sender_node=0, dest_node=1)
+        assert frame.group_shares() == {SHARED_USAGE_KEY: frame.wire_bytes()}
+
+    def test_wire_shares_memoized(self):
+        frame = BatchFrame(sender_node=0, dest_node=1, cells=(cell(),))
+        assert frame.wire_shares() is frame.wire_shares()
 
 
 class TestMemberInfo:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.links import LinkConfig
-from repro.net.message import AliveMessage
+from repro.net.message import BatchFrame
 from repro.net.network import Network, NetworkConfig
 
 
@@ -13,7 +13,7 @@ def network(sim, rng):
 
 
 def alive(src, dst):
-    return AliveMessage(sender_node=src, dest_node=dst)
+    return BatchFrame(sender_node=src, dest_node=dst)
 
 
 class TestTopology:

@@ -1,6 +1,6 @@
 """Unit tests for the workstation (Node) lifecycle."""
 
-from repro.net.message import AliveMessage
+from repro.net.message import BatchFrame
 from repro.net.node import Node
 
 
@@ -64,12 +64,12 @@ class TestNodeLifecycle:
         node.set_receiver(received.append)
         node.crash()
         node.recover()
-        node.deliver(AliveMessage(sender_node=0, dest_node=3))
+        node.deliver(BatchFrame(sender_node=0, dest_node=3))
         assert received == []  # receiver must be re-installed after reboot
 
     def test_deliver_while_down_is_dropped_silently(self, sim):
         node = Node(sim, 3)
         node.set_receiver(lambda m: None)
         node.crash()
-        node.deliver(AliveMessage(sender_node=0, dest_node=3))
+        node.deliver(BatchFrame(sender_node=0, dest_node=3))
         assert node.meter.messages_received == 0

@@ -34,10 +34,17 @@ class TestLiveNodeConfig:
 
 class TestLineProtocol:
     def test_parse_leader_line(self):
-        assert _parse_leader("LEADER node=2 leader=0 t=17.5") == (2, 0)
+        assert _parse_leader("LEADER node=2 group=3 leader=0 t=17.5") == (2, 3, 0)
 
     def test_parse_none_leader(self):
-        assert _parse_leader("LEADER node=1 leader=none t=3.25") == (1, None)
+        assert _parse_leader("LEADER node=1 group=2 leader=none t=3.25") == (
+            1,
+            2,
+            None,
+        )
+
+    def test_groupless_line_defaults_to_group_one(self):
+        assert _parse_leader("LEADER node=2 leader=0 t=17.5") == (2, 1, 0)
 
     @pytest.mark.parametrize(
         "line",
@@ -57,30 +64,50 @@ class TestLineProtocol:
 class TestLeaderBoard:
     def test_agreement_requires_every_alive_node(self):
         board = _LeaderBoard()
-        board.record(0, 2)
-        board.record(1, 2)
-        assert board.agreed_leader([0, 1, 2]) is None  # node 2 silent so far
-        board.record(2, 2)
-        assert board.agreed_leader([0, 1, 2]) == 2
+        board.record(0, 1, 2)
+        board.record(1, 1, 2)
+        assert board.agreed_leader(1, [0, 1, 2]) is None  # node 2 silent
+        board.record(2, 1, 2)
+        assert board.agreed_leader(1, [0, 1, 2]) == 2
 
     def test_split_views_are_not_agreement(self):
         board = _LeaderBoard()
-        board.record(0, 0)
-        board.record(1, 1)
-        assert board.agreed_leader([0, 1]) is None
+        board.record(0, 1, 0)
+        board.record(1, 1, 1)
+        assert board.agreed_leader(1, [0, 1]) is None
 
     def test_agreeing_on_none_is_not_agreement(self):
         board = _LeaderBoard()
-        board.record(0, None)
-        board.record(1, None)
-        assert board.agreed_leader([0, 1]) is None
+        board.record(0, 1, None)
+        board.record(1, 1, None)
+        assert board.agreed_leader(1, [0, 1]) is None
 
     def test_agreeing_on_a_dead_node_is_not_agreement(self):
         """Survivors still pointing at the killed leader must not count."""
         board = _LeaderBoard()
-        board.record(0, 2)
-        board.record(1, 2)
-        assert board.agreed_leader([0, 1]) is None  # 2 is not alive
+        board.record(0, 1, 2)
+        board.record(1, 1, 2)
+        assert board.agreed_leader(1, [0, 1]) is None  # 2 is not alive
+
+    def test_groups_are_tracked_independently(self):
+        board = _LeaderBoard()
+        board.record(0, 1, 2)
+        board.record(1, 1, 2)
+        board.record(2, 1, 2)
+        board.record(0, 2, 0)
+        board.record(1, 2, 0)
+        board.record(2, 2, 0)
+        assert board.agreed_leader(1, [0, 1, 2]) == 2
+        assert board.agreed_leader(2, [0, 1, 2]) == 0
+
+    def test_drop_node_forgets_all_its_views(self):
+        board = _LeaderBoard()
+        board.record(0, 1, 0)
+        board.record(0, 2, 0)
+        board.record(1, 1, 0)
+        board.drop_node(0)
+        assert board.agreed_leader(1, [1]) is None  # 0 is not alive anyway
+        assert (1, 0) not in board.views and (2, 0) not in board.views
 
 
 class TestPortReservation:

@@ -7,7 +7,8 @@ import pytest
 from repro.net.message import (
     AccEntry,
     AccuseMessage,
-    AliveMessage,
+    AliveCell,
+    BatchFrame,
     HelloMessage,
     MemberInfo,
     Message,
@@ -38,27 +39,36 @@ ACC_TABLE = (
 #: optionals present and absent, empty and non-empty collections, extreme
 #: integer values, every HELLO kind.
 ROUND_TRIP_CASES = [
-    AliveMessage(sender_node=0, dest_node=1),
-    AliveMessage(
-        sender_node=3, dest_node=11, group=1, pid=5, seq=2**40,
-        send_time=1.75e9, interval=0.25, acc_time=123.5, phase=7,
-        local_leader=2, local_leader_acc=99.125, members=MEMBERS,
+    BatchFrame(sender_node=0, dest_node=1),
+    BatchFrame(
+        sender_node=3, dest_node=11, seq=2**40, send_time=1.75e9, interval=0.25,
+        cells=(
+            AliveCell(
+                group=1, pid=5, acc_time=123.5, phase=7, local_leader=2,
+                local_leader_acc=99.125, delta=MEMBERS,
+                view_version=2**31, view_digest=2**63 + 17,
+            ),
+            AliveCell(group=2, pid=5),
+        ),
     ),
-    AliveMessage(  # leader present, acc absent: None must survive (Ω_lc
-        sender_node=1, dest_node=2, local_leader=4, local_leader_acc=None,
+    BatchFrame(  # leader present, acc absent: None must survive (Ω_lc
+        sender_node=1, dest_node=2,
+        cells=(AliveCell(group=1, pid=0, local_leader=4, local_leader_acc=None),),
     ),  # distinguishes a missing acc from acc 0.0
     HelloMessage(sender_node=0, dest_node=1),
-    HelloMessage(sender_node=2, dest_node=3, group=9, kind="join", members=MEMBERS),
+    HelloMessage(sender_node=2, dest_node=3, group=9, kind="join", members=MEMBERS,
+                 view_version=12, view_digest=2**64 - 1),
     HelloMessage(
         sender_node=4, dest_node=5, group=1, kind="reply", members=MEMBERS,
         leader_hint=AccEntry(pid=3, acc_time=55.5, phase=1),
         acc_table=ACC_TABLE, trusted=(0, 5, 2**31 - 1),
     ),
     HelloMessage(sender_node=6, dest_node=7, kind="gossip", trusted=(1,)),
+    HelloMessage(sender_node=8, dest_node=9, group=2, kind="sync", members=MEMBERS,
+                 view_version=3, view_digest=0xDEADBEEF),
     AccuseMessage(sender_node=1, dest_node=2, group=3, accuser=4,
                   accused=5, accused_phase=6),
-    RateRequestMessage(sender_node=9, dest_node=8, group=7, pid=6,
-                       target_pid=5, interval=0.0625),
+    RateRequestMessage(sender_node=9, dest_node=8, interval=0.0625),
 ]
 
 
@@ -76,7 +86,14 @@ class TestRoundTrip:
     @pytest.mark.parametrize("message", ROUND_TRIP_CASES, ids=_case_id)
     def test_collections_decode_as_tuples(self, message):
         decoded = decode_message(encode_message(message))
-        if isinstance(decoded, (AliveMessage, HelloMessage)):
+        if isinstance(decoded, BatchFrame):
+            assert isinstance(decoded.cells, tuple)
+            for cell in decoded.cells:
+                assert isinstance(cell, AliveCell)
+                assert isinstance(cell.delta, tuple)
+                for member in cell.delta:
+                    assert isinstance(member, MemberInfo)
+        if isinstance(decoded, HelloMessage):
             assert isinstance(decoded.members, tuple)
             for member in decoded.members:
                 assert isinstance(member, MemberInfo)
@@ -86,7 +103,7 @@ class TestRoundTrip:
 
     def test_every_message_subclass_is_covered(self):
         covered = {type(m) for m in ROUND_TRIP_CASES}
-        assert {AliveMessage, HelloMessage, AccuseMessage, RateRequestMessage} == covered
+        assert {BatchFrame, HelloMessage, AccuseMessage, RateRequestMessage} == covered
 
     def test_frames_are_deterministic(self):
         for message in ROUND_TRIP_CASES:
@@ -147,13 +164,18 @@ class TestRejection:
         with pytest.raises(CodecError, match="large"):
             decode_message(bytes(frame))
 
-    def test_member_count_beyond_body_is_rejected(self):
-        # Declare 500 members but carry none: the count field lies.
-        message = AliveMessage(sender_node=0, dest_node=1)
+    def test_cell_count_beyond_body_is_rejected(self):
+        # Declare 500 cells but carry none: the count field lies.
+        message = BatchFrame(sender_node=0, dest_node=1)
         frame = bytearray(encode_message(message))
         struct.pack_into("!H", frame, len(frame) - 2, 500)
         with pytest.raises(CodecError, match="truncated"):
             decode_message(bytes(frame))
+
+    def test_out_of_range_view_digest_is_rejected_on_encode(self):
+        message = HelloMessage(sender_node=0, dest_node=1, view_digest=2**64)
+        with pytest.raises(CodecError, match="digest"):
+            encode_message(message)
 
     def test_unknown_hello_kind_is_rejected_on_encode(self):
         message = HelloMessage(sender_node=0, dest_node=1, kind="mystery")

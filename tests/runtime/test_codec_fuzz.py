@@ -22,7 +22,8 @@ from hypothesis import strategies as st
 from repro.net.message import (
     AccEntry,
     AccuseMessage,
-    AliveMessage,
+    AliveCell,
+    BatchFrame,
     HelloMessage,
     MemberInfo,
     RateRequestMessage,
@@ -46,20 +47,30 @@ members = st.builds(
 
 acc_entries = st.builds(AccEntry, pid=I32, acc_time=F64, phase=I32)
 
-alive_messages = st.builds(
-    AliveMessage,
-    sender_node=I32,
-    dest_node=I32,
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+U64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+cells = st.builds(
+    AliveCell,
     group=I32,
     pid=I32,
-    seq=I64,
-    send_time=F64,
-    interval=F64,
     acc_time=F64,
     phase=I32,
     local_leader=st.none() | I32,
     local_leader_acc=st.none() | F64,
-    members=st.lists(members, max_size=8).map(tuple),
+    delta=st.lists(members, max_size=8).map(tuple),
+    view_version=U32,
+    view_digest=U64,
+)
+
+batch_frames = st.builds(
+    BatchFrame,
+    sender_node=I32,
+    dest_node=I32,
+    seq=I64,
+    send_time=F64,
+    interval=F64,
+    cells=st.lists(cells, max_size=6).map(tuple),
 )
 
 hello_messages = st.builds(
@@ -67,8 +78,10 @@ hello_messages = st.builds(
     sender_node=I32,
     dest_node=I32,
     group=I32,
-    kind=st.sampled_from(("gossip", "join", "reply")),
+    kind=st.sampled_from(("gossip", "join", "reply", "sync")),
     members=st.lists(members, max_size=8).map(tuple),
+    view_version=U32,
+    view_digest=U64,
     leader_hint=st.none() | acc_entries,
     acc_table=st.lists(acc_entries, max_size=8).map(tuple),
     trusted=st.lists(I32, max_size=8).map(tuple),
@@ -88,14 +101,11 @@ rate_messages = st.builds(
     RateRequestMessage,
     sender_node=I32,
     dest_node=I32,
-    group=I32,
-    pid=I32,
-    target_pid=I32,
     interval=F64,
 )
 
 any_message = st.one_of(
-    alive_messages, hello_messages, accuse_messages, rate_messages
+    batch_frames, hello_messages, accuse_messages, rate_messages
 )
 
 

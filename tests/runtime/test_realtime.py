@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro.net.message import AccuseMessage, AliveMessage, MemberInfo
+from repro.net.message import AccuseMessage, AliveCell, BatchFrame, MemberInfo
 from repro.runtime.realtime import RealtimeScheduler, UdpTransport
 
 
@@ -106,10 +106,14 @@ class TestUdpTransport:
         async def main():
             t0, t1, inboxes = await _open_pair()
             try:
-                message = AliveMessage(
-                    sender_node=0, dest_node=1, group=1, pid=0, seq=3,
+                message = BatchFrame(
+                    sender_node=0, dest_node=1, seq=3,
                     send_time=123.5, interval=0.25,
-                    members=(MemberInfo(0, 0, 1, True, True, 1.0),),
+                    cells=(AliveCell(
+                        group=1, pid=0,
+                        delta=(MemberInfo(0, 0, 1, True, True, 1.0),),
+                        view_version=1, view_digest=42,
+                    ),),
                 )
                 t0.send(message)
                 assert await _wait_for(lambda: len(inboxes[1]) == 1)
