@@ -18,6 +18,11 @@ throughput on three *headline cells* that bracket the hot paths:
   bytes/sec must stay near-flat in the group count (batched frames +
   change-triggered cells + delta gossip), which is what the cell's
   wire-bytes metric pins against the committed baseline.
+* ``lease_load`` — the lease tier under load: the paper's 12-node group
+  with **1000 lease clients** contending on 250 locks through the
+  leader's grant/renew/release path.  Pins the cost of the service tier
+  (request routing, fencing-token issue, ledger gossip) and its on-wire
+  footprint against the baseline.
 
 Four measurements per cell:
 
@@ -69,8 +74,16 @@ REPEATS = {"full": 5, "quick": 3}
 #: Per-cell horizon overrides: the 64-group cell processes ~64 cells per
 #: delivered frame, so a shorter horizon keeps its wall clock in line with
 #: the other cells while still covering hundreds of emission periods.
-CELL_DURATIONS = {"many_groups": {"full": 60.0, "quick": 30.0}}
-CELL_REPEATS = {"many_groups": {"full": 3, "quick": 2}}
+CELL_DURATIONS = {
+    "many_groups": {"full": 60.0, "quick": 30.0},
+    # 1000 clients cycle acquire→hold→release every few virtual seconds,
+    # so even a short horizon covers tens of thousands of grants.
+    "lease_load": {"full": 60.0, "quick": 30.0},
+}
+CELL_REPEATS = {
+    "many_groups": {"full": 3, "quick": 2},
+    "lease_load": {"full": 3, "quick": 2},
+}
 
 
 def _cell(name: str, **kw) -> Callable[[float], ExperimentConfig]:
@@ -107,6 +120,14 @@ CORE_CELLS: Dict[str, Callable[[float], ExperimentConfig]] = {
         n_groups=64,
         seed=202,
         node_churn=False,
+    ),
+    "lease_load": _cell(
+        "lease_load",
+        algorithm="omega_lc",
+        n_nodes=12,
+        seed=303,
+        node_churn=False,
+        n_lease_clients=1000,
     ),
 }
 

@@ -42,7 +42,7 @@ def build(candidate_pids, seed=31):
     trace = TraceRecorder()
     cache = ConfiguratorCache()
     config = ServiceConfig(algorithm="omega_lc")
-    apps = []
+    handles = []
     for node_id in range(N_NODES):
         host = ServiceHost(
             scheduler=sim,
@@ -55,15 +55,15 @@ def build(candidate_pids, seed=31):
             configurator_cache=cache,
         )
         app = Application(pid=node_id)
-        app.join(GROUP, candidate=node_id in candidate_pids)
+        handle = app.join(GROUP, candidate=node_id in candidate_pids)
         host.add_application(app)
         host.start()
-        apps.append(app)
-    return sim, network, apps
+        handles.append(handle)
+    return sim, network, handles
 
 
 def measure_traffic(candidate_pids, seconds=60.0):
-    sim, network, apps = build(candidate_pids)
+    sim, network, handles = build(candidate_pids)
     sim.run_until(30.0)  # warm up, then reset the meters
     for node in network.nodes.values():
         node.meter.bytes_sent = node.meter.bytes_received = 0
@@ -71,7 +71,7 @@ def measure_traffic(candidate_pids, seconds=60.0):
     total_kb_s = sum(
         (n.meter.bytes_sent + n.meter.bytes_received) for n in network.nodes.values()
     ) / (seconds * 1000.0)
-    leader = apps[-1].leader(GROUP)
+    leader = handles[-1].leader()
     return total_kb_s, leader
 
 
@@ -87,14 +87,14 @@ def main():
     print(f"\nWith 3 candidates the leader is {leader} and 9 passive listeners follow.")
     print("Now killing candidates one by one (t = 2 failures tolerated):\n")
 
-    sim, network, apps = build(set(CANDIDATES))
+    sim, network, handles = build(set(CANDIDATES))
     sim.run_until(10.0)
-    passive_observer = apps[-1]
+    passive_observer = handles[-1]
     for round_number, victim in enumerate(CANDIDATES[:2], start=1):
-        leader_before = passive_observer.leader(GROUP)
+        leader_before = passive_observer.leader()
         network.node(victim).crash()
         sim.run_until(sim.now + 5.0)
-        leader_after = passive_observer.leader(GROUP)
+        leader_after = passive_observer.leader()
         print(
             f"  round {round_number}: killed candidate {victim}; leader "
             f"{leader_before} -> {leader_after}"
@@ -102,10 +102,10 @@ def main():
         assert leader_after is not None
         assert leader_after in CANDIDATES
     surviving = [c for c in CANDIDATES if network.nodes[c].up]
-    final = passive_observer.leader(GROUP)
+    final = passive_observer.leader()
     print(f"\nSurviving candidate set: {surviving}; final leader: {final}")
     assert final in surviving
-    views = {a.leader(GROUP) for a in apps if a.bound}
+    views = {h.leader() for h in handles if h.app.bound}
     assert views == {final}
     print("All passive listeners agree on the last standing candidate.")
 

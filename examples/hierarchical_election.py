@@ -95,11 +95,8 @@ def build(seed=21):
         )
         app = Application(pid=node_id)
         coordinator = HierarchyCoordinator(sim, app)
-        app.join(
-            region_group(region_of(node_id)),
-            candidate=True,
-            on_leader_change=coordinator.on_regional_change,
-        )
+        handle = app.join(region_group(region_of(node_id)), candidate=True)
+        handle.watch_leader(coordinator.on_regional_change)
         host.add_application(app)
         host.start()
         apps.append(app)

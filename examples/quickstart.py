@@ -49,13 +49,13 @@ def build_cluster(algorithm="omega_lc", seed=42):
             configurator_cache=cache,
         )
         app = Application(pid=node_id, name=f"worker-{node_id}")
-        # Interrupt-style notification: the service calls us on changes.
-        app.join(
-            GROUP,
-            candidate=True,
-            on_leader_change=lambda g, leader, pid=node_id: print(
+        # join() returns a first-class handle for the group; subscribe to
+        # interrupt-style notifications through it.
+        handle = app.join(GROUP, candidate=True)
+        handle.watch_leader(
+            lambda g, leader, pid=node_id: print(
                 f"  [{sim.now:8.3f}s] worker-{pid}: leader of group {g} -> {leader}"
-            ),
+            )
         )
         host.add_application(app)
         host.start()
@@ -70,7 +70,7 @@ def main():
 
     print("\n--- group formation ---")
     sim.run_until(3.0)
-    leader = apps[1].leader(GROUP)
+    leader = apps[1].group(GROUP).leader()
     print(f"\nAt t={sim.now:.1f}s every process agrees: leader = worker-{leader}")
 
     print(f"\n--- crashing the leader's workstation (node {leader}) at t=10s ---")
@@ -78,14 +78,14 @@ def main():
     sim.run_until(15.0)
 
     survivors = [a for a in apps if a.pid != leader]
-    new_leader = survivors[0].leader(GROUP)
+    new_leader = survivors[0].group(GROUP).leader()
     print(f"\nAt t={sim.now:.1f}s the group recovered: new leader = worker-{new_leader}")
-    assert all(a.leader(GROUP) == new_leader for a in survivors)
+    assert all(a.group(GROUP).leader() == new_leader for a in survivors)
 
     print(f"\n--- old leader's workstation recovers at t=20s ---")
     sim.schedule_at(20.0, lambda: network.node(leader).recover())
     sim.run_until(30.0)
-    final = {a.leader(GROUP) for a in apps}
+    final = {a.group(GROUP).leader() for a in apps}
     print(
         f"\nAt t={sim.now:.1f}s: leader is still worker-{final.pop()} — "
         "the rejoined process did NOT demote the incumbent (stability!)"

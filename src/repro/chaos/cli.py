@@ -56,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--detection-time", type=float, default=None, help="FD QoS bound T_D^U, s"
         )
+        p.add_argument(
+            "--lease-clients",
+            type=int,
+            default=None,
+            help="lease clients contending on the primary group",
+        )
 
     fuzz = sub.add_parser(
         "fuzz", help="run N seeded random scenarios and check all invariants"
@@ -110,6 +116,8 @@ def _profile_from_args(args: argparse.Namespace) -> FuzzProfile:
         changes["algorithm"] = args.algorithm
     if args.detection_time is not None:
         changes["detection_time"] = args.detection_time
+    if args.lease_clients is not None:
+        changes["n_lease_clients"] = args.lease_clients
     if changes:
         from dataclasses import replace
 
@@ -229,6 +237,7 @@ def _run_script(args: argparse.Namespace) -> int:
             algorithm=profile.algorithm,
             seed=args.seed,
             detection_time=profile.detection_time,
+            n_lease_clients=profile.n_lease_clients,
         )
     except (ValueError, TypeError) as exc:
         print(f"invalid chaos script: {exc}", file=sys.stderr)

@@ -98,6 +98,10 @@ class FuzzProfile:
     max_drop: float = 0.6
     max_jitter: float = 1.0
     max_burst_downtime: float = 5.0
+    #: Lease clients contending on the primary group — every fuzz case
+    #: exercises the lease tier's ``no-double-grant`` safety invariant
+    #: under the generated adversary by default.
+    n_lease_clients: int = 3
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -108,6 +112,10 @@ class FuzzProfile:
             raise ValueError("need 1 <= min_steps <= max_steps")
         if self.settle <= self.hold:
             raise ValueError("settle window must exceed the hold requirement")
+        if self.n_lease_clients < 0:
+            raise ValueError(
+                f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"
+            )
 
 
 #: Step kinds the grammar draws from, with weights.  Transport-level steps
@@ -207,6 +215,7 @@ def config_for_case(
         seed=RngRegistry.derive_seed(seed, "chaos.system"),
         detection_time=profile.detection_time,
         hold=profile.hold,
+        n_lease_clients=profile.n_lease_clients,
     )
 
 
@@ -233,6 +242,7 @@ def _experiment_cell(seed: int, profile: FuzzProfile) -> ExperimentConfig:
         seed=seed,
         node_churn=False,
         qos=FDQoS(detection_time=profile.detection_time),
+        n_lease_clients=profile.n_lease_clients,
     )
 
 
@@ -243,6 +253,7 @@ def fuzz_cell_runner(config: ExperimentConfig) -> Dict[str, Any]:
         n_groups=config.n_groups,
         algorithm=config.algorithm,
         detection_time=config.qos.detection_time,
+        n_lease_clients=config.n_lease_clients,
     )
     result = run_scripted(config_for_case(config.seed, profile))
     record = result.to_dict()
@@ -327,6 +338,8 @@ def replay_command(seed: int, profile: Optional[FuzzProfile] = None) -> str:
             command += f" --algorithm {profile.algorithm}"
         if profile.detection_time != defaults.detection_time:
             command += f" --detection-time {profile.detection_time}"
+        if profile.n_lease_clients != defaults.n_lease_clients:
+            command += f" --lease-clients {profile.n_lease_clients}"
     return command
 
 
@@ -355,15 +368,16 @@ def run_fuzz(
         n_groups=profile.n_groups,
         algorithm=profile.algorithm,
         detection_time=profile.detection_time,
+        n_lease_clients=profile.n_lease_clients,
     ):
-        # Workers rebuild the profile from the three fields that ride on
+        # Workers rebuild the profile from the fields that ride on
         # ExperimentConfig; any other customized knob (grammar sizes,
         # windows, hold) would silently generate *different* scenarios in
         # the workers than the parent shrinks and replays.
         raise ValueError(
             "workers > 1 supports only the CLI-expressible profile knobs "
-            "(n_nodes, n_groups, algorithm, detection_time); run "
-            "custom-grammar profiles with workers=1"
+            "(n_nodes, n_groups, algorithm, detection_time, "
+            "n_lease_clients); run custom-grammar profiles with workers=1"
         )
     seeds = [case_seed(master_seed, index) for index in range(runs)]
     cells = [_experiment_cell(seed, profile) for seed in seeds]

@@ -21,6 +21,14 @@ and the raw event list:
 * **no-flapping** — once stabilized after the heal, leadership never
   changes again (a stable leader that is demoted without cause is exactly
   the paper's "unjustified demotion", λu).
+* **no-double-grant** — the lease tier's safety property: folded from the
+  ``lease`` trace events, no lease is ever held by two different clients
+  with overlapping validities, and the fencing tokens granted for one
+  lease are strictly monotonic — across renewals, releases, leader kills
+  and re-elections.  A small slack absorbs bounded clock drift between
+  leaders (lease events are stamped with the granting leader's local
+  clock, which drifts in chaos builds).
+
 * **leader-validity** — no *alive* process keeps a crashed leader in its
   view longer than ``validity_bound`` seconds past the crash.  Detecting
   a dead leader needs no connectivity at all — a crashed process sends no
@@ -49,6 +57,7 @@ __all__ = [
     "default_validity_bound",
     "check_invariants",
     "check_cross_group_isolation",
+    "check_no_double_grant",
 ]
 
 #: Invariant names, in the order they are checked and reported.
@@ -57,6 +66,7 @@ INVARIANTS = (
     "bounded-reelection",
     "no-flapping",
     "leader-validity",
+    "no-double-grant",
     "cross-group-isolation",
 )
 
@@ -261,11 +271,130 @@ def check_invariants(
         )
     )
 
+    # --- no-double-grant ----------------------------------------------
+    report.violations.extend(check_no_double_grant(events, group=group))
+
     report.violations.sort(key=lambda violation: (violation.time, violation.invariant))
     return report
 
 
 _GROUP_FAULT_TARGET = re.compile(r"group=(-?\d+)")
+
+_LEASE_EVENT = re.compile(
+    r"^(?P<action>grant|renew|release) lease=(?P<lease>\d+) "
+    r"client=(?P<client>-?\d+) token=(?P<token>\d+) expiry=(?P<expiry>\S+)$"
+)
+
+
+@dataclass
+class _Holding:
+    """The latest known holding of one lease, folded from the trace."""
+
+    client: int
+    token: int
+    expiry: float
+
+
+def check_no_double_grant(
+    events: Iterable[TraceEvent],
+    *,
+    group: int,
+    slack: float = 1.0,
+) -> List[Violation]:
+    """The lease tier's safety property, folded from ``lease`` events.
+
+    Two claims, per lease id:
+
+    * **Token monotonicity** — every ``grant`` carries a fencing token
+      strictly above every token previously seen for that lease.  This is
+      what lets downstream resources fence off stale holders, so it must
+      hold across leader kills, re-elections and total gossip loss.
+    * **No overlapping holders** — when a grant hands the lease to a new
+      client, the previous holder's validity (as last extended by its
+      renewals, or truncated by its release) must already be over, up to
+      ``slack`` seconds of inter-leader clock drift (lease events are
+      stamped with the *granting leader's* local clock).
+
+    A ``renew`` that extends a token other than the lease's latest one is
+    flagged too: only a superseded leader still renewing a dead tenure's
+    grant can produce it, and it silently stretches a validity a newer
+    grant believes has ended.
+    """
+    holdings: Dict[int, _Holding] = {}
+    max_token: Dict[int, int] = {}
+    violations: List[Violation] = []
+    lease_events = sorted(
+        (e for e in events if e.kind == "lease" and e.group == group),
+        key=lambda e: e.time,
+    )
+    for event in lease_events:
+        match = _LEASE_EVENT.match(event.label or "")
+        if match is None:
+            continue
+        action = match.group("action")
+        lease = int(match.group("lease"))
+        client = int(match.group("client"))
+        token = int(match.group("token"))
+        expiry = float(match.group("expiry"))
+        time = event.time
+        current = holdings.get(lease)
+        if action == "grant":
+            if token <= max_token.get(lease, 0):
+                violations.append(
+                    Violation(
+                        invariant="no-double-grant",
+                        time=time,
+                        detail=(
+                            f"fencing token regressed on lease {lease}: grant to "
+                            f"client {client} carried token {token} <= previously "
+                            f"seen {max_token[lease]}"
+                        ),
+                    )
+                )
+            if (
+                current is not None
+                and current.client != client
+                and current.expiry > time + slack
+            ):
+                violations.append(
+                    Violation(
+                        invariant="no-double-grant",
+                        time=time,
+                        detail=(
+                            f"lease {lease} granted to client {client} at "
+                            f"t={time:.2f} while client {current.client} "
+                            f"(token {current.token}) was still valid until "
+                            f"t={current.expiry:.2f}"
+                        ),
+                    )
+                )
+            holdings[lease] = _Holding(client=client, token=token, expiry=expiry)
+            max_token[lease] = max(max_token.get(lease, 0), token)
+        elif action == "renew":
+            if current is not None and token == current.token:
+                current.expiry = max(current.expiry, expiry)
+            elif (
+                current is not None
+                and token < current.token
+                and current.client != client
+                and current.expiry > time + slack
+            ):
+                violations.append(
+                    Violation(
+                        invariant="no-double-grant",
+                        time=time,
+                        detail=(
+                            f"stale renew on lease {lease}: client {client} "
+                            f"extended superseded token {token} at t={time:.2f} "
+                            f"while client {current.client} held token "
+                            f"{current.token}"
+                        ),
+                    )
+                )
+        elif action == "release":
+            if current is not None and token == current.token:
+                current.expiry = min(current.expiry, expiry)
+    return violations
 
 
 def check_cross_group_isolation(

@@ -59,12 +59,19 @@ class ChaosRunConfig:
     hold: float = 15.0
     #: Override the QoS-derived post-heal stabilization bound (None = derive).
     stabilize_bound: Optional[float] = None
+    #: Lease clients contending on the primary group during the run (their
+    #: grants feed the ``no-double-grant`` checker).
+    n_lease_clients: int = 0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError(f"need at least 2 nodes (got {self.n_nodes})")
         if self.n_groups < 1:
             raise ValueError(f"need at least 1 group (got {self.n_groups})")
+        if self.n_lease_clients < 0:
+            raise ValueError(
+                f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"
+            )
         if self.script.heal_time is None:
             raise ValueError("chaos scripts must end with a heal() step")
         if self.script.heal_time >= self.script.duration:
@@ -92,6 +99,7 @@ class ChaosRunConfig:
             link_loss_prob=self.link_loss_prob,
             node_churn=False,
             qos=self.qos,
+            n_lease_clients=self.n_lease_clients,
         )
 
 
@@ -118,6 +126,7 @@ class ChaosRunResult:
             "seed": self.config.seed,
             "n_nodes": self.config.n_nodes,
             "n_groups": self.config.n_groups,
+            "n_lease_clients": self.config.n_lease_clients,
             "algorithm": self.config.algorithm,
             "detection_time": self.config.detection_time,
             "ok": self.ok,

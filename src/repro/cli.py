@@ -62,13 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="omega_lc", choices=available_algorithms()
     )
     live.add_argument(
-        "--detection-time", type=float, default=1.0, help="FD QoS bound T_D^U, s"
+        "--qos",
+        "--detection-time",
+        dest="detection_time",
+        type=float,
+        default=1.0,
+        help="FD QoS bound T_D^U, s (--detection-time is an alias)",
     )
     live.add_argument("--fd-variant", default="nfds", choices=("nfds", "nfde"))
     live.add_argument(
         "--no-kill",
         action="store_true",
         help="only elect; skip the leader kill + re-election phase",
+    )
+    live.add_argument(
+        "--lease-smoke",
+        action="store_true",
+        help="also run a lease client before/after the kill and require the "
+        "fencing token to advance",
     )
     live.add_argument(
         "--stable-seconds",
@@ -106,7 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument(
         "--algorithm", default="omega_lc", choices=available_algorithms()
     )
-    node.add_argument("--detection-time", type=float, default=1.0)
+    node.add_argument(
+        "--qos",
+        "--detection-time",
+        dest="detection_time",
+        type=float,
+        default=1.0,
+        help="FD QoS bound T_D^U, s (--detection-time is an alias)",
+    )
     node.add_argument("--fd-variant", default="nfds", choices=("nfds", "nfde"))
     node.add_argument(
         "--duration",
@@ -121,6 +139,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="ChaosScript JSON applied to this node's transport "
         "(transport-level steps only)",
     )
+
+    lease = sub.add_parser(
+        "lease",
+        help="lease/lock client against a live cluster (acquire | watch)",
+    )
+    lease_sub = lease.add_subparsers(dest="lease_command", required=True)
+
+    def lease_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--ports",
+            required=True,
+            help="comma-separated UDP port of every daemon, indexed by node id",
+        )
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--name", required=True, help="lease/lock name")
+        sub_parser.add_argument("--group", type=int, default=1)
+        sub_parser.add_argument(
+            "--contact-node",
+            type=int,
+            default=0,
+            help="daemon to send requests to until a redirect teaches better",
+        )
+
+    acquire = lease_sub.add_parser(
+        "acquire", help="acquire, hold (auto-renewing), release, exit"
+    )
+    lease_common(acquire)
+    acquire.add_argument("--client-id", type=int, default=1000)
+    acquire.add_argument(
+        "--ttl", type=float, default=0.0, help="requested validity s (0: server max)"
+    )
+    acquire.add_argument(
+        "--hold", type=float, default=0.0, help="seconds to hold before releasing"
+    )
+    acquire.add_argument(
+        "--timeout", type=float, default=30.0, help="give up if no grant by then"
+    )
+
+    watch = lease_sub.add_parser(
+        "watch", help="print HOLDER lines on every ownership change"
+    )
+    lease_common(watch)
+    watch.add_argument("--client-id", type=int, default=1001)
+    watch.add_argument("--period", type=float, default=1.0, help="poll period s")
+    watch.add_argument("--duration", type=float, default=10.0, help="watch this long")
 
     sub.add_parser(
         "experiment",
@@ -151,6 +214,7 @@ def _run_live(args: argparse.Namespace) -> int:
         detection_time=args.detection_time,
         fd_variant=args.fd_variant,
         kill_leader=not args.no_kill,
+        lease_smoke=args.lease_smoke,
         stable_seconds=args.stable_seconds,
         timeout=args.timeout,
         log_dir=args.log_dir,
@@ -186,6 +250,45 @@ def _run_node(args: argparse.Namespace) -> int:
     return node_main(config)
 
 
+def _run_lease(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.lease.live import acquire_main, watch_main
+
+    try:
+        ports = tuple(int(port) for port in args.ports.split(","))
+    except ValueError:
+        print(f"--ports must be comma-separated integers (got {args.ports!r})",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.contact_node < len(ports):
+        print(f"--contact-node {args.contact_node} out of range for "
+              f"{len(ports)} ports", file=sys.stderr)
+        return 2
+    if args.lease_command == "acquire":
+        return asyncio.run(acquire_main(
+            name=args.name,
+            host=args.host,
+            ports=ports,
+            group=args.group,
+            client_id=args.client_id,
+            ttl=args.ttl,
+            hold=args.hold,
+            timeout=args.timeout,
+            contact_node=args.contact_node,
+        ))
+    return asyncio.run(watch_main(
+        name=args.name,
+        host=args.host,
+        ports=ports,
+        group=args.group,
+        client_id=args.client_id,
+        period=args.period,
+        duration=args.duration,
+        contact_node=args.contact_node,
+    ))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # `experiment` and `chaos` forward everything (including --help) verbatim.
@@ -205,6 +308,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.groups < 1:
             parser.error(f"--groups must be >= 1 (got {args.groups})")
         return _run_live(args)
+    if args.command == "lease":
+        return _run_lease(args)
     return _run_node(args)
 
 

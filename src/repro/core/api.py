@@ -1,9 +1,19 @@
-"""Application-facing API: processes, and hosts that survive crashes.
+"""Application-facing API: processes, group handles, crash-surviving hosts.
 
 :class:`Application` is the shared-library side of the paper's architecture:
 an application process registers once, then joins and leaves groups, chooses
 whether it is a leadership candidate, picks interrupt- or query-style leader
 notifications, and sets the FD QoS per group.
+
+:meth:`Application.join` returns a first-class :class:`GroupHandle` — the
+redesigned service surface.  Instead of threading a single
+``on_leader_change`` callback through the join call, applications subscribe
+any number of watchers with :meth:`GroupHandle.watch_leader`, read the
+leader with :meth:`GroupHandle.leader`, and reach the lease/lock tier
+anchored on the group's stable leader through :meth:`GroupHandle.lease`
+(per-name) or :meth:`GroupHandle.lease_client` (the raw client).  The old
+``on_leader_change=`` keyword still works but warns with
+:class:`DeprecationWarning`.
 
 :class:`ServiceHost` ties a daemon to a workstation's lifecycle: when the
 node crashes the daemon dies with it; when the node recovers, the host boots
@@ -14,6 +24,7 @@ processes rejoining, e.g. S1's lower-id rejoin demotions, §6.2).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -21,12 +32,14 @@ from repro.core.commands import CommandHandler, Join, Leave, QueryLeader, Regist
 from repro.core.service import LeaderElectionService, ServiceConfig
 from repro.fd.configurator import ConfiguratorCache
 from repro.fd.qos import FDQoS
+from repro.lease.client import HostLeaseChannel, LeaseClient, LeaseGrant
 from repro.metrics.trace import TraceRecorder
+from repro.net.message import LeaseReplyMessage
 from repro.net.node import Node
 from repro.runtime.base import Scheduler, Transport
 from repro.sim.rng import RngRegistry
 
-__all__ = ["Application", "ServiceHost"]
+__all__ = ["Application", "GroupHandle", "LeaseHandle", "ServiceHost"]
 
 LeaderCallback = Callable[[int, Optional[int]], None]
 
@@ -40,6 +53,132 @@ class _JoinSpec:
     on_leader_change: Optional[LeaderCallback]
 
 
+class LeaseHandle:
+    """One named lease as seen by one application (see :class:`GroupHandle`).
+
+    A thin veneer over the group's shared :class:`~repro.lease.client
+    .LeaseClient`: the name and requested TTL are fixed at construction,
+    the fencing token of the current grant is one property away.
+    """
+
+    __slots__ = ("client", "name", "ttl")
+
+    def __init__(self, client: LeaseClient, name: str, ttl: float) -> None:
+        self.client = client
+        self.name = name
+        self.ttl = ttl
+
+    def acquire(
+        self,
+        callback: Optional[Callable[[LeaseReplyMessage], None]] = None,
+        *,
+        wait: bool = True,
+    ) -> None:
+        """Acquire (and then auto-renew) the lease; see
+        :meth:`repro.lease.client.LeaseClient.acquire`."""
+        self.client.acquire(self.name, self.ttl, callback, wait=wait)
+
+    def release(
+        self, callback: Optional[Callable[[LeaseReplyMessage], None]] = None
+    ) -> bool:
+        return self.client.release(self.name, callback)
+
+    def query(self, callback: Callable[[LeaseReplyMessage], None]) -> None:
+        self.client.query(self.name, callback)
+
+    def watch(
+        self,
+        callback: Callable[[LeaseReplyMessage], None],
+        period: float = 1.0,
+    ) -> Callable[[], None]:
+        return self.client.watch(self.name, callback, period)
+
+    @property
+    def grant(self) -> Optional[LeaseGrant]:
+        """The live grant (None if not currently held)."""
+        return self.client.grant(self.name)
+
+    @property
+    def token(self) -> Optional[int]:
+        """The held grant's fencing token (None if not held) — pass it to
+        downstream resources so stale holders can be fenced off."""
+        grant = self.client.grant(self.name)
+        return grant.token if grant is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        held = self.grant
+        state = f"token={held.token}" if held is not None else "unheld"
+        return f"LeaseHandle({self.name!r}, {state})"
+
+
+class GroupHandle:
+    """A joined group, as a first-class object.
+
+    Returned by :meth:`Application.join`; stays valid across daemon
+    restarts (the standing join is replayed on rebind) until
+    :meth:`leave` is called.
+    """
+
+    __slots__ = ("app", "group", "_lease_client")
+
+    def __init__(self, app: "Application", group: int) -> None:
+        self.app = app
+        self.group = group
+        self._lease_client: Optional[LeaseClient] = None
+
+    def leader(self) -> Optional[int]:
+        """Query-mode readout of the group's current leader."""
+        return self.app.leader(self.group)
+
+    def leave(self) -> None:
+        """Leave the group; the handle (and its lease client) go dead."""
+        if self._lease_client is not None:
+            self._lease_client.close()
+            self._lease_client = None
+        self.app.leave(self.group)
+
+    def watch_leader(self, callback: LeaderCallback) -> Callable[[], None]:
+        """Interrupt-style leader notifications: ``callback(group, leader)``
+        on every change.  Returns an unsubscribe function."""
+        return self.app._add_leader_listener(self.group, callback)
+
+    def lease_client(
+        self,
+        *,
+        client_id: Optional[int] = None,
+        on_lost: Optional[Callable[[str], None]] = None,
+        **kwargs,
+    ) -> LeaseClient:
+        """A dedicated lease client for this group (advanced use; most code
+        wants :meth:`lease`).  Defaults the client id to the app's pid."""
+        host = self.app.host
+        if host is None:
+            raise RuntimeError(
+                "application is not attached to a ServiceHost; "
+                "call ServiceHost.add_application first"
+            )
+        cid = client_id if client_id is not None else self.app.pid
+        return LeaseClient(
+            HostLeaseChannel(host, self.group),
+            host.scheduler,
+            host.rng.stream(f"lease.app.{cid}.group.{self.group}"),
+            group=self.group,
+            client_id=cid,
+            on_lost=on_lost,
+            **kwargs,
+        )
+
+    def lease(self, name: str, ttl: float = 0.0) -> LeaseHandle:
+        """A handle on the named lease/lock anchored on this group's stable
+        leader (``ttl`` 0.0 = the server's maximum)."""
+        if self._lease_client is None:
+            self._lease_client = self.lease_client()
+        return LeaseHandle(self._lease_client, name, ttl)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroupHandle(group={self.group}, app={self.app.pid})"
+
+
 class Application:
     """An application process using the leader election service."""
 
@@ -48,6 +187,11 @@ class Application:
         self.name = name or f"app-{pid}"
         self._handler: Optional[CommandHandler] = None
         self._joins: Dict[int, _JoinSpec] = {}
+        self._handles: Dict[int, GroupHandle] = {}
+        self._leader_listeners: Dict[int, List[LeaderCallback]] = {}
+        #: Set by :meth:`ServiceHost.add_application`; GroupHandle.lease()
+        #: needs the host's scheduler/rng and its live daemon.
+        self.host: Optional["ServiceHost"] = None
 
     # ------------------------------------------------------------------
     # Binding (done by the host on every daemon (re)start)
@@ -82,16 +226,37 @@ class Application:
         qos: Optional[FDQoS] = None,
         algorithm: Optional[str] = None,
         on_leader_change: Optional[LeaderCallback] = None,
-    ) -> None:
-        """Join ``group``; the join is standing (re-applied after crashes)."""
-        spec = _JoinSpec(group, candidate, qos, algorithm, on_leader_change)
+    ) -> GroupHandle:
+        """Join ``group``; the join is standing (re-applied after crashes).
+
+        Returns the group's :class:`GroupHandle`.  The ``on_leader_change``
+        keyword is deprecated — subscribe through
+        :meth:`GroupHandle.watch_leader` instead (any number of watchers).
+        """
+        if on_leader_change is not None:
+            warnings.warn(
+                "join(on_leader_change=...) is deprecated; use the returned "
+                "GroupHandle.watch_leader() instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._leader_listeners.setdefault(group, []).append(on_leader_change)
+        spec = _JoinSpec(
+            group, candidate, qos, algorithm, self._dispatch_leader_change
+        )
         self._joins[group] = spec
         if self._handler is not None:
             self._execute_join(spec)
+        handle = self._handles.get(group)
+        if handle is None:
+            handle = self._handles[group] = GroupHandle(self, group)
+        return handle
 
     def leave(self, group: int) -> None:
         """Leave ``group`` (also removes the standing join)."""
         self._joins.pop(group, None)
+        self._handles.pop(group, None)
+        self._leader_listeners.pop(group, None)
         if self._handler is not None:
             self._handler.execute(Leave(pid=self.pid, group=group))
 
@@ -104,6 +269,33 @@ class Application:
     @property
     def joined_groups(self) -> List[int]:
         return sorted(self._joins)
+
+    def group(self, group: int) -> Optional[GroupHandle]:
+        """The handle for a joined group (None if not joined)."""
+        return self._handles.get(group)
+
+    # ------------------------------------------------------------------
+    # Leader-change fan-out (GroupHandle.watch_leader)
+    # ------------------------------------------------------------------
+    def _add_leader_listener(
+        self, group: int, callback: LeaderCallback
+    ) -> Callable[[], None]:
+        listeners = self._leader_listeners.setdefault(group, [])
+        listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                listeners.remove(callback)
+            except ValueError:
+                pass  # already unsubscribed (or the group was left)
+
+        return unsubscribe
+
+    def _dispatch_leader_change(self, group: int, leader: Optional[int]) -> None:
+        # Snapshot: a watcher may (un)subscribe — or join/leave groups, as
+        # the hierarchical-election example does — from inside the callback.
+        for callback in list(self._leader_listeners.get(group, ())):
+            callback(group, leader)
 
     def _execute_join(self, spec: _JoinSpec) -> None:
         assert self._handler is not None
@@ -159,6 +351,7 @@ class ServiceHost:
     def add_application(self, app: Application) -> Application:
         """Attach an application process to this workstation."""
         self.apps.append(app)
+        app.host = self
         if self.service is not None:
             app.bind(CommandHandler(self.service))
         return app

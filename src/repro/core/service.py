@@ -45,12 +45,16 @@ from repro.fd.configurator import ConfiguratorCache, bootstrap_params
 from repro.fd.plane import NodeFdPlane, StreamMonitor
 from repro.fd.qos import FDQoS
 from repro.fd.scheduler import AliveBatcher
+from repro.lease.ledger import LeaseLedger
+from repro.lease.manager import LeaseManager
 from repro.metrics.trace import TraceRecorder
 from repro.net.message import (
     AccuseMessage,
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseReplyMessage,
+    LeaseRequestMessage,
     Message,
     RateRequestMessage,
 )
@@ -182,6 +186,27 @@ class GroupRuntime(GroupContext):
         self._interested_nodes: Set[int] = set()
         self._shut_down = False
 
+        #: The lease tier: the replicated ledger rides the group's gossip,
+        #: the manager grants only while the local pid leads.  Both are
+        #: fully passive (no timers, no RNG draws) until lease traffic
+        #: arrives, so groups without clients behave bit-identically to
+        #: the pre-lease service.
+        self.lease_ledger = LeaseLedger(group)
+        self.lease_manager = LeaseManager(
+            self.lease_ledger,
+            service.node.node_id,
+            detection_time=qos.detection_time,
+            quorum=self._lease_quorum,
+            trace=service.trace,
+            pid=pid,
+        )
+        #: Highest ledger version already shipped to each peer node.
+        self._lease_sent_version: Dict[int, int] = {}
+        #: Local clients awaiting replies, keyed by client id.
+        self._lease_clients: Dict[int, Callable[[LeaseReplyMessage], None]] = {}
+        self._lease_flush_pending = False
+        self._lease_probe_pending = False
+
         self.algorithm = create_algorithm(algorithm_name, self)
         #: Per-sender cell-stream monitors; only ``senders_only`` election
         #: algorithms (Ω_l) need them — node-level liveness cannot see a
@@ -236,6 +261,8 @@ class GroupRuntime(GroupContext):
         if self._shut_down:
             return
         self._shut_down = True
+        self.lease_manager.on_tenure_end()
+        self._lease_clients.clear()
         self.algorithm.stop()
         self._hello_timer.stop()
         self.service.batcher.remove_group(self.group)
@@ -338,6 +365,13 @@ class GroupRuntime(GroupContext):
             return
         self._leader_view = leader
         self.service.trace.record_view(self.scheduler.now, self.group, self.pid, leader)
+        manager = self.lease_manager
+        if leader == self.pid:
+            if not manager.tenure_active:
+                manager.on_tenure_start(self.scheduler.now)
+                self._ensure_lease_probe()
+        elif manager.tenure_active:
+            manager.on_tenure_end()
         if self._on_leader_change is not None:
             self._on_leader_change(self.group, leader)
 
@@ -411,6 +445,8 @@ class GroupRuntime(GroupContext):
         changed = self.view.merge(message.members) if message.members else False
         if changed:
             self._sync_membership_dependents()
+        if message.leases:
+            self.lease_ledger.merge(message.leases)
         if message.kind == "join":
             self._send_hello_reply(message.sender_node)
         elif message.kind == "reply":
@@ -423,8 +459,13 @@ class GroupRuntime(GroupContext):
         if changed:
             self.algorithm.on_membership_changed()
         # Anti-entropy: diverging digests after the merge trigger a full
-        # sync (a join is already answered with a full-view reply).
-        if message.kind != "join" and message.view_digest != self.view.digest64():
+        # sync (a join is already answered with a full-view reply).  The
+        # lease ledger shares the mechanism: a diverged lease digest pushes
+        # the full ledger along with the full view.
+        if message.kind != "join" and (
+            message.view_digest != self.view.digest64()
+            or message.lease_digest != self.lease_ledger.digest64()
+        ):
             self._push_sync(message.sender_node)
 
     def handle_accuse(self, message: AccuseMessage) -> None:
@@ -434,6 +475,240 @@ class GroupRuntime(GroupContext):
                 self.service.trace.record_accusation(
                     self.scheduler.now, self.group, self.pid
                 )
+
+    # ------------------------------------------------------------------
+    # Lease tier (leader-anchored; see repro.lease)
+    # ------------------------------------------------------------------
+    def _lease_quorum(self) -> bool:
+        """True iff this leader can prove majority standing over the
+        deployment's *static* node universe, on two independent axes:
+
+        1. it has *continuously* plane-trusted a strict majority of the
+           configured nodes (itself included) for at least the takeover
+           grace, and
+        2. its membership view's present members *span* a strict majority
+           of those nodes.
+
+        Together they form the grant-side half of the no-double-grant
+        argument.  Both denominators are deliberately ``peer_nodes`` —
+        the configured deployment — and **not** the view, because the
+        view is itself gossip: a daemon rebooting inside a partition (or
+        under heavy loss) rebuilds a view containing only itself or its
+        own side, and "majority of the members I can see" then holds
+        simultaneously on *both* sides of a split.  Two strict majorities
+        of the fixed universe, by contrast, always intersect:
+
+        * Axis 1 stops a leader stranded in a minority partition within
+          one detection time (the plane's heartbeats stop).  Demanding
+          trust *age* — not just instantaneous trust — additionally
+          covers the re-merge window: a partitioned ex-leader whose
+          tenure never ended regains instantaneous trust the moment the
+          link heals, before gossip can demote it or sync its ledger.
+          Grace seconds of continuous trust give demotion, outstanding
+          foreign validities (bounded by ``detection + max_ttl < grace``)
+          and ledger convergence all time to land first.
+        * Axis 2 stops a leader whose *group layer* split even though the
+          node plane is healthy — the fuzzer's canonical case is a daemon
+          rebooting under an asymmetric group-traffic fault: its rejoin
+          sync is lost, it elects itself over a singleton view, and the
+          plane (untouched by the group fault) happily trusts everyone.
+          A singleton view spans one node; it can never out-vote the
+          surviving majority view, which spans them all.
+        """
+        service = self.service
+        own = service.node.node_id
+        peers = service.peer_nodes
+        now = self.scheduler.now
+        hold = self.lease_manager.grace
+        universe = len(peers) if own in peers else len(peers) + 1
+        trusted = sum(
+            1
+            for node in peers
+            if node == own or service.plane.trusted_for(node, now) >= hold
+        )
+        if own not in peers:
+            trusted += 1
+        if 2 * trusted <= universe:
+            return False
+        covered = {record.node for record in self.view.members()}
+        covered.add(own)
+        spanned = sum(1 for node in peers if node in covered)
+        if own not in peers:
+            spanned += 1
+        return 2 * spanned > universe
+
+    def submit_lease_request(
+        self,
+        message: LeaseRequestMessage,
+        reply_to: Callable[[LeaseReplyMessage], None],
+    ) -> None:
+        """Client-library entry point: route a local client's request.
+
+        Registers (or refreshes) the reply route for ``message.client``,
+        then either handles the request locally (this node hosts the
+        leader — or must answer with a redirect) or sends it over the
+        transport, where it is as droppable as any other datagram.
+        """
+        if self._shut_down:
+            return
+        self._lease_clients[message.client] = reply_to
+        if message.dest_node == self.service.node.node_id:
+            self.handle_lease_request(message)
+        else:
+            self.transport.send(message)
+
+    def handle_lease_request(self, message: LeaseRequestMessage) -> None:
+        decision = None
+        if self._leader_view == self.pid:
+            decision = self.lease_manager.handle(
+                message.op,
+                message.lease,
+                message.client,
+                message.token,
+                message.ttl,
+                self.scheduler.now,
+            )
+        my_node = self.service.node.node_id
+        if decision is None:
+            # Not the leader (or tenure not yet active): redirect with our
+            # best hint of where the leader lives.
+            leader_node = -1
+            if self._leader_view is not None:
+                node = self.view.node_of(self._leader_view)
+                if node is not None:
+                    leader_node = node
+            reply = LeaseReplyMessage(
+                sender_node=my_node,
+                dest_node=message.sender_node,
+                group=self.group,
+                status="redirect",
+                lease=message.lease,
+                client=message.client,
+                leader_node=leader_node,
+                nonce=message.nonce,
+            )
+        else:
+            reply = LeaseReplyMessage(
+                sender_node=my_node,
+                dest_node=message.sender_node,
+                group=self.group,
+                status=decision.status,
+                lease=message.lease,
+                client=message.client,
+                token=decision.token,
+                holder=decision.holder,
+                expiry=decision.expiry,
+                retry_after=decision.retry_after,
+                leader_node=my_node,
+                nonce=message.nonce,
+            )
+            if decision.changed:
+                self._schedule_lease_flush()
+        if reply.dest_node == my_node:
+            self.handle_lease_reply(reply)
+        else:
+            self.transport.send(reply)
+
+    def handle_lease_reply(self, message: LeaseReplyMessage) -> None:
+        reply_to = self._lease_clients.get(message.client)
+        if reply_to is not None:
+            reply_to(message)
+
+    def _schedule_lease_flush(self) -> None:
+        """Coalesce ledger deltas into one push ~20 ms after a mutation.
+
+        Replication is asynchronous by design (safety rests on fencing
+        tokens, not on synchronous replication); the short delay batches a
+        burst of grants into one HELLO per peer.
+        """
+        if self._lease_flush_pending or self._shut_down:
+            return
+        self._lease_flush_pending = True
+        self.scheduler.schedule(0.02, self._flush_lease_deltas)
+        self._ensure_lease_probe()
+
+    def _flush_lease_deltas(self) -> None:
+        self._lease_flush_pending = False
+        if self._shut_down:
+            return
+        ledger = self.lease_ledger
+        version = ledger.version
+        sent = self._lease_sent_version
+        my_node = self.service.node.node_id
+        fields = self._hello_fields()
+        sent_to = set()
+        for record in self.view.members():
+            node = record.node
+            if node == my_node or node in sent_to:
+                continue
+            sent_to.add(node)
+            delta = ledger.delta_since(sent.get(node, 0))
+            if not delta:
+                continue
+            sent[node] = version
+            self.transport.send(
+                HelloMessage(
+                    sender_node=my_node,
+                    dest_node=node,
+                    group=self.group,
+                    kind="gossip",
+                    leases=delta,
+                    **fields,
+                )
+            )
+
+    def _ensure_lease_probe(self) -> None:
+        """Arm the leader's periodic lease anti-entropy probe.
+
+        Frames anti-entropy the *membership* digest, but a ledger can
+        diverge while both replicas are static — e.g. a healed partition
+        where each side granted during the split and neither has granted
+        since.  Nothing then triggers convergence until someone mutates,
+        which is exactly when it is too late: the stale side's first
+        post-heal grant is minted against the unmerged ledger.  So while a
+        tenure is active and the ledger is non-empty, the leader probes
+        every peer with a digest-only HELLO once per detection time; a
+        peer whose lease digest diverges answers with a full-ledger sync,
+        and the leader's resulting delta flush converges everyone else.
+        The probe never arms while the lease plane is unused (empty
+        ledger), keeping lease-free runs event-for-event identical.
+        """
+        if (
+            self._lease_probe_pending
+            or self._shut_down
+            or not self.lease_manager.tenure_active
+            or self.lease_ledger.version == 0
+        ):
+            return
+        self._lease_probe_pending = True
+        self.scheduler.schedule(self.lease_manager.detection_time, self._lease_probe)
+
+    def _lease_probe(self) -> None:
+        self._lease_probe_pending = False
+        if (
+            self._shut_down
+            or not self.lease_manager.tenure_active
+            or self.lease_ledger.version == 0
+        ):
+            return
+        my_node = self.service.node.node_id
+        fields = self._hello_fields()
+        sent_to = set()
+        for record in self.view.members():
+            node = record.node
+            if node == my_node or node in sent_to:
+                continue
+            sent_to.add(node)
+            self.transport.send(
+                HelloMessage(
+                    sender_node=my_node,
+                    dest_node=node,
+                    group=self.group,
+                    kind="gossip",
+                    **fields,
+                )
+            )
+        self._ensure_lease_probe()
 
     # ------------------------------------------------------------------
     # Cell emission (CellSource for the AliveBatcher)
@@ -548,6 +823,7 @@ class GroupRuntime(GroupContext):
             # Forget what we shipped: if the node id returns with a fresh
             # daemon, its first cell must bootstrap with the full view.
             self._sent_version.pop(node, None)
+            self._lease_sent_version.pop(node, None)
         self._interested_nodes = current
         if self._stream_monitors is None:
             # all_candidates: node monitors exist for every candidate's
@@ -568,6 +844,7 @@ class GroupRuntime(GroupContext):
         return {
             "view_version": view.version,
             "view_digest": view.digest64(),
+            "lease_digest": self.lease_ledger.digest64(),
         }
 
     def _push_sync(self, dest_node: int) -> None:
@@ -584,7 +861,9 @@ class GroupRuntime(GroupContext):
             return
         self._next_sync[dest_node] = now + self.service.config.hello_period
         view = self.view
+        ledger = self.lease_ledger
         self._sent_version[dest_node] = view.version
+        self._lease_sent_version[dest_node] = ledger.version
         self.transport.send(
             HelloMessage(
                 sender_node=self.service.node.node_id,
@@ -592,6 +871,7 @@ class GroupRuntime(GroupContext):
                 group=self.group,
                 kind="sync",
                 members=view.digest(),
+                leases=ledger.full(),
                 **self._hello_fields(),
             )
         )
@@ -627,6 +907,7 @@ class GroupRuntime(GroupContext):
             ]
         )
         self._sent_version[dest_node] = self.view.version
+        self._lease_sent_version[dest_node] = self.lease_ledger.version
         self.transport.send(
             HelloMessage(
                 sender_node=self.service.node.node_id,
@@ -637,6 +918,7 @@ class GroupRuntime(GroupContext):
                 leader_hint=self.algorithm.leader_hint(),
                 acc_table=self.algorithm.acc_entries(),
                 trusted=trusted,
+                leases=self.lease_ledger.full(),
                 **self._hello_fields(),
             )
         )
@@ -658,11 +940,14 @@ class GroupRuntime(GroupContext):
         self.service.node.meter.on_timer(self.group)
         view = self.view
         version = view.version
+        ledger = self.lease_ledger
+        lease_version = ledger.version
         fields = self._hello_fields()
         my_node = self.service.node.node_id
         hello_period = self.service.config.hello_period
         now = self.scheduler.now
         sent = self._sent_version
+        lease_sent = self._lease_sent_version
         cell_state = self._cell_state
         sent_to = set()
         for record in self.view.members():
@@ -671,12 +956,18 @@ class GroupRuntime(GroupContext):
                 continue
             sent_to.add(node)
             delta = view.delta_since(sent.get(node, 0))
-            if not delta:
+            lease_delta = ledger.delta_since(lease_sent.get(node, 0))
+            if not delta and not lease_delta:
                 state = cell_state.get(node)
                 if state is not None and now - state[1] < hello_period:
-                    continue  # a fresh cell already carried our digest
-            else:
+                    # A fresh cell already carried our view digest — but
+                    # cells never carry lease deltas, so an owed delta
+                    # (checked above) still forces the gossip out.
+                    continue
+            if delta:
                 sent[node] = version
+            if lease_delta:
+                lease_sent[node] = lease_version
             self.transport.send(
                 HelloMessage(
                     sender_node=my_node,
@@ -684,6 +975,7 @@ class GroupRuntime(GroupContext):
                     group=self.group,
                     kind="gossip",
                     members=delta,
+                    leases=lease_delta,
                     **fields,
                 )
             )
@@ -838,6 +1130,8 @@ class LeaderElectionService:
     _DISPATCH = {
         HelloMessage: GroupRuntime.handle_hello,
         AccuseMessage: GroupRuntime.handle_accuse,
+        LeaseRequestMessage: GroupRuntime.handle_lease_request,
+        LeaseReplyMessage: GroupRuntime.handle_lease_reply,
     }
 
     def handle_message(self, message: Message) -> None:

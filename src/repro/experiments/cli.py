@@ -82,7 +82,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-churn", action="store_true", help="disable workstation churn")
     parser.add_argument("--node-mttf", type=float, default=600.0)
     parser.add_argument("--node-mttr", type=float, default=5.0)
-    parser.add_argument("--detection-time", type=float, default=1.0, help="FD T_D^U s")
+    parser.add_argument(
+        "--qos",
+        "--detection-time",
+        dest="detection_time",
+        type=float,
+        default=1.0,
+        help="FD QoS bound T_D^U, s (--detection-time is an alias)",
+    )
+    parser.add_argument(
+        "--lease-clients",
+        type=int,
+        default=0,
+        help="simulated lease clients contending on the primary group's locks",
+    )
 
     sweep = parser.add_argument_group("sweep orchestration")
     sweep.add_argument(
@@ -140,6 +153,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         node_mttf=args.node_mttf,
         node_mttr=args.node_mttr,
         qos=FDQoS(detection_time=args.detection_time),
+        n_lease_clients=args.lease_clients,
     )
 
 
@@ -178,6 +192,12 @@ def _print_cell_metrics(result: ExperimentResult) -> None:
         f"fault injection              : {result.node_crashes} workstation crashes, "
         f"{result.link_crashes} link crashes"
     )
+    if result.config.n_lease_clients > 0:
+        print(
+            f"lease workload               : {result.config.n_lease_clients} clients, "
+            f"{result.lease_grants} grants, {result.lease_releases} releases, "
+            f"{result.lease_losses} losses"
+        )
 
 
 def _run_figure_sweep(args: argparse.Namespace) -> int:
@@ -238,6 +258,7 @@ _SINGLE_CELL_ONLY = (
     "node_mttf",
     "node_mttr",
     "detection_time",
+    "lease_clients",
 )
 #: Flags that only the orchestrated sweep mode consumes.
 _SWEEP_ONLY = ("resume", "artifact", "sweep_seed")

@@ -22,6 +22,7 @@ from repro.core.api import Application, ServiceHost
 from repro.core.service import ServiceConfig
 from repro.experiments.scenario import ExperimentConfig
 from repro.fd.configurator import ConfiguratorCache
+from repro.lease.workload import LeaseWorkload
 from repro.metrics.leadership import LeadershipMetrics, analyze_leadership
 from repro.metrics.trace import TraceRecorder
 from repro.metrics.usage import UsageReport
@@ -58,6 +59,8 @@ class System:
     #: The scheduler each daemon sees — the shared simulator, or a
     #: per-node drifting clock view in chaos builds.
     node_schedulers: Dict[int, Scheduler] = field(default_factory=dict)
+    #: The lease-client population (None unless ``config.n_lease_clients``).
+    lease_workload: Optional[LeaseWorkload] = None
 
 
 @dataclass
@@ -72,6 +75,10 @@ class ExperimentResult:
     link_crashes: int
     #: Simulator event count — a cheap proxy for run cost, used in tests.
     events_executed: int
+    #: Lease-workload counters (all zero unless ``config.n_lease_clients``).
+    lease_grants: int = 0
+    lease_releases: int = 0
+    lease_losses: int = 0
 
     @property
     def availability(self) -> float:
@@ -152,6 +159,16 @@ def build_system(
         # Stagger daemon start-up slightly, as real deployments would.
         sim.schedule(float(start_stream.uniform(0.0, 0.2)), host.start)
 
+    lease_workload: Optional[LeaseWorkload] = None
+    if config.n_lease_clients > 0:
+        lease_workload = LeaseWorkload(
+            hosts,
+            rng,
+            group=config.group,
+            n_clients=config.n_lease_clients,
+        )
+        lease_workload.start()
+
     node_injectors: List[NodeChurnInjector] = []
     if config.node_churn:
         for node_id in range(config.n_nodes):
@@ -190,6 +207,7 @@ def build_system(
         link_injectors=link_injectors,
         transport=transport,
         node_schedulers=node_schedulers,
+        lease_workload=lease_workload,
     )
 
 
@@ -207,6 +225,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     sim.run_until(config.duration)
 
+    workload = system.lease_workload
+    if workload is not None:
+        workload.stop()
     leadership = analyze_leadership(
         system.trace.events,
         group=config.group,
@@ -227,4 +248,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         node_crashes=sum(i.crashes_injected for i in system.node_injectors),
         link_crashes=sum(i.crashes_injected for i in system.link_injectors),
         events_executed=sim.events_executed,
+        lease_grants=workload.grants if workload is not None else 0,
+        lease_releases=workload.releases if workload is not None else 0,
+        lease_losses=workload.losses if workload is not None else 0,
     )

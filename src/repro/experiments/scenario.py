@@ -70,11 +70,19 @@ class ExperimentConfig:
     # FD QoS for the group.
     qos: FDQoS = field(default_factory=FDQoS)
 
+    #: Lease clients contending for locks on the primary group's leader
+    #: (0 = no lease workload; see :mod:`repro.lease.workload`).
+    n_lease_clients: int = 0
+
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError(f"need at least 2 nodes (got {self.n_nodes})")
         if self.n_groups < 1:
             raise ValueError(f"need at least 1 group (got {self.n_groups})")
+        if self.n_lease_clients < 0:
+            raise ValueError(
+                f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"
+            )
         if self.duration <= self.warmup:
             raise ValueError(
                 f"duration {self.duration} must exceed warmup {self.warmup}"

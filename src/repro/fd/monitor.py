@@ -69,11 +69,16 @@ class NfdsMonitor:
         #: The heartbeat period this monitor wants the sender to use.
         self.desired_eta = params.eta
         self.trusted = False
+        #: When the current uninterrupted trust interval began (meaningful
+        #: only while ``trusted``) — lets quorum-style consumers require
+        #: *continuous* trust over a window, not just instantaneous trust.
+        self.trusted_since = 0.0
         self.suspicions = 0
         self.alives_received = 0
         self._timer = VariableTimer(scheduler, self._on_timeout)
         if start_trusted:
             self.trusted = True
+            self.trusted_since = scheduler.now
             self._timer.set_deadline(scheduler.now + qos.detection_time)
 
     # ------------------------------------------------------------------
@@ -90,6 +95,7 @@ class NfdsMonitor:
         self._timer.extend_to(deadline)
         if not self.trusted:
             self.trusted = True
+            self.trusted_since = now
             self._events.on_trust(self.pid)
 
     def grant_grace(self, horizon: Optional[float] = None) -> None:
@@ -103,6 +109,7 @@ class NfdsMonitor:
         if self.alives_received > 0 or self.suspicions > 0 or self.trusted:
             return
         self.trusted = True
+        self.trusted_since = self.scheduler.now
         if horizon is None:
             horizon = self.qos.detection_time
         self._timer.extend_to(self.scheduler.now + horizon)

@@ -195,6 +195,22 @@ class NodeFdPlane:
         monitor = self.monitors.get(node)
         return monitor is not None and monitor.trusted
 
+    def trusted_for(self, node: int, now: float) -> float:
+        """Seconds ``node`` has been *continuously* trusted (0.0 if not).
+
+        A node's trust of itself is as old as this plane.  Quorum-style
+        consumers (the lease tier) use this to require trust that has
+        *held* over a window: a peer that was suspected and re-trusted a
+        moment ago — a reconnecting partition remnant — counts as fresh,
+        not established.
+        """
+        if node == self.node_id:
+            return now
+        monitor = self.monitors.get(node)
+        if monitor is None or not monitor.trusted:
+            return 0.0
+        return max(0.0, now - monitor.trusted_since)
+
     def grant_grace(self, node: int) -> None:
         """Optimistically trust ``node`` for one detection budget.
 

@@ -1,0 +1,402 @@
+"""The client half of the lease tier: retries, redirects, auto-renewal.
+
+A :class:`LeaseClient` is a small asynchronous state machine driven by a
+scheduler (simulated or realtime — the same duck type).  It speaks
+:class:`~repro.net.message.LeaseRequestMessage` /
+:class:`~repro.net.message.LeaseReplyMessage` through a *channel*, an
+object with two members::
+
+    channel.node_id                      # node the client rides on
+    channel.submit(message, reply_to)    # route one request; replies for
+                                         # this client id reach reply_to
+
+:class:`HostLeaseChannel` adapts an in-process group runtime (the path
+behind ``GroupHandle.lease()``); the live CLI builds an equivalent channel
+over a UDP transport.  Either way the channel is lossy — every request is
+guarded by a timeout timer with doubling, jittered backoff.
+
+Protocol behaviour:
+
+* ``redirect`` replies teach the client where the leader lives; the next
+  attempt goes there directly.
+* ``throttled``/``denied`` replies carry a server-suggested
+  ``retry_after``, honoured with jitter; an *acquire* keeps retrying until
+  granted (blocking-lock semantics) unless ``wait=False``.
+* a granted lease is **auto-renewed** at half its remaining validity until
+  released; a failed renewal drops the grant and fires the ``on_lost``
+  callback — by then the fencing token the holder was using is already
+  superseded, so storage servers will reject its writes.
+
+Nothing here blocks: results arrive through callbacks, which keeps one
+event loop able to drive thousands of simulated clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.lease.ledger import lease_id
+from repro.net.message import LeaseReplyMessage, LeaseRequestMessage
+
+__all__ = ["HostLeaseChannel", "LeaseClient", "LeaseGrant"]
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseGrant:
+    """One held lease: the fencing token is the part downstream code needs."""
+
+    name: str
+    lease: int
+    token: int
+    expiry: float
+    #: TTL to request on renewal (0.0 = the server's maximum).
+    ttl: float = 0.0
+
+
+class HostLeaseChannel:
+    """In-process channel over a node's service host (sim and live).
+
+    Duck-typed against :class:`repro.core.api.ServiceHost` to keep this
+    package import-independent of the service core (which imports the
+    ledger from here).  The group runtime is resolved *per request*: the
+    host's daemon dies and is rebooted across node crashes, and a channel
+    pinned to one runtime instance would starve its client forever after
+    the first recovery.  While the daemon is down requests are silently
+    dropped — exactly like datagrams to a crashed node — and the client's
+    timeout machinery keeps retrying.
+    """
+
+    __slots__ = ("_host", "_group")
+
+    def __init__(self, host, group: int) -> None:
+        self._host = host
+        self._group = group
+
+    @property
+    def node_id(self) -> int:
+        return self._host.node.node_id
+
+    def submit(
+        self,
+        message: LeaseRequestMessage,
+        reply_to: Callable[[LeaseReplyMessage], None],
+    ) -> None:
+        service = self._host.service
+        if service is None:
+            return  # daemon down (node crashed): drop, client will retry
+        runtime = service.group_runtime(self._group)
+        if runtime is not None:
+            runtime.submit_lease_request(message, reply_to)
+
+
+class _Op:
+    """One in-flight request for one lease (at most one per lease id)."""
+
+    __slots__ = (
+        "kind",
+        "name",
+        "lease",
+        "token",
+        "ttl",
+        "wait",
+        "nonce",
+        "attempts",
+        "timer",
+        "callback",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        lease: int,
+        token: int,
+        ttl: float,
+        wait: bool,
+        callback: Optional[Callable[[LeaseReplyMessage], None]],
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.lease = lease
+        self.token = token
+        self.ttl = ttl
+        self.wait = wait
+        self.nonce = 0
+        self.attempts = 0
+        self.timer = None
+        self.callback = callback
+
+
+class LeaseClient:
+    """Asynchronous lease/lock client bound to one group."""
+
+    def __init__(
+        self,
+        channel,
+        scheduler,
+        rng,
+        *,
+        group: int,
+        client_id: int,
+        request_timeout: float = 0.25,
+        max_backoff: float = 2.0,
+        on_lost: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.channel = channel
+        self.scheduler = scheduler
+        self.rng = rng
+        self.group = group
+        self.client_id = client_id
+        self.request_timeout = request_timeout
+        self.max_backoff = max_backoff
+        self.on_lost = on_lost
+        #: Leader location learned from redirects/replies (None = ask the
+        #: local node, which answers or redirects).
+        self.leader_node: Optional[int] = None
+        self._nonce = 0
+        self._ops: Dict[int, _Op] = {}
+        self._grants: Dict[int, LeaseGrant] = {}
+        self._renew_timers: Dict[int, object] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        name: str,
+        ttl: float = 0.0,
+        callback: Optional[Callable[[LeaseReplyMessage], None]] = None,
+        *,
+        wait: bool = True,
+    ) -> None:
+        """Acquire ``name``; retries until granted unless ``wait=False``.
+
+        ``callback`` fires with the terminal reply (``granted``, or the
+        first ``denied`` when not waiting).  Once granted the client
+        auto-renews until :meth:`release`.
+        """
+        self._start(_Op("acquire", name, lease_id(name), 0, ttl, wait, callback))
+
+    def release(
+        self,
+        name: str,
+        callback: Optional[Callable[[LeaseReplyMessage], None]] = None,
+    ) -> bool:
+        """Release a held lease; False (no send) if not currently held."""
+        grant = self._grants.pop(lease_id(name), None)
+        if grant is None:
+            return False
+        self._cancel_renew(grant.lease)
+        self._start(
+            _Op("release", name, grant.lease, grant.token, 0.0, False, callback)
+        )
+        return True
+
+    def query(
+        self, name: str, callback: Callable[[LeaseReplyMessage], None]
+    ) -> None:
+        """One-shot holder/token lookup (an ``info`` reply)."""
+        self._start(_Op("query", name, lease_id(name), 0, 0.0, False, callback))
+
+    def watch(
+        self,
+        name: str,
+        callback: Callable[[LeaseReplyMessage], None],
+        period: float = 1.0,
+    ) -> Callable[[], None]:
+        """Poll ``name``; fire ``callback`` whenever (holder, token) moves.
+
+        Returns a function that stops the watch.
+        """
+        state = {"last": None, "timer": None, "stopped": False}
+
+        def on_info(reply: LeaseReplyMessage) -> None:
+            if state["stopped"]:
+                return
+            key = (reply.holder, reply.token)
+            if key != state["last"]:
+                state["last"] = key
+                callback(reply)
+            state["timer"] = self.scheduler.schedule(period, tick)
+
+        def tick() -> None:
+            if not state["stopped"] and not self._closed:
+                self.query(name, on_info)
+
+        def stop() -> None:
+            state["stopped"] = True
+            if state["timer"] is not None:
+                self.scheduler.cancel(state["timer"])
+
+        tick()
+        return stop
+
+    def grant(self, name: str) -> Optional[LeaseGrant]:
+        """The currently-held grant for ``name``, if any (expiry-checked)."""
+        grant = self._grants.get(lease_id(name))
+        if grant is None or grant.expiry <= self.scheduler.now:
+            return None
+        return grant
+
+    def close(self) -> None:
+        """Drop all state; in-flight requests and held grants are abandoned
+        (their validities simply run out — safe by construction)."""
+        self._closed = True
+        for op in self._ops.values():
+            if op.timer is not None:
+                self.scheduler.cancel(op.timer)
+        self._ops.clear()
+        for timer in self._renew_timers.values():
+            self.scheduler.cancel(timer)
+        self._renew_timers.clear()
+        self._grants.clear()
+
+    # ------------------------------------------------------------------
+    # Request machinery
+    # ------------------------------------------------------------------
+    def _start(self, op: _Op) -> None:
+        if self._closed:
+            return
+        stale = self._ops.get(op.lease)
+        if stale is not None and stale.timer is not None:
+            self.scheduler.cancel(stale.timer)
+        self._ops[op.lease] = op
+        self._send(op)
+
+    def _send(self, op: _Op) -> None:
+        self._nonce += 1
+        op.nonce = self._nonce
+        dest = self.leader_node if self.leader_node is not None else self.channel.node_id
+        message = LeaseRequestMessage(
+            sender_node=self.channel.node_id,
+            dest_node=dest,
+            group=self.group,
+            op=op.kind,
+            lease=op.lease,
+            client=self.client_id,
+            token=op.token,
+            ttl=op.ttl,
+            nonce=op.nonce,
+        )
+        op.timer = self.scheduler.schedule(self._timeout(op), self._on_timeout, op)
+        self.channel.submit(message, self._on_reply)
+
+    def _timeout(self, op: _Op) -> float:
+        base = min(self.request_timeout * (2.0 ** op.attempts), self.max_backoff)
+        return base * (1.0 + 0.1 * float(self.rng.uniform(0.0, 1.0)))
+
+    def _retry(self, op: _Op, delay: float) -> None:
+        """Re-send ``op`` after ``delay`` (its timeout slot doubles as the
+        retry timer)."""
+        delay += 0.05 * float(self.rng.uniform(0.0, 1.0))
+        op.timer = self.scheduler.schedule(delay, self._resend, op)
+
+    def _resend(self, op: _Op) -> None:
+        if self._closed or self._ops.get(op.lease) is not op:
+            return
+        self._send(op)
+
+    def _on_timeout(self, op: _Op) -> None:
+        if self._closed or self._ops.get(op.lease) is not op:
+            return
+        # The request (or its reply) was lost; the leader may have moved.
+        op.attempts += 1
+        if op.attempts % 3 == 0:
+            self.leader_node = None
+        self._send(op)
+
+    # ------------------------------------------------------------------
+    # Reply handling
+    # ------------------------------------------------------------------
+    def _on_reply(self, reply: LeaseReplyMessage) -> None:
+        if self._closed:
+            return
+        op = self._ops.get(reply.lease)
+        if op is None or reply.nonce != op.nonce:
+            return  # stale duplicate of a superseded attempt
+        if op.timer is not None:
+            self.scheduler.cancel(op.timer)
+            op.timer = None
+        if reply.leader_node >= 0:
+            self.leader_node = reply.leader_node
+        status = reply.status
+        if status == "redirect":
+            if reply.leader_node < 0:
+                # No leader known anywhere yet: back off before re-asking.
+                op.attempts += 1
+            self._retry(op, 0.02 if reply.leader_node >= 0 else self._timeout(op))
+            return
+        if status == "throttled":
+            self._retry(op, max(reply.retry_after, 0.05))
+            return
+        if status == "denied":
+            if op.kind == "acquire" and op.wait:
+                self._retry(op, max(reply.retry_after, self.request_timeout))
+                return
+            self._finish(op, reply)
+            if op.kind == "renew":
+                self._lose(op.name, reply.lease)
+            return
+        if status == "granted":
+            if op.kind in ("acquire", "renew"):
+                self._grants[reply.lease] = LeaseGrant(
+                    name=op.name,
+                    lease=reply.lease,
+                    token=reply.token,
+                    expiry=reply.expiry,
+                    ttl=op.ttl,
+                )
+                self._schedule_renew(op.name, reply.lease, reply.expiry)
+            self._finish(op, reply)
+            return
+        # "info" (query) — terminal.
+        self._finish(op, reply)
+
+    def _finish(self, op: _Op, reply: LeaseReplyMessage) -> None:
+        if self._ops.get(op.lease) is op:
+            del self._ops[op.lease]
+        if op.callback is not None:
+            op.callback(reply)
+
+    # ------------------------------------------------------------------
+    # Renewal
+    # ------------------------------------------------------------------
+    def _schedule_renew(self, name: str, lease: int, expiry: float) -> None:
+        self._cancel_renew(lease)
+        delay = max(0.05, (expiry - self.scheduler.now) * 0.5)
+        self._renew_timers[lease] = self.scheduler.schedule(
+            delay, self._auto_renew, name, lease
+        )
+
+    def _cancel_renew(self, lease: int) -> None:
+        timer = self._renew_timers.pop(lease, None)
+        if timer is not None:
+            self.scheduler.cancel(timer)
+
+    def _auto_renew(self, name: str, lease: int) -> None:
+        self._renew_timers.pop(lease, None)
+        if self._closed:
+            return
+        grant = self._grants.get(lease)
+        if grant is None:
+            return
+        if grant.expiry <= self.scheduler.now:
+            # Validity ran out before the renewal could even start.
+            del self._grants[lease]
+            self._lose(name, lease)
+            return
+        self._start(_Op("renew", name, lease, grant.token, grant.ttl, False, None))
+
+    def _lose(self, name: str, lease: int) -> None:
+        self._grants.pop(lease, None)
+        self._cancel_renew(lease)
+        if self.on_lost is not None:
+            self.on_lost(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeaseClient(id={self.client_id}, group={self.group}, "
+            f"held={len(self._grants)}, inflight={len(self._ops)})"
+        )

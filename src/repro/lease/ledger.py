@@ -1,0 +1,202 @@
+"""The replicated lease table: a last-writer-wins CRDT over lease records.
+
+One :class:`~repro.net.message.LeaseRecord` per lease id, merged by a total
+order exactly like the membership view merges
+:class:`~repro.net.message.MemberInfo` records (:mod:`repro.core.group`):
+merge is commutative, associative and idempotent, so replicas converge
+regardless of message ordering, duplication or loss.
+
+Record order: higher fencing ``token`` wins outright — tokens encode the
+granting leader's tenure in their high bits (see
+:mod:`repro.lease.manager`), so a later tenure's grant always supersedes an
+earlier one.  Within one token, a higher ``seq`` wins (each renew or
+release of a grant bumps ``seq``); at equal seq a release beats the grant
+it refers to, and the remaining tie-breaks make the order total over
+arbitrary records.
+
+Ledgers support the same delta-gossip protocol as membership views: every
+effective change bumps :attr:`LeaseLedger.version` and stamps the changed
+record, :meth:`delta_since` ships only what a destination has not seen, and
+:meth:`digest64` (XOR of per-record 64-bit hashes, incrementally
+maintained) triggers a full-ledger anti-entropy sync on mismatch.  This is
+how lease state reaches a newly elected leader: it merges the ledger from
+gossip and resumes granting *above* every token it has seen.
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.message import LeaseRecord
+
+__all__ = [
+    "LeaseLedger",
+    "lease_id",
+    "lease_record_digest64",
+    "prefer_lease_record",
+]
+
+
+def lease_id(name: str) -> int:
+    """The stable 64-bit id of a lease name (strings never hit the wire)."""
+    return int.from_bytes(
+        blake2b(name.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def prefer_lease_record(a: LeaseRecord, b: LeaseRecord) -> LeaseRecord:
+    """The winner of two records for the same lease (a total order)."""
+    if a.lease != b.lease:
+        raise ValueError(
+            f"cannot merge records of different leases ({a.lease}, {b.lease})"
+        )
+
+    def key(record: LeaseRecord):
+        return (
+            record.token,
+            record.seq,
+            record.released,  # a release supersedes the grant it refers to
+            record.expiry,
+            record.granted_at,
+            record.holder,
+        )
+
+    return a if key(a) >= key(b) else b
+
+
+_RECORD_PACK = struct.Struct("!QiQdd?I")
+
+
+def lease_record_digest64(record: LeaseRecord) -> int:
+    """A stable 64-bit hash of one record (process-independent).
+
+    Packed-binary rendering, never Python ``hash`` (salted per process);
+    XOR-combined into the ledger digest so the digest is order-independent
+    and incrementally updatable — the same scheme as
+    :func:`repro.core.group.record_digest64`.
+    """
+    packed = _RECORD_PACK.pack(
+        record.lease,
+        record.holder,
+        record.token,
+        record.expiry,
+        record.granted_at,
+        record.released,
+        record.seq,
+    )
+    return int.from_bytes(blake2b(packed, digest_size=8).digest(), "big")
+
+
+class LeaseLedger:
+    """One node's replica of a group's lease table."""
+
+    def __init__(self, group: int) -> None:
+        self.group = group
+        self._records: Dict[int, LeaseRecord] = {}
+        #: Bumped on every effective change (delta-gossip stamps).
+        self.version = 0
+        self._record_versions: Dict[int, int] = {}
+        #: XOR of per-record 64-bit hashes; maintained incrementally.
+        self._digest64 = 0
+        #: Highest fencing token ever merged (a new leader's floor).
+        self.max_token = 0
+        self._full_cache: Optional[Tuple[LeaseRecord, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def merge_record(self, record: LeaseRecord) -> bool:
+        """Merge one record; returns True if the ledger changed."""
+        current = self._records.get(record.lease)
+        if current is None:
+            self._records[record.lease] = record
+            self.version += 1
+            self._record_versions[record.lease] = self.version
+            self._digest64 ^= lease_record_digest64(record)
+            if record.token > self.max_token:
+                self.max_token = record.token
+            self._full_cache = None
+            return True
+        winner = prefer_lease_record(current, record)
+        if winner is not current:
+            self._records[record.lease] = winner
+            self.version += 1
+            self._record_versions[record.lease] = self.version
+            self._digest64 ^= lease_record_digest64(current)
+            self._digest64 ^= lease_record_digest64(winner)
+            if winner.token > self.max_token:
+                self.max_token = winner.token
+            self._full_cache = None
+            return True
+        return False
+
+    def merge(self, records: Iterable[LeaseRecord]) -> bool:
+        """Merge many records; returns True if any changed the ledger."""
+        changed = False
+        for record in records:
+            changed |= self.merge_record(record)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def record(self, lease: int) -> Optional[LeaseRecord]:
+        """The current record for ``lease``, or None if never granted."""
+        return self._records.get(lease)
+
+    def holder(self, lease: int, now: float) -> Optional[LeaseRecord]:
+        """The record currently holding ``lease``, or None.
+
+        A lease is held iff its latest record is unreleased and unexpired
+        at ``now`` (leader clock).
+        """
+        record = self._records.get(lease)
+        if record is None or record.released or record.expiry <= now:
+            return None
+        return record
+
+    def active(self, now: float) -> List[LeaseRecord]:
+        """All records held at ``now`` (unreleased, unexpired)."""
+        return [
+            r
+            for r in self._records.values()
+            if not r.released and r.expiry > now
+        ]
+
+    def full(self) -> Tuple[LeaseRecord, ...]:
+        """All records, for full-ledger sync gossip (cached until changed)."""
+        if self._full_cache is None:
+            self._full_cache = tuple(self._records.values())
+        return self._full_cache
+
+    def digest64(self) -> int:
+        """64-bit order-independent digest of the full record set."""
+        return self._digest64
+
+    def delta_since(self, version: int) -> Tuple[LeaseRecord, ...]:
+        """Records changed after ``version``, in change order.
+
+        Empty in steady state (checked without allocation);
+        ``delta_since(0)`` is the full ledger.
+        """
+        if version >= self.version:
+            return ()
+        versions = self._record_versions
+        changed = [
+            (versions[lease], record)
+            for lease, record in self._records.items()
+            if versions[lease] > version
+        ]
+        changed.sort(key=lambda item: item[0])
+        return tuple(record for _, record in changed)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeaseLedger(group={self.group}, leases={len(self._records)}, "
+            f"max_token={self.max_token})"
+        )

@@ -1,0 +1,206 @@
+"""Live (UDP) lease clients: the channel and the CLI entry points.
+
+A lease client is *not* a cluster member: it has no slot in the daemons'
+address books and runs no failure detector.  It binds an ephemeral UDP
+socket, speaks the same codec as the daemons, and identifies itself with
+a synthetic wire node id far above any real node's.  Daemons learn the
+client's socket address from its first datagram (see
+:class:`~repro.runtime.realtime.UdpTransport`) and route replies back to
+it, so nothing about the cluster needs reconfiguring to serve a new
+client.
+
+Two entry points back ``repro lease acquire|watch``:
+
+* :func:`acquire_main` — acquire a named lease, hold it (auto-renewing)
+  for ``--hold`` seconds, release, exit 0.  The grant's fencing token is
+  printed as a machine-parsable ``GRANTED`` line, which is what the
+  live-cluster smoke test asserts monotonicity on across a leader kill.
+* :func:`watch_main` — poll the lease and print a ``HOLDER`` line on
+  every (holder, token) change until ``--duration`` elapses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.lease.client import LeaseClient
+from repro.net.message import LeaseReplyMessage, LeaseRequestMessage, Message
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "CLIENT_WIRE_BASE",
+    "UdpLeaseChannel",
+    "acquire_main",
+    "watch_main",
+]
+
+#: First wire node id handed to live clients — far above any daemon's.
+CLIENT_WIRE_BASE = 1 << 20
+
+
+class UdpLeaseChannel:
+    """A lease-client channel over a bound :class:`UdpTransport`.
+
+    ``node_id`` (the client's default request destination) is a *daemon*
+    node — the contact node — because the client itself serves nothing;
+    ``submit`` stamps the client's own wire id as the sender so replies
+    come back to this socket.  Incoming lease replies are fanned out to
+    the last registered ``reply_to`` (one client per channel).
+    """
+
+    def __init__(self, transport: UdpTransport, contact_node: int) -> None:
+        self._transport = transport
+        self.node_id = contact_node
+        self._reply_to: Optional[Callable[[LeaseReplyMessage], None]] = None
+
+    @property
+    def wire_node(self) -> int:
+        return self._transport.node_id
+
+    def submit(
+        self,
+        message: LeaseRequestMessage,
+        reply_to: Callable[[LeaseReplyMessage], None],
+    ) -> None:
+        self._reply_to = reply_to
+        message.sender_node = self.wire_node
+        self._transport.send(message)
+
+    def deliver(self, message: Message) -> None:
+        """Transport deliver hook: route lease replies to the client."""
+        if isinstance(message, LeaseReplyMessage) and self._reply_to is not None:
+            self._reply_to(message)
+
+
+def _addresses(
+    host: str, ports: Sequence[int], wire_node: int
+) -> Dict[int, Tuple[str, int]]:
+    book: Dict[int, Tuple[str, int]] = {
+        node: (host, port) for node, port in enumerate(ports)
+    }
+    # Port 0: bind an ephemeral local socket; daemons learn its real
+    # address from the datagrams themselves.
+    book[wire_node] = (host, 0)
+    return book
+
+
+async def _open_client(
+    *,
+    host: str,
+    ports: Sequence[int],
+    group: int,
+    client_id: int,
+    contact_node: int,
+):
+    wire_node = CLIENT_WIRE_BASE + client_id
+    channel_box = {}
+
+    def deliver(message: Message) -> None:
+        channel_box["channel"].deliver(message)
+
+    transport = UdpTransport(wire_node, _addresses(host, ports, wire_node), deliver)
+    await transport.open()
+    channel = UdpLeaseChannel(transport, contact_node)
+    channel_box["channel"] = channel
+    scheduler = RealtimeScheduler()
+    client = LeaseClient(
+        channel,
+        scheduler,
+        RngRegistry(seed=client_id).stream("lease.live"),
+        group=group,
+        client_id=client_id,
+    )
+    return transport, client
+
+
+def _emit(line: str) -> None:
+    print(line, flush=True)
+
+
+async def acquire_main(
+    *,
+    name: str,
+    host: str,
+    ports: Sequence[int],
+    group: int = 1,
+    client_id: int = 1000,
+    ttl: float = 0.0,
+    hold: float = 0.0,
+    timeout: float = 30.0,
+    contact_node: int = 0,
+) -> int:
+    """Acquire ``name``, hold (auto-renewing) for ``hold`` s, release.
+
+    Protocol lines on stdout::
+
+        GRANTED lease=<name> token=<t> expiry=<epoch s>
+        LOST lease=<name>                  # grant lost mid-hold (failover)
+        RELEASED lease=<name>
+
+    Exit 0 on a clean hold-and-release, 1 if no grant arrived within
+    ``timeout`` seconds.
+    """
+    transport, client = await _open_client(
+        host=host, ports=ports, group=group, client_id=client_id,
+        contact_node=contact_node,
+    )
+    loop = asyncio.get_running_loop()
+    granted: "asyncio.Future[LeaseReplyMessage]" = loop.create_future()
+    client.on_lost = lambda lost_name: _emit(f"LOST lease={lost_name}")
+
+    def on_granted(reply: LeaseReplyMessage) -> None:
+        if not granted.done():
+            granted.set_result(reply)
+
+    try:
+        client.acquire(name, ttl=ttl, callback=on_granted)
+        try:
+            reply = await asyncio.wait_for(granted, timeout)
+        except asyncio.TimeoutError:
+            _emit(f"TIMEOUT lease={name} after={timeout}")
+            return 1
+        _emit(
+            f"GRANTED lease={name} token={reply.token} expiry={reply.expiry:.6f}"
+        )
+        if hold > 0.0:
+            await asyncio.sleep(hold)
+        if client.release(name):
+            # Give the release datagram a beat to leave the socket.
+            await asyncio.sleep(0.05)
+            _emit(f"RELEASED lease={name}")
+        return 0
+    finally:
+        client.close()
+        transport.close()
+
+
+async def watch_main(
+    *,
+    name: str,
+    host: str,
+    ports: Sequence[int],
+    group: int = 1,
+    client_id: int = 1001,
+    period: float = 1.0,
+    duration: float = 10.0,
+    contact_node: int = 0,
+) -> int:
+    """Watch ``name``; print ``HOLDER`` lines on every ownership change."""
+    transport, client = await _open_client(
+        host=host, ports=ports, group=group, client_id=client_id,
+        contact_node=contact_node,
+    )
+
+    def on_change(reply: LeaseReplyMessage) -> None:
+        _emit(f"HOLDER lease={name} holder={reply.holder} token={reply.token}")
+
+    try:
+        stop = client.watch(name, on_change, period=period)
+        await asyncio.sleep(duration)
+        stop()
+        return 0
+    finally:
+        client.close()
+        transport.close()

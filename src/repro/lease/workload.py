@@ -1,0 +1,148 @@
+"""A deterministic population of lease clients for experiments and chaos.
+
+The workload models the paper's service *users*: ``n_clients`` processes
+(client ids 1000+i, clearly out of the pid range) spread round-robin over
+the deployment's nodes, contending for ``max(1, n_clients // 4)`` named
+locks (client *i* targets ``lock-{i % n_leases}``, giving ~4-way contention
+per lock).  Each client loops through one cycle:
+
+    acquire (blocking) → hold ≈ one TTL (auto-renewing) → release
+    → idle 1–3 s → re-acquire
+
+All timing draws come from the registry streams ``lease.client.{i}`` and
+all timers run on each client's *home-node* scheduler, so a run is
+bit-reproducible from its seed — the property the chaos fuzzer's replay
+contract and the ``lease_load`` benchmark cell rest on.  Counters
+(``grants``/``releases``/``losses``) give smoke tests something cheap to
+assert on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lease.client import HostLeaseChannel, LeaseClient
+
+__all__ = ["LeaseWorkload"]
+
+#: First client id; far above any pid so trace labels are unambiguous.
+CLIENT_ID_BASE = 1000
+
+
+class _Driver:
+    """One client's acquire/hold/release/idle loop."""
+
+    __slots__ = ("workload", "client", "scheduler", "rng", "name", "ttl", "stopped")
+
+    def __init__(self, workload, client, scheduler, rng, name, ttl) -> None:
+        self.workload = workload
+        self.client = client
+        self.scheduler = scheduler
+        self.rng = rng
+        self.name = name
+        self.ttl = ttl
+        self.stopped = False
+
+    def start(self) -> None:
+        self.client.acquire(self.name, self.ttl, self._on_granted)
+
+    def stop(self) -> None:
+        self.stopped = True
+        self.client.close()
+
+    def _on_granted(self, reply) -> None:
+        if self.stopped:
+            return
+        self.workload.grants += 1
+        # Hold across roughly two renewal periods before letting go.
+        hold = float(self.rng.uniform(2.5, 4.0))
+        self.scheduler.schedule(hold, self._release)
+
+    def _release(self) -> None:
+        if self.stopped:
+            return
+        if not self.client.release(self.name, self._on_released):
+            # The grant was lost mid-hold (leader change, home-node crash):
+            # skip straight to the idle phase and re-acquire.
+            self._idle()
+
+    def _on_released(self, reply) -> None:
+        if self.stopped:
+            return
+        self.workload.releases += 1
+        self._idle()
+
+    def _idle(self) -> None:
+        self.scheduler.schedule(float(self.rng.uniform(1.0, 3.0)), self._reacquire)
+
+    def _reacquire(self) -> None:
+        if not self.stopped:
+            self.client.acquire(self.name, self.ttl, self._on_granted)
+
+    def _on_lost(self, name: str) -> None:
+        if not self.stopped:
+            self.workload.losses += 1
+
+
+class LeaseWorkload:
+    """Drive ``n_clients`` lease clients against one group's leader."""
+
+    def __init__(
+        self,
+        hosts,
+        rng,
+        *,
+        group: int,
+        n_clients: int,
+        ttl: float = 3.0,
+        start_window: float = 2.0,
+    ) -> None:
+        self.group = group
+        self.n_clients = n_clients
+        self.grants = 0
+        self.releases = 0
+        self.losses = 0
+        self._drivers: List[_Driver] = []
+        n_leases = max(1, n_clients // 4)
+        for i in range(n_clients):
+            host = hosts[i % len(hosts)]
+            stream = rng.stream(f"lease.client.{i}")
+            driver = _Driver(
+                workload=self,
+                client=None,  # set below (the client needs the on_lost hook)
+                scheduler=host.scheduler,
+                rng=stream,
+                name=f"lock-{i % n_leases}",
+                ttl=ttl,
+            )
+            driver.client = LeaseClient(
+                HostLeaseChannel(host, group),
+                host.scheduler,
+                stream,
+                group=group,
+                client_id=CLIENT_ID_BASE + i,
+                on_lost=driver._on_lost,
+            )
+            self._drivers.append(driver)
+        self._start_window = start_window
+
+    def start(self) -> None:
+        """Stagger every client's first acquire across the start window."""
+        for driver in self._drivers:
+            delay = float(driver.rng.uniform(0.0, self._start_window))
+            driver.scheduler.schedule(delay, driver.start)
+
+    def stop(self) -> None:
+        for driver in self._drivers:
+            driver.stop()
+
+    @property
+    def clients(self) -> List[LeaseClient]:
+        return [d.client for d in self._drivers]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeaseWorkload(group={self.group}, clients={self.n_clients}, "
+            f"grants={self.grants}, releases={self.releases}, "
+            f"losses={self.losses})"
+        )

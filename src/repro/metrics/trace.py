@@ -12,7 +12,9 @@ Event kinds:
   (None = no leader known);
 * ``join``/``leave`` — process ``pid`` (on ``node``) entered/left ``group``;
 * ``crash``/``recover`` — workstation ``node`` went down/came back;
-* ``chaos``   — a chaos-script step was applied (``label`` describes it).
+* ``chaos``   — a chaos-script step was applied (``label`` describes it);
+* ``lease``   — the leader mutated the lease ledger (``label`` carries the
+  grant/renew/release detail the ``no-double-grant`` invariant checks).
 
 A trace can be folded into one :func:`trace_digest` — a SHA-256 over a
 canonical rendering of every event, ``repr``-exact on the float timestamps.
@@ -103,6 +105,17 @@ class TraceRecorder:
     def record_chaos(self, time: float, label: str) -> None:
         """A chaos-script step was applied (partition, drop, heal, ...)."""
         self.events.append(TraceEvent(time=time, kind="chaos", label=label))
+
+    def record_lease(self, time: float, group: int, pid: int, label: str) -> None:
+        """A lease-ledger mutation on the leader (grant/renew/release).
+
+        ``pid`` is the granting leader; ``label`` carries the parseable
+        ``<action> lease=<id> client=<c> token=<t> expiry=<e!r>`` detail the
+        ``no-double-grant`` chaos invariant folds over.
+        """
+        self.events.append(
+            TraceEvent(time=time, kind="lease", group=group, pid=pid, label=label)
+        )
 
     # ------------------------------------------------------------------
     # Access

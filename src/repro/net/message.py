@@ -39,12 +39,15 @@ __all__ = [
     "SHARED_USAGE_KEY",
     "MemberInfo",
     "AccEntry",
+    "LeaseRecord",
     "Message",
     "AliveCell",
     "BatchFrame",
     "HelloMessage",
     "AccuseMessage",
     "RateRequestMessage",
+    "LeaseRequestMessage",
+    "LeaseReplyMessage",
 ]
 
 #: Per-packet overhead: Ethernet header+FCS (18) + IPv4 (20) + UDP (8).
@@ -57,6 +60,10 @@ _MEMBER_ENTRY_BYTES = 16
 #: Serialized size of one accusation-table entry: pid (4) + acc time (8) +
 #: phase (4).
 _ACC_ENTRY_BYTES = 16
+
+#: Serialized size of one lease-ledger record: lease id (8) + holder (4) +
+#: token (8) + expiry (8) + granted_at (8) + released (1) + seq (4).
+_LEASE_ENTRY_BYTES = 41
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +91,28 @@ class AccEntry:
     pid: int
     acc_time: float
     phase: int
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseRecord:
+    """One lease-ledger entry, gossiped exactly like membership records.
+
+    ``lease`` is the 64-bit hash of the lease name (strings never travel
+    on the wire), ``holder`` the client id the lease was last granted to,
+    ``token`` the fencing token of that grant.  Records merge by a total
+    order — higher ``token`` wins; within one token a higher ``seq``
+    (renew/release bumps) wins, and a release beats the grant it refers
+    to — so replicas converge regardless of message ordering, duplication
+    or loss (see :class:`repro.lease.ledger.LeaseLedger`).
+    """
+
+    lease: int
+    holder: int
+    token: int
+    expiry: float
+    granted_at: float
+    released: bool
+    seq: int
 
 
 @dataclass(slots=True)
@@ -254,6 +283,12 @@ class HelloMessage(Message):
     processes as leaders — and thereby adopts the established leader within
     one round trip instead of electing itself (the paper's service keeps
     recovering processes from disrupting the group, §1).
+
+    The lease tier rides the same anti-entropy machinery: ``leases``
+    carries the sender's lease-ledger *delta* since the last send to this
+    destination (full ledger on ``"sync"``), and ``lease_digest`` the
+    64-bit digest of its full ledger, so lease state reaches a new leader
+    through the gossip paths that already exist for membership.
     """
 
     group: int = 0
@@ -264,10 +299,13 @@ class HelloMessage(Message):
     leader_hint: Optional[AccEntry] = None
     acc_table: Tuple[AccEntry, ...] = ()
     trusted: Tuple[int, ...] = ()
+    leases: Tuple[LeaseRecord, ...] = ()
+    lease_digest: int = 0
 
     #: group (4) + kind (1) + member count (2) + acc count (2) + hint flag
-    #: (1) + trusted count (2) + view_version (4) + view_digest (8).
-    _BASE_BYTES = 24
+    #: (1) + trusted count (2) + view_version (4) + view_digest (8) +
+    #: lease count (2) + lease_digest (8).
+    _BASE_BYTES = 34
 
     def payload_bytes(self) -> int:
         size = self._BASE_BYTES + _MEMBER_ENTRY_BYTES * len(self.members)
@@ -275,6 +313,7 @@ class HelloMessage(Message):
         size += 4 * len(self.trusted)
         if self.leader_hint is not None:
             size += _ACC_ENTRY_BYTES
+        size += _LEASE_ENTRY_BYTES * len(self.leases)
         return size
 
 
@@ -317,6 +356,68 @@ class RateRequestMessage(Message):
 
     #: interval (8) + padding (4).
     _PAYLOAD_BYTES = 12
+
+    def payload_bytes(self) -> int:
+        return self._PAYLOAD_BYTES
+
+
+@dataclass(slots=True)
+class LeaseRequestMessage(Message):
+    """A client's lease operation, addressed to the group's leader node.
+
+    ``op`` is one of ``"acquire"``, ``"renew"``, ``"release"`` or
+    ``"query"``; ``lease`` the 64-bit name hash (:func:`repro.lease.ledger.
+    lease_id`); ``client`` the requesting client's id (client ids share no
+    namespace with process ids — live clients use synthetic node ids).
+    ``token`` carries the client's current fencing token on renew/release
+    (0 otherwise), ``ttl`` the requested validity in seconds, and ``nonce``
+    matches the reply to the request across retries.
+    """
+
+    group: int = 0
+    op: str = "acquire"
+    lease: int = 0
+    client: int = 0
+    token: int = 0
+    ttl: float = 0.0
+    nonce: int = 0
+
+    #: group (4) + op (1) + lease (8) + client (4) + token (8) + ttl (8) +
+    #: nonce (4).
+    _PAYLOAD_BYTES = 37
+
+    def payload_bytes(self) -> int:
+        return self._PAYLOAD_BYTES
+
+
+@dataclass(slots=True)
+class LeaseReplyMessage(Message):
+    """The leader's answer to a :class:`LeaseRequestMessage`.
+
+    ``status`` is ``"granted"``, ``"denied"``, ``"redirect"``,
+    ``"throttled"`` or ``"info"`` (the answer to a query).  On a grant,
+    ``token`` is the fencing token and ``expiry`` the leader-clock time at
+    which the lease lapses.  On a deny or throttle, ``retry_after`` hints
+    when retrying might succeed.  On a redirect, ``leader_node`` names the
+    node the sender believes hosts the leader (-1 when it knows none).
+    ``holder`` reports the current holder for queries and denials.
+    """
+
+    group: int = 0
+    status: str = "denied"
+    lease: int = 0
+    client: int = 0
+    token: int = 0
+    holder: int = -1
+    expiry: float = 0.0
+    retry_after: float = 0.0
+    leader_node: int = -1
+    nonce: int = 0
+
+    #: group (4) + status (1) + lease (8) + client (4) + token (8) +
+    #: holder (4) + expiry (8) + retry_after (8) + leader_node (4) +
+    #: nonce (4).
+    _PAYLOAD_BYTES = 53
 
     def payload_bytes(self) -> int:
         return self._PAYLOAD_BYTES

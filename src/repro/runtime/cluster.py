@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -43,6 +44,8 @@ from pathlib import Path
 from queue import Empty, Queue
 from typing import Dict, IO, List, Optional, Tuple
 
+from repro.core.api import Application
+from repro.core.commands import CommandHandler
 from repro.core.service import LeaderElectionService, ServiceConfig
 from repro.fd.qos import FDQoS
 from repro.net.node import Node
@@ -188,16 +191,17 @@ async def run_node(config: LiveNodeConfig) -> None:
             f"t={scheduler.now:.6f}"
         )
 
-    pid = config.node_id  # one application process per node, pid = node id
-    service.register(pid)
+    # One application process per node (pid = node id), driving the daemon
+    # through the public handle API — the same surface simulated code uses.
+    app = Application(pid=config.node_id)
     for group in config.groups:
-        service.join(
-            pid,
+        handle = app.join(
             group,
             candidate=True,
             qos=FDQoS(detection_time=config.detection_time),
-            on_leader_change=on_leader_change,
         )
+        handle.watch_leader(on_leader_change)
+    app.bind(CommandHandler(service))
     _emit(f"READY node={config.node_id} port={config.ports[config.node_id]}")
     if chaos_controller is not None:
         chaos_controller.start()
@@ -266,6 +270,10 @@ class ClusterReport:
     #: Seconds from the leader kill to the survivors' agreement on one
     #: new leader — the live counterpart of the paper's Tr.
     reelection_seconds: Optional[float] = None
+    #: Fencing tokens granted by the lease smoke (before / after the kill).
+    #: Monotonicity (second > first) is the cross-failover safety check.
+    lease_first_token: Optional[int] = None
+    lease_new_token: Optional[int] = None
     log_dir: Optional[Path] = None
     timeline: List[str] = field(default_factory=list)
 
@@ -291,6 +299,13 @@ class ClusterReport:
                 f"killed node {self.killed_leader}; survivors re-elected "
                 f"{shown} in {self.reelection_seconds:.2f}s"
             )
+        if self.lease_new_token is not None:
+            parts.append(
+                f"lease fencing token advanced {self.lease_first_token} -> "
+                f"{self.lease_new_token} across the kill"
+            )
+        elif self.lease_first_token is not None:
+            parts.append(f"lease granted with token {self.lease_first_token}")
         return "; ".join(parts)
 
 
@@ -311,6 +326,16 @@ def _reserve_udp_ports(host: str, count: int) -> List[int]:
     finally:
         for sock in sockets:
             sock.close()
+
+
+def _child_env() -> Dict[str, str]:
+    """Environment for child processes: make ``repro`` importable."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
 
 
 def _spawn_node(
@@ -345,18 +370,69 @@ def _spawn_node(
         "--duration",
         str(duration),
     ]
-    env = dict(os.environ)
-    src_root = str(Path(__file__).resolve().parents[2])
-    env["PYTHONPATH"] = src_root + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
     return subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
-        env=env,
+        env=_child_env(),
         text=True,
     )
+
+
+_GRANTED_RE = re.compile(r"^GRANTED lease=\S+ token=(\d+) ", re.MULTILINE)
+
+
+def _lease_acquire(
+    ports: List[int],
+    host: str,
+    contact_node: int,
+    client_id: int,
+    timeout: float,
+    log_path: Path,
+) -> Optional[int]:
+    """Run one ``repro lease acquire`` round trip; return its fencing token.
+
+    The client is a real subprocess speaking real UDP — the same code path
+    a user's ``repro lease acquire`` takes — so this exercises the learned
+    sender address plumbing, the redirect dance, and (after a kill) the
+    new leader's takeover grace.  None means no grant within ``timeout``;
+    the child's full output lands in ``log_path`` for post-mortems.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "lease",
+        "acquire",
+        "--ports",
+        ",".join(map(str, ports)),
+        "--host",
+        host,
+        "--name",
+        "smoke-lock",
+        "--contact-node",
+        str(contact_node),
+        "--client-id",
+        str(client_id),
+        "--ttl",
+        "2.0",
+        "--timeout",
+        str(timeout),
+    ]
+    try:
+        result = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=timeout + 10.0,
+            env=_child_env(),
+        )
+        output = result.stdout + result.stderr
+    except subprocess.TimeoutExpired as exc:
+        output = f"{exc.stdout or ''}{exc.stderr or ''}\n(killed: wedged client)"
+    log_path.write_text(output)
+    match = _GRANTED_RE.search(output)
+    return int(match.group(1)) if match else None
 
 
 def _pump_output(
@@ -423,6 +499,7 @@ def run_cluster(
     detection_time: float = 1.0,
     fd_variant: str = "nfds",
     kill_leader: bool = True,
+    lease_smoke: bool = False,
     stable_seconds: float = 1.5,
     timeout: float = 20.0,
     log_dir: Optional[Path] = None,
@@ -438,6 +515,11 @@ def run_cluster(
     leader and hold it; group 1's must be *new*).  ``timeout`` bounds each
     agreement phase.  Returns a :class:`ClusterReport`; ``report.ok`` is
     the CI assertion.
+
+    With ``lease_smoke`` a real lease-client subprocess acquires (and
+    releases) a lock after each election; the second grant must carry a
+    strictly larger fencing token than the first — the lease tier's
+    cross-failover safety contract, checked over real UDP.
     """
     if n_nodes < 2:
         raise ValueError(f"a cluster needs at least 2 nodes (got {n_nodes})")
@@ -453,8 +535,9 @@ def run_cluster(
     report = ClusterReport(n_nodes=n_nodes, n_groups=groups, log_dir=log_dir)
     group_ids = list(range(1, groups + 1))
     # Children outlive every phase timeout, then exit on their own even if
-    # this orchestrator dies mid-run.
-    child_duration = timeout * 3 + 30.0
+    # this orchestrator dies mid-run.  The lease smoke adds two client
+    # round trips, the second of which rides out the takeover grace.
+    child_duration = timeout * 3 + 30.0 + (2 * timeout if lease_smoke else 0.0)
 
     def note(line: str) -> None:
         report.timeline.append(f"{time.time():.3f} {line}")
@@ -559,6 +642,21 @@ def run_cluster(
             f"{report.election_seconds:.2f}s"
         )
 
+        if lease_smoke:
+            note("lease smoke: acquiring smoke-lock via a client subprocess")
+            token = _lease_acquire(
+                ports, host, report.first_leader, 1000, timeout,
+                log_dir / "lease-before-kill.log",
+            )
+            if token is None:
+                report.reason = (
+                    "lease smoke: no grant before the kill (see "
+                    "lease-before-kill.log)"
+                )
+                return report
+            report.lease_first_token = token
+            note(f"lease smoke: granted token {token}")
+
         if kill_leader:
             leader = report.first_leader
             note(f"killing group-1 leader process (node {leader}) with SIGKILL")
@@ -590,6 +688,29 @@ def run_cluster(
                 f"survivors re-elected leader(s) {report.new_leaders} after "
                 f"{report.reelection_seconds:.2f}s"
             )
+
+            if lease_smoke:
+                # The new leader holds grants until its takeover grace
+                # runs out, so this client may retry for several seconds.
+                note("lease smoke: re-acquiring smoke-lock from a survivor")
+                token = _lease_acquire(
+                    ports, host, report.new_leader, 1001, 2 * timeout,
+                    log_dir / "lease-after-kill.log",
+                )
+                if token is None:
+                    report.reason = (
+                        "lease smoke: no grant after the kill (see "
+                        "lease-after-kill.log)"
+                    )
+                    return report
+                report.lease_new_token = token
+                note(f"lease smoke: re-granted token {token}")
+                if token <= report.lease_first_token:
+                    report.reason = (
+                        "lease smoke: fencing token did not advance across "
+                        f"the kill ({report.lease_first_token} -> {token})"
+                    )
+                    return report
 
         report.ok = True
         return report

@@ -23,6 +23,12 @@ node-pair FD header plus per-group cells with membership *deltas* and a
 64-bit view digest; HELLOs gained the ``"sync"`` kind and the view
 version/digest pair; RATE-REQUESTs became node-level.
 
+Codec version 3 (the lease tier): HELLOs additionally carry the sender's
+lease-ledger digest and a lease-record delta (full ledger on sync/reply),
+and two new message types serve lease clients — LEASE-REQUEST (tag 6) and
+LEASE-REPLY (tag 7), whose ``op``/``status`` enumerations travel as single
+bytes like the HELLO kind.
+
 Strings never appear on the wire: the only enumerated field
 (:attr:`HelloMessage.kind`) travels as one byte.  Optional fields carry a
 one-byte presence flag.  Decoding is strict — unknown magic, version, type
@@ -44,6 +50,9 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseRecord,
+    LeaseReplyMessage,
+    LeaseRequestMessage,
     MemberInfo,
     Message,
     RateRequestMessage,
@@ -52,7 +61,7 @@ from repro.net.message import (
 __all__ = ["CodecError", "encode_message", "decode_message", "MAX_FRAME_BYTES"]
 
 _MAGIC = 0x03A9  # Ω, fittingly
-_VERSION = 2
+_VERSION = 3
 
 #: Upper bound on a frame we are willing to decode (or encode).  Generous —
 #: a 64-cell batch with 4096-member deltas would not fit a datagram anyway —
@@ -67,8 +76,12 @@ _TAG_HELLO = 2
 _TAG_ACCUSE = 3
 _TAG_RATE_REQUEST = 4
 _TAG_BATCH = 5
+_TAG_LEASE_REQUEST = 6
+_TAG_LEASE_REPLY = 7
 
 _HELLO_KINDS = ("gossip", "join", "reply", "sync")
+_LEASE_OPS = ("acquire", "renew", "release", "query")
+_LEASE_STATUSES = ("granted", "denied", "redirect", "throttled", "info")
 
 _ROUTING = struct.Struct("!ii")  # sender_node, dest_node
 _MEMBER = struct.Struct("!iiq??d")  # pid, node, incarnation, cand, present, joined_at
@@ -85,6 +98,14 @@ _CELL_VIEW = struct.Struct("!IQH")  # view_version, view_digest, n_delta
 _HELLO_FIXED = struct.Struct("!iBHHH?IQ")  # group, kind, n_members, n_acc,
 #                                            n_trusted, has_leader_hint,
 #                                            view_version, view_digest
+_HELLO_LEASES = struct.Struct("!HQ")  # n_leases, lease_digest (codec v3)
+_LEASE_RECORD = struct.Struct("!QiQdd?I")  # lease, holder, token, expiry,
+#                                            granted_at, released, seq
+_LEASE_REQUEST_BODY = struct.Struct("!iBQiQdI")  # group, op, lease, client,
+#                                                  token, ttl, nonce
+_LEASE_REPLY_BODY = struct.Struct("!iBQiQiddiI")  # group, status, lease,
+#                                  client, token, holder, expiry,
+#                                  retry_after, leader_node, nonce
 _ACCUSE_BODY = struct.Struct("!iiii")  # group, accuser, accused, accused_phase
 _RATE_BODY = struct.Struct("!d")  # interval
 _U16_MAX = 0xFFFF
@@ -137,6 +158,18 @@ def _check_view(version: int, digest: int) -> Tuple[int, int]:
     if not 0 <= digest <= _U64_MAX:
         raise CodecError(f"view digest {digest} out of u64 range")
     return version, digest
+
+
+def _check_u32(label: str, value: int) -> int:
+    if not 0 <= value <= _U32_MAX:
+        raise CodecError(f"{label} {value} out of u32 range")
+    return value
+
+
+def _check_u64(label: str, value: int) -> int:
+    if not 0 <= value <= _U64_MAX:
+        raise CodecError(f"{label} {value} out of u64 range")
+    return value
 
 
 def _encode_members(members: Tuple[MemberInfo, ...]) -> List[bytes]:
@@ -207,7 +240,68 @@ def _encode_hello(message: HelloMessage) -> List[bytes]:
     parts.extend(_encode_members(message.members))
     parts.extend(_ACC_ENTRY.pack(e.pid, e.acc_time, e.phase) for e in message.acc_table)
     parts.extend(_I32.pack(pid) for pid in message.trusted)
+    parts.append(
+        _HELLO_LEASES.pack(
+            _check_count("lease records", len(message.leases)),
+            _check_u64("lease digest", message.lease_digest),
+        )
+    )
+    parts.extend(_encode_lease_records(message.leases))
     return parts
+
+
+def _encode_lease_records(records: Tuple[LeaseRecord, ...]) -> List[bytes]:
+    return [
+        _LEASE_RECORD.pack(
+            _check_u64("lease id", r.lease),
+            r.holder,
+            _check_u64("lease token", r.token),
+            r.expiry,
+            r.granted_at,
+            r.released,
+            _check_u32("lease seq", r.seq),
+        )
+        for r in records
+    ]
+
+
+def _encode_lease_request(message: LeaseRequestMessage) -> List[bytes]:
+    try:
+        op = _LEASE_OPS.index(message.op)
+    except ValueError:
+        raise CodecError(f"unknown lease op {message.op!r}") from None
+    return [
+        _LEASE_REQUEST_BODY.pack(
+            message.group,
+            op,
+            _check_u64("lease id", message.lease),
+            message.client,
+            _check_u64("lease token", message.token),
+            message.ttl,
+            _check_u32("lease nonce", message.nonce),
+        )
+    ]
+
+
+def _encode_lease_reply(message: LeaseReplyMessage) -> List[bytes]:
+    try:
+        status = _LEASE_STATUSES.index(message.status)
+    except ValueError:
+        raise CodecError(f"unknown lease status {message.status!r}") from None
+    return [
+        _LEASE_REPLY_BODY.pack(
+            message.group,
+            status,
+            _check_u64("lease id", message.lease),
+            message.client,
+            _check_u64("lease token", message.token),
+            message.holder,
+            message.expiry,
+            message.retry_after,
+            message.leader_node,
+            _check_u32("lease nonce", message.nonce),
+        )
+    ]
 
 
 def _encode_accuse(message: AccuseMessage) -> List[bytes]:
@@ -227,6 +321,8 @@ _ENCODERS: Dict[Type[Message], Tuple[int, Callable[[Message], List[bytes]]]] = {
     HelloMessage: (_TAG_HELLO, _encode_hello),
     AccuseMessage: (_TAG_ACCUSE, _encode_accuse),
     RateRequestMessage: (_TAG_RATE_REQUEST, _encode_rate_request),
+    LeaseRequestMessage: (_TAG_LEASE_REQUEST, _encode_lease_request),
+    LeaseReplyMessage: (_TAG_LEASE_REPLY, _encode_lease_reply),
 }
 
 
@@ -314,6 +410,8 @@ def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
     members = _decode_members(reader, n_members)
     acc_table = tuple(AccEntry(*reader.unpack(_ACC_ENTRY)) for _ in range(n_acc))
     trusted = tuple(reader.unpack(_I32)[0] for _ in range(n_trusted))
+    n_leases, lease_digest = reader.unpack(_HELLO_LEASES)
+    leases = _decode_lease_records(reader, n_leases)
     return HelloMessage(
         sender_node=sender,
         dest_node=dest,
@@ -325,6 +423,75 @@ def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
         leader_hint=hint,
         acc_table=acc_table,
         trusted=trusted,
+        leases=leases,
+        lease_digest=lease_digest,
+    )
+
+
+def _decode_lease_records(reader: _Reader, count: int) -> Tuple[LeaseRecord, ...]:
+    return tuple(
+        LeaseRecord(
+            lease=lease,
+            holder=holder,
+            token=token,
+            expiry=expiry,
+            granted_at=granted_at,
+            released=released,
+            seq=seq,
+        )
+        for lease, holder, token, expiry, granted_at, released, seq in (
+            reader.unpack(_LEASE_RECORD) for _ in range(count)
+        )
+    )
+
+
+def _decode_lease_request(
+    reader: _Reader, sender: int, dest: int
+) -> LeaseRequestMessage:
+    group, op, lease, client, token, ttl, nonce = reader.unpack(_LEASE_REQUEST_BODY)
+    if op >= len(_LEASE_OPS):
+        raise CodecError(f"unknown lease op tag {op}")
+    return LeaseRequestMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        op=_LEASE_OPS[op],
+        lease=lease,
+        client=client,
+        token=token,
+        ttl=ttl,
+        nonce=nonce,
+    )
+
+
+def _decode_lease_reply(reader: _Reader, sender: int, dest: int) -> LeaseReplyMessage:
+    (
+        group,
+        status,
+        lease,
+        client,
+        token,
+        holder,
+        expiry,
+        retry_after,
+        leader_node,
+        nonce,
+    ) = reader.unpack(_LEASE_REPLY_BODY)
+    if status >= len(_LEASE_STATUSES):
+        raise CodecError(f"unknown lease status tag {status}")
+    return LeaseReplyMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        status=_LEASE_STATUSES[status],
+        lease=lease,
+        client=client,
+        token=token,
+        holder=holder,
+        expiry=expiry,
+        retry_after=retry_after,
+        leader_node=leader_node,
+        nonce=nonce,
     )
 
 
@@ -354,6 +521,8 @@ _DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
     _TAG_HELLO: _decode_hello,
     _TAG_ACCUSE: _decode_accuse,
     _TAG_RATE_REQUEST: _decode_rate_request,
+    _TAG_LEASE_REQUEST: _decode_lease_request,
+    _TAG_LEASE_REPLY: _decode_lease_reply,
 }
 
 

@@ -143,6 +143,12 @@ class UdpTransport(asyncio.DatagramProtocol):
     typically :meth:`Node.deliver <repro.net.node.Node.deliver>`, exactly
     like the simulated network hands messages to a node.
 
+    Senders outside the static address book (lease clients are not cluster
+    members) are *learned*: the source address of their last datagram is
+    remembered, and :meth:`send` falls back to it, so a daemon can answer
+    a client it was never configured with.  Static entries always win —
+    a learned address can never shadow a cluster node.
+
     Create, then ``await transport.open()`` to bind the local socket.
     """
 
@@ -156,6 +162,8 @@ class UdpTransport(asyncio.DatagramProtocol):
             raise ValueError(f"node {node_id} missing from the address book")
         self.node_id = node_id
         self._addresses = dict(addresses)
+        #: node id -> last seen source address, for off-book senders.
+        self._learned: Dict[int, Tuple[str, int]] = {}
         self._deliver = deliver
         self._transport: Optional[asyncio.DatagramTransport] = None
         self.stats = TransportStats()
@@ -196,6 +204,8 @@ class UdpTransport(asyncio.DatagramProtocol):
             return
         address = self._addresses.get(message.dest_node)
         if address is None:
+            address = self._learned.get(message.dest_node)
+        if address is None:
             self.stats.unroutable += 1
             return
         try:
@@ -228,6 +238,8 @@ class UdpTransport(asyncio.DatagramProtocol):
             self.stats.frames_rejected += 1
             self.stats.last_error = str(exc)
             return
+        if message.sender_node not in self._addresses:
+            self._learned[message.sender_node] = addr
         self._deliver(message)
 
     def error_received(self, exc: OSError) -> None:

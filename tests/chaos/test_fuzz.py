@@ -102,10 +102,11 @@ class TestSeedReplayContract:
         assert replay_command(123) == "python -m repro chaos replay --seed 123"
 
     def test_replay_command_carries_non_default_profile_flags(self):
-        profile = FuzzProfile(n_nodes=8, detection_time=2.0)
+        profile = FuzzProfile(n_nodes=8, detection_time=2.0, n_lease_clients=7)
         command = replay_command(123, profile)
         assert "--nodes 8" in command
         assert "--detection-time 2.0" in command
+        assert "--lease-clients 7" in command
         assert "--algorithm" not in command  # default stays implicit
         assert replay_command(123, FuzzProfile()) == replay_command(123)
 

@@ -193,3 +193,124 @@ class TestReportShape:
         report = check(trace)
         times = [v.time for v in report.violations]
         assert times == sorted(times)
+
+
+def lease_event(trace, time, pid, action, *, lease=7, client=1000, token=1,
+                expiry=0.0):
+    trace.record_lease(
+        time,
+        GROUP,
+        pid,
+        f"{action} lease={lease} client={client} token={token} "
+        f"expiry={expiry!r}",
+    )
+
+
+class TestNoDoubleGrant:
+    """The lease safety checker, branch by branch, on synthetic traces."""
+
+    def test_clean_grant_renew_release_cycle_passes(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", token=100, expiry=13.0)
+        lease_event(trace, 11.5, 0, "renew", token=100, expiry=14.5)
+        lease_event(trace, 12.0, 0, "release", token=100, expiry=12.0)
+        lease_event(trace, 13.0, 0, "grant", client=1001, token=200,
+                    expiry=16.0)
+        report = check(trace)
+        assert report.ok
+
+    def test_token_regression_is_flagged(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", token=200, expiry=11.0)
+        lease_event(trace, 20.0, 1, "grant", client=1001, token=150,
+                    expiry=23.0)
+        report = check(trace)
+        assert any(
+            v.invariant == "no-double-grant" and "regressed" in v.detail
+            for v in report.violations
+        )
+
+    def test_overlapping_grants_to_two_clients_are_flagged(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=20.0)
+        lease_event(trace, 12.0, 1, "grant", client=1001, token=300,
+                    expiry=15.0)
+        report = check(trace)
+        assert any(
+            v.invariant == "no-double-grant" and "still valid" in v.detail
+            for v in report.violations
+        )
+
+    def test_expired_holder_may_be_superseded_within_slack(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=13.0)
+        # Next grant lands 0.5s before the first expiry: inside the slack
+        # allowance for clock skew, so not a violation.
+        lease_event(trace, 12.5, 0, "grant", client=1001, token=200,
+                    expiry=15.5)
+        report = check(trace)
+        assert report.ok
+
+    def test_stale_renew_of_a_superseded_token_is_flagged(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=13.0)
+        lease_event(trace, 13.5, 1, "grant", client=1001, token=300,
+                    expiry=20.0)
+        # The old holder's renewal (stale token, different client) while
+        # the new grant is live: the double-grant the fuzzer caught.
+        lease_event(trace, 15.0, 0, "renew", client=1000, token=100,
+                    expiry=18.0)
+        report = check(trace)
+        assert any(
+            v.invariant == "no-double-grant" and "stale renew" in v.detail
+            for v in report.violations
+        )
+
+    def test_release_truncates_the_holding(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=30.0)
+        lease_event(trace, 12.0, 0, "release", client=1000, token=100,
+                    expiry=12.0)
+        # Without the release this would overlap; after it, it's clean.
+        lease_event(trace, 14.0, 0, "grant", client=1001, token=200,
+                    expiry=18.0)
+        report = check(trace)
+        assert report.ok
+
+    def test_renew_extends_and_never_shrinks(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=13.0)
+        lease_event(trace, 11.0, 0, "renew", client=1000, token=100,
+                    expiry=14.0)
+        # A same-token renew carrying an *older* expiry must not shrink
+        # the tracked holding — the next overlap still counts.
+        lease_event(trace, 11.5, 0, "renew", client=1000, token=100,
+                    expiry=13.5)
+        lease_event(trace, 12.0, 1, "grant", client=1001, token=300,
+                    expiry=16.0)
+        report = check(trace)
+        assert any(
+            v.invariant == "no-double-grant" for v in report.violations
+        )
+
+    def test_leases_are_tracked_independently(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", lease=1, client=1000, token=100,
+                    expiry=20.0)
+        lease_event(trace, 11.0, 0, "grant", lease=2, client=1001, token=150,
+                    expiry=20.0)
+        report = check(trace)
+        assert report.ok

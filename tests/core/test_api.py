@@ -149,3 +149,174 @@ class TestServiceHost:
         sim.run_until(10.0)
         second = hosts[1].service.group_runtime(1).view.record(1).incarnation
         assert second > first
+
+
+class TestRestartAfterRecoveryRace:
+    """Both branches of the ``_restart_after_recovery`` guard, exercised
+    directly: the scheduled restart callback races node state."""
+
+    def test_restart_is_a_noop_while_the_node_is_down(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        start_group(sim, hosts)
+        sim.run_until(5.0)
+        host = hosts[0]
+        network.node(0).crash()
+        assert host.service is None
+        # The node crashed again before the queued restart fired: the
+        # callback must see node.up False and refuse to boot a daemon on
+        # a dead node.
+        host._restart_after_recovery()
+        assert host.service is None
+        assert host.restarts == 0
+
+    def test_restart_is_a_noop_when_the_daemon_is_already_up(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        start_group(sim, hosts)
+        sim.run_until(5.0)
+        host = hosts[0]
+        service = host.service
+        assert service is not None
+        # crash -> recover -> crash -> recover queues two restart
+        # callbacks; the one that fires second must not double-boot.  The
+        # direct call models exactly that stale second callback.
+        host._restart_after_recovery()
+        assert host.service is service  # same daemon, not a reboot
+        assert host.restarts == 0
+
+    def test_queued_double_restart_boots_exactly_once(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        start_group(sim, hosts)
+        sim.run_until(5.0)
+        node = network.node(0)
+        # Two full crash/recover cycles inside one restart-delay window:
+        # two callbacks are queued, both eventually fire, one boot happens.
+        node.crash()
+        node.recover()
+        node.crash()
+        node.recover()
+        sim.run_until(10.0)
+        assert hosts[0].service is not None
+        assert hosts[0].restarts == 1
+
+
+class TestGroupHandle:
+    def test_join_returns_a_stable_handle(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        app = Application(pid=0)
+        handle = app.join(1)
+        assert handle.group == 1
+        assert app.join(1) is handle  # re-join hands back the same object
+        assert app.group(1) is handle
+        assert app.group(2) is None
+
+    def test_handle_leader_matches_query_mode(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        apps, handles = [], []
+        for host in hosts:
+            app = Application(pid=host.node.node_id)
+            handles.append(app.join(1))
+            host.add_application(app)
+            host.start()
+            apps.append(app)
+        sim.run_until(5.0)
+        assert handles[0].leader() is not None
+        assert handles[0].leader() == apps[0].leader(1)
+
+    def test_watch_leader_fires_and_unsubscribes(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        seen = []
+        app = Application(pid=0)
+        handle = app.join(1)
+        unsubscribe = handle.watch_leader(lambda g, leader: seen.append(leader))
+        hosts[0].add_application(app)
+        for host in hosts:
+            if host.node.node_id != 0:
+                host.add_application(Application(pid=host.node.node_id))
+                host.start()
+        hosts[0].start()
+        sim.run_until(5.0)
+        assert seen, "watcher never fired"
+        assert seen[-1] == app.leader(1)
+        count = len(seen)
+        unsubscribe()
+        unsubscribe()  # double-unsubscribe is harmless
+        network.node(1).crash()  # force a leader change somewhere
+        sim.run_until(15.0)
+        assert len(seen) == count
+
+    def test_multiple_watchers_all_fire(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        first, second = [], []
+        app = Application(pid=0)
+        handle = app.join(1)
+        handle.watch_leader(lambda g, leader: first.append(leader))
+        handle.watch_leader(lambda g, leader: second.append(leader))
+        hosts[0].add_application(app)
+        for host in hosts[1:]:
+            host.add_application(Application(pid=host.node.node_id))
+        for host in hosts:
+            host.start()
+        sim.run_until(5.0)
+        assert first and first == second
+
+    def test_deprecated_callback_kwarg_warns_but_works(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        seen = []
+        app = Application(pid=0)
+        with pytest.warns(DeprecationWarning):
+            app.join(1, on_leader_change=lambda g, leader: seen.append(leader))
+        hosts[0].add_application(app)
+        for host in hosts[1:]:
+            host.add_application(Application(pid=host.node.node_id))
+        for host in hosts:
+            host.start()
+        sim.run_until(5.0)
+        assert seen, "deprecated callback never fired"
+
+    def test_leave_via_handle_clears_everything(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        apps = start_group(sim, hosts)
+        sim.run_until(5.0)
+        handle = apps[0].group(1)
+        handle.leave()
+        assert apps[0].joined_groups == []
+        assert apps[0].group(1) is None
+        assert hosts[0].service.group_runtime(1) is None
+
+    def test_lease_client_requires_an_attached_host(self, sim):
+        app = Application(pid=0)
+        handle = app.join(1)
+        with pytest.raises(RuntimeError):
+            handle.lease_client()
+
+
+class TestLeaseOverGroupHandle:
+    def test_acquire_hold_release_through_the_public_api(self, sim):
+        network, hosts, _ = build_hosts(sim)
+        apps = start_group(sim, hosts)
+        sim.run_until(12.0)  # election + takeover grace
+        handle = apps[0].group(1)
+        lock = handle.lease("config-writer", ttl=3.0)
+        results = []
+        lock.acquire(results.append)
+        sim.run_until(sim.now + 5.0)
+        assert [r.status for r in results] == ["granted"]
+        assert lock.token is not None
+        assert lock.grant.name == "config-writer"
+
+        # A second app contends and is denied while we hold it.
+        other = apps[1].group(1).lease("config-writer", ttl=3.0)
+        denied = []
+        other.acquire(denied.append, wait=False)
+        sim.run_until(sim.now + 2.0)
+        assert [r.status for r in denied] == ["denied"]
+
+        # Release; the contender can now take it with a larger token.
+        ours = lock.token
+        assert lock.release() is True
+        granted = []
+        sim.run_until(sim.now + 1.0)
+        other.acquire(granted.append)
+        sim.run_until(sim.now + 3.0)
+        assert [r.status for r in granted] == ["granted"]
+        assert granted[0].token > ours

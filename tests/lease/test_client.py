@@ -1,0 +1,231 @@
+"""LeaseClient state machine: retries, redirects, renewal, loss."""
+
+from __future__ import annotations
+
+from repro.lease.client import LeaseClient, LeaseGrant
+from repro.lease.ledger import lease_id
+from repro.net.message import LeaseReplyMessage
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+GROUP = 1
+CLIENT_ID = 1000
+
+
+class ScriptedChannel:
+    """Records requests; the test decides when and what to reply."""
+
+    def __init__(self, node_id=0):
+        self.node_id = node_id
+        self.requests = []
+        self.reply_to = None
+
+    def submit(self, message, reply_to):
+        self.requests.append(message)
+        self.reply_to = reply_to
+
+    def reply(self, request, status, *, token=0, holder=-1, expiry=0.0,
+              retry_after=0.0, leader_node=-1):
+        self.reply_to(
+            LeaseReplyMessage(
+                sender_node=request.dest_node,
+                dest_node=request.sender_node,
+                group=request.group,
+                status=status,
+                lease=request.lease,
+                client=request.client,
+                token=token,
+                holder=holder,
+                expiry=expiry,
+                retry_after=retry_after,
+                leader_node=leader_node,
+                nonce=request.nonce,
+            )
+        )
+
+
+def make_client(**kwargs):
+    sim = Simulator()
+    channel = ScriptedChannel()
+    client = LeaseClient(
+        channel,
+        sim,
+        RngRegistry(seed=7).stream("test.client"),
+        group=GROUP,
+        client_id=CLIENT_ID,
+        **kwargs,
+    )
+    return sim, channel, client
+
+
+class TestAcquire:
+    def test_granted_acquire_exposes_the_fencing_token(self):
+        sim, channel, client = make_client()
+        replies = []
+        client.acquire("lock-a", ttl=3.0, callback=replies.append)
+        sim.run_until(0.01)
+        request = channel.requests[-1]
+        assert request.op == "acquire"
+        assert request.lease == lease_id("lock-a")
+        channel.reply(request, "granted", token=42, holder=CLIENT_ID,
+                      expiry=sim.now + 3.0, leader_node=0)
+        assert [r.status for r in replies] == ["granted"]
+        grant = client.grant("lock-a")
+        assert isinstance(grant, LeaseGrant)
+        assert grant.token == 42
+
+    def test_expired_grant_is_not_exposed(self):
+        sim, channel, client = make_client()
+        client.acquire("lock-a", ttl=3.0)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[-1], "granted", token=42,
+                      holder=CLIENT_ID, expiry=sim.now + 3.0, leader_node=0)
+        client._cancel_renew(lease_id("lock-a"))  # isolate expiry behaviour
+        sim.run_until(5.0)
+        assert client.grant("lock-a") is None
+
+    def test_denied_acquire_retries_until_granted_when_waiting(self):
+        sim, channel, client = make_client()
+        replies = []
+        client.acquire("lock-a", ttl=3.0, callback=replies.append)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[-1], "denied", retry_after=0.5)
+        assert replies == []
+        sim.run_until(0.4)
+        assert len(channel.requests) == 1  # backoff still running
+        sim.run_until(2.0)
+        assert len(channel.requests) >= 2  # retried after the backoff
+        channel.reply(channel.requests[-1], "granted", token=7,
+                      holder=CLIENT_ID, expiry=sim.now + 3.0, leader_node=0)
+        assert [r.status for r in replies] == ["granted"]
+
+    def test_denied_acquire_is_terminal_when_not_waiting(self):
+        sim, channel, client = make_client()
+        replies = []
+        client.acquire("lock-a", ttl=3.0, callback=replies.append, wait=False)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[-1], "denied", retry_after=0.5)
+        sim.run_until(5.0)
+        assert [r.status for r in replies] == ["denied"]
+        assert len(channel.requests) == 1
+
+
+class TestRoutingAndRetry:
+    def test_redirect_teaches_the_leader_location(self):
+        sim, channel, client = make_client()
+        client.acquire("lock-a", ttl=3.0)
+        sim.run_until(0.01)
+        assert channel.requests[0].dest_node == channel.node_id
+        channel.reply(channel.requests[0], "redirect", leader_node=4)
+        sim.run_until(1.0)
+        assert channel.requests[-1].dest_node == 4
+
+    def test_throttled_replies_back_off_by_retry_after(self):
+        sim, channel, client = make_client()
+        client.acquire("lock-a", ttl=3.0)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[0], "throttled", retry_after=1.0)
+        sim.run_until(0.9)
+        assert len(channel.requests) == 1
+        sim.run_until(1.2)
+        assert len(channel.requests) == 2
+
+    def test_lost_requests_resend_and_eventually_forget_the_leader(self):
+        sim, channel, client = make_client(request_timeout=0.1)
+        client.leader_node = 4
+        client.acquire("lock-a", ttl=3.0)
+        sim.run_until(5.0)  # nobody ever answers
+        assert len(channel.requests) >= 4
+        assert client.leader_node is None  # hint dropped after 3 timeouts
+
+    def test_stale_reply_nonce_is_ignored(self):
+        sim, channel, client = make_client(request_timeout=0.1)
+        client.acquire("lock-a", ttl=3.0)
+        sim.run_until(0.5)  # at least one timeout: nonce has moved on
+        stale = channel.requests[0]
+        assert stale.nonce != channel.requests[-1].nonce
+        channel.reply(stale, "granted", token=9, holder=CLIENT_ID,
+                      expiry=sim.now + 3.0, leader_node=0)
+        assert client.grant("lock-a") is None
+
+
+class TestRenewal:
+    def granted(self, sim, channel, client, ttl=4.0):
+        client.acquire("lock-a", ttl=ttl, callback=None)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[-1], "granted", token=42,
+                      holder=CLIENT_ID, expiry=sim.now + ttl, leader_node=0)
+
+    def test_auto_renew_fires_with_the_held_token_and_original_ttl(self):
+        sim, channel, client = make_client()
+        self.granted(sim, channel, client, ttl=4.0)
+        sim.run_until(3.0)  # renewal due at ~half validity (t ~= 2)
+        renew = channel.requests[-1]
+        assert renew.op == "renew"
+        assert renew.token == 42
+        assert renew.ttl == 4.0
+
+    def test_denied_renewal_drops_the_grant_and_fires_on_lost(self):
+        lost = []
+        sim, channel, client = make_client(on_lost=lost.append)
+        self.granted(sim, channel, client)
+        sim.run_until(3.0)
+        channel.reply(channel.requests[-1], "denied")
+        assert lost == ["lock-a"]
+        assert client.grant("lock-a") is None
+
+    def test_granted_renewal_keeps_the_lease_alive(self):
+        sim, channel, client = make_client()
+        self.granted(sim, channel, client, ttl=4.0)
+        sim.run_until(3.0)
+        channel.reply(channel.requests[-1], "granted", token=42,
+                      holder=CLIENT_ID, expiry=sim.now + 4.0, leader_node=0)
+        assert client.grant("lock-a").expiry == sim.now + 4.0
+
+
+class TestRelease:
+    def test_release_sends_the_held_token(self):
+        sim, channel, client = make_client()
+        client.acquire("lock-a", ttl=3.0)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[-1], "granted", token=42,
+                      holder=CLIENT_ID, expiry=sim.now + 3.0, leader_node=0)
+        assert client.release("lock-a") is True
+        sim.run_until(0.1)
+        release = channel.requests[-1]
+        assert release.op == "release"
+        assert release.token == 42
+        assert client.grant("lock-a") is None
+
+    def test_release_without_a_grant_is_a_no_op(self):
+        sim, channel, client = make_client()
+        assert client.release("lock-a") is False
+        assert channel.requests == []
+
+
+class TestWatch:
+    def test_watch_fires_only_on_holder_or_token_change(self):
+        sim, channel, client = make_client()
+        seen = []
+        stop = client.watch("lock-a", seen.append, period=1.0)
+        sim.run_until(0.01)
+        channel.reply(channel.requests[-1], "info", holder=1001, token=5)
+        sim.run_until(1.1)
+        channel.reply(channel.requests[-1], "info", holder=1001, token=5)
+        sim.run_until(2.2)
+        channel.reply(channel.requests[-1], "info", holder=1002, token=9)
+        assert [(r.holder, r.token) for r in seen] == [(1001, 5), (1002, 9)]
+        stop()
+        polls = len(channel.requests)
+        sim.run_until(10.0)
+        assert len(channel.requests) == polls
+
+    def test_close_silences_everything(self):
+        sim, channel, client = make_client()
+        client.watch("lock-a", lambda reply: None, period=1.0)
+        client.acquire("lock-b", ttl=3.0)
+        sim.run_until(0.01)
+        client.close()
+        sent = len(channel.requests)
+        sim.run_until(10.0)
+        assert len(channel.requests) == sent

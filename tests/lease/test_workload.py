@@ -1,0 +1,68 @@
+"""LeaseWorkload: deterministic client population wiring and counters."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import build_system
+from repro.experiments.scenario import ExperimentConfig
+from repro.fd.qos import FDQoS
+from repro.lease.workload import CLIENT_ID_BASE, LeaseWorkload
+
+
+def build(n_clients, seed=5):
+    config = ExperimentConfig(
+        name="lease-workload",
+        n_nodes=4,
+        duration=60.0,
+        warmup=0.0,
+        seed=seed,
+        node_churn=False,
+        qos=FDQoS(detection_time=1.0),
+        n_lease_clients=n_clients,
+    )
+    return build_system(config)
+
+
+class TestWiring:
+    def test_client_ids_start_at_the_base_and_are_distinct(self):
+        system = build(6)
+        workload = system.lease_workload
+        ids = [client.client_id for client in workload.clients]
+        assert ids == [CLIENT_ID_BASE + i for i in range(6)]
+
+    def test_clients_contend_for_a_quarter_as_many_locks(self):
+        system = build(8)
+        workload = system.lease_workload
+        names = {driver.name for driver in workload._drivers}
+        assert names == {"lock-0", "lock-1"}  # max(1, 8 // 4) locks
+
+    def test_single_client_still_gets_a_lock(self):
+        system = build(1)
+        names = {d.name for d in system.lease_workload._drivers}
+        assert names == {"lock-0"}
+
+    def test_no_clients_means_no_workload(self):
+        system = build(0)
+        assert system.lease_workload is None
+
+
+class TestLifecycle:
+    def test_counters_progress_and_stop_freezes_them(self):
+        system = build(4)
+        system.sim.run_until(30.0)
+        workload = system.lease_workload
+        assert workload.grants > 0
+        assert workload.releases > 0
+        workload.stop()
+        grants, releases = workload.grants, workload.releases
+        system.sim.run_until(45.0)
+        assert (workload.grants, workload.releases) == (grants, releases)
+
+    def test_same_seed_same_counters(self):
+        first = build(4, seed=9)
+        first.sim.run_until(25.0)
+        second = build(4, seed=9)
+        second.sim.run_until(25.0)
+        assert (first.lease_workload.grants, first.lease_workload.releases) == (
+            second.lease_workload.grants,
+            second.lease_workload.releases,
+        )

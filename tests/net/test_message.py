@@ -10,6 +10,9 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseRecord,
+    LeaseReplyMessage,
+    LeaseRequestMessage,
     MemberInfo,
     Message,
     RateRequestMessage,
@@ -100,6 +103,29 @@ class TestWireSizes:
     def test_rate_request_fixed_size(self):
         msg = RateRequestMessage(sender_node=0, dest_node=1, interval=0.25)
         assert msg.payload_bytes() == 12
+
+    def test_hello_grows_per_lease_record(self):
+        base = HelloMessage(sender_node=0, dest_node=1)
+        lease = LeaseRecord(lease=7, holder=1000, token=1, expiry=10.0,
+                            granted_at=5.0, released=False, seq=0)
+        with_leases = HelloMessage(
+            sender_node=0, dest_node=1, leases=(lease, lease), lease_digest=9
+        )
+        assert with_leases.payload_bytes() == base.payload_bytes() + 2 * 41
+
+    def test_lease_request_fixed_size(self):
+        msg = LeaseRequestMessage(
+            sender_node=12, dest_node=0, group=1, op="acquire",
+            lease=7, client=1000, ttl=3.0, nonce=1,
+        )
+        assert msg.payload_bytes() == 37
+
+    def test_lease_reply_fixed_size(self):
+        msg = LeaseReplyMessage(
+            sender_node=0, dest_node=12, group=1, status="granted",
+            lease=7, client=1000, token=42, holder=1000, expiry=10.0,
+        )
+        assert msg.payload_bytes() == 53
 
 
 class TestGroupShares:

@@ -10,6 +10,9 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseRecord,
+    LeaseReplyMessage,
+    LeaseRequestMessage,
     MemberInfo,
     Message,
     RateRequestMessage,
@@ -33,6 +36,13 @@ MEMBERS = (
 ACC_TABLE = (
     AccEntry(pid=1, acc_time=0.0, phase=0),
     AccEntry(pid=7, acc_time=1.75e9, phase=2**31 - 1),
+)
+
+LEASES = (
+    LeaseRecord(lease=2**64 - 1, holder=1000, token=(501 << 28) | (3 << 8) | 2,
+                expiry=108.5, granted_at=100.5, released=False, seq=0),
+    LeaseRecord(lease=0, holder=-1, token=0, expiry=0.0, granted_at=0.0,
+                released=True, seq=2**32 - 1),
 )
 
 #: One representative per Message subclass, exercising every field shape:
@@ -66,9 +76,23 @@ ROUND_TRIP_CASES = [
     HelloMessage(sender_node=6, dest_node=7, kind="gossip", trusted=(1,)),
     HelloMessage(sender_node=8, dest_node=9, group=2, kind="sync", members=MEMBERS,
                  view_version=3, view_digest=0xDEADBEEF),
+    HelloMessage(  # codec v3: lease delta + ledger digest ride the HELLO
+        sender_node=3, dest_node=6, group=1, kind="sync", leases=LEASES,
+        lease_digest=2**64 - 1),
     AccuseMessage(sender_node=1, dest_node=2, group=3, accuser=4,
                   accused=5, accused_phase=6),
     RateRequestMessage(sender_node=9, dest_node=8, interval=0.0625),
+    LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="acquire",
+                        lease=2**64 - 1, client=1000, token=0, ttl=3.0,
+                        nonce=2**32 - 1),
+    LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="release",
+                        lease=7, client=-1, token=(5 << 28) | 260, ttl=0.0),
+    LeaseReplyMessage(sender_node=0, dest_node=12, group=1, status="granted",
+                      lease=7, client=1000, token=(5 << 28) | 260, holder=1000,
+                      expiry=108.5, leader_node=0, nonce=9),
+    LeaseReplyMessage(sender_node=0, dest_node=12, group=1, status="redirect",
+                      lease=7, client=1000, holder=-1, retry_after=0.5,
+                      leader_node=-1),
 ]
 
 
@@ -100,10 +124,20 @@ class TestRoundTrip:
         if isinstance(decoded, HelloMessage):
             assert isinstance(decoded.acc_table, tuple)
             assert isinstance(decoded.trusted, tuple)
+            assert isinstance(decoded.leases, tuple)
+            for lease in decoded.leases:
+                assert isinstance(lease, LeaseRecord)
 
     def test_every_message_subclass_is_covered(self):
         covered = {type(m) for m in ROUND_TRIP_CASES}
-        assert {BatchFrame, HelloMessage, AccuseMessage, RateRequestMessage} == covered
+        assert covered == {
+            BatchFrame,
+            HelloMessage,
+            AccuseMessage,
+            RateRequestMessage,
+            LeaseRequestMessage,
+            LeaseReplyMessage,
+        }
 
     def test_frames_are_deterministic(self):
         for message in ROUND_TRIP_CASES:
@@ -180,6 +214,16 @@ class TestRejection:
     def test_unknown_hello_kind_is_rejected_on_encode(self):
         message = HelloMessage(sender_node=0, dest_node=1, kind="mystery")
         with pytest.raises(CodecError, match="kind"):
+            encode_message(message)
+
+    def test_unknown_lease_op_is_rejected_on_encode(self):
+        message = LeaseRequestMessage(sender_node=0, dest_node=1, op="steal")
+        with pytest.raises(CodecError, match="op"):
+            encode_message(message)
+
+    def test_unknown_lease_status_is_rejected_on_encode(self):
+        message = LeaseReplyMessage(sender_node=0, dest_node=1, status="maybe")
+        with pytest.raises(CodecError, match="status"):
             encode_message(message)
 
     def test_unregistered_message_type_is_rejected_on_encode(self):

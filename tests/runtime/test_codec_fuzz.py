@@ -25,6 +25,9 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseRecord,
+    LeaseReplyMessage,
+    LeaseRequestMessage,
     MemberInfo,
     RateRequestMessage,
 )
@@ -73,6 +76,17 @@ batch_frames = st.builds(
     cells=st.lists(cells, max_size=6).map(tuple),
 )
 
+lease_records = st.builds(
+    LeaseRecord,
+    lease=U64,
+    holder=I32,
+    token=U64,
+    expiry=F64,
+    granted_at=F64,
+    released=st.booleans(),
+    seq=U32,
+)
+
 hello_messages = st.builds(
     HelloMessage,
     sender_node=I32,
@@ -85,6 +99,8 @@ hello_messages = st.builds(
     leader_hint=st.none() | acc_entries,
     acc_table=st.lists(acc_entries, max_size=8).map(tuple),
     trusted=st.lists(I32, max_size=8).map(tuple),
+    leases=st.lists(lease_records, max_size=8).map(tuple),
+    lease_digest=U64,
 )
 
 accuse_messages = st.builds(
@@ -104,8 +120,38 @@ rate_messages = st.builds(
     interval=F64,
 )
 
+lease_requests = st.builds(
+    LeaseRequestMessage,
+    sender_node=I32,
+    dest_node=I32,
+    group=I32,
+    op=st.sampled_from(("acquire", "renew", "release", "query")),
+    lease=U64,
+    client=I32,
+    token=U64,
+    ttl=F64,
+    nonce=U32,
+)
+
+lease_replies = st.builds(
+    LeaseReplyMessage,
+    sender_node=I32,
+    dest_node=I32,
+    group=I32,
+    status=st.sampled_from(("granted", "denied", "redirect", "throttled", "info")),
+    lease=U64,
+    client=I32,
+    token=U64,
+    holder=I32,
+    expiry=F64,
+    retry_after=F64,
+    leader_node=I32,
+    nonce=U32,
+)
+
 any_message = st.one_of(
-    batch_frames, hello_messages, accuse_messages, rate_messages
+    batch_frames, hello_messages, accuse_messages, rate_messages,
+    lease_requests, lease_replies,
 )
 
 

@@ -1,0 +1,161 @@
+"""Live lease clients over real UDP, in one process.
+
+Boots three complete daemons (as in test_live_service), then attaches an
+*off-cluster* lease client — no address-book slot, a synthetic wire node
+id, an ephemeral socket — and exercises the full request path: learned
+sender addresses on the daemons, the redirect dance when the contact
+node is not the leader, grant, renew state, and release.
+"""
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.core.service import LeaderElectionService, ServiceConfig
+from repro.fd.qos import FDQoS
+from repro.lease.live import CLIENT_WIRE_BASE, _open_client
+from repro.net.node import Node
+from repro.runtime.realtime import RealtimeScheduler, UdpTransport
+from repro.sim.rng import RngRegistry
+
+DETECTION_TIME = 0.4
+GROUP = 1
+
+
+def _free_udp_ports(count):
+    sockets, ports = [], []
+    for _ in range(count):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+        sockets.append(sock)
+        ports.append(sock.getsockname()[1])
+    for sock in sockets:
+        sock.close()
+    return ports
+
+
+class LiveNode:
+    def __init__(self, node_id, addresses):
+        self.node_id = node_id
+        self.addresses = addresses
+        self.scheduler = None
+        self.node = None
+        self.transport = None
+        self.service = None
+
+    async def start(self):
+        loop = asyncio.get_running_loop()
+        self.scheduler = RealtimeScheduler(loop)
+        self.node = Node(self.scheduler, self.node_id)
+        self.transport = UdpTransport(self.node_id, self.addresses, self.node.deliver)
+        await self.transport.open()
+        self.service = LeaderElectionService(
+            scheduler=self.scheduler,
+            transport=self.transport,
+            node=self.node,
+            peer_nodes=tuple(self.addresses),
+            config=ServiceConfig(
+                algorithm="omega_lc",
+                default_qos=FDQoS(detection_time=DETECTION_TIME),
+            ),
+            rng=RngRegistry(seed=self.node_id + 1),
+        )
+        self.service.register(self.node_id)
+        self.service.join(
+            self.node_id,
+            GROUP,
+            candidate=True,
+            qos=FDQoS(detection_time=DETECTION_TIME),
+        )
+
+    def kill(self):
+        self.node.crash()
+        self.service.shutdown()
+        self.transport.close()
+
+    @property
+    def leader(self):
+        return self.service.leader_of(GROUP)
+
+
+async def _wait_for(predicate, timeout):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.02)
+    return predicate()
+
+
+async def _boot(n, ports):
+    addresses = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
+    nodes = [LiveNode(i, addresses) for i in range(n)]
+    for node in nodes:
+        await node.start()
+    return nodes
+
+
+def _agreed_leader(nodes):
+    views = {node.leader for node in nodes}
+    if len(views) == 1:
+        (leader,) = views
+        return leader
+    return None
+
+
+@pytest.mark.slow
+class TestLiveLeaseClient:
+    def test_off_cluster_client_acquires_via_redirect(self):
+        async def main():
+            ports = _free_udp_ports(3)
+            nodes = await _boot(3, ports)
+            transport = client = None
+            try:
+                assert await _wait_for(
+                    lambda: _agreed_leader(nodes) is not None, timeout=8.0
+                )
+                leader = _agreed_leader(nodes)
+                # Contact a non-leader on purpose: the grant must arrive
+                # through a redirect, and the reply must reach a client
+                # the daemons were never configured with (learned addr).
+                contact = next(i for i in range(3) if i != leader)
+                transport, client = await _open_client(
+                    host="127.0.0.1",
+                    ports=ports,
+                    group=GROUP,
+                    client_id=1000,
+                    contact_node=contact,
+                )
+                assert transport.node_id == CLIENT_WIRE_BASE + 1000
+                loop = asyncio.get_running_loop()
+                granted = loop.create_future()
+                client.acquire(
+                    "live-lock",
+                    ttl=2.0,
+                    callback=lambda reply: (
+                        granted.set_result(reply)
+                        if not granted.done()
+                        else None
+                    ),
+                )
+                reply = await asyncio.wait_for(granted, timeout=8.0)
+                assert reply.status == "granted"
+                assert reply.token > 0
+                assert client.leader_node == leader
+                # The leader daemon answered a sender outside its book.
+                assert (
+                    CLIENT_WIRE_BASE + 1000
+                    in nodes[leader].transport._learned
+                )
+                assert client.release("live-lock")
+            finally:
+                if client is not None:
+                    client.close()
+                if transport is not None:
+                    transport.close()
+                for node in nodes:
+                    node.kill()
+
+        asyncio.run(main())
