@@ -23,6 +23,20 @@ throughput on three *headline cells* that bracket the hot paths:
   leader's grant/renew/release path.  Pins the cost of the service tier
   (request routing, fencing-token issue, ledger gossip) and its on-wire
   footprint against the baseline.
+* ``wide_lan`` — **100 nodes**, all-to-all: 9 900 directed node pairs,
+  the deadline-pool's showcase (one batched sentinel wake per δ for the
+  whole population instead of one timer event per monitor per η — the
+  scalar path executes ~50 k more engine events on this cell).  No
+  allocation pass: tracemalloc multiplies an already-heavy cell, and the
+  allocation profile is pinned by ``many_groups``.
+* ``many_groups_sharded`` / ``lease_load_sharded`` — the same workloads
+  split into **4 shards** (16 groups / 250 clients each, deterministic
+  per-shard seeds) and run through
+  :func:`repro.experiments.orchestrator.run_sharded`, one worker process
+  per available core.  Pins the merged-trace digest (worker-count
+  independent) and the summed events/wire bytes; wall clock is the
+  *makespan*, so events/sec depends on the core count and is exempt from
+  the normalized-throughput gate.
 
 Four measurements per cell:
 
@@ -59,6 +73,7 @@ from repro.experiments.scenario import ExperimentConfig
 
 __all__ = [
     "CORE_CELLS",
+    "SHARDED_CELLS",
     "CellResult",
     "BenchResult",
     "calibration_kops",
@@ -79,11 +94,32 @@ CELL_DURATIONS = {
     # 1000 clients cycle acquire→hold→release every few virtual seconds,
     # so even a short horizon covers tens of thousands of grants.
     "lease_load": {"full": 60.0, "quick": 30.0},
+    # 9 900 node pairs make every virtual second expensive; a few seconds
+    # past convergence already covers dozens of FD deadline horizons.
+    "wide_lan": {"full": 10.0, "quick": 5.0},
+    "many_groups_sharded": {"full": 60.0, "quick": 30.0},
+    "lease_load_sharded": {"full": 60.0, "quick": 30.0},
 }
 CELL_REPEATS = {
     "many_groups": {"full": 3, "quick": 2},
     "lease_load": {"full": 3, "quick": 2},
+    "wide_lan": {"full": 2, "quick": 1},
+    "many_groups_sharded": {"full": 2, "quick": 1},
+    "lease_load_sharded": {"full": 2, "quick": 1},
 }
+
+#: Cells that skip the tracemalloc pass (see the module docstring).
+NO_ALLOC_CELLS = frozenset(
+    {"wide_lan", "many_groups_sharded", "lease_load_sharded"}
+)
+
+#: Absolute live-block budgets, asserted by :func:`compare_results` on top
+#: of the relative baseline tolerance.  The relative check only catches
+#: *drift per PR*; the absolute budget stops the slow creep.  many_groups
+#: retains ~110k blocks (measured after pooling the per-tick frame
+#: scratch) — nearly all of it genuinely-live per-(group, destination)
+#: protocol state, so the budget sits ~7% above that floor.
+ALLOC_BUDGETS = {"many_groups": 118_000}
 
 
 def _cell(name: str, **kw) -> Callable[[float], ExperimentConfig]:
@@ -129,6 +165,22 @@ CORE_CELLS: Dict[str, Callable[[float], ExperimentConfig]] = {
         node_churn=False,
         n_lease_clients=1000,
     ),
+    "wide_lan": _cell(
+        "wide_lan",
+        algorithm="omega_lc",
+        n_nodes=100,
+        seed=505,
+        node_churn=False,
+    ),
+}
+
+#: Sharded cells: name -> (base cell, shard count).  The base cell's config
+#: is partitioned by :func:`repro.experiments.orchestrator.shard_config`
+#: (contiguous group ranges / near-equal client splits, per-shard seeds
+#: derived from the base seed) and run via ``run_sharded``.
+SHARDED_CELLS = {
+    "many_groups_sharded": ("many_groups", 4),
+    "lease_load_sharded": ("lease_load", 4),
 }
 
 
@@ -146,13 +198,18 @@ class CellResult:
     wire_bytes: int = 0
     alloc_peak_kib: Optional[float] = None
     alloc_live_blocks: Optional[int] = None
+    #: Sharded cells only: shard count (pinned) and the worker-process
+    #: count the makespan was measured with (machine-dependent, not
+    #: compared).
+    shards: Optional[int] = None
+    workers: Optional[int] = None
 
     @property
     def wire_kb_per_virtual_sec(self) -> float:
         return self.wire_bytes / self.duration / 1000.0
 
     def to_json(self) -> dict:
-        return {
+        blob = {
             "duration_virtual_s": self.duration,
             "events": self.events,
             "wall_seconds": round(self.wall_seconds, 4),
@@ -163,6 +220,10 @@ class CellResult:
             "alloc_peak_kib": self.alloc_peak_kib,
             "alloc_live_blocks": self.alloc_live_blocks,
         }
+        if self.shards is not None:
+            blob["shards"] = self.shards
+            blob["workers"] = self.workers
+        return blob
 
 
 @dataclass
@@ -203,6 +264,40 @@ def calibration_kops(iterations: int = 1_500_000) -> float:
     return iterations / wall / 1000.0
 
 
+def _run_sharded_cell(name: str, duration: float, repeats: int) -> CellResult:
+    """Measure one sharded cell (makespan wall, merged digest, summed
+    events/wire; see the module docstring)."""
+    from repro.experiments.orchestrator import run_sharded
+
+    base, shards = SHARDED_CELLS[name]
+    config = CORE_CELLS[base](duration)
+    best: Optional[object] = None
+    for repeat in range(repeats):
+        sharded = run_sharded(config, shards=shards)
+        if best is not None and (
+            sharded.digest != best.digest
+            or sharded.events_executed != best.events_executed
+        ):
+            raise AssertionError(
+                f"sharded cell '{name}' is nondeterministic across repeats: "
+                f"{best.events_executed}/{best.digest[:12]}… then "
+                f"{sharded.events_executed}/{sharded.digest[:12]}…"
+            )
+        if best is None or sharded.wall_seconds < best.wall_seconds:
+            best = sharded
+    return CellResult(
+        name=name,
+        duration=duration,
+        events=best.events_executed,
+        wall_seconds=best.wall_seconds,
+        events_per_sec=best.events_per_sec,
+        digest=best.digest,
+        wire_bytes=best.wire_bytes,
+        shards=shards,
+        workers=best.workers,
+    )
+
+
 def run_cell(
     name: str,
     mode: str = "full",
@@ -210,10 +305,12 @@ def run_cell(
     measure_allocations: bool = True,
 ) -> CellResult:
     """Measure one core cell; see the module docstring for what and why."""
-    make = CORE_CELLS[name]
     duration = CELL_DURATIONS.get(name, DURATIONS)[mode]
     if repeats is None:
         repeats = CELL_REPEATS.get(name, REPEATS)[mode]
+    if name in SHARDED_CELLS:
+        return _run_sharded_cell(name, duration, repeats)
+    make = CORE_CELLS[name]
     best_wall = float("inf")
     events = 0
     digest = ""
@@ -249,7 +346,7 @@ def run_cell(
         digest=digest,
         wire_bytes=wire_bytes,
     )
-    if measure_allocations:
+    if measure_allocations and name not in NO_ALLOC_CELLS:
         # Separate pass: tracemalloc slows execution several-fold, so it
         # must never share a run with the timing measurement.
         system = build_system(make(duration))
@@ -272,7 +369,9 @@ def run_core_bench(
     progress: Optional[Callable[[str], None]] = None,
 ) -> BenchResult:
     """Run the core bench in ``mode`` over ``cells`` (default: all)."""
-    names = list(CORE_CELLS) if cells is None else cells
+    names = (
+        list(CORE_CELLS) + list(SHARDED_CELLS) if cells is None else cells
+    )
     result = BenchResult(mode=mode, calibration_kops=calibration_kops())
     if progress:
         progress(f"calibration: {result.calibration_kops:,.0f} kops")
@@ -342,6 +441,11 @@ def compare_results(
                 "the protocol's on-wire footprint moved — if intentional, "
                 "re-run tools/bench.py --update"
             )
+        if cell.shards is not None or base_cell.get("shards"):
+            # Sharded makespan depends on the worker/core count, which the
+            # calibration score cannot normalize away; the digest, event
+            # and wire-byte pins above still hold exactly.
+            continue
         base_norm = base_cell["events_per_sec"] / base_calibration
         norm = cell.events_per_sec / current.calibration_kops
         if norm < (1.0 - tolerance) * base_norm:
@@ -370,4 +474,10 @@ def compare_results(
                     f"{base_peak:.0f} -> {cell.alloc_peak_kib:.0f} KiB "
                     f"(tolerance {tolerance * 100:.0f}%)"
                 )
+        budget = ALLOC_BUDGETS.get(name)
+        if budget and cell.alloc_live_blocks and cell.alloc_live_blocks > budget:
+            failures.append(
+                f"{name}: live allocation blocks exceed the absolute budget "
+                f"({cell.alloc_live_blocks} > {budget})"
+            )
     return failures

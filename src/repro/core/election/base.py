@@ -168,6 +168,18 @@ class ElectionAlgorithm:
     def fill_alive(self, message: AliveCell) -> None:
         """Stamp algorithm-specific fields onto an outgoing ALIVE."""
 
+    def emit_stamp(self) -> Optional[int]:
+        """Cheap validity stamp of the :meth:`fill_alive` payload.
+
+        Contract: equal stamps under an unchanged membership version
+        guarantee :meth:`fill_alive` would write an identical payload.
+        The emitter uses this to prove a whole emission round would be
+        suppressed without building the cell (the steady-state fast path).
+        ``None`` (the default) means "no such proof available" — the
+        emitter then runs the full per-destination round every time.
+        """
+        return None
+
     def acc_entries(self) -> Tuple[AccEntry, ...]:
         """Accusation-time table for HELLO replies (empty if unused)."""
         return ()

@@ -44,3 +44,7 @@ class OmegaId(ElectionAlgorithm):
     def wants_to_send(self) -> bool:
         # Every candidate heartbeats so that everyone can assess it.
         return self.ctx.is_candidate
+
+    def emit_stamp(self) -> int:
+        # No ALIVE fields beyond the defaults: the payload is constant.
+        return 0

@@ -112,6 +112,7 @@ class OmegaLc(ElectionAlgorithm):
     # ------------------------------------------------------------------
     def on_alive(self, message: AliveCell) -> None:
         pid = message.pid
+        mutations = self._mutations
         self._observe(pid, message.acc_time, message.phase)
         local_leader = message.local_leader
         local_leader_acc = message.local_leader_acc
@@ -123,7 +124,11 @@ class OmegaLc(ElectionAlgorithm):
             # A forwarded accusation time is evidence about the forwarded
             # process too (accusation times are monotonic, max = freshest).
             self._observe_floor(local_leader, local_leader_acc)
-        self._refresh()
+        if self._mutations != mutations or not self._sender_synced:
+            # An identical re-observation (the steady-state refresh cell)
+            # mutated nothing; with unchanged inputs _refresh is a provable
+            # no-op (memo hit, same leader, same broadcast state) — skip it.
+            self._refresh()
 
     def on_trust(self, pid: int) -> None:
         self._mutations += 1
@@ -294,6 +299,12 @@ class OmegaLc(ElectionAlgorithm):
     def wants_to_send(self) -> bool:
         # All alive candidates stay "active" (paper §4 / [4]).
         return self.ctx.is_candidate
+
+    def emit_stamp(self) -> int:
+        # Every input of the fill_alive payload (acc_time, phase, stage-1
+        # choice) bumps _mutations when it changes; membership moves are
+        # covered by the emitter's own view-version guard.
+        return self._mutations
 
     def fill_alive(self, message: AliveCell) -> None:
         message.acc_time = self.acc_time

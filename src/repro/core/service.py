@@ -36,7 +36,7 @@ paper's scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.election.base import GroupContext
 from repro.core.election.registry import create_algorithm
@@ -66,6 +66,11 @@ from repro.sim.rng import RngRegistry
 __all__ = ["ServiceConfig", "LeaderElectionService", "GroupRuntime"]
 
 LeaderCallback = Callable[[int, Optional[int]], None]
+
+#: Sentinel emit stamp that never compares equal to a real one: algorithms
+#: returning ``None`` from :meth:`ElectionAlgorithm.emit_stamp` disable the
+#: quiet-window emission fast path.
+_NEVER_EMITTED = object()
 
 
 def _load_nfds_monitor():
@@ -180,6 +185,24 @@ class GroupRuntime(GroupContext):
         #: Per-destination (election payload, send time) of the last cell,
         #: for change-triggered emission with periodic refresh.
         self._cell_state: Dict[int, Tuple[tuple, float]] = {}
+        #: Steady-state emission fast path: while neither the membership
+        #: version nor the algorithm's emit stamp has moved since the last
+        #: full round, the payload is provably unchanged — rounds reuse the
+        #: cached template below, skip entirely while no per-destination
+        #: refresh is due, and otherwise touch only the dests whose refresh
+        #: expired.  Any stamp move falls back to the full (slow) round.
+        self._emit_quiet_until = float("-inf")
+        self._emit_stamp_version = -1
+        self._emit_stamp_alg: object = _NEVER_EMITTED
+        self._emit_template: Optional[AliveCell] = None
+        self._emit_payload: tuple = ()
+        #: The gossip-tick analogue: while the (view, ledger) version pair
+        #: is unchanged since the last full round, every peer provably owes
+        #: no delta — rounds iterate the cached peer-node order and send
+        #: (empty-delta) gossip only to peers not covered by a fresh cell.
+        self._hello_quiet_until = float("-inf")
+        self._hello_stamp: Tuple[int, int] = (-1, -1)
+        self._hello_nodes: Tuple[int, ...] = ()
         #: Remote nodes hosting present members (frame destinations).
         self._dest_nodes: Tuple[int, ...] = ()
         #: Nodes this group subscribed to on the shared FD plane.
@@ -739,6 +762,40 @@ class GroupRuntime(GroupContext):
             return
         view = self.view
         version = view.version
+        suppressible = self._stream_monitors is None
+        now = self.scheduler.now
+        if (
+            suppressible
+            and version == self._emit_stamp_version
+            and self.algorithm.emit_stamp() == self._emit_stamp_alg
+        ):
+            # Stamps unchanged since the last full round: the payload is
+            # provably identical, every destination is version-current and
+            # owes no membership delta.  Skip the round outright while no
+            # per-destination refresh is due; otherwise refresh only the
+            # expired destinations, reusing the cached template cell (its
+            # fields equal what a rebuild would produce).
+            if now < self._emit_quiet_until:
+                return
+            refresh = self.service.config.cell_refresh
+            template = self._emit_template
+            cell_state = self._cell_state
+            entry = None
+            oldest = now
+            for dest in dests:
+                stamped = cell_state[dest][1]
+                if now - stamped < refresh:
+                    if stamped < oldest:
+                        oldest = stamped
+                    continue
+                if entry is None:
+                    # One (payload, stamp) entry per round, shared by every
+                    # destination refreshed at this instant.
+                    entry = (self._emit_payload, now)
+                cell_state[dest] = entry
+                yield dest, template
+            self._emit_quiet_until = oldest + refresh
+            return
         digest = view.digest64()
         template = AliveCell(
             group=self.group,
@@ -753,11 +810,15 @@ class GroupRuntime(GroupContext):
             template.local_leader,
             template.local_leader_acc,
         )
-        suppressible = self._stream_monitors is None
+        stamp = self.algorithm.emit_stamp()
         refresh = self.service.config.cell_refresh
-        now = self.scheduler.now
         sent = self._sent_version
         cell_state = self._cell_state
+        #: One shared (payload, stamp) entry for everything sent this round.
+        entry = (payload, now)
+        #: Oldest still-fresh per-destination send time this round relied
+        #: on — the first refresh to expire bounds the quiet window.
+        oldest = now
         for dest in dests:
             last = sent.get(dest, 0)
             if last >= version:
@@ -768,12 +829,14 @@ class GroupRuntime(GroupContext):
                         and state[0] == payload
                         and now - state[1] < refresh
                     ):
+                        if state[1] < oldest:
+                            oldest = state[1]
                         continue
-                cell_state[dest] = (payload, now)
+                cell_state[dest] = entry
                 yield dest, template
                 continue
             sent[dest] = version
-            cell_state[dest] = (payload, now)
+            cell_state[dest] = entry
             cell = AliveCell(
                 group=self.group,
                 pid=self.pid,
@@ -786,6 +849,15 @@ class GroupRuntime(GroupContext):
                 view_digest=digest,
             )
             yield dest, cell
+        if suppressible and stamp is not None:
+            # Every destination now holds the current payload and version;
+            # the guards above re-run this full round the moment the
+            # membership version or the payload stamp moves.
+            self._emit_stamp_version = version
+            self._emit_stamp_alg = stamp
+            self._emit_template = template
+            self._emit_payload = payload
+            self._emit_quiet_until = oldest + refresh
 
     # ------------------------------------------------------------------
     # Internals
@@ -809,7 +881,10 @@ class GroupRuntime(GroupContext):
         current = {
             record.node for record in self.view.members() if record.node != my_node
         }
-        self._dest_nodes = tuple(sorted(current))
+        dest_nodes = tuple(sorted(current))
+        if dest_nodes != self._dest_nodes:
+            self._dest_nodes = dest_nodes
+            service.batcher.invalidate_dests()
         plane = service.plane
         for node in current - self._interested_nodes:
             plane.register_interest(self.group, node, self.qos, self)
@@ -942,19 +1017,64 @@ class GroupRuntime(GroupContext):
         version = view.version
         ledger = self.lease_ledger
         lease_version = ledger.version
+        now = self.scheduler.now
+        hello_period = self.service.config.hello_period
+        cell_state = self._cell_state
+        if self._hello_stamp == (version, lease_version):
+            # Versions unchanged since the last completed round: every
+            # peer provably owes no membership or lease delta (a round
+            # either verified that or shipped the delta and stamped the
+            # peer current).  Skip the round outright while every covering
+            # cell is still inside the hello period; otherwise gossip
+            # (empty deltas) only to the uncovered peers, in the cached
+            # peer order.
+            if now < self._hello_quiet_until:
+                return
+            fields = None
+            my_node = self.service.node.node_id
+            oldest = now
+            all_covered = True
+            for node in self._hello_nodes:
+                state = cell_state.get(node)
+                if state is not None and now - state[1] < hello_period:
+                    if state[1] < oldest:
+                        oldest = state[1]
+                    continue
+                all_covered = False
+                if fields is None:
+                    fields = self._hello_fields()
+                self.transport.send(
+                    HelloMessage(
+                        sender_node=my_node,
+                        dest_node=node,
+                        group=self.group,
+                        kind="gossip",
+                        members=(),
+                        leases=(),
+                        **fields,
+                    )
+                )
+            if all_covered:
+                self._hello_quiet_until = oldest + hello_period
+            return
         fields = self._hello_fields()
         my_node = self.service.node.node_id
-        hello_period = self.service.config.hello_period
-        now = self.scheduler.now
         sent = self._sent_version
         lease_sent = self._lease_sent_version
-        cell_state = self._cell_state
         sent_to = set()
+        #: Peer nodes in visit order — replayed by the fast path above
+        #: (stable while the membership version is unchanged).
+        nodes: List[int] = []
+        #: Oldest covering-cell send time among skipped peers — the first
+        #: coverage to lapse bounds the quiet window.
+        oldest = now
+        all_covered = True
         for record in self.view.members():
             node = record.node
             if node == my_node or node in sent_to:
                 continue
             sent_to.add(node)
+            nodes.append(node)
             delta = view.delta_since(sent.get(node, 0))
             lease_delta = ledger.delta_since(lease_sent.get(node, 0))
             if not delta and not lease_delta:
@@ -963,7 +1083,10 @@ class GroupRuntime(GroupContext):
                     # A fresh cell already carried our view digest — but
                     # cells never carry lease deltas, so an owed delta
                     # (checked above) still forces the gossip out.
+                    if state[1] < oldest:
+                        oldest = state[1]
                     continue
+            all_covered = False
             if delta:
                 sent[node] = version
             if lease_delta:
@@ -979,6 +1102,14 @@ class GroupRuntime(GroupContext):
                     **fields,
                 )
             )
+        self._hello_nodes = tuple(nodes)
+        self._hello_stamp = (version, lease_version)
+        if all_covered:
+            self._hello_quiet_until = oldest + hello_period
+        else:
+            # An uncovered peer gets gossip every round: a quiet window
+            # carried over from an earlier stamp must not suppress it.
+            self._hello_quiet_until = float("-inf")
 
 
 class LeaderElectionService:

@@ -25,7 +25,7 @@ from repro.fd.estimator import LinkQualityEstimator
 from repro.fd.qos import FDParams, FDQoS
 from repro.metrics.usage import UsageMeter
 from repro.runtime.base import Scheduler
-from repro.runtime.timers import VariableTimer
+from repro.sim.vector import deadline_timer
 
 __all__ = ["MonitorEvents", "NfdsMonitor"]
 
@@ -75,7 +75,7 @@ class NfdsMonitor:
         self.trusted_since = 0.0
         self.suspicions = 0
         self.alives_received = 0
-        self._timer = VariableTimer(scheduler, self._on_timeout)
+        self._timer = deadline_timer(scheduler, self._on_timeout)
         if start_trusted:
             self.trusted = True
             self.trusted_since = scheduler.now
@@ -140,8 +140,13 @@ class NfdsMonitor:
         return params
 
     def stop(self) -> None:
-        """Disarm the monitor (remote left the group, or local shutdown)."""
-        self._timer.clear()
+        """Disarm the monitor (remote left the group, or local shutdown).
+
+        Monitors are discarded after ``stop`` everywhere in the stack, so
+        the timer is *closed* (a pooled timer returns its slot), not just
+        cleared.
+        """
+        self._timer.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "trusted" if self.trusted else "suspected"

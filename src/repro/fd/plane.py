@@ -34,7 +34,7 @@ from repro.fd.estimator import LinkQualityEstimator
 from repro.fd.monitor import MonitorEvents, NfdsMonitor
 from repro.fd.qos import FDParams, FDQoS
 from repro.metrics.usage import UsageMeter
-from repro.runtime.timers import VariableTimer
+from repro.sim.vector import deadline_timer
 
 __all__ = ["PlaneListener", "NodeFdPlane", "StreamMonitor"]
 
@@ -311,7 +311,7 @@ class StreamMonitor:
         self.suspicions = 0
         self._on_trust = on_trust
         self._on_suspect = on_suspect
-        self._timer = VariableTimer(scheduler, self._on_timeout)
+        self._timer = deadline_timer(scheduler, self._on_timeout)
 
     def on_cell(self, deadline: float) -> None:
         """A cell arrived; stay trusted until ``deadline``."""
@@ -338,7 +338,8 @@ class StreamMonitor:
             self._on_suspect(self.pid)
 
     def stop(self) -> None:
-        self._timer.clear()
+        # End of life everywhere in the stack: close (frees a pool slot).
+        self._timer.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "trusted" if self.trusted else "suspected"

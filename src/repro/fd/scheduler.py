@@ -85,6 +85,13 @@ class AliveBatcher:
         #: Created on first resume so the random initial phase is drawn
         #: against the *actual* bootstrap interval of the hosted groups.
         self._timer: Optional[PeriodicTimer] = None
+        #: Memoized union of every active group's destinations, in the
+        #: exact first-seen order the per-tick rebuild would produce.
+        #: ``None`` = stale; group registrations, activity flips and
+        #: membership changes invalidate it (see :meth:`invalidate_dests`).
+        self._dests_cache: Optional[Tuple[int, ...]] = None
+        #: Rebuilt with the cache: dest -> reusable cell list (see _tick).
+        self._per_dest_scratch: Dict[int, list] = {}
         self.active = False
         self._shut_down = False
 
@@ -98,13 +105,19 @@ class AliveBatcher:
         self._sources[group] = source
         self._group_eta[group] = eta
         self._active.setdefault(group, False)
+        self._dests_cache = None
 
     def remove_group(self, group: int) -> None:
         self._sources.pop(group, None)
         self._group_eta.pop(group, None)
         was_active = self._active.pop(group, False)
+        self._dests_cache = None
         if was_active and not any(self._active.values()):
             self._pause()
+
+    def invalidate_dests(self) -> None:
+        """A group's destination set changed (membership moved)."""
+        self._dests_cache = None
 
     def set_active(self, group: int, active: bool) -> None:
         """A group's election switched its emission on or off (Ω_l).
@@ -116,6 +129,7 @@ class AliveBatcher:
         if group not in self._sources or self._active.get(group) == active:
             return
         self._active[group] = active
+        self._dests_cache = None
         if active:
             if self.active:
                 self.flush()  # announce the newly-active group's cell now
@@ -220,19 +234,30 @@ class AliveBatcher:
         if self._meter is not None:
             self._meter.on_timer()
         # Every destination of an emitting group gets a frame — the FD
-        # header must flow at η even when every cell is suppressed.
-        per_dest: Dict[int, Optional[list]] = {}
+        # header must flow at η even when every cell is suppressed.  The
+        # union of destinations (and its first-seen order, which fixes the
+        # frame emission order) only changes on membership or activity
+        # moves, so it is memoized across ticks instead of being rebuilt
+        # with per-group setdefault sweeps every η.
+        if self._dests_cache is None:
+            order: Dict[int, None] = {}
+            for group, source in self._sources.items():
+                if not self._active.get(group):
+                    continue
+                for dest in source.dest_nodes():
+                    order[dest] = None
+            self._dests_cache = tuple(order)
+            # Pooled per-tick scratch: one persistent cell list per
+            # destination, cleared after each frame instead of reallocated
+            # every η (emitting sources only ever yield cached dests, so
+            # the key set is exact until the next invalidation).
+            self._per_dest_scratch = {dest: [] for dest in order}
+        per_dest = self._per_dest_scratch
         for group, source in self._sources.items():
             if not self._active.get(group):
                 continue
-            for dest in source.dest_nodes():
-                per_dest.setdefault(dest, None)
             for dest, cell in source.emit_cells():
-                cells = per_dest.get(dest)
-                if cells is None:
-                    per_dest[dest] = [cell]
-                else:
-                    cells.append(cell)
+                per_dest[dest].append(cell)
         if not per_dest:
             return
         now = self.scheduler.now
@@ -250,9 +275,10 @@ class AliveBatcher:
                     seq=seq,
                     send_time=now,
                     interval=interval,
-                    cells=self._NO_CELLS if cells is None else tuple(cells),
+                    cells=tuple(cells) if cells else self._NO_CELLS,
                 )
             )
+            cells.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         active = sorted(g for g, a in self._active.items() if a)

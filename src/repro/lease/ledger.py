@@ -26,6 +26,7 @@ gossip and resumes granting *above* every token it has seen.
 from __future__ import annotations
 
 import struct
+from bisect import bisect_right
 from hashlib import blake2b
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -98,6 +99,13 @@ class LeaseLedger:
         #: Bumped on every effective change (delta-gossip stamps).
         self.version = 0
         self._record_versions: Dict[int, int] = {}
+        #: Change log (parallel version/record lists, version-ascending)
+        #: behind :meth:`delta_since` — a bisect instead of a full-table
+        #: scan-and-sort per gossip round.  Superseded entries linger
+        #: until compaction and are skipped on read (an entry is live iff
+        #: it still carries its lease's current version).
+        self._log_versions: List[int] = []
+        self._log_records: List[LeaseRecord] = []
         #: XOR of per-record 64-bit hashes; maintained incrementally.
         self._digest64 = 0
         #: Highest fencing token ever merged (a new leader's floor).
@@ -110,27 +118,49 @@ class LeaseLedger:
     def merge_record(self, record: LeaseRecord) -> bool:
         """Merge one record; returns True if the ledger changed."""
         current = self._records.get(record.lease)
-        if current is None:
-            self._records[record.lease] = record
-            self.version += 1
-            self._record_versions[record.lease] = self.version
-            self._digest64 ^= lease_record_digest64(record)
-            if record.token > self.max_token:
-                self.max_token = record.token
-            self._full_cache = None
-            return True
-        winner = prefer_lease_record(current, record)
-        if winner is not current:
-            self._records[record.lease] = winner
-            self.version += 1
-            self._record_versions[record.lease] = self.version
+        if current is not None:
+            # Inline the total order of :func:`prefer_lease_record` with the
+            # discriminating fields first: gossip delivers each record to
+            # each replica many times, so the overwhelmingly common outcome
+            # is "already have it (or newer)" and must decide in one or two
+            # scalar compares, without building key tuples.
+            if record.token != current.token:
+                if record.token < current.token:
+                    return False
+            elif record.seq != current.seq:
+                if record.seq < current.seq:
+                    return False
+            elif (record.released, record.expiry, record.granted_at, record.holder) <= (
+                current.released,
+                current.expiry,
+                current.granted_at,
+                current.holder,
+            ):
+                return False
             self._digest64 ^= lease_record_digest64(current)
-            self._digest64 ^= lease_record_digest64(winner)
-            if winner.token > self.max_token:
-                self.max_token = winner.token
-            self._full_cache = None
-            return True
-        return False
+        self._records[record.lease] = record
+        self.version += 1
+        self._record_versions[record.lease] = self.version
+        self._log_versions.append(self.version)
+        self._log_records.append(record)
+        if len(self._log_versions) > max(64, 2 * len(self._records)):
+            self._compact_log()
+        self._digest64 ^= lease_record_digest64(record)
+        if record.token > self.max_token:
+            self.max_token = record.token
+        self._full_cache = None
+        return True
+
+    def _compact_log(self) -> None:
+        """Drop superseded change-log entries (lossless: every live record
+        keeps its exact change version, so any ``delta_since`` answer is
+        unchanged)."""
+        versions = self._record_versions
+        live = sorted(
+            (versions[lease], record) for lease, record in self._records.items()
+        )
+        self._log_versions = [version for version, _ in live]
+        self._log_records = [record for _, record in live]
 
     def merge(self, records: Iterable[LeaseRecord]) -> bool:
         """Merge many records; returns True if any changed the ledger."""
@@ -183,14 +213,15 @@ class LeaseLedger:
         """
         if version >= self.version:
             return ()
-        versions = self._record_versions
-        changed = [
-            (versions[lease], record)
-            for lease, record in self._records.items()
-            if versions[lease] > version
-        ]
-        changed.sort(key=lambda item: item[0])
-        return tuple(record for _, record in changed)
+        start = bisect_right(self._log_versions, version)
+        log_versions = self._log_versions
+        log_records = self._log_records
+        current = self._record_versions
+        return tuple(
+            record
+            for i in range(start, len(log_versions))
+            if current[(record := log_records[i]).lease] == log_versions[i]
+        )
 
     def __len__(self) -> int:
         return len(self._records)

@@ -152,6 +152,15 @@ class VariableTimer:
             self._scheduler.cancel(self._handle)
             self._handle = None
 
+    def close(self) -> None:
+        """Disarm permanently (end of the owning monitor's life).
+
+        Equivalent to :meth:`clear` here; the pooled counterpart
+        (:class:`~repro.sim.vector.PoolTimer`) additionally returns its
+        slot to the pool, so teardown paths must call ``close``.
+        """
+        self.clear()
+
     def _fire(self) -> None:
         self._handle = None
         if self._deadline is None:

@@ -136,6 +136,10 @@ class Simulator:
         self.events_scheduled = 0
         #: Number of O(n) batch drains of cancelled entries performed.
         self.compactions = 0
+        #: Lazily-attached :class:`~repro.sim.vector.DeadlinePool` — the
+        #: vectorized deadline kernel shared by every failure-detector
+        #: timer on this simulator (None until the first pooled timer).
+        self.deadline_pool = None
 
     # ------------------------------------------------------------------
     # Clock

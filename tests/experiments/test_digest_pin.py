@@ -36,7 +36,11 @@ PINNED_CONFIG = dict(
     seed=123,
     node_churn=True,
 )
-PINNED_EVENTS = 5719
+#: PR 7 (batch tick engine): the DeadlinePool collapses per-monitor timer
+#: wakes into shared sentinel wakes, removing 672 pure-bookkeeping engine
+#: events.  The *digest* is unchanged — the pool fires real expirations at
+#: bit-identical virtual times; only the executed-event count moved.
+PINNED_EVENTS = 5047
 PINNED_DIGEST = "2f1b955793b10d8646854d011edf6e18268c5cc78b07a1db2ac4ac3ac5e270d8"
 
 

@@ -1,0 +1,113 @@
+"""Sharded-run determinism: splitting a cell across cores changes nothing.
+
+The contract (ROADMAP, bench ``*_sharded`` cells): ``run_sharded`` produces
+the same merged-trace digest, event total and wire-byte total for *any*
+worker count, because the merge orders shard traces by virtual time and
+shard index — never by completion order.  Plus unit coverage of the
+config-splitting arithmetic and the virtual-time merge itself.
+"""
+
+import pytest
+
+from repro.experiments.orchestrator import run_sharded, shard_config
+from repro.experiments.scenario import ExperimentConfig
+from repro.metrics.trace import TraceEvent, digest_line, merged_trace_digest, trace_digest
+
+
+def many_groups_config(**kw):
+    defaults = dict(
+        name="sharded-test",
+        algorithm="omega_lc",
+        n_nodes=4,
+        n_groups=8,
+        duration=6.0,
+        warmup=1.5,
+        seed=77,
+        node_churn=False,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+class TestShardConfig:
+    def test_groups_partition_contiguously_and_exactly(self):
+        shards = shard_config(many_groups_config(n_groups=10), 4)
+        assert [s.n_groups for s in shards] == [3, 3, 2, 2]
+        starts = [s.group for s in shards]
+        assert starts == [1, 4, 7, 9]  # contiguous, no overlap, no gap
+
+    def test_lease_clients_split_near_equally(self):
+        config = many_groups_config(n_groups=1, n_lease_clients=10)
+        shards = shard_config(config, 4)
+        assert [s.n_lease_clients for s in shards] == [3, 3, 2, 2]
+
+    def test_shard_seeds_are_distinct_and_deterministic(self):
+        first = shard_config(many_groups_config(), 4)
+        second = shard_config(many_groups_config(), 4)
+        seeds = [s.seed for s in first]
+        assert len(set(seeds)) == 4
+        assert seeds == [s.seed for s in second]
+
+    def test_shard_names_record_the_index(self):
+        shards = shard_config(many_groups_config(), 2)
+        assert [s.name for s in shards] == [
+            "sharded-test/shard0",
+            "sharded-test/shard1",
+        ]
+
+    def test_more_shards_than_work_rejected(self):
+        with pytest.raises(ValueError):
+            shard_config(many_groups_config(n_groups=2), 3)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_config(many_groups_config(), 0)
+
+
+class TestMergedTraceDigest:
+    def test_merge_orders_by_time_then_shard(self):
+        a = TraceEvent(time=1.0, kind="view", group=0, pid=1, leader=1)
+        b = TraceEvent(time=2.0, kind="view", group=1, pid=2, leader=2)
+        c = TraceEvent(time=1.5, kind="view", group=2, pid=3, leader=3)
+        shard0 = [(e.time, digest_line(e)) for e in (a, b)]
+        shard1 = [(c.time, digest_line(c))]
+        # a (t=1.0) < c (t=1.5) < b (t=2.0)
+        assert merged_trace_digest([shard0, shard1]) == trace_digest([a, c, b])
+
+    def test_equal_times_resolve_by_shard_index(self):
+        a = TraceEvent(time=1.0, kind="view", group=0, pid=1, leader=1)
+        b = TraceEvent(time=1.0, kind="view", group=1, pid=2, leader=2)
+        shards = [[(a.time, digest_line(a))], [(b.time, digest_line(b))]]
+        assert merged_trace_digest(shards) == trace_digest([a, b])
+
+    def test_empty_shards_contribute_nothing(self):
+        a = TraceEvent(time=1.0, kind="view", group=0, pid=1, leader=1)
+        assert merged_trace_digest(
+            [[], [(a.time, digest_line(a))], []]
+        ) == trace_digest([a])
+
+
+class TestShardedDeterminism:
+    def test_digest_identical_across_worker_counts(self):
+        """The headline contract: a multi-process sharded run reproduces the
+        single-process merged digest bit-for-bit (and the event and
+        wire-byte totals), so core count never changes results."""
+        config = many_groups_config()
+        sequential = run_sharded(config, shards=2, workers=1)
+        parallel = run_sharded(config, shards=2, workers=2)
+        assert sequential.digest == parallel.digest
+        assert sequential.events_executed == parallel.events_executed
+        assert sequential.wire_bytes == parallel.wire_bytes
+
+    def test_sharded_run_is_reproducible(self):
+        config = many_groups_config()
+        first = run_sharded(config, shards=2, workers=1)
+        second = run_sharded(config, shards=2, workers=1)
+        assert first.digest == second.digest
+        assert first.events_executed == second.events_executed
+
+    def test_shard_walls_and_makespan_reported(self):
+        result = run_sharded(many_groups_config(), shards=2, workers=1)
+        assert len(result.shard_walls) == 2
+        assert result.wall_seconds > 0
+        assert result.events_executed > 0

@@ -104,6 +104,33 @@ class TestCompareResults:
         failures = compare_results(make_baseline(peak_kib=1000.0), current)
         assert any("peak traced memory grew" in failure for failure in failures)
 
+    def test_sharded_cell_exempt_from_throughput_gate(self):
+        """Sharded makespan depends on the core count, which calibration
+        cannot normalize — only the exact pins (digest/events/wire) hold."""
+        current = make_current(events_per_sec=10_000.0)  # 10x "regression"
+        current.cells["heartbeat"].shards = 4
+        current.cells["heartbeat"].workers = 1
+        baseline = make_baseline()
+        baseline["modes"]["quick"]["cells"]["heartbeat"]["shards"] = 4
+        assert compare_results(baseline, current) == []
+
+    def test_sharded_cell_digest_still_pinned(self):
+        current = make_current(digest="d2")
+        current.cells["heartbeat"].shards = 4
+        baseline = make_baseline()
+        baseline["modes"]["quick"]["cells"]["heartbeat"]["shards"] = 4
+        failures = compare_results(baseline, current)
+        assert any("digest changed" in failure for failure in failures)
+
+    def test_absolute_alloc_budget_enforced(self, monkeypatch):
+        monkeypatch.setitem(bench_core.ALLOC_BUDGETS, "heartbeat", 6_000)
+        ok = compare_results(make_baseline(), make_current(blocks=5_000))
+        assert ok == []
+        failures = compare_results(
+            make_baseline(blocks=7_000), make_current(blocks=7_000)
+        )
+        assert any("absolute budget" in failure for failure in failures)
+
     def test_missing_mode_reported(self):
         failures = compare_results({"modes": {}}, make_current())
         assert failures == ["baseline has no 'quick' mode section"]

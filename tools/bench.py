@@ -49,22 +49,37 @@ from benchmarks.bench_core import (  # noqa: E402
 BASELINE_PATH = ROOT / "BENCH_core.json"
 
 
-def _git_sha() -> str:
+def _git_state() -> tuple:
+    """(HEAD sha, dirty?) — the provenance pair recorded at --update time.
+
+    A baseline refresh normally runs with the perf change still
+    uncommitted, so HEAD is the *parent* of the commit that will carry the
+    new baseline; the dirty flag records whether the working tree had
+    uncommitted changes when the numbers were measured.
+    """
     try:
-        return (
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        dirty = bool(
             subprocess.run(
-                ["git", "rev-parse", "HEAD"],
+                ["git", "status", "--porcelain"],
                 cwd=ROOT,
                 capture_output=True,
                 text=True,
                 check=True,
             ).stdout.strip()
         )
+        return sha, dirty
     except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+        return "unknown", False
 
 
-def _profile(cell: str) -> int:
+def _profile(cell: str, out: Path = None) -> int:
     import cProfile
     import pstats
 
@@ -76,6 +91,11 @@ def _profile(cell: str) -> int:
     system.sim.run_until(duration)
     profiler.disable()
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(30)
+    if out is not None:
+        # Raw pstats dump, loadable with pstats.Stats(str(out)) or snakeviz;
+        # CI uploads this as an artifact when the perf gate trips.
+        profiler.dump_stats(out)
+        print(f"wrote pstats dump to {out}")
     return 0
 
 
@@ -131,10 +151,18 @@ def main(argv=None) -> int:
         metavar="CELL",
         help="cProfile one cell (default: heartbeat) and exit",
     )
+    parser.add_argument(
+        "--profile-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="with --profile: also dump the raw pstats data to FILE "
+        "(implies --profile heartbeat if --profile is absent)",
+    )
     args = parser.parse_args(argv)
 
-    if args.profile:
-        return _profile(args.profile)
+    if args.profile or args.profile_out:
+        return _profile(args.profile or "heartbeat", args.profile_out)
 
     mode = "quick" if args.quick else "full"
     cells = args.cells.split(",") if args.cells else None
@@ -147,9 +175,11 @@ def main(argv=None) -> int:
 
     import numpy
 
+    git_sha, git_dirty = _git_state()
     blob = {
         "schema": 1,
-        "git_sha": _git_sha(),
+        "git_sha": git_sha,
+        "git_dirty": git_dirty,
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,
         "modes": {mode: result.to_json()},
@@ -179,7 +209,10 @@ def main(argv=None) -> int:
         if args.baseline.exists():
             merged = json.loads(args.baseline.read_text())
             merged.update(
-                {k: blob[k] for k in ("schema", "git_sha", "python", "numpy")}
+                {
+                    k: blob[k]
+                    for k in ("schema", "git_sha", "git_dirty", "python", "numpy")
+                }
             )
             merged.setdefault("modes", {})[mode] = blob["modes"][mode]
         args.baseline.write_text(json.dumps(merged, indent=1) + "\n")
