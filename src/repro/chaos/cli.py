@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="lease clients contending on the primary group",
         )
+        p.add_argument(
+            "--transfer-ratio",
+            type=float,
+            default=None,
+            help="probability a lease cycle ends in a transfer instead of "
+            "a release",
+        )
 
     fuzz = sub.add_parser(
         "fuzz", help="run N seeded random scenarios and check all invariants"
@@ -118,6 +125,8 @@ def _profile_from_args(args: argparse.Namespace) -> FuzzProfile:
         changes["detection_time"] = args.detection_time
     if args.lease_clients is not None:
         changes["n_lease_clients"] = args.lease_clients
+    if args.transfer_ratio is not None:
+        changes["transfer_ratio"] = args.transfer_ratio
     if changes:
         from dataclasses import replace
 
@@ -238,6 +247,7 @@ def _run_script(args: argparse.Namespace) -> int:
             seed=args.seed,
             detection_time=profile.detection_time,
             n_lease_clients=profile.n_lease_clients,
+            lease_transfer_ratio=profile.transfer_ratio,
         )
     except (ValueError, TypeError) as exc:
         print(f"invalid chaos script: {exc}", file=sys.stderr)

@@ -102,6 +102,9 @@ class FuzzProfile:
     #: exercises the lease tier's ``no-double-grant`` safety invariant
     #: under the generated adversary by default.
     n_lease_clients: int = 3
+    #: Probability a lease cycle ends in a transfer instead of a release,
+    #: so every batch also fuzzes handoff token monotonicity.
+    transfer_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -115,6 +118,10 @@ class FuzzProfile:
         if self.n_lease_clients < 0:
             raise ValueError(
                 f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"
+            )
+        if not 0.0 <= self.transfer_ratio <= 1.0:
+            raise ValueError(
+                f"transfer_ratio must be in [0, 1] (got {self.transfer_ratio})"
             )
 
 
@@ -216,6 +223,7 @@ def config_for_case(
         detection_time=profile.detection_time,
         hold=profile.hold,
         n_lease_clients=profile.n_lease_clients,
+        lease_transfer_ratio=profile.transfer_ratio,
     )
 
 
@@ -243,6 +251,7 @@ def _experiment_cell(seed: int, profile: FuzzProfile) -> ExperimentConfig:
         node_churn=False,
         qos=FDQoS(detection_time=profile.detection_time),
         n_lease_clients=profile.n_lease_clients,
+        lease_transfer_ratio=profile.transfer_ratio,
     )
 
 
@@ -254,6 +263,7 @@ def fuzz_cell_runner(config: ExperimentConfig) -> Dict[str, Any]:
         algorithm=config.algorithm,
         detection_time=config.qos.detection_time,
         n_lease_clients=config.n_lease_clients,
+        transfer_ratio=config.lease_transfer_ratio,
     )
     result = run_scripted(config_for_case(config.seed, profile))
     record = result.to_dict()
@@ -340,6 +350,8 @@ def replay_command(seed: int, profile: Optional[FuzzProfile] = None) -> str:
             command += f" --detection-time {profile.detection_time}"
         if profile.n_lease_clients != defaults.n_lease_clients:
             command += f" --lease-clients {profile.n_lease_clients}"
+        if profile.transfer_ratio != defaults.transfer_ratio:
+            command += f" --transfer-ratio {profile.transfer_ratio}"
     return command
 
 
@@ -369,6 +381,7 @@ def run_fuzz(
         algorithm=profile.algorithm,
         detection_time=profile.detection_time,
         n_lease_clients=profile.n_lease_clients,
+        transfer_ratio=profile.transfer_ratio,
     ):
         # Workers rebuild the profile from the fields that ride on
         # ExperimentConfig; any other customized knob (grammar sizes,
@@ -377,7 +390,8 @@ def run_fuzz(
         raise ValueError(
             "workers > 1 supports only the CLI-expressible profile knobs "
             "(n_nodes, n_groups, algorithm, detection_time, "
-            "n_lease_clients); run custom-grammar profiles with workers=1"
+            "n_lease_clients, transfer_ratio); run custom-grammar profiles "
+            "with workers=1"
         )
     seeds = [case_seed(master_seed, index) for index in range(runs)]
     cells = [_experiment_cell(seed, profile) for seed in seeds]

@@ -281,7 +281,7 @@ def check_invariants(
 _GROUP_FAULT_TARGET = re.compile(r"group=(-?\d+)")
 
 _LEASE_EVENT = re.compile(
-    r"^(?P<action>grant|renew|release) lease=(?P<lease>\d+) "
+    r"^(?P<action>grant|renew|release|transfer) lease=(?P<lease>\d+) "
     r"client=(?P<client>-?\d+) token=(?P<token>\d+) expiry=(?P<expiry>\S+)$"
 )
 
@@ -305,15 +305,21 @@ def check_no_double_grant(
 
     Two claims, per lease id:
 
-    * **Token monotonicity** — every ``grant`` carries a fencing token
-      strictly above every token previously seen for that lease.  This is
-      what lets downstream resources fence off stale holders, so it must
-      hold across leader kills, re-elections and total gossip loss.
+    * **Token monotonicity** — every ``grant`` (and ``transfer``) carries
+      a fencing token strictly above every token previously seen for that
+      lease.  This is what lets downstream resources fence off stale
+      holders, so it must hold across leader kills, re-elections and total
+      gossip loss.
     * **No overlapping holders** — when a grant hands the lease to a new
       client, the previous holder's validity (as last extended by its
       renewals, or truncated by its release) must already be over, up to
       ``slack`` seconds of inter-leader clock drift (lease events are
       stamped with the *granting leader's* local clock).
+
+    A ``transfer`` is grant-like for the token claim but exempt from the
+    overlap claim: the handoff is *sanctioned* by the outgoing holder (the
+    leader only honours it from the live token's owner), so the successor
+    legitimately starts inside the predecessor's validity window.
 
     A ``renew`` that extends a token other than the lease's latest one is
     flagged too: only a superseded leader still renewing a dead tenure's
@@ -338,21 +344,22 @@ def check_no_double_grant(
         expiry = float(match.group("expiry"))
         time = event.time
         current = holdings.get(lease)
-        if action == "grant":
+        if action in ("grant", "transfer"):
             if token <= max_token.get(lease, 0):
                 violations.append(
                     Violation(
                         invariant="no-double-grant",
                         time=time,
                         detail=(
-                            f"fencing token regressed on lease {lease}: grant to "
-                            f"client {client} carried token {token} <= previously "
-                            f"seen {max_token[lease]}"
+                            f"fencing token regressed on lease {lease}: {action} "
+                            f"to client {client} carried token {token} <= "
+                            f"previously seen {max_token[lease]}"
                         ),
                     )
                 )
             if (
-                current is not None
+                action == "grant"
+                and current is not None
                 and current.client != client
                 and current.expiry > time + slack
             ):

@@ -62,6 +62,9 @@ class ChaosRunConfig:
     #: Lease clients contending on the primary group during the run (their
     #: grants feed the ``no-double-grant`` checker).
     n_lease_clients: int = 0
+    #: Probability a lease cycle ends in a transfer instead of a release
+    #: (exercises handoff token monotonicity under the adversary).
+    lease_transfer_ratio: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -71,6 +74,11 @@ class ChaosRunConfig:
         if self.n_lease_clients < 0:
             raise ValueError(
                 f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"
+            )
+        if not 0.0 <= self.lease_transfer_ratio <= 1.0:
+            raise ValueError(
+                "lease_transfer_ratio must be in [0, 1] "
+                f"(got {self.lease_transfer_ratio})"
             )
         if self.script.heal_time is None:
             raise ValueError("chaos scripts must end with a heal() step")
@@ -100,6 +108,7 @@ class ChaosRunConfig:
             node_churn=False,
             qos=self.qos,
             n_lease_clients=self.n_lease_clients,
+            lease_transfer_ratio=self.lease_transfer_ratio,
         )
 
 
@@ -127,6 +136,7 @@ class ChaosRunResult:
             "n_nodes": self.config.n_nodes,
             "n_groups": self.config.n_groups,
             "n_lease_clients": self.config.n_lease_clients,
+            "lease_transfer_ratio": self.config.lease_transfer_ratio,
             "algorithm": self.config.algorithm,
             "detection_time": self.config.detection_time,
             "ok": self.ok,

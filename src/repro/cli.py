@@ -142,7 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lease = sub.add_parser(
         "lease",
-        help="lease/lock client against a live cluster (acquire | watch)",
+        help="lease/lock client against a live cluster "
+        "(acquire | watch | transfer)",
     )
     lease_sub = lease.add_subparsers(dest="lease_command", required=True)
 
@@ -178,12 +179,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     watch = lease_sub.add_parser(
-        "watch", help="print HOLDER lines on every ownership change"
+        "watch",
+        help="print HOLDER lines on every ownership change (push "
+        "notifications; each line says via=push or via=poll)",
     )
     lease_common(watch)
     watch.add_argument("--client-id", type=int, default=1001)
-    watch.add_argument("--period", type=float, default=1.0, help="poll period s")
+    watch.add_argument(
+        "--period",
+        type=float,
+        default=1.0,
+        help="fallback/deadman cadence s (the poll period with --no-push)",
+    )
     watch.add_argument("--duration", type=float, default=10.0, help="watch this long")
+    watch.add_argument(
+        "--no-push",
+        action="store_true",
+        help="legacy poll-only watch (no server-push subscription)",
+    )
+
+    transfer = lease_sub.add_parser(
+        "transfer",
+        help="acquire the lease, then hand it off to --successor "
+        "(prints GRANTED then TRANSFERRED with the advanced token)",
+    )
+    lease_common(transfer)
+    transfer.add_argument("--client-id", type=int, default=1003)
+    transfer.add_argument(
+        "--successor", type=int, required=True, help="client id to hand the lease to"
+    )
+    transfer.add_argument(
+        "--ttl", type=float, default=0.0, help="requested validity s (0: server max)"
+    )
+    transfer.add_argument(
+        "--timeout", type=float, default=30.0, help="give up if not granted by then"
+    )
 
     sub.add_parser(
         "experiment",
@@ -253,7 +283,7 @@ def _run_node(args: argparse.Namespace) -> int:
 def _run_lease(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.lease.live import acquire_main, watch_main
+    from repro.lease.live import acquire_main, transfer_main, watch_main
 
     try:
         ports = tuple(int(port) for port in args.ports.split(","))
@@ -277,6 +307,18 @@ def _run_lease(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             contact_node=args.contact_node,
         ))
+    if args.lease_command == "transfer":
+        return asyncio.run(transfer_main(
+            name=args.name,
+            host=args.host,
+            ports=ports,
+            successor=args.successor,
+            group=args.group,
+            client_id=args.client_id,
+            ttl=args.ttl,
+            timeout=args.timeout,
+            contact_node=args.contact_node,
+        ))
     return asyncio.run(watch_main(
         name=args.name,
         host=args.host,
@@ -286,6 +328,7 @@ def _run_lease(args: argparse.Namespace) -> int:
         period=args.period,
         duration=args.duration,
         contact_node=args.contact_node,
+        push=not args.no_push,
     ))
 
 

@@ -53,6 +53,7 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseEventMessage,
     LeaseReplyMessage,
     LeaseRequestMessage,
     Message,
@@ -227,6 +228,13 @@ class GroupRuntime(GroupContext):
         self._lease_sent_version: Dict[int, int] = {}
         #: Local clients awaiting replies, keyed by client id.
         self._lease_clients: Dict[int, Callable[[LeaseReplyMessage], None]] = {}
+        #: Local clients receiving push events, keyed by client id.
+        self._lease_event_sinks: Dict[int, Callable[[LeaseEventMessage], None]] = {}
+        #: Leader-side watch registry: lease id -> {client id -> node}.
+        #: Leader-anchored (cleared on tenure end; clients resubscribe at
+        #: the new leader) and refreshed by every ``watch`` op, so entries
+        #: for dead watchers last at most one tenure.
+        self._lease_watchers: Dict[int, Dict[int, int]] = {}
         self._lease_flush_pending = False
         self._lease_probe_pending = False
 
@@ -286,6 +294,8 @@ class GroupRuntime(GroupContext):
         self._shut_down = True
         self.lease_manager.on_tenure_end()
         self._lease_clients.clear()
+        self._lease_event_sinks.clear()
+        self._lease_watchers.clear()
         self.algorithm.stop()
         self._hello_timer.stop()
         self.service.batcher.remove_group(self.group)
@@ -395,6 +405,10 @@ class GroupRuntime(GroupContext):
                 self._ensure_lease_probe()
         elif manager.tenure_active:
             manager.on_tenure_end()
+            # Watch subscriptions are anchored to this tenure; watchers
+            # resubscribe at the new leader (their deadman timers fire and
+            # re-send ``watch``, which redirects like any op).
+            self._lease_watchers.clear()
         if self._on_leader_change is not None:
             self._on_leader_change(self.group, leader)
 
@@ -469,7 +483,14 @@ class GroupRuntime(GroupContext):
         if changed:
             self._sync_membership_dependents()
         if message.leases:
-            self.lease_ledger.merge(message.leases)
+            if self._lease_watchers:
+                # Watched leases changed by *gossiped* records (e.g. a
+                # competing tenure's grants converging) push events too,
+                # not just changes this leader decided itself.
+                for lease in self.lease_ledger.merge_report(message.leases):
+                    self._notify_lease_watchers(lease)
+            else:
+                self.lease_ledger.merge(message.leases)
         if message.kind == "join":
             self._send_hello_reply(message.sender_node)
         elif message.kind == "reply":
@@ -564,23 +585,37 @@ class GroupRuntime(GroupContext):
         self,
         message: LeaseRequestMessage,
         reply_to: Callable[[LeaseReplyMessage], None],
+        event_to: Optional[Callable[[LeaseEventMessage], None]] = None,
     ) -> None:
         """Client-library entry point: route a local client's request.
 
-        Registers (or refreshes) the reply route for ``message.client``,
-        then either handles the request locally (this node hosts the
-        leader — or must answer with a redirect) or sends it over the
-        transport, where it is as droppable as any other datagram.
+        Registers (or refreshes) the reply route for ``message.client``
+        (and, when given, the push-event sink), then either handles the
+        request locally (this node hosts the leader — or must answer with
+        a redirect) or sends it over the transport, where it is as
+        droppable as any other datagram.
         """
         if self._shut_down:
             return
         self._lease_clients[message.client] = reply_to
+        if event_to is not None:
+            self._lease_event_sinks[message.client] = event_to
         if message.dest_node == self.service.node.node_id:
             self.handle_lease_request(message)
         else:
             self.transport.send(message)
 
     def handle_lease_request(self, message: LeaseRequestMessage) -> None:
+        if message.op == "unwatch":
+            # Fire-and-forget unsubscribe: no reply, so a stopped watcher
+            # never spins up a retry loop just to say goodbye.  A lost
+            # unwatch only costs spurious events until the tenure ends.
+            watchers = self._lease_watchers.get(message.lease)
+            if watchers is not None:
+                watchers.pop(message.client, None)
+                if not watchers:
+                    del self._lease_watchers[message.lease]
+            return
         decision = None
         if self._leader_view == self.pid:
             decision = self.lease_manager.handle(
@@ -590,7 +625,18 @@ class GroupRuntime(GroupContext):
                 message.token,
                 message.ttl,
                 self.scheduler.now,
+                successor=message.successor,
             )
+            if (
+                decision is not None
+                and decision.status == "info"
+                and message.op in ("watch", "handoff")
+            ):
+                # Subscribe the watcher (a handoff requester implicitly
+                # watches: the transfer reaches it as a push event).
+                self._lease_watchers.setdefault(message.lease, {})[
+                    message.client
+                ] = message.sender_node
         my_node = self.service.node.node_id
         if decision is None:
             # Not the leader (or tenure not yet active): redirect with our
@@ -623,6 +669,7 @@ class GroupRuntime(GroupContext):
                 expiry=decision.expiry,
                 retry_after=decision.retry_after,
                 leader_node=my_node,
+                handoff=decision.handoff,
                 nonce=message.nonce,
             )
             if decision.changed:
@@ -631,11 +678,53 @@ class GroupRuntime(GroupContext):
             self.handle_lease_reply(reply)
         else:
             self.transport.send(reply)
+        if decision is not None and decision.changed:
+            # After the requester's reply, so its own state machine settles
+            # before watcher callbacks observe the change.
+            self._notify_lease_watchers(message.lease)
 
     def handle_lease_reply(self, message: LeaseReplyMessage) -> None:
         reply_to = self._lease_clients.get(message.client)
         if reply_to is not None:
             reply_to(message)
+
+    def handle_lease_event(self, message: LeaseEventMessage) -> None:
+        sink = self._lease_event_sinks.get(message.client)
+        if sink is not None:
+            sink(message)
+
+    def _notify_lease_watchers(self, lease: int) -> None:
+        """Push the lease's current record to every registered watcher.
+
+        Fire-and-forget, one event per watcher per ledger change; clients
+        dedupe on (holder, token) and keep a deadman poll as the fallback,
+        so a lost event costs latency, never correctness.  The guard makes
+        the watcher-free hot path (the ``lease_load`` cell) a dict miss.
+        """
+        watchers = self._lease_watchers.get(lease)
+        if not watchers:
+            return
+        record = self.lease_ledger.record(lease)
+        if record is None:
+            return
+        my_node = self.service.node.node_id
+        for client, node in watchers.items():
+            event = LeaseEventMessage(
+                sender_node=my_node,
+                dest_node=node,
+                group=self.group,
+                lease=lease,
+                client=client,
+                holder=record.holder,
+                token=record.token,
+                expiry=record.expiry,
+                released=record.released,
+                seq=record.seq,
+            )
+            if node == my_node:
+                self.handle_lease_event(event)
+            else:
+                self.transport.send(event)
 
     def _schedule_lease_flush(self) -> None:
         """Coalesce ledger deltas into one push ~20 ms after a mutation.
@@ -1263,6 +1352,7 @@ class LeaderElectionService:
         AccuseMessage: GroupRuntime.handle_accuse,
         LeaseRequestMessage: GroupRuntime.handle_lease_request,
         LeaseReplyMessage: GroupRuntime.handle_lease_reply,
+        LeaseEventMessage: GroupRuntime.handle_lease_event,
     }
 
     def handle_message(self, message: Message) -> None:

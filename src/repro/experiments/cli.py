@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="simulated lease clients contending on the primary group's locks",
     )
+    parser.add_argument(
+        "--lease-transfer-ratio",
+        type=float,
+        default=0.0,
+        help="probability a lease cycle ends in a transfer to another "
+        "client instead of a release",
+    )
 
     sweep = parser.add_argument_group("sweep orchestration")
     sweep.add_argument(
@@ -154,6 +161,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         node_mttr=args.node_mttr,
         qos=FDQoS(detection_time=args.detection_time),
         n_lease_clients=args.lease_clients,
+        lease_transfer_ratio=args.lease_transfer_ratio,
     )
 
 
@@ -196,7 +204,7 @@ def _print_cell_metrics(result: ExperimentResult) -> None:
         print(
             f"lease workload               : {result.config.n_lease_clients} clients, "
             f"{result.lease_grants} grants, {result.lease_releases} releases, "
-            f"{result.lease_losses} losses"
+            f"{result.lease_losses} losses, {result.lease_transfers} transfers"
         )
 
 
@@ -259,6 +267,7 @@ _SINGLE_CELL_ONLY = (
     "node_mttr",
     "detection_time",
     "lease_clients",
+    "lease_transfer_ratio",
 )
 #: Flags that only the orchestrated sweep mode consumes.
 _SWEEP_ONLY = ("resume", "artifact", "sweep_seed")

@@ -79,6 +79,7 @@ class ExperimentResult:
     lease_grants: int = 0
     lease_releases: int = 0
     lease_losses: int = 0
+    lease_transfers: int = 0
 
     @property
     def availability(self) -> float:
@@ -166,6 +167,7 @@ def build_system(
             rng,
             group=config.group,
             n_clients=config.n_lease_clients,
+            transfer_ratio=config.lease_transfer_ratio,
         )
         lease_workload.start()
 
@@ -251,4 +253,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         lease_grants=workload.grants if workload is not None else 0,
         lease_releases=workload.releases if workload is not None else 0,
         lease_losses=workload.losses if workload is not None else 0,
+        lease_transfers=workload.transfers if workload is not None else 0,
     )

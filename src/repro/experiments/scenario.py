@@ -73,6 +73,9 @@ class ExperimentConfig:
     #: Lease clients contending for locks on the primary group's leader
     #: (0 = no lease workload; see :mod:`repro.lease.workload`).
     n_lease_clients: int = 0
+    #: Probability a lease-workload cycle ends in a ``transfer`` to another
+    #: client instead of a release (0 keeps legacy runs event-identical).
+    lease_transfer_ratio: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -82,6 +85,11 @@ class ExperimentConfig:
         if self.n_lease_clients < 0:
             raise ValueError(
                 f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"
+            )
+        if not 0.0 <= self.lease_transfer_ratio <= 1.0:
+            raise ValueError(
+                "lease_transfer_ratio must be in [0, 1] "
+                f"(got {self.lease_transfer_ratio})"
             )
         if self.duration <= self.warmup:
             raise ValueError(

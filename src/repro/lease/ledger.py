@@ -169,6 +169,19 @@ class LeaseLedger:
             changed |= self.merge_record(record)
         return changed
 
+    def merge_report(self, records: Iterable[LeaseRecord]) -> Tuple[int, ...]:
+        """Merge many records; returns the ids of leases that changed.
+
+        The watcher fan-out path: a leader merging gossiped records needs
+        to know *which* leases moved so it can push events to their
+        watchers, not just whether anything did.
+        """
+        changed: List[int] = []
+        for record in records:
+            if self.merge_record(record):
+                changed.append(record.lease)
+        return tuple(changed)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -9,14 +9,20 @@ client's socket address from its first datagram (see
 it, so nothing about the cluster needs reconfiguring to serve a new
 client.
 
-Two entry points back ``repro lease acquire|watch``:
+Three entry points back ``repro lease acquire|watch|transfer``:
 
 * :func:`acquire_main` — acquire a named lease, hold it (auto-renewing)
   for ``--hold`` seconds, release, exit 0.  The grant's fencing token is
   printed as a machine-parsable ``GRANTED`` line, which is what the
   live-cluster smoke test asserts monotonicity on across a leader kill.
-* :func:`watch_main` — poll the lease and print a ``HOLDER`` line on
-  every (holder, token) change until ``--duration`` elapses.
+* :func:`watch_main` — subscribe to the lease (push events, with the
+  deadman poll fallback) and print a ``HOLDER`` line on every
+  (holder, token) change until ``--duration`` elapses; each line carries
+  ``via=push`` or ``via=poll`` so the smoke test can assert the change
+  arrived as a notification, not a poll.
+* :func:`transfer_main` — acquire the lease, then hand it to a named
+  successor; prints the pre- and post-transfer tokens so the smoke test
+  can assert the fencing token advanced across the handoff.
 """
 
 from __future__ import annotations
@@ -25,7 +31,12 @@ import asyncio
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.lease.client import LeaseClient
-from repro.net.message import LeaseReplyMessage, LeaseRequestMessage, Message
+from repro.net.message import (
+    LeaseEventMessage,
+    LeaseReplyMessage,
+    LeaseRequestMessage,
+    Message,
+)
 from repro.runtime.realtime import RealtimeScheduler, UdpTransport
 from repro.sim.rng import RngRegistry
 
@@ -34,6 +45,7 @@ __all__ = [
     "UdpLeaseChannel",
     "acquire_main",
     "watch_main",
+    "transfer_main",
 ]
 
 #: First wire node id handed to live clients — far above any daemon's.
@@ -47,13 +59,15 @@ class UdpLeaseChannel:
     node — the contact node — because the client itself serves nothing;
     ``submit`` stamps the client's own wire id as the sender so replies
     come back to this socket.  Incoming lease replies are fanned out to
-    the last registered ``reply_to`` (one client per channel).
+    the last registered ``reply_to``, push events to ``on_event`` (one
+    client per channel; the LeaseClient assigns ``on_event`` itself).
     """
 
     def __init__(self, transport: UdpTransport, contact_node: int) -> None:
         self._transport = transport
         self.node_id = contact_node
         self._reply_to: Optional[Callable[[LeaseReplyMessage], None]] = None
+        self.on_event: Optional[Callable[[LeaseEventMessage], None]] = None
 
     @property
     def wire_node(self) -> int:
@@ -69,9 +83,11 @@ class UdpLeaseChannel:
         self._transport.send(message)
 
     def deliver(self, message: Message) -> None:
-        """Transport deliver hook: route lease replies to the client."""
+        """Transport deliver hook: route replies and events to the client."""
         if isinstance(message, LeaseReplyMessage) and self._reply_to is not None:
             self._reply_to(message)
+        elif isinstance(message, LeaseEventMessage) and self.on_event is not None:
+            self.on_event(message)
 
 
 def _addresses(
@@ -186,20 +202,99 @@ async def watch_main(
     period: float = 1.0,
     duration: float = 10.0,
     contact_node: int = 0,
+    push: bool = True,
 ) -> int:
-    """Watch ``name``; print ``HOLDER`` lines on every ownership change."""
+    """Watch ``name``; print ``HOLDER`` lines on every ownership change.
+
+    Each line reports how the change arrived: ``via=push`` for a
+    server-push event (the reply's nonce is 0), ``via=poll`` for a
+    polled/subscribe reply.
+    """
     transport, client = await _open_client(
         host=host, ports=ports, group=group, client_id=client_id,
         contact_node=contact_node,
     )
 
     def on_change(reply: LeaseReplyMessage) -> None:
-        _emit(f"HOLDER lease={name} holder={reply.holder} token={reply.token}")
+        via = "push" if reply.nonce == 0 else "poll"
+        _emit(
+            f"HOLDER lease={name} holder={reply.holder} "
+            f"token={reply.token} via={via}"
+        )
 
     try:
-        stop = client.watch(name, on_change, period=period)
+        stop = client.watch(name, on_change, period=period, push=push)
         await asyncio.sleep(duration)
         stop()
+        return 0
+    finally:
+        client.close()
+        transport.close()
+
+
+async def transfer_main(
+    *,
+    name: str,
+    host: str,
+    ports: Sequence[int],
+    successor: int,
+    group: int = 1,
+    client_id: int = 1003,
+    ttl: float = 0.0,
+    timeout: float = 30.0,
+    contact_node: int = 0,
+) -> int:
+    """Acquire ``name``, then hand it off to ``successor``.
+
+    Protocol lines on stdout::
+
+        GRANTED lease=<name> token=<t1> expiry=<epoch s>
+        TRANSFERRED lease=<name> successor=<id> token=<t2>
+
+    with ``t2 > t1`` (fencing tokens advance across a handoff).  Exit 0
+    on a completed transfer, 1 on timeout.
+    """
+    transport, client = await _open_client(
+        host=host, ports=ports, group=group, client_id=client_id,
+        contact_node=contact_node,
+    )
+    loop = asyncio.get_running_loop()
+    granted: "asyncio.Future[LeaseReplyMessage]" = loop.create_future()
+    transferred: "asyncio.Future[LeaseReplyMessage]" = loop.create_future()
+
+    def on_granted(reply: LeaseReplyMessage) -> None:
+        if not granted.done():
+            granted.set_result(reply)
+
+    def on_transferred(reply: LeaseReplyMessage) -> None:
+        if not transferred.done():
+            transferred.set_result(reply)
+
+    try:
+        client.acquire(name, ttl=ttl, callback=on_granted)
+        try:
+            reply = await asyncio.wait_for(granted, timeout)
+        except asyncio.TimeoutError:
+            _emit(f"TIMEOUT lease={name} after={timeout}")
+            return 1
+        _emit(
+            f"GRANTED lease={name} token={reply.token} expiry={reply.expiry:.6f}"
+        )
+        if not client.transfer(name, successor, callback=on_transferred):
+            _emit(f"TIMEOUT lease={name} after={timeout}")
+            return 1
+        try:
+            handoff = await asyncio.wait_for(transferred, timeout)
+        except asyncio.TimeoutError:
+            _emit(f"TIMEOUT lease={name} after={timeout}")
+            return 1
+        if handoff.status != "granted":
+            _emit(f"DENIED lease={name} status={handoff.status}")
+            return 1
+        _emit(
+            f"TRANSFERRED lease={name} successor={successor} "
+            f"token={handoff.token}"
+        )
         return 0
     finally:
         client.close()

@@ -69,6 +69,9 @@ class LeaseDecision:
     retry_after: float = 0.0
     #: True iff the ledger changed (the runtime flushes deltas to peers).
     changed: bool = False
+    #: Client id of a pending handoff requester attached to a granted
+    #: renew (-1 when none) — the holder's cue to transfer the lease.
+    handoff: int = -1
 
 
 class LeaseManager:
@@ -102,6 +105,11 @@ class LeaseManager:
         self._counter = 0
         #: client id -> (tokens remaining, last refill time).
         self._buckets: Dict[int, Tuple[float, float]] = {}
+        #: lease id -> client id wanting the lease handed to it.  Tenure
+        #: scoped (a requester must re-ask a new leader); the pending
+        #: requester rides every granted renew reply until the holder
+        #: transfers, releases, or the lease changes hands.
+        self._handoff_wanted: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Tenure lifecycle (driven by the election's leader view)
@@ -132,17 +140,26 @@ class LeaseManager:
         self._epoch = None
         self._counter = 0
         self._buckets.clear()
+        self._handoff_wanted.clear()
 
     def on_tenure_end(self) -> None:
         """Local pid stopped leading: refuse everything until re-elected."""
         self._tenure_start = None
         self._buckets.clear()
+        self._handoff_wanted.clear()
 
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
     def handle(
-        self, op: str, lease: int, client: int, token: int, ttl: float, now: float
+        self,
+        op: str,
+        lease: int,
+        client: int,
+        token: int,
+        ttl: float,
+        now: float,
+        successor: int = -1,
     ) -> Optional[LeaseDecision]:
         """Decide one client request; None for ops this manager cannot
         serve (inactive tenure — the runtime answers with a redirect)."""
@@ -157,8 +174,14 @@ class LeaseManager:
             return self._renew(lease, client, token, ttl, now)
         if op == "release":
             return self._release(lease, client, token, now)
-        if op == "query":
+        if op in ("query", "watch"):
+            # A watch is a query whose reply doubles as the subscription
+            # confirmation; the watcher registry lives in the runtime.
             return self._query(lease, now)
+        if op == "transfer":
+            return self._transfer(lease, client, token, ttl, successor, now)
+        if op == "handoff":
+            return self._handoff(lease, client, now)
         return LeaseDecision(status="denied")
 
     def _acquire(
@@ -234,12 +257,18 @@ class LeaseManager:
         )
         changed = self.ledger.merge_record(record)
         self._record("renew", lease, client, token, record.expiry, now)
+        handoff = self._handoff_wanted.get(lease, -1)
+        if handoff == client:
+            # The requester acquired the lease some other way; drop the ask.
+            del self._handoff_wanted[lease]
+            handoff = -1
         return LeaseDecision(
             status="granted",
             token=token,
             holder=client,
             expiry=record.expiry,
             changed=changed,
+            handoff=handoff,
         )
 
     def _release(
@@ -264,8 +293,77 @@ class LeaseManager:
         )
         changed = self.ledger.merge_record(record)
         self._record("release", lease, client, token, record.expiry, now)
+        self._handoff_wanted.pop(lease, None)
         return LeaseDecision(
             status="granted", token=token, holder=client, changed=changed
+        )
+
+    def _transfer(
+        self,
+        lease: int,
+        client: int,
+        token: int,
+        ttl: float,
+        successor: int,
+        now: float,
+    ) -> LeaseDecision:
+        """Hand the lease from its holder to ``successor`` without waiting
+        out the TTL.  The successor's grant gets a fresh fencing token from
+        :meth:`_next_token`, so tokens stay strictly monotonic across the
+        handoff and the old holder's token fences exactly as if the lease
+        had expired."""
+        if successor < 0 or successor == client:
+            return LeaseDecision(status="denied")
+        if self._quorum is not None and not self._quorum():
+            return LeaseDecision(
+                status="denied", retry_after=self.detection_time
+            )
+        current = self.ledger.holder(lease, now)
+        if current is None or current.holder != client or current.token != token:
+            # Only the current holder (with its live token) may hand off.
+            return LeaseDecision(
+                status="denied",
+                holder=current.holder if current is not None else -1,
+            )
+        new_token = self._next_token(now)
+        expiry = now + self._clamp_ttl(ttl)
+        record = LeaseRecord(
+            lease=lease,
+            holder=successor,
+            token=new_token,
+            expiry=expiry,
+            granted_at=now,
+            released=False,
+            seq=0,
+        )
+        changed = self.ledger.merge_record(record)
+        self._record("transfer", lease, successor, new_token, expiry, now)
+        wanted = self._handoff_wanted.get(lease, -1)
+        if wanted == successor or wanted == client:
+            del self._handoff_wanted[lease]
+        return LeaseDecision(
+            status="granted",
+            token=new_token,
+            holder=successor,
+            expiry=expiry,
+            changed=changed,
+        )
+
+    def _handoff(self, lease: int, client: int, now: float) -> LeaseDecision:
+        """Register ``client``'s wish to take over the lease; answered like
+        a query.  The wish rides the holder's next renew reply (see
+        :meth:`_renew`); nothing is registered for an unheld lease — the
+        requester can simply acquire."""
+        holder = self.ledger.holder(lease, now)
+        if holder is None:
+            return LeaseDecision(status="info")
+        if holder.holder != client:
+            self._handoff_wanted[lease] = client
+        return LeaseDecision(
+            status="info",
+            token=holder.token,
+            holder=holder.holder,
+            expiry=holder.expiry,
         )
 
     def _query(self, lease: int, now: float) -> LeaseDecision:

@@ -9,6 +9,12 @@ per lock).  Each client loops through one cycle:
     acquire (blocking) → hold ≈ one TTL (auto-renewing) → release
     → idle 1–3 s → re-acquire
 
+With ``transfer_ratio > 0`` a cycle ends, with that probability, in a
+``transfer`` to a uniformly random other client instead of a release —
+exercising the handoff path (and its fencing-token monotonicity) under
+contention.  At the default ratio of 0 the release path draws nothing
+extra from the RNG, so legacy runs stay event-identical.
+
 All timing draws come from the registry streams ``lease.client.{i}`` and
 all timers run on each client's *home-node* scheduler, so a run is
 bit-reproducible from its seed — the property the chaos fuzzer's replay
@@ -30,17 +36,21 @@ CLIENT_ID_BASE = 1000
 
 
 class _Driver:
-    """One client's acquire/hold/release/idle loop."""
+    """One client's acquire/hold/release-or-transfer/idle loop."""
 
-    __slots__ = ("workload", "client", "scheduler", "rng", "name", "ttl", "stopped")
+    __slots__ = (
+        "workload", "client", "scheduler", "rng", "name", "ttl", "index",
+        "stopped",
+    )
 
-    def __init__(self, workload, client, scheduler, rng, name, ttl) -> None:
+    def __init__(self, workload, client, scheduler, rng, name, ttl, index) -> None:
         self.workload = workload
         self.client = client
         self.scheduler = scheduler
         self.rng = rng
         self.name = name
         self.ttl = ttl
+        self.index = index
         self.stopped = False
 
     def start(self) -> None:
@@ -61,9 +71,36 @@ class _Driver:
     def _release(self) -> None:
         if self.stopped:
             return
+        # With transfer_ratio == 0 this path draws nothing from the RNG,
+        # keeping legacy runs event-identical (the digest pin rests on it).
+        ratio = self.workload.transfer_ratio
+        if ratio > 0.0 and float(self.rng.uniform(0.0, 1.0)) < ratio:
+            if self.client.transfer(
+                self.name, self._pick_successor(), self._on_transferred
+            ):
+                return
         if not self.client.release(self.name, self._on_released):
             # The grant was lost mid-hold (leader change, home-node crash):
             # skip straight to the idle phase and re-acquire.
+            self._idle()
+
+    def _pick_successor(self) -> int:
+        """A uniformly random client id other than this driver's own."""
+        other = int(self.rng.uniform(0.0, self.workload.n_clients - 1))
+        if other >= self.index:
+            other += 1
+        return CLIENT_ID_BASE + other
+
+    def _on_transferred(self, reply) -> None:
+        if self.stopped:
+            return
+        if reply.status == "granted":
+            self.workload.transfers += 1
+            self._idle()
+            return
+        # Denied (e.g. the grant lapsed under a leader change mid-flight):
+        # fall back to the normal release path.
+        if not self.client.release(self.name, self._on_released):
             self._idle()
 
     def _on_released(self, reply) -> None:
@@ -96,12 +133,19 @@ class LeaseWorkload:
         n_clients: int,
         ttl: float = 3.0,
         start_window: float = 2.0,
+        transfer_ratio: float = 0.0,
     ) -> None:
+        if not 0.0 <= transfer_ratio <= 1.0:
+            raise ValueError(
+                f"transfer_ratio must be in [0, 1] (got {transfer_ratio})"
+            )
         self.group = group
         self.n_clients = n_clients
+        self.transfer_ratio = transfer_ratio
         self.grants = 0
         self.releases = 0
         self.losses = 0
+        self.transfers = 0
         self._drivers: List[_Driver] = []
         n_leases = max(1, n_clients // 4)
         for i in range(n_clients):
@@ -114,6 +158,7 @@ class LeaseWorkload:
                 rng=stream,
                 name=f"lock-{i % n_leases}",
                 ttl=ttl,
+                index=i,
             )
             driver.client = LeaseClient(
                 HostLeaseChannel(host, group),
@@ -144,5 +189,5 @@ class LeaseWorkload:
         return (
             f"LeaseWorkload(group={self.group}, clients={self.n_clients}, "
             f"grants={self.grants}, releases={self.releases}, "
-            f"losses={self.losses})"
+            f"losses={self.losses}, transfers={self.transfers})"
         )

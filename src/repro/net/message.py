@@ -48,6 +48,7 @@ __all__ = [
     "RateRequestMessage",
     "LeaseRequestMessage",
     "LeaseReplyMessage",
+    "LeaseEventMessage",
 ]
 
 #: Per-packet overhead: Ethernet header+FCS (18) + IPv4 (20) + UDP (8).
@@ -365,12 +366,14 @@ class RateRequestMessage(Message):
 class LeaseRequestMessage(Message):
     """A client's lease operation, addressed to the group's leader node.
 
-    ``op`` is one of ``"acquire"``, ``"renew"``, ``"release"`` or
-    ``"query"``; ``lease`` the 64-bit name hash (:func:`repro.lease.ledger.
-    lease_id`); ``client`` the requesting client's id (client ids share no
-    namespace with process ids — live clients use synthetic node ids).
-    ``token`` carries the client's current fencing token on renew/release
-    (0 otherwise), ``ttl`` the requested validity in seconds, and ``nonce``
+    ``op`` is one of ``"acquire"``, ``"renew"``, ``"release"``, ``"query"``,
+    ``"transfer"``, ``"watch"``, ``"unwatch"`` or ``"handoff"``; ``lease``
+    the 64-bit name hash (:func:`repro.lease.ledger.lease_id`); ``client``
+    the requesting client's id (client ids share no namespace with process
+    ids — live clients use synthetic node ids).  ``token`` carries the
+    client's current fencing token on renew/release/transfer (0 otherwise),
+    ``ttl`` the requested validity in seconds, ``successor`` the client id
+    a transfer hands the lease to (-1 for every other op), and ``nonce``
     matches the reply to the request across retries.
     """
 
@@ -380,11 +383,12 @@ class LeaseRequestMessage(Message):
     client: int = 0
     token: int = 0
     ttl: float = 0.0
+    successor: int = -1
     nonce: int = 0
 
     #: group (4) + op (1) + lease (8) + client (4) + token (8) + ttl (8) +
-    #: nonce (4).
-    _PAYLOAD_BYTES = 37
+    #: successor (4) + nonce (4).
+    _PAYLOAD_BYTES = 41
 
     def payload_bytes(self) -> int:
         return self._PAYLOAD_BYTES
@@ -401,6 +405,8 @@ class LeaseReplyMessage(Message):
     when retrying might succeed.  On a redirect, ``leader_node`` names the
     node the sender believes hosts the leader (-1 when it knows none).
     ``holder`` reports the current holder for queries and denials.
+    ``handoff`` carries, on a granted renew, the client id of a pending
+    handoff requester (-1 when none) — the holder's cue to transfer.
     """
 
     group: int = 0
@@ -412,12 +418,43 @@ class LeaseReplyMessage(Message):
     expiry: float = 0.0
     retry_after: float = 0.0
     leader_node: int = -1
+    handoff: int = -1
     nonce: int = 0
 
     #: group (4) + status (1) + lease (8) + client (4) + token (8) +
     #: holder (4) + expiry (8) + retry_after (8) + leader_node (4) +
-    #: nonce (4).
-    _PAYLOAD_BYTES = 53
+    #: handoff (4) + nonce (4).
+    _PAYLOAD_BYTES = 57
+
+    def payload_bytes(self) -> int:
+        return self._PAYLOAD_BYTES
+
+
+@dataclass(slots=True)
+class LeaseEventMessage(Message):
+    """A push notification the leader sends to a registered watcher.
+
+    Emitted whenever the watched lease's ledger record changes (grant,
+    renew, release, transfer — whether through a client request handled
+    locally or a record merged from gossip).  ``client`` addresses the
+    watching client; the remaining fields mirror the lease's current
+    :class:`LeaseRecord` so the watcher needs no follow-up query.  Events
+    are fire-and-forget: watchers dedupe on (holder, token) and fall back
+    to polling the leader if events stop arriving before expiry.
+    """
+
+    group: int = 0
+    lease: int = 0
+    client: int = 0
+    holder: int = -1
+    token: int = 0
+    expiry: float = 0.0
+    released: bool = False
+    seq: int = 0
+
+    #: group (4) + lease (8) + client (4) + holder (4) + token (8) +
+    #: expiry (8) + released (1) + seq (4).
+    _PAYLOAD_BYTES = 41
 
     def payload_bytes(self) -> int:
         return self._PAYLOAD_BYTES

@@ -274,6 +274,14 @@ class ClusterReport:
     #: Monotonicity (second > first) is the cross-failover safety check.
     lease_first_token: Optional[int] = None
     lease_new_token: Optional[int] = None
+    #: Fencing tokens around the transfer smoke (grant / post-handoff).
+    #: Monotonicity (second > first) is the cross-handoff safety check.
+    lease_transfer_first_token: Optional[int] = None
+    lease_transfer_token: Optional[int] = None
+    #: Token the kill-spanning watcher saw in its ``via=push`` HOLDER line
+    #: for the post-kill grant — proof the change arrived as a server-push
+    #: notification, not a poll.
+    lease_watch_push_token: Optional[int] = None
     log_dir: Optional[Path] = None
     timeline: List[str] = field(default_factory=list)
 
@@ -306,6 +314,16 @@ class ClusterReport:
             )
         elif self.lease_first_token is not None:
             parts.append(f"lease granted with token {self.lease_first_token}")
+        if self.lease_transfer_token is not None:
+            parts.append(
+                f"transfer advanced token {self.lease_transfer_first_token} "
+                f"-> {self.lease_transfer_token}"
+            )
+        if self.lease_watch_push_token is not None:
+            parts.append(
+                "watcher saw the post-kill holder via push "
+                f"(token {self.lease_watch_push_token})"
+            )
         return "; ".join(parts)
 
 
@@ -435,6 +453,116 @@ def _lease_acquire(
     return int(match.group(1)) if match else None
 
 
+_TRANSFERRED_RE = re.compile(
+    r"^TRANSFERRED lease=\S+ successor=\d+ token=(\d+)", re.MULTILINE
+)
+
+
+def _lease_transfer(
+    ports: List[int],
+    host: str,
+    contact_node: int,
+    client_id: int,
+    successor: int,
+    timeout: float,
+    log_path: Path,
+) -> Optional[Tuple[int, int]]:
+    """Run one ``repro lease transfer`` round trip; return (grant, handoff)
+    fencing tokens, or None if either line never appeared.
+
+    The client acquires ``handoff-lock`` and immediately hands it to
+    ``successor``; the handoff must mint a strictly larger token than the
+    grant (checked by the caller) — the same fencing contract the kill
+    smoke asserts, but across a voluntary transfer instead of a failover.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "lease",
+        "transfer",
+        "--ports",
+        ",".join(map(str, ports)),
+        "--host",
+        host,
+        "--name",
+        "handoff-lock",
+        "--contact-node",
+        str(contact_node),
+        "--client-id",
+        str(client_id),
+        "--successor",
+        str(successor),
+        "--ttl",
+        "2.0",
+        "--timeout",
+        str(timeout),
+    ]
+    try:
+        result = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=timeout + 10.0,
+            env=_child_env(),
+        )
+        output = result.stdout + result.stderr
+    except subprocess.TimeoutExpired as exc:
+        output = f"{exc.stdout or ''}{exc.stderr or ''}\n(killed: wedged client)"
+    log_path.write_text(output)
+    granted = _GRANTED_RE.search(output)
+    transferred = _TRANSFERRED_RE.search(output)
+    if granted is None or transferred is None:
+        return None
+    return int(granted.group(1)), int(transferred.group(1))
+
+
+def _spawn_lease_watch(
+    ports: List[int],
+    host: str,
+    contact_node: int,
+    client_id: int,
+    duration: float,
+    log: IO[str],
+) -> subprocess.Popen:
+    """Start a ``repro lease watch`` subprocess that outlives the kill.
+
+    The watcher subscribes to ``smoke-lock`` push notifications before the
+    leader is killed and keeps running across the failover; its contact
+    node must be a survivor so the post-kill resubscribe (deadman poll →
+    redirect) can find the new leader.  Its ``HOLDER ... via=push|poll``
+    lines stream into ``log`` for the orchestrator to parse.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "lease",
+        "watch",
+        "--ports",
+        ",".join(map(str, ports)),
+        "--host",
+        host,
+        "--name",
+        "smoke-lock",
+        "--contact-node",
+        str(contact_node),
+        "--client-id",
+        str(client_id),
+        "--period",
+        "1.0",
+        "--duration",
+        str(duration),
+    ]
+    return subprocess.Popen(
+        command,
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        env=_child_env(),
+        text=True,
+    )
+
+
 def _pump_output(
     node_id: int, stream: IO[str], queue: "Queue[Tuple[int, str]]", log: IO[str]
 ) -> None:
@@ -519,7 +647,13 @@ def run_cluster(
     With ``lease_smoke`` a real lease-client subprocess acquires (and
     releases) a lock after each election; the second grant must carry a
     strictly larger fencing token than the first — the lease tier's
-    cross-failover safety contract, checked over real UDP.
+    cross-failover safety contract, checked over real UDP.  The smoke also
+    (a) runs a transfer client that acquires ``handoff-lock`` and hands it
+    to a successor, asserting the handoff minted a strictly larger token,
+    and (b) — when the kill phase runs — keeps a push watcher subscribed
+    to ``smoke-lock`` across the kill and asserts it observed the
+    post-kill holder change ``via=push``, i.e. as a server notification
+    rather than a poll.
     """
     if n_nodes < 2:
         raise ValueError(f"a cluster needs at least 2 nodes (got {n_nodes})")
@@ -535,9 +669,10 @@ def run_cluster(
     report = ClusterReport(n_nodes=n_nodes, n_groups=groups, log_dir=log_dir)
     group_ids = list(range(1, groups + 1))
     # Children outlive every phase timeout, then exit on their own even if
-    # this orchestrator dies mid-run.  The lease smoke adds two client
-    # round trips, the second of which rides out the takeover grace.
-    child_duration = timeout * 3 + 30.0 + (2 * timeout if lease_smoke else 0.0)
+    # this orchestrator dies mid-run.  The lease smoke adds the acquire and
+    # transfer round trips, a post-kill acquire that rides out the takeover
+    # grace, and the wait for the watcher's push line.
+    child_duration = timeout * 3 + 30.0 + (4 * timeout if lease_smoke else 0.0)
 
     def note(line: str) -> None:
         report.timeline.append(f"{time.time():.3f} {line}")
@@ -549,6 +684,9 @@ def run_cluster(
     logs: Dict[int, IO[str]] = {}
     threads: List[threading.Thread] = []
     board = _LeaderBoard()
+    watch_child: Optional[subprocess.Popen] = None
+    watch_log: Optional[IO[str]] = None
+    watch_log_path = log_dir / "lease-watch.log"
 
     def drain(deadline: float) -> None:
         """Feed queued child lines into the leader board until ``deadline``."""
@@ -657,6 +795,47 @@ def run_cluster(
             report.lease_first_token = token
             note(f"lease smoke: granted token {token}")
 
+            note("lease smoke: transferring handoff-lock to a successor")
+            tokens = _lease_transfer(
+                ports, host, report.first_leader, 1003, 1004, timeout,
+                log_dir / "lease-transfer.log",
+            )
+            if tokens is None:
+                report.reason = (
+                    "lease smoke: transfer did not complete (see "
+                    "lease-transfer.log)"
+                )
+                return report
+            report.lease_transfer_first_token = tokens[0]
+            report.lease_transfer_token = tokens[1]
+            if tokens[1] <= tokens[0]:
+                report.reason = (
+                    "lease smoke: fencing token did not advance across the "
+                    f"transfer ({tokens[0]} -> {tokens[1]})"
+                )
+                return report
+            note(
+                f"lease smoke: transfer advanced token {tokens[0]} -> "
+                f"{tokens[1]}"
+            )
+
+            if kill_leader:
+                # Subscribe a watcher that spans the kill.  Its contact
+                # node must survive the kill so the resubscribe after the
+                # failover (deadman poll → redirect) can reach the new
+                # leader; the first leader is the node about to die.
+                contact = next(
+                    node for node in alive if node != report.first_leader
+                )
+                watch_log = open(watch_log_path, "w")
+                watch_child = _spawn_lease_watch(
+                    ports, host, contact, 1002, 4 * timeout + 30.0, watch_log,
+                )
+                note(
+                    "lease smoke: watcher (client 1002) subscribed via "
+                    f"node {contact}, spanning the kill"
+                )
+
         if kill_leader:
             leader = report.first_leader
             note(f"killing group-1 leader process (node {leader}) with SIGKILL")
@@ -712,9 +891,44 @@ def run_cluster(
                     )
                     return report
 
+                # The post-kill grant just changed smoke-lock's holder;
+                # the spanning watcher must have seen that change arrive
+                # as a push notification from the *new* leader.
+                push_re = re.compile(
+                    r"^HOLDER lease=smoke-lock holder=1001 token=(\d+) "
+                    r"via=push",
+                    re.MULTILINE,
+                )
+                push_deadline = time.time() + timeout
+                push_token = None
+                while time.time() < push_deadline:
+                    if watch_log_path.exists():
+                        match = push_re.search(watch_log_path.read_text())
+                        if match is not None:
+                            push_token = int(match.group(1))
+                            break
+                    time.sleep(0.2)
+                if push_token is None:
+                    report.reason = (
+                        "lease smoke: watcher never saw the post-kill "
+                        "holder change via push (see lease-watch.log)"
+                    )
+                    return report
+                report.lease_watch_push_token = push_token
+                note(
+                    "lease smoke: watcher saw post-kill holder 1001 via "
+                    f"push (token {push_token})"
+                )
+
         report.ok = True
         return report
     finally:
+        if watch_child is not None and watch_child.poll() is None:
+            watch_child.terminate()
+            with contextlib.suppress(subprocess.TimeoutExpired):
+                watch_child.wait(timeout=5.0)
+        if watch_log is not None:
+            watch_log.close()
         for child in children.values():
             if child.poll() is None:
                 child.terminate()

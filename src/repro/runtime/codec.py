@@ -29,6 +29,13 @@ and two new message types serve lease clients — LEASE-REQUEST (tag 6) and
 LEASE-REPLY (tag 7), whose ``op``/``status`` enumerations travel as single
 bytes like the HELLO kind.
 
+Codec version 4 (push watches and transfer): LEASE-REQUEST grew a
+``successor`` field (the transfer target) and four appended ``op`` values
+(``transfer``/``watch``/``unwatch``/``handoff`` — the enumeration is
+append-only, so earlier byte values are unchanged); LEASE-REPLY grew a
+``handoff`` field (pending-requester hint on renew replies); and a new
+LEASE-EVENT message (tag 8) pushes ledger changes to registered watchers.
+
 Strings never appear on the wire: the only enumerated field
 (:attr:`HelloMessage.kind`) travels as one byte.  Optional fields carry a
 one-byte presence flag.  Decoding is strict — unknown magic, version, type
@@ -50,6 +57,7 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseEventMessage,
     LeaseRecord,
     LeaseReplyMessage,
     LeaseRequestMessage,
@@ -61,7 +69,7 @@ from repro.net.message import (
 __all__ = ["CodecError", "encode_message", "decode_message", "MAX_FRAME_BYTES"]
 
 _MAGIC = 0x03A9  # Ω, fittingly
-_VERSION = 3
+_VERSION = 4
 
 #: Upper bound on a frame we are willing to decode (or encode).  Generous —
 #: a 64-cell batch with 4096-member deltas would not fit a datagram anyway —
@@ -78,9 +86,20 @@ _TAG_RATE_REQUEST = 4
 _TAG_BATCH = 5
 _TAG_LEASE_REQUEST = 6
 _TAG_LEASE_REPLY = 7
+_TAG_LEASE_EVENT = 8
 
 _HELLO_KINDS = ("gossip", "join", "reply", "sync")
-_LEASE_OPS = ("acquire", "renew", "release", "query")
+# Append-only (byte values are wire API; codec v4 appended the last four).
+_LEASE_OPS = (
+    "acquire",
+    "renew",
+    "release",
+    "query",
+    "transfer",
+    "watch",
+    "unwatch",
+    "handoff",
+)
 _LEASE_STATUSES = ("granted", "denied", "redirect", "throttled", "info")
 
 _ROUTING = struct.Struct("!ii")  # sender_node, dest_node
@@ -101,11 +120,15 @@ _HELLO_FIXED = struct.Struct("!iBHHH?IQ")  # group, kind, n_members, n_acc,
 _HELLO_LEASES = struct.Struct("!HQ")  # n_leases, lease_digest (codec v3)
 _LEASE_RECORD = struct.Struct("!QiQdd?I")  # lease, holder, token, expiry,
 #                                            granted_at, released, seq
-_LEASE_REQUEST_BODY = struct.Struct("!iBQiQdI")  # group, op, lease, client,
-#                                                  token, ttl, nonce
-_LEASE_REPLY_BODY = struct.Struct("!iBQiQiddiI")  # group, status, lease,
+_LEASE_REQUEST_BODY = struct.Struct("!iBQiQdiI")  # group, op, lease, client,
+#                                                   token, ttl, successor,
+#                                                   nonce (codec v4)
+_LEASE_REPLY_BODY = struct.Struct("!iBQiQiddiiI")  # group, status, lease,
 #                                  client, token, holder, expiry,
-#                                  retry_after, leader_node, nonce
+#                                  retry_after, leader_node, handoff,
+#                                  nonce (codec v4)
+_LEASE_EVENT_BODY = struct.Struct("!iQiiQd?I")  # group, lease, client,
+#                                  holder, token, expiry, released, seq
 _ACCUSE_BODY = struct.Struct("!iiii")  # group, accuser, accused, accused_phase
 _RATE_BODY = struct.Struct("!d")  # interval
 _U16_MAX = 0xFFFF
@@ -278,6 +301,7 @@ def _encode_lease_request(message: LeaseRequestMessage) -> List[bytes]:
             message.client,
             _check_u64("lease token", message.token),
             message.ttl,
+            message.successor,
             _check_u32("lease nonce", message.nonce),
         )
     ]
@@ -299,7 +323,23 @@ def _encode_lease_reply(message: LeaseReplyMessage) -> List[bytes]:
             message.expiry,
             message.retry_after,
             message.leader_node,
+            message.handoff,
             _check_u32("lease nonce", message.nonce),
+        )
+    ]
+
+
+def _encode_lease_event(message: LeaseEventMessage) -> List[bytes]:
+    return [
+        _LEASE_EVENT_BODY.pack(
+            message.group,
+            _check_u64("lease id", message.lease),
+            message.client,
+            message.holder,
+            _check_u64("lease token", message.token),
+            message.expiry,
+            message.released,
+            _check_u32("lease seq", message.seq),
         )
     ]
 
@@ -323,6 +363,7 @@ _ENCODERS: Dict[Type[Message], Tuple[int, Callable[[Message], List[bytes]]]] = {
     RateRequestMessage: (_TAG_RATE_REQUEST, _encode_rate_request),
     LeaseRequestMessage: (_TAG_LEASE_REQUEST, _encode_lease_request),
     LeaseReplyMessage: (_TAG_LEASE_REPLY, _encode_lease_reply),
+    LeaseEventMessage: (_TAG_LEASE_EVENT, _encode_lease_event),
 }
 
 
@@ -448,7 +489,9 @@ def _decode_lease_records(reader: _Reader, count: int) -> Tuple[LeaseRecord, ...
 def _decode_lease_request(
     reader: _Reader, sender: int, dest: int
 ) -> LeaseRequestMessage:
-    group, op, lease, client, token, ttl, nonce = reader.unpack(_LEASE_REQUEST_BODY)
+    group, op, lease, client, token, ttl, successor, nonce = reader.unpack(
+        _LEASE_REQUEST_BODY
+    )
     if op >= len(_LEASE_OPS):
         raise CodecError(f"unknown lease op tag {op}")
     return LeaseRequestMessage(
@@ -460,6 +503,7 @@ def _decode_lease_request(
         client=client,
         token=token,
         ttl=ttl,
+        successor=successor,
         nonce=nonce,
     )
 
@@ -475,6 +519,7 @@ def _decode_lease_reply(reader: _Reader, sender: int, dest: int) -> LeaseReplyMe
         expiry,
         retry_after,
         leader_node,
+        handoff,
         nonce,
     ) = reader.unpack(_LEASE_REPLY_BODY)
     if status >= len(_LEASE_STATUSES):
@@ -491,7 +536,33 @@ def _decode_lease_reply(reader: _Reader, sender: int, dest: int) -> LeaseReplyMe
         expiry=expiry,
         retry_after=retry_after,
         leader_node=leader_node,
+        handoff=handoff,
         nonce=nonce,
+    )
+
+
+def _decode_lease_event(reader: _Reader, sender: int, dest: int) -> LeaseEventMessage:
+    (
+        group,
+        lease,
+        client,
+        holder,
+        token,
+        expiry,
+        released,
+        seq,
+    ) = reader.unpack(_LEASE_EVENT_BODY)
+    return LeaseEventMessage(
+        sender_node=sender,
+        dest_node=dest,
+        group=group,
+        lease=lease,
+        client=client,
+        holder=holder,
+        token=token,
+        expiry=expiry,
+        released=released,
+        seq=seq,
     )
 
 
@@ -523,6 +594,7 @@ _DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
     _TAG_RATE_REQUEST: _decode_rate_request,
     _TAG_LEASE_REQUEST: _decode_lease_request,
     _TAG_LEASE_REPLY: _decode_lease_reply,
+    _TAG_LEASE_EVENT: _decode_lease_event,
 }
 
 

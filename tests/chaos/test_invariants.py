@@ -314,3 +314,63 @@ class TestNoDoubleGrant:
                     expiry=20.0)
         report = check(trace)
         assert report.ok
+
+
+class TestTransferEvents:
+    """Transfers are grant-like for token monotonicity but sanctioned
+    overlaps: the outgoing holder hands off mid-validity by design."""
+
+    def test_transfer_inside_predecessor_validity_is_not_an_overlap(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=20.0)
+        # Handoff lands well inside the predecessor's validity window.
+        lease_event(trace, 12.0, 0, "transfer", client=1001, token=200,
+                    expiry=15.0)
+        report = check(trace)
+        assert report.ok
+
+    def test_transfer_with_a_regressed_token_is_flagged(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=300,
+                    expiry=20.0)
+        lease_event(trace, 12.0, 0, "transfer", client=1001, token=250,
+                    expiry=15.0)
+        report = check(trace)
+        assert any(
+            v.invariant == "no-double-grant" and "regressed" in v.detail
+            for v in report.violations
+        )
+
+    def test_transfer_updates_the_holding_for_overlap_checks(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=13.0)
+        lease_event(trace, 11.0, 0, "transfer", client=1001, token=200,
+                    expiry=20.0)
+        # A later plain grant while the successor's holding is live must
+        # still be flagged — the transfer extended the occupied window.
+        lease_event(trace, 15.0, 1, "grant", client=1002, token=300,
+                    expiry=18.0)
+        report = check(trace)
+        assert any(
+            v.invariant == "no-double-grant" and "still valid" in v.detail
+            for v in report.violations
+        )
+
+    def test_transfer_then_successor_renew_is_clean(self):
+        trace = build_trace()
+        all_view(trace, 1.0, 0)
+        lease_event(trace, 10.0, 0, "grant", client=1000, token=100,
+                    expiry=13.0)
+        lease_event(trace, 11.0, 0, "transfer", client=1001, token=200,
+                    expiry=14.0)
+        lease_event(trace, 12.0, 0, "renew", client=1001, token=200,
+                    expiry=15.0)
+        lease_event(trace, 13.0, 0, "release", client=1001, token=200,
+                    expiry=13.0)
+        report = check(trace)
+        assert report.ok

@@ -238,3 +238,131 @@ class TestThrottle:
         assert m.handle("query", LEASE, CLIENT, 0, 0.0, now=now).status == "info"
         assert m.handle("query", LEASE, CLIENT, 0, 0.0, now=now).status == "throttled"
         assert m.handle("query", LEASE, OTHER, 0, 0.0, now=now).status == "info"
+
+
+class TestTransfer:
+    def granted(self, m, now):
+        return m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now)
+
+    def test_holder_transfer_mints_a_fresh_token_for_the_successor(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = self.granted(m, now)
+        decision = m.handle("transfer", LEASE, CLIENT, granted.token, 3.0,
+                            now=now + 1.0, successor=OTHER)
+        assert decision.status == "granted"
+        assert decision.holder == OTHER
+        assert decision.token > granted.token
+        assert decision.changed is True
+        # The ledger now shows the successor holding the lease.
+        assert m.ledger.holder(LEASE, now + 1.0).holder == OTHER
+
+    def test_transfer_by_a_non_holder_is_denied(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = self.granted(m, now)
+        decision = m.handle("transfer", LEASE, OTHER, granted.token, 3.0,
+                            now=now + 1.0, successor=1002)
+        assert decision.status == "denied"
+
+    def test_transfer_with_a_stale_token_is_denied(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = self.granted(m, now)
+        decision = m.handle("transfer", LEASE, CLIENT, granted.token - 1, 3.0,
+                            now=now + 1.0, successor=OTHER)
+        assert decision.status == "denied"
+
+    def test_transfer_to_self_or_nobody_is_denied(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = self.granted(m, now)
+        assert m.handle("transfer", LEASE, CLIENT, granted.token, 3.0,
+                        now=now + 1.0, successor=CLIENT).status == "denied"
+        assert m.handle("transfer", LEASE, CLIENT, granted.token, 3.0,
+                        now=now + 1.0, successor=-1).status == "denied"
+
+    def test_transfer_of_an_expired_grant_is_denied(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = self.granted(m, now)
+        decision = m.handle("transfer", LEASE, CLIENT, granted.token, 3.0,
+                            now=now + 10.0, successor=OTHER)
+        assert decision.status == "denied"
+
+    def test_transfer_respects_quorum_loss(self):
+        quorum = {"up": True}
+        m = started(now=0.0, quorum=lambda: quorum["up"])
+        now = m.grace
+        granted = self.granted(m, now)
+        quorum["up"] = False
+        decision = m.handle("transfer", LEASE, CLIENT, granted.token, 3.0,
+                            now=now + 1.0, successor=OTHER)
+        assert decision.status == "denied"
+
+
+class TestHandoffWish:
+    def test_wish_rides_the_holders_next_renew_reply(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now)
+        info = m.handle("handoff", LEASE, OTHER, 0, 0.0, now=now + 0.5)
+        assert info.status == "info"
+        renew = m.handle("renew", LEASE, CLIENT, granted.token, 3.0,
+                         now=now + 1.0)
+        assert renew.status == "granted"
+        assert renew.handoff == OTHER
+
+    def test_wish_for_a_free_lease_is_not_registered(self):
+        m = started(now=0.0)
+        now = m.grace
+        m.handle("handoff", LEASE, OTHER, 0, 0.0, now=now)
+        granted = m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now + 0.5)
+        renew = m.handle("renew", LEASE, CLIENT, granted.token, 3.0,
+                         now=now + 1.0)
+        assert renew.handoff == -1
+
+    def test_wish_by_the_holder_itself_is_dropped(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now)
+        m.handle("handoff", LEASE, CLIENT, 0, 0.0, now=now + 0.5)
+        renew = m.handle("renew", LEASE, CLIENT, granted.token, 3.0,
+                         now=now + 1.0)
+        assert renew.handoff == -1
+
+    def test_transfer_to_the_requester_clears_the_wish(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now)
+        m.handle("handoff", LEASE, OTHER, 0, 0.0, now=now + 0.5)
+        transfer = m.handle("transfer", LEASE, CLIENT, granted.token, 3.0,
+                            now=now + 1.0, successor=OTHER)
+        assert transfer.status == "granted"
+        renew = m.handle("renew", LEASE, OTHER, transfer.token, 3.0,
+                         now=now + 1.5)
+        assert renew.handoff == -1
+
+    def test_release_clears_the_wish(self):
+        m = started(now=0.0)
+        now = m.grace
+        granted = m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now)
+        m.handle("handoff", LEASE, OTHER, 0, 0.0, now=now + 0.5)
+        m.handle("release", LEASE, CLIENT, granted.token, 0.0, now=now + 1.0)
+        second = m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now + 1.5)
+        renew = m.handle("renew", LEASE, CLIENT, second.token, 3.0,
+                         now=now + 2.0)
+        assert renew.handoff == -1
+
+    def test_tenure_end_clears_the_wish(self):
+        m = started(now=0.0)
+        now = m.grace
+        m.handle("acquire", LEASE, CLIENT, 0, 3.0, now=now)
+        m.handle("handoff", LEASE, OTHER, 0, 0.0, now=now + 0.5)
+        m.on_tenure_end()
+        m.on_tenure_start(now + 1.0)
+        granted = m.handle("acquire", LEASE, CLIENT, 0, 3.0,
+                           now=now + 1.0 + m.grace)
+        renew = m.handle("renew", LEASE, CLIENT, granted.token, 3.0,
+                         now=now + 1.5 + m.grace)
+        assert renew.handoff == -1

@@ -10,6 +10,7 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseEventMessage,
     LeaseRecord,
     LeaseReplyMessage,
     LeaseRequestMessage,
@@ -118,14 +119,21 @@ class TestWireSizes:
             sender_node=12, dest_node=0, group=1, op="acquire",
             lease=7, client=1000, ttl=3.0, nonce=1,
         )
-        assert msg.payload_bytes() == 37
+        assert msg.payload_bytes() == 41
 
     def test_lease_reply_fixed_size(self):
         msg = LeaseReplyMessage(
             sender_node=0, dest_node=12, group=1, status="granted",
             lease=7, client=1000, token=42, holder=1000, expiry=10.0,
         )
-        assert msg.payload_bytes() == 53
+        assert msg.payload_bytes() == 57
+
+    def test_lease_event_fixed_size(self):
+        msg = LeaseEventMessage(
+            sender_node=0, dest_node=12, group=1, lease=7, client=1001,
+            holder=1000, token=42, expiry=10.0, seq=3,
+        )
+        assert msg.payload_bytes() == 41
 
 
 class TestGroupShares:

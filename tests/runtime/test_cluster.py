@@ -6,6 +6,8 @@ pure pieces — config validation, line-protocol parsing, agreement logic,
 port reservation — and the argument parser, so failures localize.
 """
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -150,3 +152,42 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fly"])
+
+
+class TestLeaseSmokeLineProtocol:
+    def test_granted_line_parses(self):
+        from repro.runtime.cluster import _GRANTED_RE
+
+        match = _GRANTED_RE.search("GRANTED lease=smoke-lock token=42 expiry=17.5\n")
+        assert match and int(match.group(1)) == 42
+
+    def test_transferred_line_parses(self):
+        from repro.runtime.cluster import _TRANSFERRED_RE
+
+        line = "TRANSFERRED lease=handoff-lock successor=1004 token=99\n"
+        match = _TRANSFERRED_RE.search(line)
+        assert match and int(match.group(1)) == 99
+
+    def test_transferred_regex_ignores_other_lines(self):
+        from repro.runtime.cluster import _TRANSFERRED_RE
+
+        for line in (
+            "GRANTED lease=handoff-lock token=42 expiry=17.5",
+            "DENIED lease=handoff-lock",
+            "noise TRANSFERRED lease=x successor=1 token=2",
+        ):
+            assert _TRANSFERRED_RE.search(line) is None
+
+    def test_push_holder_line_shape(self):
+        # The watcher assertion in run_cluster keys on via=push; pin the
+        # exact line the CLI emits so the two sides cannot drift apart.
+        pattern = re.compile(
+            r"^HOLDER lease=smoke-lock holder=1001 token=(\d+) via=push",
+            re.MULTILINE,
+        )
+        assert pattern.search(
+            "HOLDER lease=smoke-lock holder=1001 token=7 via=push\n"
+        )
+        assert not pattern.search(
+            "HOLDER lease=smoke-lock holder=1001 token=7 via=poll\n"
+        )

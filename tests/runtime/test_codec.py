@@ -10,6 +10,7 @@ from repro.net.message import (
     AliveCell,
     BatchFrame,
     HelloMessage,
+    LeaseEventMessage,
     LeaseRecord,
     LeaseReplyMessage,
     LeaseRequestMessage,
@@ -87,12 +88,30 @@ ROUND_TRIP_CASES = [
                         nonce=2**32 - 1),
     LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="release",
                         lease=7, client=-1, token=(5 << 28) | 260, ttl=0.0),
+    LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="transfer",
+                        lease=7, client=1000, token=(5 << 28) | 260, ttl=2.0,
+                        successor=1001, nonce=17),
+    LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="watch",
+                        lease=7, client=1001, nonce=18),
+    LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="unwatch",
+                        lease=7, client=1001),
+    LeaseRequestMessage(sender_node=12, dest_node=0, group=1, op="handoff",
+                        lease=7, client=1002, nonce=19),
     LeaseReplyMessage(sender_node=0, dest_node=12, group=1, status="granted",
                       lease=7, client=1000, token=(5 << 28) | 260, holder=1000,
                       expiry=108.5, leader_node=0, nonce=9),
     LeaseReplyMessage(sender_node=0, dest_node=12, group=1, status="redirect",
                       lease=7, client=1000, holder=-1, retry_after=0.5,
                       leader_node=-1),
+    LeaseReplyMessage(sender_node=0, dest_node=12, group=1, status="granted",
+                      lease=7, client=1000, token=(5 << 28) | 260, holder=1000,
+                      expiry=108.5, leader_node=0, handoff=1002, nonce=21),
+    LeaseEventMessage(sender_node=0, dest_node=12, group=1, lease=2**64 - 1,
+                      client=1001, holder=1000, token=(5 << 28) | 260,
+                      expiry=108.5, released=False, seq=3),
+    LeaseEventMessage(sender_node=0, dest_node=12, group=1, lease=0,
+                      client=-1, holder=-1, token=0, expiry=0.0,
+                      released=True, seq=2**32 - 1),
 ]
 
 
@@ -137,6 +156,7 @@ class TestRoundTrip:
             RateRequestMessage,
             LeaseRequestMessage,
             LeaseReplyMessage,
+            LeaseEventMessage,
         }
 
     def test_frames_are_deterministic(self):
