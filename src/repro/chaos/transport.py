@@ -225,6 +225,17 @@ class ChaosTransport:
                 self.inner.send(message)
         self.stats.forwarded += 1
 
+    def send_batch(self, messages) -> None:
+        """Per-message :meth:`send` loop — never the batched inner path.
+
+        Every chaos overlay (partition, cut, drop, duplicate, jitter) draws
+        per message from the script-pinned RNG stream, and jittered copies
+        re-enter through ``inner.send`` as their own engine events; batching
+        any of it would reorder draws and break chaos replay digests.
+        """
+        for message in messages:
+            self.send(message)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         overlays = []
         if self._component is not None:

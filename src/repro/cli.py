@@ -96,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("live-cluster-logs"),
         help="per-node logs land here (CI uploads them as artifacts)",
     )
+    live.add_argument(
+        "--batched-udp",
+        action="store_true",
+        help="daemons use the raw-socket sendmmsg/recvmmsg datapath "
+        "(falls back to per-datagram sendto where unavailable)",
+    )
+    live.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="daemons install the uvloop event-loop policy when importable "
+        "(silently keeps the stdlib loop otherwise)",
+    )
 
     node = sub.add_parser("node", help="run one live daemon (spawned by `live`)")
     node.add_argument("--node-id", type=int, required=True)
@@ -138,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="ChaosScript JSON applied to this node's transport "
         "(transport-level steps only)",
+    )
+    node.add_argument(
+        "--batched-udp",
+        action="store_true",
+        help="use the raw-socket sendmmsg/recvmmsg datapath "
+        "(falls back to per-datagram sendto where unavailable)",
+    )
+    node.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="install the uvloop event-loop policy when importable "
+        "(silently keeps the stdlib loop otherwise)",
     )
 
     lease = sub.add_parser(
@@ -248,6 +272,8 @@ def _run_live(args: argparse.Namespace) -> int:
         stable_seconds=args.stable_seconds,
         timeout=args.timeout,
         log_dir=args.log_dir,
+        batched_udp=args.batched_udp,
+        use_uvloop=args.uvloop,
     )
     print(report.summary(), flush=True)
     return 0 if report.ok else 1
@@ -273,6 +299,8 @@ def _run_node(args: argparse.Namespace) -> int:
             fd_variant=args.fd_variant,
             duration=args.duration,
             chaos_script=args.chaos_script,
+            batched_udp=args.batched_udp,
+            use_uvloop=args.uvloop,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)

@@ -18,7 +18,7 @@ and inside a live asyncio/UDP daemon.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
 from repro.net.message import AccEntry, AliveCell, HelloMessage, MemberInfo
 
@@ -55,6 +55,18 @@ class GroupContext:
     def trusted(self, pid: int) -> bool:
         """FD output for ``pid`` (the local process always trusts itself)."""
         raise NotImplementedError
+
+    def trust_checker(self) -> "Callable[[int], bool]":
+        """A ``pid -> trusted`` callable valid for one synchronous readout.
+
+        Semantically identical to calling :meth:`trusted` per pid — this
+        default simply returns the bound method.  Runtimes may override it
+        with a fused closure that hoists the per-call attribute chain out
+        of the election's O(members) recompute loop (the hot path on wide
+        cells).  The checker must not be cached across events: it snapshots
+        state references that stay valid only until the next callback.
+        """
+        return self.trusted
 
     def candidate_members(self) -> Iterable[MemberInfo]:
         """Present candidate members of the group."""

@@ -30,12 +30,14 @@ class OmegaId(ElectionAlgorithm):
 
     def leader(self) -> Optional[int]:
         ctx = self.ctx
+        local_pid = ctx.local_pid
+        trusted = ctx.trust_checker()
         best: Optional[int] = None
         for member in ctx.candidate_members():
             pid = member.pid
-            if pid != ctx.local_pid and not ctx.trusted(pid):
+            if pid != local_pid and not trusted(pid):
                 continue
-            if pid == ctx.local_pid and not ctx.is_candidate:
+            if pid == local_pid and not ctx.is_candidate:
                 continue
             if best is None or pid < best:
                 best = pid

@@ -111,11 +111,14 @@ class OmegaL(ElectionAlgorithm):
     def _best(self) -> Optional[Tuple[float, int]]:
         """Earliest (acc, pid) among trusted competitors ∪ self-if-candidate."""
         ctx = self.ctx
+        local_pid = ctx.local_pid
+        trusted = ctx.trust_checker()
+        is_present_candidate = ctx.is_present_candidate
         best: Optional[Tuple[float, int]] = None
         for pid, (acc, _phase) in self._competitors.items():
-            if pid == ctx.local_pid:
+            if pid == local_pid:
                 continue
-            if not ctx.trusted(pid) or not ctx.is_present_candidate(pid):
+            if not trusted(pid) or not is_present_candidate(pid):
                 continue
             key = (acc, pid)
             if best is None or key < best:

@@ -118,9 +118,13 @@ class OmegaLc(ElectionAlgorithm):
         local_leader_acc = message.local_leader_acc
         if local_leader is not None and local_leader_acc is not None:
             forward = (local_leader, local_leader_acc)
-            if self._forwards.get(pid) != forward:
+            old = self._forwards.get(pid)
+            if old != forward:
+                valid = self._memo_valid()
                 self._forwards[pid] = forward
                 self._mutations += 1
+                if valid:
+                    self._repair_forward(pid, old, forward)
             # A forwarded accusation time is evidence about the forwarded
             # process too (accusation times are monotonic, max = freshest).
             self._observe_floor(local_leader, local_leader_acc)
@@ -169,8 +173,16 @@ class OmegaLc(ElectionAlgorithm):
         if current is None or acc_time >= current[0]:
             observation = (acc_time, phase)
             if observation != current:  # identical re-observation: no-op
+                valid = self._memo_valid()
                 self._info[pid] = observation
                 self._mutations += 1
+                if valid and current is not None:
+                    # Memo repair (see _repair_forward): a phase-only change
+                    # touches no ranking key, and a *raised* accusation time
+                    # of a process that is not a cached choice only moves
+                    # already-losing keys further up — the minima stand.
+                    if acc_time == current[0] or not self._is_choice_pid(pid):
+                        self._stamp_mutations = self._mutations
 
     def _observe_floor(self, pid: int, acc_time: float) -> None:
         """Raise the known accusation time of ``pid`` from secondhand
@@ -182,8 +194,68 @@ class OmegaLc(ElectionAlgorithm):
             self._info[pid] = (acc_time, 0)
             self._mutations += 1
         elif acc_time > current[0]:
+            valid = self._memo_valid()
             self._info[pid] = (acc_time, current[1])
             self._mutations += 1
+            if valid and not self._is_choice_pid(pid):
+                self._stamp_mutations = self._mutations  # memo repair
+
+    # ------------------------------------------------------------------
+    # Memo repair
+    # ------------------------------------------------------------------
+    def _memo_valid(self) -> bool:
+        """True iff the (stage-1, stage-2) memo matches the *current* state
+        — the precondition for advancing its stamps across a mutation."""
+        return (
+            self._cache_enabled
+            and self._stamp_mutations == self._mutations
+            and self._stamp_version == self.ctx.membership_version
+        )
+
+    def _is_choice_pid(self, pid: int) -> bool:
+        local = self._cached_local
+        if local is not None and local[1] == pid:
+            return True
+        leader = self._cached_leader
+        return leader is not None and leader[1] == pid
+
+    def _repair_forward(
+        self,
+        forwarder: int,
+        old: Optional[Tuple[int, float]],
+        new: Tuple[int, float],
+    ) -> None:
+        """Carry the valid memo across one forward replacement, when possible.
+
+        Forward churn dominates the mutation stream on wide cells (every
+        sender re-forwards whenever *its* stage-1 choice flaps), yet almost
+        never moves this process's minima.  Replacing forwarder's pair
+        changes exactly one stage-2 key: if the old key was not the cached
+        minimum it cannot have supported it (keys are unique per forwarded
+        pid-value and the minimum is a value, not an identity), so the only
+        effects possible are "nothing" or "the new key wins outright" — both
+        O(1).  Anything else (the old key was, or tied, the minimum) leaves
+        the stamps stale and the next readout recomputes in full.  Stage 1
+        never reads forwards, so the cached local choice is untouched.
+        """
+        ctx = self.ctx
+        if not ctx.trusted(forwarder):
+            # An untrusted forwarder contributes to neither computation.
+            self._stamp_mutations = self._mutations
+            return
+        cached = self._cached_leader
+        if old is not None and ctx.is_present_candidate(old[0]):
+            known = self._acc_of(old[0])
+            old_key = (old[1] if old[1] >= known else known, old[0])
+            if cached is None or old_key <= cached:
+                return  # the old forward may have carried the minimum
+        new_pid, new_acc = new
+        if ctx.is_present_candidate(new_pid):
+            known = self._acc_of(new_pid)
+            key = (new_acc if new_acc >= known else known, new_pid)
+            if cached is None or key < cached:
+                self._cached_leader = key
+        self._stamp_mutations = self._mutations
 
     # ------------------------------------------------------------------
     # Leader computation
@@ -217,8 +289,8 @@ class OmegaLc(ElectionAlgorithm):
     def _compute_local_leader(self) -> Optional[Tuple[float, int]]:
         ctx = self.ctx
         local_pid = ctx.local_pid
-        info = self._info
-        trusted = ctx.trusted
+        info_get = self._info.get
+        trusted = ctx.trust_checker()
         best: Optional[Tuple[float, int]] = None
         for member in ctx.candidate_members():
             pid = member.pid
@@ -227,7 +299,7 @@ class OmegaLc(ElectionAlgorithm):
                     continue
                 key = (self.acc_time, pid)
             elif trusted(pid):
-                entry = info.get(pid)
+                entry = info_get(pid)
                 if entry is not None:
                     key = (entry[0], pid)
                 else:  # never heard from: ranked by its join time
@@ -243,15 +315,30 @@ class OmegaLc(ElectionAlgorithm):
         self, local: Optional[Tuple[float, int]]
     ) -> Optional[Tuple[float, int]]:
         ctx = self.ctx
-        trusted = ctx.trusted
+        trusted = ctx.trust_checker()
         is_present_candidate = ctx.is_present_candidate
+        # Inline of _acc_of, with the lookup chain hoisted: this loop runs
+        # once per forwarder per recompute (O(members) on wide cells).
+        local_pid = ctx.local_pid
+        own_acc = self.acc_time
+        info_get = self._info.get
+        member_joined_at = ctx.member_joined_at
         best = local
         for forwarder, (pid, acc) in self._forwards.items():
             if not trusted(forwarder):
                 continue
             if not is_present_candidate(pid):
                 continue  # stale forward of a process that left the group
-            key = (max(acc, self._acc_of(pid)), pid)
+            if pid == local_pid:
+                known = own_acc
+            else:
+                entry = info_get(pid)
+                if entry is not None:
+                    known = entry[0]
+                else:
+                    joined = member_joined_at(pid)
+                    known = joined if joined is not None else 0.0
+            key = (acc if acc >= known else known, pid)
             if best is None or key < best:
                 best = key
         return best

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import struct
 from hashlib import blake2b
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.net.message import MemberInfo
 
@@ -71,17 +71,18 @@ def prefer_record(a: MemberInfo, b: MemberInfo) -> MemberInfo:
     """
     if a.pid != b.pid:
         raise ValueError(f"cannot merge records of different pids ({a.pid}, {b.pid})")
-
-    def key(record: MemberInfo):
-        return (
-            record.incarnation,
-            not record.present,  # tombstone wins within an incarnation
-            record.joined_at,
-            record.candidate,
-            record.node,
-        )
-
-    return a if key(a) >= key(b) else b
+    # Key: (incarnation, tombstone-wins, joined_at, candidate, node).
+    # Compared inline — this runs once per gossiped record, and a nested
+    # key() closure costs more than the comparison itself.
+    if (a.incarnation, not a.present, a.joined_at, a.candidate, a.node) >= (
+        b.incarnation,
+        not b.present,
+        b.joined_at,
+        b.candidate,
+        b.node,
+    ):
+        return a
+    return b
 
 
 _RECORD_PACK = struct.Struct("!iiq??d")
@@ -119,6 +120,11 @@ class MembershipView:
         #: XOR of per-record 64-bit hashes; maintained incrementally.
         self._digest64 = 0
         self._digest_cache: Optional[Tuple[MemberInfo, ...]] = None
+        #: Memoized members()/candidates() tuples; the election recompute
+        #: asks for the candidate set on every refresh, and in steady state
+        #: the view does not change between refreshes.
+        self._members_cache: Optional[Tuple[MemberInfo, ...]] = None
+        self._candidates_cache: Optional[Tuple[MemberInfo, ...]] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -132,6 +138,8 @@ class MembershipView:
             self._record_versions[record.pid] = self.version
             self._digest64 ^= record_digest64(record)
             self._digest_cache = None
+            self._members_cache = None
+            self._candidates_cache = None
             return True
         winner = prefer_record(current, record)
         if winner is not current:
@@ -140,6 +148,8 @@ class MembershipView:
             self._record_versions[record.pid] = self.version
             self._digest64 ^= record_digest64(current) ^ record_digest64(winner)
             self._digest_cache = None
+            self._members_cache = None
+            self._candidates_cache = None
             return True
         return False
 
@@ -193,13 +203,32 @@ class MembershipView:
         """The current record for ``pid`` (possibly a tombstone), or None."""
         return self._records.get(pid)
 
-    def members(self) -> List[MemberInfo]:
-        """Records of processes currently in the group."""
-        return [r for r in self._records.values() if r.present]
+    def members(self) -> Tuple[MemberInfo, ...]:
+        """Records of processes currently in the group (memoized tuple)."""
+        cached = self._members_cache
+        if cached is None:
+            cached = self._members_cache = tuple(
+                r for r in self._records.values() if r.present
+            )
+        return cached
 
-    def candidates(self) -> List[MemberInfo]:
-        """Records of present members that compete for leadership."""
-        return [r for r in self._records.values() if r.present and r.candidate]
+    def candidates(self) -> Tuple[MemberInfo, ...]:
+        """Records of present members that compete for leadership (memoized)."""
+        cached = self._candidates_cache
+        if cached is None:
+            cached = self._candidates_cache = tuple(
+                r for r in self._records.values() if r.present and r.candidate
+            )
+        return cached
+
+    def records_map(self) -> Dict[int, MemberInfo]:
+        """The live pid → record dict (hot-path read-only access).
+
+        Exposed for fused per-round loops (the election's trust checker)
+        that would otherwise pay a method call per :meth:`node_of` lookup;
+        callers must treat it as read-only.
+        """
+        return self._records
 
     def is_present(self, pid: int) -> bool:
         record = self._records.get(pid)

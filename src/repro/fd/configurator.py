@@ -50,11 +50,30 @@ def bootstrap_params(qos: FDQoS) -> FDParams:
     return FDParams(eta=qos.detection_time / 4.0, delta=qos.detection_time * 0.75)
 
 
+#: budget -> (etas, deltas, x-plane, clipped x-plane); the candidate grid
+#: and the (k, η) freshness-lag plane depend only on T_D^U, so they are
+#: computed once per distinct budget instead of once per grid search.
+_GRID_CACHE: Dict[float, Tuple] = {}
+
+
+def _grid(budget: float) -> Tuple:
+    grid = _GRID_CACHE.get(budget)
+    if grid is None:
+        etas = np.geomspace(
+            budget / _MAX_PERIODS_IN_BUDGET, budget * 0.96, _GRID_POINTS
+        )
+        deltas = budget - etas
+        k_max = int(np.floor((deltas / etas).max()))
+        ks = np.arange(k_max + 1, dtype=float)[:, np.newaxis]
+        x = deltas[np.newaxis, :] - ks * etas[np.newaxis, :]
+        grid = _GRID_CACHE[budget] = (etas, deltas, x, np.maximum(x, 0.0))
+    return grid
+
+
 def configure(qos: FDQoS, estimate: LinkEstimate) -> FDParams:
     """Solve for (η, δ) meeting ``qos`` under ``estimate`` (see module doc)."""
     budget = qos.detection_time
-    etas = np.geomspace(budget / _MAX_PERIODS_IN_BUDGET, budget * 0.96, _GRID_POINTS)
-    deltas = budget - etas
+    etas, deltas, x, x_clipped = _grid(budget)
 
     # log Pr[mistake at a freshness point], vectorized over the η grid:
     # for each η, the product over k = 0..⌊δ/η⌋ of (pL + (1-pL)·Pr[D > δ-kη]).
@@ -65,10 +84,7 @@ def configure(qos: FDQoS, estimate: LinkEstimate) -> FDParams:
     # formulation bit-for-bit.
     p_l = estimate.loss_prob
     log_p = np.zeros_like(etas)
-    k_max = int(np.floor((deltas / etas).max()))
-    ks = np.arange(k_max + 1, dtype=float)[:, np.newaxis]
-    x = deltas[np.newaxis, :] - ks * etas[np.newaxis, :]
-    terms = p_l + (1.0 - p_l) * delay_survival(np.maximum(x, 0.0), estimate)
+    terms = p_l + (1.0 - p_l) * delay_survival(x_clipped, estimate)
     contributions = np.where(x >= 0.0, np.log(np.maximum(terms, 1e-300)), 0.0)
     for row in contributions:
         log_p += row

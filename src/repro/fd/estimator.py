@@ -37,6 +37,21 @@ __all__ = ["LinkQualityEstimator"]
 class LinkQualityEstimator:
     """Windowed (pL, Ed, Sd) estimation from an ALIVE stream."""
 
+    # One per directed node pair, updated on every received heartbeat —
+    # slotted for the same reason as :class:`~repro.fd.monitor.NfdsMonitor`.
+    __slots__ = (
+        "_loss_decay",
+        "_delay_alpha",
+        "_ready_threshold",
+        "default_estimate",
+        "_received",
+        "_lost",
+        "_delay_mean",
+        "_delay_var",
+        "_samples",
+        "_last_seq",
+    )
+
     def __init__(
         self,
         loss_window: int = 512,

@@ -33,6 +33,8 @@ __all__ = ["MonitorEvents", "NfdsMonitor"]
 class MonitorEvents:
     """Callback bundle for trust/suspect transitions."""
 
+    __slots__ = ("on_trust", "on_suspect")
+
     def __init__(
         self,
         on_trust: Callable[[int], None],
@@ -44,6 +46,26 @@ class MonitorEvents:
 
 class NfdsMonitor:
     """Monitors one remote process with Chen et al.'s NFD-S."""
+
+    # One instance per directed node pair — 9 900 on the 100-node cell —
+    # and ``on_alive`` runs once per received heartbeat, so attribute
+    # access is hot enough for slots to matter.
+    __slots__ = (
+        "scheduler",
+        "pid",
+        "qos",
+        "estimator",
+        "_cache",
+        "_events",
+        "_meter",
+        "delta",
+        "desired_eta",
+        "trusted",
+        "trusted_since",
+        "suspicions",
+        "alives_received",
+        "_timer",
+    )
 
     def __init__(
         self,

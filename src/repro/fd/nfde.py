@@ -32,6 +32,8 @@ __all__ = ["NfdeMonitor"]
 class NfdeMonitor(NfdsMonitor):
     """NFD-E: expected-arrival freshness, no sender clock needed."""
 
+    __slots__ = ("_arrivals",)
+
     #: Arrival history length used for the EA regression.
     window = 16
 

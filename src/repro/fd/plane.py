@@ -218,6 +218,16 @@ class NodeFdPlane:
         monitor with first-hand evidence ignores the grace (see
         :meth:`~repro.fd.monitor.NfdsMonitor.grant_grace`).
         """
+        monitor = self.monitors.get(node)
+        if monitor is not None:
+            # Mirror of NfdsMonitor.grant_grace's guard: a monitor with any
+            # first-hand evidence ignores grace, so the (very common) hint
+            # for an already-observed peer costs one dict hit, not a call
+            # chain into the monitor.
+            if monitor.alives_received > 0 or monitor.suspicions > 0 or monitor.trusted:
+                return
+            monitor.grant_grace()
+            return
         monitor = self.ensure_monitor(node)
         if monitor is not None:
             monitor.grant_grace()

@@ -263,12 +263,12 @@ class AliveBatcher:
         now = self.scheduler.now
         interval = self.interval()
         seqs = self._seqs
-        send = self.transport.send
         node_id = self.node_id
+        frames = []
         for dest, cells in per_dest.items():
             seq = seqs.get(dest, 0)
             seqs[dest] = seq + 1
-            send(
+            frames.append(
                 BatchFrame(
                     sender_node=node_id,
                     dest_node=dest,
@@ -279,6 +279,16 @@ class AliveBatcher:
                 )
             )
             cells.clear()
+        # The whole fan-out in one transport call: a batch-aware transport
+        # drains the burst through one delivery sentinel instead of one
+        # engine event per frame.
+        send_batch = getattr(self.transport, "send_batch", None)
+        if send_batch is not None:
+            send_batch(frames)
+        else:
+            send = self.transport.send
+            for frame in frames:
+                send(frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         active = sorted(g for g, a in self._active.items() if a)

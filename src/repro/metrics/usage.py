@@ -79,34 +79,47 @@ class UsageMeter:
     group_bytes: Dict[int, float] = field(default_factory=dict)
     group_cpu_us: Dict[int, float] = field(default_factory=dict)
 
-    def _attribute(
-        self, shares: Optional[Dict[int, int]], wire_bytes: int, cpu: float
-    ) -> None:
-        if shares is None:
-            return
-        group_bytes = self.group_bytes
-        group_cpu = self.group_cpu_us
-        for key, share in shares.items():
-            group_bytes[key] = group_bytes.get(key, 0.0) + share
-            group_cpu[key] = group_cpu.get(key, 0.0) + cpu * (share / wire_bytes)
+    # The per-group attribution loops are inlined into on_send/on_receive:
+    # both run once per message on the delivery hot path, and the extra
+    # call frame costs more than the two dict updates it would wrap.
+
+    def __post_init__(self) -> None:
+        # Hot-path copies of the (frozen) cost scalars: two dataclass
+        # attribute hops per message cost more than the adds they feed.
+        self._us_send = self.cost_model.us_per_send
+        self._us_recv = self.cost_model.us_per_recv
 
     def on_send(
         self, wire_bytes: int, shares: Optional[Dict[int, int]] = None
     ) -> None:
         self.messages_sent += 1
         self.bytes_sent += wire_bytes
-        cost = self.cost_model.us_per_send
+        cost = self._us_send
         self.cpu_us += cost
-        self._attribute(shares, wire_bytes, cost)
+        if shares is not None:
+            group_bytes = self.group_bytes
+            group_cpu = self.group_cpu_us
+            for key, share in shares.items():
+                group_bytes[key] = group_bytes.get(key, 0.0) + share
+                group_cpu[key] = group_cpu.get(key, 0.0) + cost * (
+                    share / wire_bytes
+                )
 
     def on_receive(
         self, wire_bytes: int, shares: Optional[Dict[int, int]] = None
     ) -> None:
         self.messages_received += 1
         self.bytes_received += wire_bytes
-        cost = self.cost_model.us_per_recv
+        cost = self._us_recv
         self.cpu_us += cost
-        self._attribute(shares, wire_bytes, cost)
+        if shares is not None:
+            group_bytes = self.group_bytes
+            group_cpu = self.group_cpu_us
+            for key, share in shares.items():
+                group_bytes[key] = group_bytes.get(key, 0.0) + share
+                group_cpu[key] = group_cpu.get(key, 0.0) + cost * (
+                    share / wire_bytes
+                )
 
     def on_timer(self, group: Optional[int] = None) -> None:
         """One timer dispatch; ``group`` attributes group-owned timers."""

@@ -139,6 +139,36 @@ class Link:
         # Prebound method + carried args: no per-message closure allocation.
         self.sim.schedule(delay, self._deliver, message, deliver)
 
+    def transmit_batched(self, message: Message, deliver, batch) -> None:
+        """:meth:`transmit`, but surviving arrivals go to a shared batch.
+
+        Same state checks and the same RNG draws in the same order; the only
+        difference is where the arrival waits.  Zero-delay links keep the
+        scalar engine event: an exact-``now`` arrival must occupy its own
+        engine-seq position among same-time events, while a positive
+        exponential delay lands at an almost-surely unique time, where the
+        batch's ``(arrival, submission)`` order is the scalar order.
+        """
+        stats = self.stats
+        stats.offered += 1
+        if self.down:
+            stats.dropped_down += 1
+            return
+        loss_prob = self._loss_prob
+        if loss_prob > 0.0 and self._rng.random() < loss_prob:
+            stats.dropped_loss += 1
+            return
+        delay_mean = self._delay_mean
+        if delay_mean:
+            batch.submit(
+                self.sim.now + self._rng.exponential(delay_mean),
+                self,
+                message,
+                deliver,
+            )
+        else:
+            self.sim.schedule(0.0, self._deliver, message, deliver)
+
     def _deliver(self, message: Message, deliver: Callable[[Message], None]) -> None:
         # A message already "on the wire" when the link crashes is still
         # delivered: a link crash stops the *sender's* messages from getting

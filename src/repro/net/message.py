@@ -29,7 +29,7 @@ cell pins down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 from repro.metrics.usage import SHARED_USAGE_KEY
@@ -171,6 +171,24 @@ class Message:
             shares = self._shares = self.group_shares()
         return shares
 
+    def __copy__(self) -> "Message":
+        """Shallow copy with the size memos reset.
+
+        ``dataclasses.replace`` re-runs ``__init__`` and therefore starts
+        the clone unmemoized, but a plain ``copy.copy`` duplicates every
+        slot — including ``_wire``/``_shares``.  A caller copies precisely
+        to mutate (rewrite cells, redirect routing), and a carried-over
+        memo would then feed a stale size to the codec and both usage
+        meters.  The clone always starts unmemoized instead.
+        """
+        cls = type(self)
+        clone = cls.__new__(cls)
+        for spec in fields(cls):
+            setattr(clone, spec.name, getattr(self, spec.name))
+        clone._wire = None
+        clone._shares = None
+        return clone
+
 
 @dataclass(slots=True)
 class AliveCell:
@@ -233,7 +251,12 @@ class BatchFrame(Message):
     _BASE_BYTES = 22
 
     def payload_bytes(self) -> int:
-        return self._BASE_BYTES + sum(cell.payload_bytes() for cell in self.cells)
+        cells = self.cells
+        if not cells:
+            # Steady-state frames are mostly cell-less (pure FD-plane
+            # traffic); skip the generator for the common case.
+            return self._BASE_BYTES
+        return self._BASE_BYTES + sum(cell.payload_bytes() for cell in cells)
 
     def group_shares(self) -> Dict[int, int]:
         """Cells charge their group; the shared envelope is split evenly.

@@ -18,6 +18,7 @@ from repro.net.message import Message
 from repro.net.node import Node
 from repro.runtime.base import Scheduler
 from repro.sim.rng import RngRegistry
+from repro.sim.vector import delivery_batch_for
 
 __all__ = ["NetworkConfig", "Network"]
 
@@ -116,6 +117,33 @@ class Network:
             return
         sender.meter.on_send(message.wire_bytes(), message.wire_shares())
         link.transmit(message, deliver)
+
+    def send_batch(self, messages: Iterable[Message]) -> None:
+        """Transmit a whole per-tick fan-out through the batched datapath.
+
+        Per message this is exactly :meth:`send` — same state checks, same
+        meter charges, same RNG draws in transmit order — but surviving
+        arrivals wait in the simulator's shared
+        :class:`~repro.sim.vector.DeliveryBatch` heap (drained by the
+        engine's run loop) instead of one engine event each.  Off the
+        batched path (chaos/drifting schedulers, realtime,
+        :func:`~repro.sim.vector.force_scalar`) this degrades to a plain
+        send loop — as it does when :meth:`send` has been replaced on the
+        instance (test/instrumentation hooks must keep seeing every
+        message).
+        """
+        batch = delivery_batch_for(self.sim)
+        if batch is None or "send" in self.__dict__:
+            for message in messages:
+                self.send(message)
+            return
+        routes = self._routes
+        for message in messages:
+            sender, link, deliver = routes[message.sender_node][message.dest_node]
+            if not sender.up:
+                continue
+            sender.meter.on_send(message.wire_bytes(), message.wire_shares())
+            link.transmit_batched(message, deliver, batch)
 
     def broadcast(self, messages: Iterable[Message]) -> None:
         """Send each message; a convenience for per-destination fan-out."""

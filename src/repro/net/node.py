@@ -84,7 +84,14 @@ class Node:
         """Hand a message that survived the link to this node."""
         if not self.up or self._receiver is None:
             return  # a crashed workstation receives nothing
-        self.meter.on_receive(message.wire_bytes(), message.wire_shares())
+        # Size memos are warm on anything that came through a send path;
+        # fall back to the computing accessors for hand-delivered messages.
+        wire = message._wire
+        shares = message._shares
+        self.meter.on_receive(
+            wire if wire is not None else message.wire_bytes(),
+            shares if shares is not None else message.wire_shares(),
+        )
         self._receiver(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -78,6 +78,16 @@ class LiveNodeConfig:
     #: duplicate, reorder, heal) is supported live — host-level steps
     #: need the simulator's fault plane and are rejected at load time.
     chaos_script: Optional[Path] = None
+    #: Use the batched UDP datapath: a raw nonblocking socket with
+    #: sendmmsg/recvmmsg fan-out where libc provides them (see
+    #: :class:`~repro.runtime.realtime.UdpTransport`).  Off any Linux
+    #: fast path it degrades to per-datagram sendto/recvfrom — the flag
+    #: is always safe to set.
+    batched_udp: bool = False
+    #: Install the uvloop event-loop policy when the package is importable;
+    #: silently keeps the stdlib loop otherwise (uvloop is never a hard
+    #: dependency).
+    use_uvloop: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.node_id < len(self.ports):
@@ -143,7 +153,9 @@ async def run_node(config: LiveNodeConfig) -> None:
     scheduler = RealtimeScheduler(loop)
     node = Node(scheduler, config.node_id)
     addresses = {i: (config.host, port) for i, port in enumerate(config.ports)}
-    transport = UdpTransport(config.node_id, addresses, node.deliver)
+    transport = UdpTransport(
+        config.node_id, addresses, node.deliver, batched=config.batched_udp
+    )
     await transport.open()
 
     chaos_controller = None
@@ -233,6 +245,15 @@ def node_main(config: LiveNodeConfig) -> int:
     line instead of a traceback: the parent orchestrator (and any human
     driving ``repro.cli node`` by hand) needs the reason, not the stack.
     """
+    if config.use_uvloop:
+        # Opt-in only, and import-gated: the container may not ship uvloop,
+        # and a missing accelerator must never stop a daemon from serving.
+        try:
+            import uvloop
+        except ImportError:
+            pass
+        else:
+            asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
     try:
         asyncio.run(run_node(config))
     except OSError as exc:
@@ -365,6 +386,8 @@ def _spawn_node(
     fd_variant: str,
     duration: float,
     groups: int,
+    batched_udp: bool = False,
+    use_uvloop: bool = False,
 ) -> subprocess.Popen:
     command = [
         sys.executable,
@@ -388,6 +411,10 @@ def _spawn_node(
         "--duration",
         str(duration),
     ]
+    if batched_udp:
+        command.append("--batched-udp")
+    if use_uvloop:
+        command.append("--uvloop")
     return subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
@@ -632,6 +659,8 @@ def run_cluster(
     timeout: float = 20.0,
     log_dir: Optional[Path] = None,
     echo: bool = True,
+    batched_udp: bool = False,
+    use_uvloop: bool = False,
 ) -> ClusterReport:
     """Boot an N-process localhost cluster and exercise a leader crash.
 
@@ -748,6 +777,7 @@ def run_cluster(
             child = _spawn_node(
                 node_id, ports, host, algorithm, detection_time,
                 fd_variant, child_duration, groups,
+                batched_udp=batched_udp, use_uvloop=use_uvloop,
             )
             children[node_id] = child
             log = open(log_dir / f"node-{node_id}.log", "w")

@@ -36,6 +36,17 @@ append-only, so earlier byte values are unchanged); LEASE-REPLY grew a
 ``handoff`` field (pending-requester hint on renew replies); and a new
 LEASE-EVENT message (tag 8) pushes ledger changes to registered watchers.
 
+Codec version 5 (the zero-copy datapath): the wire *layout* is byte-for-byte
+that of version 4 — only the version byte moves, marking daemons whose
+transport batches datagrams (``sendmmsg``/``recvmmsg``).  What changed is
+the codec's API surface: :func:`encode_message_into` packs a frame directly
+into a caller-owned reusable buffer (no per-part ``bytes`` allocations, no
+final join copy), and :func:`decode_message` accepts any buffer object
+(``bytes``, ``bytearray``, ``memoryview``) and parses it in place with
+``unpack_from`` — decoded messages hold only ints/floats/bools/strings/
+tuples, never a view of the input, so a receive scratch buffer can be
+reused for the next datagram immediately.
+
 Strings never appear on the wire: the only enumerated field
 (:attr:`HelloMessage.kind`) travels as one byte.  Optional fields carry a
 one-byte presence flag.  Decoding is strict — unknown magic, version, type
@@ -66,10 +77,16 @@ from repro.net.message import (
     RateRequestMessage,
 )
 
-__all__ = ["CodecError", "encode_message", "decode_message", "MAX_FRAME_BYTES"]
+__all__ = [
+    "CodecError",
+    "encode_message",
+    "encode_message_into",
+    "decode_message",
+    "MAX_FRAME_BYTES",
+]
 
 _MAGIC = 0x03A9  # Ω, fittingly
-_VERSION = 4
+_VERSION = 5
 
 #: Upper bound on a frame we are willing to decode (or encode).  Generous —
 #: a 64-cell batch with 4096-member deltas would not fit a datagram anyway —
@@ -141,11 +158,11 @@ class CodecError(ValueError):
 
 
 class _Reader:
-    """A bounds-checked cursor over one frame's body."""
+    """A bounds-checked cursor over one frame's body (any buffer object)."""
 
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes, pos: int = 0) -> None:
+    def __init__(self, data, pos: int = 0) -> None:
         self.data = data
         self.pos = pos
 
@@ -383,6 +400,233 @@ def encode_message(message: Message) -> bytes:
 
 
 # ----------------------------------------------------------------------
+# Zero-copy encoding (codec v5 fast path)
+# ----------------------------------------------------------------------
+def _members_into(members: Tuple[MemberInfo, ...], buf, pos: int) -> int:
+    pack = _MEMBER.pack_into
+    size = _MEMBER.size
+    for m in members:
+        pack(buf, pos, m.pid, m.node, m.incarnation, m.candidate, m.present, m.joined_at)
+        pos += size
+    return pos
+
+
+def _cell_into(cell: AliveCell, buf, pos: int) -> int:
+    has_leader = cell.local_leader is not None
+    has_acc = cell.local_leader_acc is not None
+    version, digest = _check_view(cell.view_version, cell.view_digest)
+    _CELL_FIXED.pack_into(buf, pos, cell.group, cell.pid, cell.acc_time, cell.phase)
+    pos += _CELL_FIXED.size
+    _OPT_PID_ACC.pack_into(
+        buf,
+        pos,
+        has_leader,
+        has_acc,
+        cell.local_leader if has_leader else 0,
+        cell.local_leader_acc if has_acc else 0.0,
+    )
+    pos += _OPT_PID_ACC.size
+    _CELL_VIEW.pack_into(
+        buf, pos, version, digest, _check_count("delta records", len(cell.delta))
+    )
+    pos += _CELL_VIEW.size
+    return _members_into(cell.delta, buf, pos)
+
+
+def _batch_into(message: BatchFrame, buf, pos: int) -> int:
+    _BATCH_FIXED.pack_into(
+        buf,
+        pos,
+        message.seq,
+        message.send_time,
+        message.interval,
+        _check_count("cells", len(message.cells)),
+    )
+    pos += _BATCH_FIXED.size
+    for cell in message.cells:
+        pos = _cell_into(cell, buf, pos)
+    return pos
+
+
+def _acc_entries_into(entries, buf, pos: int) -> int:
+    pack = _ACC_ENTRY.pack_into
+    size = _ACC_ENTRY.size
+    for entry in entries:
+        pack(buf, pos, entry.pid, entry.acc_time, entry.phase)
+        pos += size
+    return pos
+
+
+def _lease_records_into(records: Tuple[LeaseRecord, ...], buf, pos: int) -> int:
+    pack = _LEASE_RECORD.pack_into
+    size = _LEASE_RECORD.size
+    for r in records:
+        pack(
+            buf,
+            pos,
+            _check_u64("lease id", r.lease),
+            r.holder,
+            _check_u64("lease token", r.token),
+            r.expiry,
+            r.granted_at,
+            r.released,
+            _check_u32("lease seq", r.seq),
+        )
+        pos += size
+    return pos
+
+
+def _hello_into(message: HelloMessage, buf, pos: int) -> int:
+    try:
+        kind = _HELLO_KINDS.index(message.kind)
+    except ValueError:
+        raise CodecError(f"unknown HELLO kind {message.kind!r}") from None
+    hint = message.leader_hint
+    version, digest = _check_view(message.view_version, message.view_digest)
+    _HELLO_FIXED.pack_into(
+        buf,
+        pos,
+        message.group,
+        kind,
+        _check_count("members", len(message.members)),
+        _check_count("acc entries", len(message.acc_table)),
+        _check_count("trusted pids", len(message.trusted)),
+        hint is not None,
+        version,
+        digest,
+    )
+    pos += _HELLO_FIXED.size
+    if hint is not None:
+        _ACC_ENTRY.pack_into(buf, pos, hint.pid, hint.acc_time, hint.phase)
+        pos += _ACC_ENTRY.size
+    pos = _members_into(message.members, buf, pos)
+    pos = _acc_entries_into(message.acc_table, buf, pos)
+    pack_i32 = _I32.pack_into
+    for pid in message.trusted:
+        pack_i32(buf, pos, pid)
+        pos += 4
+    _HELLO_LEASES.pack_into(
+        buf,
+        pos,
+        _check_count("lease records", len(message.leases)),
+        _check_u64("lease digest", message.lease_digest),
+    )
+    pos += _HELLO_LEASES.size
+    return _lease_records_into(message.leases, buf, pos)
+
+
+def _lease_request_into(message: LeaseRequestMessage, buf, pos: int) -> int:
+    try:
+        op = _LEASE_OPS.index(message.op)
+    except ValueError:
+        raise CodecError(f"unknown lease op {message.op!r}") from None
+    _LEASE_REQUEST_BODY.pack_into(
+        buf,
+        pos,
+        message.group,
+        op,
+        _check_u64("lease id", message.lease),
+        message.client,
+        _check_u64("lease token", message.token),
+        message.ttl,
+        message.successor,
+        _check_u32("lease nonce", message.nonce),
+    )
+    return pos + _LEASE_REQUEST_BODY.size
+
+
+def _lease_reply_into(message: LeaseReplyMessage, buf, pos: int) -> int:
+    try:
+        status = _LEASE_STATUSES.index(message.status)
+    except ValueError:
+        raise CodecError(f"unknown lease status {message.status!r}") from None
+    _LEASE_REPLY_BODY.pack_into(
+        buf,
+        pos,
+        message.group,
+        status,
+        _check_u64("lease id", message.lease),
+        message.client,
+        _check_u64("lease token", message.token),
+        message.holder,
+        message.expiry,
+        message.retry_after,
+        message.leader_node,
+        message.handoff,
+        _check_u32("lease nonce", message.nonce),
+    )
+    return pos + _LEASE_REPLY_BODY.size
+
+
+def _lease_event_into(message: LeaseEventMessage, buf, pos: int) -> int:
+    _LEASE_EVENT_BODY.pack_into(
+        buf,
+        pos,
+        message.group,
+        _check_u64("lease id", message.lease),
+        message.client,
+        message.holder,
+        _check_u64("lease token", message.token),
+        message.expiry,
+        message.released,
+        _check_u32("lease seq", message.seq),
+    )
+    return pos + _LEASE_EVENT_BODY.size
+
+
+def _accuse_into(message: AccuseMessage, buf, pos: int) -> int:
+    _ACCUSE_BODY.pack_into(
+        buf, pos, message.group, message.accuser, message.accused, message.accused_phase
+    )
+    return pos + _ACCUSE_BODY.size
+
+
+def _rate_request_into(message: RateRequestMessage, buf, pos: int) -> int:
+    _RATE_BODY.pack_into(buf, pos, message.interval)
+    return pos + _RATE_BODY.size
+
+
+_ENCODERS_INTO: Dict[Type[Message], Tuple[int, Callable]] = {
+    BatchFrame: (_TAG_BATCH, _batch_into),
+    HelloMessage: (_TAG_HELLO, _hello_into),
+    AccuseMessage: (_TAG_ACCUSE, _accuse_into),
+    RateRequestMessage: (_TAG_RATE_REQUEST, _rate_request_into),
+    LeaseRequestMessage: (_TAG_LEASE_REQUEST, _lease_request_into),
+    LeaseReplyMessage: (_TAG_LEASE_REPLY, _lease_reply_into),
+    LeaseEventMessage: (_TAG_LEASE_EVENT, _lease_event_into),
+}
+
+
+def encode_message_into(message: Message, buf: bytearray) -> int:
+    """Pack one frame into a caller-owned buffer; returns the frame length.
+
+    The zero-copy counterpart of :func:`encode_message`: the produced bytes
+    (``buf[:returned_length]``) are identical, but nothing is allocated —
+    every field is ``pack_into``-ed straight into ``buf``, which the caller
+    reuses across datagrams (one scratch per transport).  ``buf`` must be at
+    least :data:`MAX_FRAME_BYTES` long; a message that would overrun it is
+    rejected with :class:`CodecError` exactly like the allocating path.
+    """
+    entry = _ENCODERS_INTO.get(type(message))
+    if entry is None:
+        raise CodecError(f"no wire encoding for {type(message).__name__}")
+    tag, encoder = entry
+    pos = _HEADER.size
+    _ROUTING.pack_into(buf, pos, message.sender_node, message.dest_node)
+    pos += _ROUTING.size
+    try:
+        end = encoder(message, buf, pos)
+    except struct.error as exc:
+        # Either a frame larger than the scratch (== larger than the codec
+        # accepts) or an out-of-range field value; both are refusals.
+        raise CodecError(f"frame too large or field out of range: {exc}") from None
+    if end > MAX_FRAME_BYTES:
+        raise CodecError(f"frame too large ({end} bytes)")
+    _HEADER.pack_into(buf, 0, end - 4, _MAGIC, _VERSION, tag)
+    return end
+
+
+# ----------------------------------------------------------------------
 # Decoding
 # ----------------------------------------------------------------------
 def _decode_members(reader: _Reader, count: int) -> Tuple[MemberInfo, ...]:
@@ -598,8 +842,15 @@ _DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
 }
 
 
-def decode_message(data: bytes) -> Message:
-    """Parse exactly one frame; raises :class:`CodecError` on anything else."""
+def decode_message(data) -> Message:
+    """Parse exactly one frame; raises :class:`CodecError` on anything else.
+
+    ``data`` may be any buffer object (``bytes``, ``bytearray``,
+    ``memoryview``) — parsing is pure ``unpack_from`` cursor movement with
+    no intermediate slices, and the returned message holds only scalars and
+    fresh tuples, never a view of ``data``, so a receive scratch can be
+    handed in directly and reused for the next datagram.
+    """
     if len(data) < _HEADER.size:
         raise CodecError(f"short frame: {len(data)} bytes, header needs {_HEADER.size}")
     length, magic, version, tag = _HEADER.unpack_from(data, 0)

@@ -25,12 +25,19 @@ world.
 from __future__ import annotations
 
 import asyncio
+import socket
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.net.message import Message
-from repro.runtime.codec import CodecError, decode_message, encode_message
+from repro.runtime import mmsg
+from repro.runtime.codec import (
+    CodecError,
+    decode_message,
+    encode_message,
+    encode_message_into,
+)
 
 __all__ = ["RealtimeHandle", "RealtimeScheduler", "TransportStats", "UdpTransport"]
 
@@ -131,6 +138,9 @@ class TransportStats:
     frames_rejected: int = 0
     #: Sends dropped because the destination node id has no known address.
     unroutable: int = 0
+    #: sendmmsg/recvmmsg syscalls issued (batched mode only) — the whole
+    #: point of batching is that this grows much slower than frames_sent.
+    batch_syscalls: int = 0
     last_error: Optional[str] = field(default=None, repr=False)
 
 
@@ -149,14 +159,33 @@ class UdpTransport(asyncio.DatagramProtocol):
     a client it was never configured with.  Static entries always win —
     a learned address can never shadow a cluster node.
 
+    With ``batched=True`` the transport bypasses asyncio's datagram
+    machinery entirely: a raw nonblocking socket, written *synchronously*
+    from :meth:`send`/:meth:`send_batch` and drained via
+    ``loop.add_reader``.  Synchronous writes are what make the zero-copy
+    encode scratch safe — asyncio's ``DatagramTransport.sendto`` keeps a
+    reference to the data object when the socket would block, so a
+    reusable buffer handed to it could be overwritten while still queued.
+    On Linux, :meth:`send_batch` flushes a whole fan-out with one
+    ``sendmmsg`` call and the read side drains bursts with ``recvmmsg``
+    (see :mod:`repro.runtime.mmsg`); elsewhere batched mode degrades to
+    per-datagram ``sendto``/``recvfrom`` on the same raw socket.
+
     Create, then ``await transport.open()`` to bind the local socket.
     """
+
+    #: Per-datagram buffer size: UDP payloads cannot exceed 65507 bytes,
+    #: so 64 KiB scratch always fits one frame (the codec enforces its own
+    #: MAX_FRAME_BYTES on top).
+    _DATAGRAM_MAX = 65536
 
     def __init__(
         self,
         node_id: int,
         addresses: Dict[int, Tuple[str, int]],
         deliver: Callable[[Message], None],
+        *,
+        batched: bool = False,
     ) -> None:
         if node_id not in addresses:
             raise ValueError(f"node {node_id} missing from the address book")
@@ -166,6 +195,25 @@ class UdpTransport(asyncio.DatagramProtocol):
         self._learned: Dict[int, Tuple[str, int]] = {}
         self._deliver = deliver
         self._transport: Optional[asyncio.DatagramTransport] = None
+        self.batched = batched
+        #: Raw nonblocking socket (batched mode only).
+        self._sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Reusable encode scratch for single sends (batched mode).
+        self._tx_scratch = bytearray(self._DATAGRAM_MAX) if batched else None
+        #: Per-slot encode scratch for send_batch; grown on demand.  Each
+        #: slot is pinned (``_tx_slot_views``) so its buffer address
+        #: (``_tx_slot_addrs``) stays valid for the batcher's iovecs.
+        self._tx_slots: list = []
+        self._tx_slot_views: list = []
+        self._tx_slot_addrs: list = []
+        use_mmsg = batched and mmsg.available()
+        #: Reusable receive buffers for one recvmmsg drain.
+        self._rx_buffers = (
+            [bytearray(self._DATAGRAM_MAX) for _ in range(32)] if use_mmsg else []
+        )
+        self._rx_batcher = mmsg.RecvBatcher(self._rx_buffers) if use_mmsg else None
+        self._tx_batcher = mmsg.SendBatcher() if use_mmsg else None
         self.stats = TransportStats()
 
     # ------------------------------------------------------------------
@@ -174,6 +222,25 @@ class UdpTransport(asyncio.DatagramProtocol):
     async def open(self) -> "UdpTransport":
         """Bind the local UDP socket; returns self for chaining."""
         loop = asyncio.get_running_loop()
+        if self.batched:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.setblocking(False)
+                # Bigger kernel buffers absorb whole-fan-in bursts between
+                # reader callbacks; best-effort (OS caps silently apply).
+                for option in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+                    try:
+                        sock.setsockopt(socket.SOL_SOCKET, option, 1 << 20)
+                    except OSError:  # pragma: no cover - exotic kernels
+                        pass
+                sock.bind(self._addresses[self.node_id])
+            except OSError:
+                sock.close()
+                raise
+            self._sock = sock
+            self._loop = loop
+            loop.add_reader(sock.fileno(), self._drain_rx)
+            return self
         await loop.create_datagram_endpoint(
             lambda: self, local_addr=self._addresses[self.node_id]
         )
@@ -184,14 +251,25 @@ class UdpTransport(asyncio.DatagramProtocol):
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        if self._sock is not None:
+            if self._loop is not None:
+                self._loop.remove_reader(self._sock.fileno())
+            self._sock.close()
+            self._sock = None
 
     @property
     def open_for_traffic(self) -> bool:
-        return self._transport is not None
+        return self._transport is not None or self._sock is not None
 
     # ------------------------------------------------------------------
     # Transport protocol (repro.runtime.base.Transport)
     # ------------------------------------------------------------------
+    def _route(self, dest_node: int) -> Optional[Tuple[str, int]]:
+        address = self._addresses.get(dest_node)
+        if address is None:
+            address = self._learned.get(dest_node)
+        return address
+
     def send(self, message: Message) -> None:
         """Encode and transmit ``message`` to its destination's endpoint.
 
@@ -200,11 +278,12 @@ class UdpTransport(asyncio.DatagramProtocol):
         must not die because one gossip round referenced a node that
         already left the address book.
         """
+        if self._sock is not None:
+            self._send_raw(message)
+            return
         if self._transport is None:
             return
-        address = self._addresses.get(message.dest_node)
-        if address is None:
-            address = self._learned.get(message.dest_node)
+        address = self._route(message.dest_node)
         if address is None:
             self.stats.unroutable += 1
             return
@@ -218,16 +297,113 @@ class UdpTransport(asyncio.DatagramProtocol):
         self.stats.bytes_sent += len(data)
         self._transport.sendto(data, address)
 
-    # ------------------------------------------------------------------
-    # asyncio.DatagramProtocol callbacks
-    # ------------------------------------------------------------------
-    def connection_made(self, transport: asyncio.BaseTransport) -> None:
-        self._transport = transport  # type: ignore[assignment]
+    def _send_raw(self, message: Message) -> None:
+        """Batched-mode single send: zero-copy encode, synchronous write."""
+        address = self._route(message.dest_node)
+        if address is None:
+            self.stats.unroutable += 1
+            return
+        scratch = self._tx_scratch
+        try:
+            end = encode_message_into(message, scratch)
+        except CodecError as exc:  # pragma: no cover - needs a broken message
+            self.stats.frames_rejected += 1
+            self.stats.last_error = str(exc)
+            return
+        try:
+            self._sock.sendto(memoryview(scratch)[:end], address)
+        except (BlockingIOError, InterruptedError):
+            return  # full socket buffer: UDP drops, the FD absorbs it
+        except OSError as exc:
+            self.stats.last_error = str(exc)
+            return
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += end
 
-    def connection_lost(self, exc: Optional[Exception]) -> None:
-        self._transport = None
+    def send_batch(self, messages: Iterable[Message]) -> None:
+        """Transmit a whole fan-out; one ``sendmmsg`` syscall per chunk.
 
-    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        The realtime twin of :meth:`repro.net.network.Network.send_batch`.
+        Each message is encoded into its own reusable scratch slot (safe
+        because the kernel copies payloads during the syscall) and the
+        chunk goes out in one kernel crossing.  Without a raw socket or
+        without libc ``sendmmsg`` this degrades to a :meth:`send` loop —
+        same datagrams, more syscalls.
+        """
+        batcher = self._tx_batcher
+        if self._sock is None or batcher is None:
+            for message in messages:
+                self.send(message)
+            return
+        slots = self._tx_slots
+        slot_addrs = self._tx_slot_addrs
+        count = 0
+        pending: list = []  # (length, address) per staged slot
+        for message in messages:
+            address = self._route(message.dest_node)
+            if address is None:
+                self.stats.unroutable += 1
+                continue
+            try:
+                sa = batcher.sockaddr(address)
+            except OSError:
+                # Non-IPv4 book entry (hostname): this one datagram takes
+                # the scalar path; the rest of the batch stays fast.
+                self._send_raw(message)
+                continue
+            if count == mmsg.MAX_BATCH:
+                self._flush_slots(count, pending)
+                count = 0
+                pending = []
+            if count == len(slots):
+                buf = bytearray(self._DATAGRAM_MAX)
+                view, base = mmsg.pin(buf)
+                slots.append(buf)
+                self._tx_slot_views.append(view)
+                slot_addrs.append(base)
+            try:
+                end = encode_message_into(message, slots[count])
+            except CodecError as exc:  # pragma: no cover - broken message
+                self.stats.frames_rejected += 1
+                self.stats.last_error = str(exc)
+                continue
+            batcher.stage(count, slot_addrs[count], end, sa)
+            pending.append((end, address))
+            count += 1
+        if count:
+            self._flush_slots(count, pending)
+
+    def _flush_slots(self, count: int, pending: list) -> None:
+        """One sendmmsg call; whatever the kernel refused is dropped (UDP)."""
+        try:
+            sent = self._tx_batcher.send(self._sock.fileno(), count)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            # Unexpected kernel refusal: take the scalar path so the
+            # datagrams still flow, just without the batched syscall.
+            self.stats.last_error = str(exc)
+            for index in range(count):
+                end, address = pending[index]
+                try:
+                    self._sock.sendto(
+                        memoryview(self._tx_slots[index])[:end], address
+                    )
+                except OSError:
+                    continue
+                self.stats.frames_sent += 1
+                self.stats.bytes_sent += end
+            return
+        self.stats.batch_syscalls += 1
+        self.stats.frames_sent += sent
+        for end, _ in pending[:sent]:
+            self.stats.bytes_sent += end
+
+    # ------------------------------------------------------------------
+    # Receive path (shared by both modes)
+    # ------------------------------------------------------------------
+    def _ingest(self, data, addr: Tuple[str, int]) -> None:
+        """Decode one datagram and deliver; garbage is counted, not fatal."""
         self.stats.frames_received += 1
         self.stats.bytes_received += len(data)
         try:
@@ -241,6 +417,53 @@ class UdpTransport(asyncio.DatagramProtocol):
         if message.sender_node not in self._addresses:
             self._learned[message.sender_node] = addr
         self._deliver(message)
+
+    def _drain_rx(self) -> None:
+        """Reader callback (batched mode): drain every queued datagram."""
+        sock = self._sock
+        if sock is None:  # closed between readiness and dispatch
+            return
+        batcher = self._rx_batcher
+        if batcher is not None:
+            buffers = self._rx_buffers
+            fd = sock.fileno()
+            while True:
+                try:
+                    received = batcher.recv(fd)
+                except (BlockingIOError, InterruptedError):
+                    return
+                except OSError as exc:
+                    self.stats.last_error = str(exc)
+                    return
+                self.stats.batch_syscalls += 1
+                for i, (nbytes, source) in enumerate(received):
+                    # Zero-copy decode straight out of the reusable recv
+                    # buffer; decoded messages hold only scalars/tuples,
+                    # never views into it, so reuse next round is safe.
+                    self._ingest(memoryview(buffers[i])[:nbytes], source)
+                if len(received) < len(buffers):
+                    return  # socket drained
+        while True:  # no recvmmsg: per-datagram drain on the raw socket
+            try:
+                data, source = sock.recvfrom(self._DATAGRAM_MAX)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as exc:
+                self.stats.last_error = str(exc)
+                return
+            self._ingest(data, source)
+
+    # ------------------------------------------------------------------
+    # asyncio.DatagramProtocol callbacks (default mode)
+    # ------------------------------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self._transport = transport  # type: ignore[assignment]
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self._transport = None
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self._ingest(data, addr)
 
     def error_received(self, exc: OSError) -> None:
         # ICMP port-unreachable for a crashed peer etc.: exactly the lossy

@@ -25,6 +25,16 @@ Callbacks may be scheduled with positional arguments
 without allocating a fresh closure per event — the network delivery path
 relies on this.
 
+Batched message arrivals bypass the event heap entirely: when a
+:class:`~repro.sim.vector.DeliveryBatch` is attached, the run loops merge
+its private arrival heap with the event heap (whichever head is earlier
+fires next; an arrival wins exact ties, matching the drain-everything-due
+behaviour of a per-arrival event that would have been scheduled first).
+A batched delivery therefore costs one tuple pop — no :class:`Event`
+allocation, no heap push, no handle — but still counts into
+``events_executed``, so event counts stay comparable with the scalar
+datapath.
+
 Determinism guarantees:
 
 * Two events scheduled for the same virtual time fire in scheduling order
@@ -49,6 +59,8 @@ from typing import Callable, Optional, Tuple
 __all__ = ["Event", "SimulationError", "Simulator", "DriftingScheduler"]
 
 _NO_ARGS: tuple = ()
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -140,6 +152,10 @@ class Simulator:
         #: vectorized deadline kernel shared by every failure-detector
         #: timer on this simulator (None until the first pooled timer).
         self.deadline_pool = None
+        #: Lazily-attached :class:`~repro.sim.vector.DeliveryBatch` — the
+        #: batched message-arrival kernel shared by every network datapath
+        #: on this simulator (None until the first batched send).
+        self.delivery_batch = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -238,9 +254,31 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if none remain."""
+        """Execute the next pending event or batched message arrival.
+
+        Returns False if neither remain.  An arrival due no later than the
+        event-heap head fires first (see the module notes on the merged
+        delivery heap).
+        """
         self._drop_cancelled_head()
         heap = self._heap
+        head_time = heap[0][0] if heap else _INF
+        batch = self.delivery_batch
+        if batch is not None:
+            dheap = batch._heap
+            if dheap and dheap[0][0] <= head_time:
+                arrival, _, link, message, deliver = heapq.heappop(dheap)
+                self._now = arrival
+                self.events_executed += 1
+                wire = message._wire
+                stats = link.stats
+                stats.delivered += 1
+                stats.bytes_delivered += (
+                    wire if wire is not None else message.wire_bytes()
+                )
+                batch.deliveries += 1
+                deliver(message)
+                return True
         if not heap:
             return False
         _, _, event = heapq.heappop(heap)
@@ -270,15 +308,44 @@ class Simulator:
         self._stopped = False
         self._running = True
         try:
-            while heap and not self._stopped:
-                head = heap[0]
-                if head[2].cancelled:
-                    drop_cancelled_head()
-                    continue
-                if head[0] > time:
+            while not self._stopped:
+                if heap:
+                    head = heap[0]
+                    if head[2].cancelled:
+                        drop_cancelled_head()
+                        continue
+                    head_time = head[0]
+                else:
+                    head_time = _INF
+                # Merged delivery heap: an arrival due no later than the
+                # event head fires first (re-read the attribute — the batch
+                # attaches lazily on the first batched send, mid-run).
+                batch = self.delivery_batch
+                if batch is not None:
+                    dheap = batch._heap
+                    if dheap and dheap[0][0] <= head_time:
+                        arrival = dheap[0][0]
+                        if arrival > time:
+                            break
+                        _, _, link, message, deliver = heappop(dheap)
+                        self._now = arrival
+                        executed += 1
+                        # The scalar path's Link._deliver, inlined: link
+                        # counters move at delivery time, in delivery order.
+                        # The wire-size memo is warm (send charged it).
+                        wire = message._wire
+                        stats = link.stats
+                        stats.delivered += 1
+                        stats.bytes_delivered += (
+                            wire if wire is not None else message.wire_bytes()
+                        )
+                        batch.deliveries += 1
+                        deliver(message)
+                        continue
+                if head_time > time:
                     break
                 _, _, event = heappop(heap)
-                self._now = event.time
+                self._now = head_time
                 fn = event.fn
                 args = event.args
                 event.fn = None
@@ -318,19 +385,30 @@ class Simulator:
 
         O(1): a live counter maintained across schedule/pop/cancel/compact
         instead of a heap scan — introspection stays cheap even against the
-        million-entry heaps of large sweeps.
+        million-entry heaps of large sweeps.  Batched message arrivals
+        count too (their heap length is equally O(1)), so "pending == 0"
+        still means "nothing left to run".
         """
+        batch = self.delivery_batch
+        if batch is not None:
+            return self._live + len(batch._heap)
         return self._live
 
     def peek_time(self) -> Optional[float]:
-        """Virtual time of the next pending event, or None.
+        """Virtual time of the next pending event or arrival, or None.
 
         Pops any cancelled entries sitting at the head (via
         :meth:`_drop_cancelled_head`) so the answer is the next event that
         will actually fire.
         """
         self._drop_cancelled_head()
-        return self._heap[0][0] if self._heap else None
+        head_time = self._heap[0][0] if self._heap else None
+        batch = self.delivery_batch
+        if batch is not None and batch._heap:
+            arrival = batch._heap[0][0]
+            if head_time is None or arrival < head_time:
+                return arrival
+        return head_time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -66,7 +66,7 @@ class TestMembershipView:
         view.apply_join(pid=3, node=3, incarnation=1, candidate=False, now=0.0)
         assert view.is_present(3)
         assert not view.is_present_candidate(3)
-        assert view.candidates() == []
+        assert view.candidates() == ()
         assert len(view.members()) == 1
 
     def test_leave_tombstones(self):

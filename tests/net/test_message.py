@@ -175,3 +175,55 @@ class TestMemberInfo:
     def test_equality_by_value(self):
         assert member(1) == member(1)
         assert member(1) != member(2)
+
+
+class TestCopyInvalidatesMemos:
+    """``copy.copy`` on a slots dataclass copies *every* slot — including
+    the ``_wire``/``_shares`` memo fields.  ``Message.__copy__`` must reset
+    them, or a clone mutated in place reports the original's wire size."""
+
+    def test_copy_resets_wire_memo(self):
+        import copy
+
+        frame = BatchFrame(sender_node=0, dest_node=1, cells=(cell(),))
+        original_bytes = frame.wire_bytes()  # primes the memo
+        clone = copy.copy(frame)
+        assert clone._wire is None
+        assert clone._shares is None
+        # The stale-memo bug: grow the clone's payload, then ask for its
+        # size.  Before __copy__ this returned original_bytes.
+        clone.cells = (cell(group=1), cell(group=2, delta=(member(7),)))
+        assert clone.wire_bytes() > original_bytes
+        assert frame.wire_bytes() == original_bytes
+
+    def test_copy_resets_shares_memo(self):
+        import copy
+
+        frame = BatchFrame(sender_node=0, dest_node=1, cells=(cell(group=1),))
+        frame.wire_shares()
+        clone = copy.copy(frame)
+        clone.cells = (cell(group=9),)
+        assert 9 in clone.wire_shares()
+        assert 9 not in frame.wire_shares()
+
+    def test_copy_preserves_payload_fields(self):
+        import copy
+
+        frame = BatchFrame(
+            sender_node=3, dest_node=4, seq=17, send_time=1.5,
+            cells=(cell(group=2, delta=(member(5),)),),
+        )
+        clone = copy.copy(frame)
+        assert clone == frame
+        assert type(clone) is BatchFrame
+
+    def test_replace_also_resets_memos(self):
+        """dataclasses.replace re-runs __init__, so init=False memo fields
+        come back at their defaults — the other copying idiom stays safe."""
+        import dataclasses
+
+        frame = BatchFrame(sender_node=0, dest_node=1, cells=(cell(),))
+        frame.wire_bytes()
+        clone = dataclasses.replace(frame, cells=())
+        assert clone._wire is None
+        assert clone.wire_bytes() < frame.wire_bytes()

@@ -31,7 +31,13 @@ from repro.net.message import (
     MemberInfo,
     RateRequestMessage,
 )
-from repro.runtime.codec import CodecError, decode_message, encode_message
+from repro.runtime.codec import (
+    MAX_FRAME_BYTES,
+    CodecError,
+    decode_message,
+    encode_message,
+    encode_message_into,
+)
 
 I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
 I64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
@@ -203,3 +209,89 @@ class TestRoundTrip:
         frame = encode_message(message)
         (length,) = struct.unpack_from("!I", frame, 0)
         assert length + 4 == len(frame)
+
+
+#: Deliberately shared across every example and every test below — the
+#: live send path reuses one scratch buffer for the process lifetime, so
+#: stale bytes from *previous* frames are always present past the end of
+#: the current one.  Any aliasing or under-write bug shows up as
+#: cross-example contamination.
+_SCRATCH = bytearray(MAX_FRAME_BYTES)
+
+
+class TestZeroCopy:
+    """The zero-copy fast path must be indistinguishable from the copying one.
+
+    ``encode_message_into`` writes into a caller-owned scratch buffer and
+    ``decode_message`` accepts a memoryview of it without an intermediate
+    ``bytes()`` copy — exactly what the batched UDP transport does per
+    datagram.  Three contracts:
+
+    * the scratch prefix is byte-for-byte what ``encode_message`` returns;
+    * decoding from the shared buffer and then clobbering it must not
+      change the decoded message (no field may alias the buffer);
+    * truncated / bit-flipped frames viewed from the shared buffer fail
+      only with ``CodecError``, same as the copying path.
+    """
+
+    @given(message=any_message)
+    @settings(max_examples=200)
+    def test_encode_into_matches_encode(self, message):
+        end = encode_message_into(message, _SCRATCH)
+        assert bytes(_SCRATCH[:end]) == encode_message(message)
+
+    @given(message=any_message)
+    @settings(max_examples=200)
+    def test_decode_from_scratch_then_clobber(self, message):
+        """Decoded messages hold only scalars/tuples — mutating the scratch
+        after decode (as the next datagram's encode will) must not reach
+        back into an already-decoded message."""
+        end = encode_message_into(message, _SCRATCH)
+        decoded = decode_message(memoryview(_SCRATCH)[:end])
+        for index in range(end):
+            _SCRATCH[index] ^= 0xFF
+        try:
+            assert decoded == message
+        finally:
+            for index in range(end):
+                _SCRATCH[index] ^= 0xFF
+
+    @given(message=any_message, data=st.data())
+    @settings(max_examples=150)
+    def test_bit_flipped_scratch_never_escapes_codec_error(self, message, data):
+        end = encode_message_into(message, _SCRATCH)
+        index = data.draw(st.integers(min_value=0, max_value=end - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        _SCRATCH[index] ^= 1 << bit
+        try:
+            decode_message(memoryview(_SCRATCH)[:end])
+        except CodecError:
+            pass
+        finally:
+            _SCRATCH[index] ^= 1 << bit
+
+    @given(message=any_message, cut=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=150)
+    def test_truncated_scratch_never_escapes_codec_error(self, message, cut):
+        """A short recvmmsg read hands the decoder a prefix view whose
+        underlying buffer still holds the rest of the frame (and older
+        frames beyond it) — rejection must not peek past the view."""
+        end = encode_message_into(message, _SCRATCH)
+        keep = max(0, end - cut)
+        if keep == end:
+            return
+        try:
+            decode_message(memoryview(_SCRATCH)[:keep])
+        except CodecError:
+            pass
+
+    @given(message=any_message)
+    @settings(max_examples=100)
+    def test_decode_tolerates_offset_views(self, message):
+        """recvmmsg fills per-slot buffers; decoding must work from any
+        buffer region, not just offset zero."""
+        offset = 7
+        frame = encode_message(message)
+        _SCRATCH[offset : offset + len(frame)] = frame
+        view = memoryview(_SCRATCH)[offset : offset + len(frame)]
+        assert decode_message(view) == message

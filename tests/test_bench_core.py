@@ -187,3 +187,54 @@ class TestRunCell:
     def test_unknown_cell_raises(self):
         with pytest.raises(KeyError):
             run_cell("nope", mode="quick")
+
+
+def _load_bench_cli():
+    """tools/bench.py is a script, not a package module — load it by path."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[1] / "tools" / "bench.py"
+    spec = importlib.util.spec_from_file_location("tools_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchCliProfileCompose:
+    """--profile-out must compose with --check/--cells (one invocation both
+    gates the perf run and captures where its time went), and keep its old
+    standalone behaviour with bare --profile."""
+
+    def test_profile_out_composes_with_check_and_cells(self, tmp_path, monkeypatch):
+        import json
+        import pstats
+
+        bench = _load_bench_cli()
+        monkeypatch.setitem(bench_core.DURATIONS, "quick", 10.0)
+        baseline = tmp_path / "baseline.json"
+        dump = tmp_path / "gate.pstats"
+        common = [
+            "--quick", "--cells", "heartbeat", "--no-allocations",
+            "--baseline", str(baseline),
+        ]
+        assert bench.main(common + ["--update"]) == 0
+        assert "heartbeat" in json.loads(baseline.read_text())["modes"]["quick"]["cells"]
+        # Tolerance is huge on purpose: this test pins the *composition*
+        # (check ran, profile dumped, digest still gated), not throughput.
+        code = bench.main(
+            common
+            + ["--check", "--tolerance", "50.0", "--profile-out", str(dump)]
+        )
+        assert code == 0
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
+    def test_bare_profile_still_short_circuits(self, tmp_path, monkeypatch):
+        import pstats
+
+        bench = _load_bench_cli()
+        monkeypatch.setitem(bench_core.DURATIONS, "quick", 10.0)
+        dump = tmp_path / "cell.pstats"
+        assert bench.main(["--profile", "heartbeat", "--profile-out", str(dump)]) == 0
+        assert pstats.Stats(str(dump)).total_calls > 0

@@ -156,22 +156,36 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         metavar="FILE",
-        help="with --profile: also dump the raw pstats data to FILE "
-        "(implies --profile heartbeat if --profile is absent)",
+        help="dump raw pstats data to FILE; composes with --check/--update "
+        "(profiles the measured run) or with --profile (profiles that "
+        "cell); alone it implies a measured run",
     )
     args = parser.parse_args(argv)
 
-    if args.profile or args.profile_out:
-        return _profile(args.profile or "heartbeat", args.profile_out)
+    if args.profile and not (args.check or args.update):
+        return _profile(args.profile, args.profile_out)
 
     mode = "quick" if args.quick else "full"
     cells = args.cells.split(",") if args.cells else None
+    profiler = None
+    if args.profile_out is not None:
+        # Composes with --check: CI can capture *where the time went* in
+        # the very run that trips (or passes) the perf gate, instead of
+        # needing a second, separately-profiled invocation.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = run_core_bench(
         mode=mode,
         cells=cells,
         measure_allocations=not args.no_allocations,
         progress=lambda line: print(line, flush=True),
     )
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile_out)
+        print(f"wrote pstats dump to {args.profile_out}")
 
     import numpy
 
