@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="probability a lease cycle ends in a transfer instead of "
             "a release",
         )
+        p.add_argument(
+            "--fd-plane",
+            default=None,
+            choices=["all_pairs", "swim"],
+            help="node-level FD plane the cases run under",
+        )
 
     fuzz = sub.add_parser(
         "fuzz", help="run N seeded random scenarios and check all invariants"
@@ -127,6 +133,8 @@ def _profile_from_args(args: argparse.Namespace) -> FuzzProfile:
         changes["n_lease_clients"] = args.lease_clients
     if args.transfer_ratio is not None:
         changes["transfer_ratio"] = args.transfer_ratio
+    if args.fd_plane is not None:
+        changes["fd_plane"] = args.fd_plane
     if changes:
         from dataclasses import replace
 

@@ -105,6 +105,11 @@ class FuzzProfile:
     #: Probability a lease cycle ends in a transfer instead of a release,
     #: so every batch also fuzzes handoff token monotonicity.
     transfer_ratio: float = 0.25
+    #: Node-level FD plane the generated cases run under.  A profile knob,
+    #: deliberately NOT a grammar draw: the grammar's draw order is API (a
+    #: new draw would shift every pinned replay seed), so the swim plane is
+    #: fuzzed by re-running the same seed battery with this set to "swim".
+    fd_plane: str = "all_pairs"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -224,6 +229,7 @@ def config_for_case(
         hold=profile.hold,
         n_lease_clients=profile.n_lease_clients,
         lease_transfer_ratio=profile.transfer_ratio,
+        fd_plane=profile.fd_plane,
     )
 
 
@@ -250,6 +256,7 @@ def _experiment_cell(seed: int, profile: FuzzProfile) -> ExperimentConfig:
         seed=seed,
         node_churn=False,
         qos=FDQoS(detection_time=profile.detection_time),
+        fd_plane=profile.fd_plane,
         n_lease_clients=profile.n_lease_clients,
         lease_transfer_ratio=profile.transfer_ratio,
     )
@@ -264,6 +271,7 @@ def fuzz_cell_runner(config: ExperimentConfig) -> Dict[str, Any]:
         detection_time=config.qos.detection_time,
         n_lease_clients=config.n_lease_clients,
         transfer_ratio=config.lease_transfer_ratio,
+        fd_plane=config.fd_plane,
     )
     result = run_scripted(config_for_case(config.seed, profile))
     record = result.to_dict()
@@ -352,6 +360,8 @@ def replay_command(seed: int, profile: Optional[FuzzProfile] = None) -> str:
             command += f" --lease-clients {profile.n_lease_clients}"
         if profile.transfer_ratio != defaults.transfer_ratio:
             command += f" --transfer-ratio {profile.transfer_ratio}"
+        if profile.fd_plane != defaults.fd_plane:
+            command += f" --fd-plane {profile.fd_plane}"
     return command
 
 
@@ -382,6 +392,7 @@ def run_fuzz(
         detection_time=profile.detection_time,
         n_lease_clients=profile.n_lease_clients,
         transfer_ratio=profile.transfer_ratio,
+        fd_plane=profile.fd_plane,
     ):
         # Workers rebuild the profile from the fields that ride on
         # ExperimentConfig; any other customized knob (grammar sizes,
@@ -390,8 +401,8 @@ def run_fuzz(
         raise ValueError(
             "workers > 1 supports only the CLI-expressible profile knobs "
             "(n_nodes, n_groups, algorithm, detection_time, "
-            "n_lease_clients, transfer_ratio); run custom-grammar profiles "
-            "with workers=1"
+            "n_lease_clients, transfer_ratio, fd_plane); run custom-grammar "
+            "profiles with workers=1"
         )
     seeds = [case_seed(master_seed, index) for index in range(runs)]
     cells = [_experiment_cell(seed, profile) for seed in seeds]

@@ -65,6 +65,11 @@ class ChaosRunConfig:
     #: Probability a lease cycle ends in a transfer instead of a release
     #: (exercises handoff token monotonicity under the adversary).
     lease_transfer_ratio: float = 0.0
+    #: Node-level FD plane under test ("all_pairs" or "swim").  A profile
+    #: knob, deliberately not a fuzz-grammar draw: adding a draw would
+    #: shift every pinned replay seed, so swim coverage comes from running
+    #: the same seed battery under a swim profile.
+    fd_plane: str = "all_pairs"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -107,6 +112,7 @@ class ChaosRunConfig:
             link_loss_prob=self.link_loss_prob,
             node_churn=False,
             qos=self.qos,
+            fd_plane=self.fd_plane,
             n_lease_clients=self.n_lease_clients,
             lease_transfer_ratio=self.lease_transfer_ratio,
         )
@@ -138,6 +144,7 @@ class ChaosRunResult:
             "n_lease_clients": self.config.n_lease_clients,
             "lease_transfer_ratio": self.config.lease_transfer_ratio,
             "algorithm": self.config.algorithm,
+            "fd_plane": self.config.fd_plane,
             "detection_time": self.config.detection_time,
             "ok": self.ok,
             "report": self.report.to_dict(),

@@ -135,13 +135,19 @@ class OmegaLc(ElectionAlgorithm):
             self._refresh()
 
     def on_trust(self, pid: int) -> None:
+        valid = self._memo_valid()
         self._mutations += 1
+        if valid:
+            self._repair_trust(pid)
         self._refresh()
 
     def on_suspect(self, pid: int) -> None:
+        valid = self._memo_valid()
         self._mutations += 1
         _, phase = self._info.get(pid, (0.0, 0))
         self.ctx.send_accuse(pid, phase)
+        if valid:
+            self._repair_suspect(pid)
         self._refresh()
 
     def on_accusation(self, accused_phase: int) -> bool:
@@ -255,6 +261,59 @@ class OmegaLc(ElectionAlgorithm):
             key = (new_acc if new_acc >= known else known, new_pid)
             if cached is None or key < cached:
                 self._cached_leader = key
+        self._stamp_mutations = self._mutations
+
+    def _repair_trust(self, pid: int) -> None:
+        """Carry the valid memo across one trust addition, always possible.
+
+        Trusting ``pid`` only *adds* ranking keys: its stage-1 candidate
+        key, and — as a newly live forwarder — its stage-2 forward key.
+        An added key either loses to a cached minimum (which then stands)
+        or beats it outright; both cases are O(1), the mirror image of
+        :meth:`_repair_forward`.  A cluster bootstrap is exactly one such
+        transition per peer, so recomputing the O(n) minima on each was a
+        quadratic term per node on wide cells.
+        """
+        ctx = self.ctx
+        local = self._cached_local
+        leader = self._cached_leader
+        if ctx.is_present_candidate(pid):
+            key = (self._acc_of(pid), pid)
+            if local is None or key < local:
+                local = key
+            if leader is None or key < leader:
+                leader = key
+        forward = self._forwards.get(pid)
+        if forward is not None:
+            fpid, facc = forward
+            if ctx.is_present_candidate(fpid):
+                known = self._acc_of(fpid)
+                fkey = (facc if facc >= known else known, fpid)
+                if leader is None or fkey < leader:
+                    leader = fkey
+        self._cached_local = local
+        self._cached_leader = leader
+        self._stamp_mutations = self._mutations
+
+    def _repair_suspect(self, pid: int) -> None:
+        """Carry the valid memo across one trust withdrawal, when possible.
+
+        Suspecting ``pid`` *removes* its stage-1 key and its stage-2
+        forward key.  If neither could have supported a cached minimum —
+        ``pid`` is not a cached choice and its forward key ranks strictly
+        behind the cached leader — the minima stand.  Anything else leaves
+        the stamps stale and the next readout recomputes in full.
+        """
+        if self._is_choice_pid(pid):
+            return
+        forward = self._forwards.get(pid)
+        if forward is not None:
+            fpid, facc = forward
+            if self.ctx.is_present_candidate(fpid):
+                known = self._acc_of(fpid)
+                fkey = (facc if facc >= known else known, fpid)
+                if self._cached_leader is None or fkey <= self._cached_leader:
+                    return  # the dying forward may have carried the minimum
         self._stamp_mutations = self._mutations
 
     # ------------------------------------------------------------------

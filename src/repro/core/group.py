@@ -125,6 +125,12 @@ class MembershipView:
         #: the view does not change between refreshes.
         self._members_cache: Optional[Tuple[MemberInfo, ...]] = None
         self._candidates_cache: Optional[Tuple[MemberInfo, ...]] = None
+        #: node -> pids recorded there, in record insertion order (an
+        #: insertion-ordered dict used as a set).  Node-level trust events
+        #: fan out to the pids hosted on one workstation; without the index
+        #: every event scans the whole member list, which on wide cells
+        #: turns a bootstrap's O(n) trust transitions into O(n²) work.
+        self._node_pids: Dict[int, Dict[int, None]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -140,6 +146,7 @@ class MembershipView:
             self._digest_cache = None
             self._members_cache = None
             self._candidates_cache = None
+            self._node_pids.setdefault(record.node, {})[record.pid] = None
             return True
         winner = prefer_record(current, record)
         if winner is not current:
@@ -150,6 +157,11 @@ class MembershipView:
             self._digest_cache = None
             self._members_cache = None
             self._candidates_cache = None
+            if winner.node != current.node:  # defensive: pids don't migrate
+                old = self._node_pids.get(current.node)
+                if old is not None:
+                    old.pop(record.pid, None)
+                self._node_pids.setdefault(winner.node, {})[record.pid] = None
             return True
         return False
 
@@ -230,6 +242,12 @@ class MembershipView:
         """
         return self._records
 
+    def pids_on_node(self, node: int) -> Tuple[int, ...]:
+        """Pids recorded on ``node`` (present or tombstoned), in record
+        insertion order — the same relative order a members() scan yields."""
+        pids = self._node_pids.get(node)
+        return tuple(pids) if pids else ()
+
     def is_present(self, pid: int) -> bool:
         record = self._records.get(pid)
         return record is not None and record.present
@@ -284,6 +302,35 @@ class MembershipView:
         ]
         changed.sort(key=lambda item: item[0])
         return tuple(record for _, record in changed)
+
+    def delta_window(
+        self, version: int, limit: int
+    ) -> Tuple[Tuple[MemberInfo, ...], int]:
+        """Like :meth:`delta_since`, but at most ``limit`` records.
+
+        Returns ``(records, high)`` where ``high`` is the version watermark
+        the caller may advance its per-destination cursor to: the highest
+        record version *included* when the window truncated, or the full
+        view version when everything fit.  Resuming from ``high`` streams
+        the remainder in change order across subsequent rounds — the
+        bounded-gossip shape large SWIM deployments need, where a cold
+        destination must not receive the entire view in one message.
+        """
+        if version >= self.version:
+            return (), self.version
+        versions = self._record_versions
+        changed = [
+            (versions[pid], record)
+            for pid, record in self._records.items()
+            if versions[pid] > version
+        ]
+        changed.sort(key=lambda item: item[0])
+        if len(changed) > limit:
+            changed = changed[:limit]
+            high = changed[-1][0]
+        else:
+            high = self.version
+        return tuple(record for _, record in changed), high
 
     def __len__(self) -> int:
         return len(self.members())

@@ -35,6 +35,7 @@ paper's scenarios.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -45,6 +46,7 @@ from repro.fd.configurator import ConfiguratorCache, bootstrap_params
 from repro.fd.plane import NodeFdPlane, StreamMonitor
 from repro.fd.qos import FDQoS
 from repro.fd.scheduler import AliveBatcher
+from repro.fd.swim import SwimFdPlane
 from repro.lease.ledger import LeaseLedger
 from repro.lease.manager import LeaseManager
 from repro.metrics.trace import TraceRecorder
@@ -58,6 +60,9 @@ from repro.net.message import (
     LeaseRequestMessage,
     Message,
     RateRequestMessage,
+    SwimAckMessage,
+    SwimPingMessage,
+    SwimPingReqMessage,
 )
 from repro.net.node import Node
 from repro.runtime.base import Scheduler, Transport
@@ -96,6 +101,28 @@ FD_MONITOR_LOADERS = {
     "nfde": _load_nfde_monitor,
 }
 
+#: Node-level FD plane selection (see :mod:`repro.fd.swim`).
+FD_PLANES = ("all_pairs", "swim")
+
+#: SWIM-mode gossip bounds.  The all-pairs plane may flood (its cost model
+#: is O(n²) anyway); the SWIM plane exists precisely so no single event
+#: touches more than O(k) peers or ships more than a bounded payload —
+#: bootstrap joins contact a few id-ring successors, anti-entropy syncs and
+#: membership deltas stream in fixed-size windows across rounds, and the
+#: epidemic plane carries the rest.
+_SWIM_JOIN_FANOUT = 16
+_SWIM_GOSSIP_FANOUT = 16
+_SWIM_DELTA_CAP = 64
+_SWIM_SYNC_CAP = 128
+#: SWIM-mode membership-reaction coalescing window, seconds.  During an
+#: epidemic bootstrap every gossip message mutates the view; re-aligning
+#: FD interests and recomputing the O(candidates) election *per message*
+#: multiplies the O(n²) convergence traffic by another O(n) — the storm
+#: that melts a 1000-node bring-up.  Reactions are idempotent view
+#: re-alignments, so they coalesce to one run per window; 50 ms is far
+#: inside every detection/suspicion budget the plane hands out.
+_SWIM_MEMBERSHIP_COALESCE = 0.05
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -131,6 +158,14 @@ class ServiceConfig:
     #: algorithm, what the paper's service runs) or "nfde" (the
     #: expected-arrival variant for unsynchronized clocks).
     fd_variant: str = "nfds"
+    #: Node-level FD plane: "all_pairs" (the paper's — every node pair
+    #: monitored, O(n²) wire/timers) or "swim" (randomized k-peer probing
+    #: with epidemic dissemination, O(k·n) wire — see :mod:`repro.fd.swim`).
+    fd_plane: str = "all_pairs"
+    #: SWIM: peers probed per protocol period (k).
+    swim_probe_fanout: int = 2
+    #: SWIM: indirect ping-req relays tried before declaring suspicion (j).
+    swim_indirect_relays: int = 3
 
     def __post_init__(self) -> None:
         """Validate eagerly: a bad config must fail at construction, not
@@ -140,6 +175,20 @@ class ServiceConfig:
             raise ValueError(
                 f"unknown fd_variant {self.fd_variant!r} "
                 f"(expected one of {', '.join(FD_MONITOR_LOADERS)})"
+            )
+        if self.fd_plane not in FD_PLANES:
+            raise ValueError(
+                f"unknown fd_plane {self.fd_plane!r} "
+                f"(expected one of {', '.join(FD_PLANES)})"
+            )
+        if self.swim_probe_fanout < 1:
+            raise ValueError(
+                f"swim_probe_fanout must be >= 1 (got {self.swim_probe_fanout})"
+            )
+        if self.swim_indirect_relays < 0:
+            raise ValueError(
+                f"swim_indirect_relays must be >= 0 "
+                f"(got {self.swim_indirect_relays})"
             )
         if self.hello_period <= 0:
             raise ValueError(f"hello_period must be positive (got {self.hello_period})")
@@ -183,6 +232,22 @@ class GroupRuntime(GroupContext):
         #: Anti-entropy rate limit: earliest time a full sync may be pushed
         #: to each peer node again.
         self._next_sync: Dict[int, float] = {}
+        #: SWIM-mode sync rotation: per-destination version cursor through
+        #: the record set, so bounded sync windows cover everything over
+        #: successive pushes (unused by the all-pairs plane's full syncs).
+        self._sync_cursor: Dict[int, int] = {}
+        #: SWIM-mode gossip rotation cursor (bounded hello fan-out).
+        self._gossip_cursor = 0
+        #: SWIM-mode membership-reaction coalescing (see
+        #: ``_SWIM_MEMBERSHIP_COALESCE``): True while a deferred
+        #: election-recompute/dependent-sync callback is pending.
+        self._membership_sync_pending = False
+        #: SWIM-mode anti-entropy budget: outgoing digest-repair syncs per
+        #: hello period (window start, syncs spent).  The per-destination
+        #: limit alone still allows O(peers) syncs per second while the
+        #: whole cluster is diverged — a mass bootstrap would answer every
+        #: received message with a sync.  Regular gossip converges the rest.
+        self._sync_budget = (0.0, 0)
         #: Per-destination (election payload, send time) of the last cell,
         #: for change-triggered emission with periodic refresh.
         self._cell_state: Dict[int, Tuple[tuple, float]] = {}
@@ -480,17 +545,19 @@ class GroupRuntime(GroupContext):
         """The shared plane started trusting ``node``: fan out per pid."""
         if self._shut_down:
             return
-        for record in self.view.members():
-            if record.node == node and record.pid != self.pid:
-                self.algorithm.on_trust(record.pid)
+        view = self.view
+        for pid in view.pids_on_node(node):
+            if pid != self.pid and view.is_present(pid):
+                self.algorithm.on_trust(pid)
 
     def on_node_suspect(self, node: int) -> None:
         """The shared plane suspects ``node``: every pid there is suspect."""
         if self._shut_down:
             return
-        for record in self.view.members():
-            if record.node == node and record.pid != self.pid:
-                self.algorithm.on_suspect(record.pid)
+        view = self.view
+        for pid in view.pids_on_node(node):
+            if pid != self.pid and view.is_present(pid):
+                self.algorithm.on_suspect(pid)
 
     # ------------------------------------------------------------------
     # Leader query (the API's "query" notification mode)
@@ -525,15 +592,24 @@ class GroupRuntime(GroupContext):
                 frame.send_time + frame.interval + self.service.plane.delta_for(sender)
             )
         if changed:
-            self.algorithm.on_membership_changed()
-            self._sync_membership_dependents()
+            if self.service._swim:
+                self._defer_membership_sync()
+            else:
+                self.algorithm.on_membership_changed()
+                self._sync_membership_dependents()
         if cell.view_digest != self.view.digest64():
             self._push_sync(sender)
 
     def handle_hello(self, message: HelloMessage) -> None:
+        service = self.service
+        if service._swim and message.swim_updates:
+            service.plane.apply_updates(message.swim_updates)
         changed = self.view.merge(message.members) if message.members else False
         if changed:
-            self._sync_membership_dependents()
+            if service._swim:
+                self._defer_membership_sync()
+            else:
+                self._sync_membership_dependents()
         if message.leases:
             if self._lease_watchers:
                 # Watched leases changed by *gossiped* records (e.g. a
@@ -552,7 +628,8 @@ class GroupRuntime(GroupContext):
                 if pid != self.pid and self.view.is_present(pid):
                     self.ensure_monitor(pid)
             self.algorithm.on_hello_seed(message)
-        if changed:
+        if changed and not service._swim:
+            # SWIM already queued the coalesced reaction above.
             self.algorithm.on_membership_changed()
         # Anti-entropy: diverging digests after the merge trigger a full
         # sync (a join is already answered with a full-view reply).  The
@@ -899,6 +976,12 @@ class GroupRuntime(GroupContext):
         One template cell is built per round; destinations owing no
         membership delta share it, so a steady-state round allocates at
         most one cell per group regardless of fan-out.
+
+        SWIM mode sends the shared template to *every* destination —
+        membership deltas ride the bounded hello gossip instead of cells,
+        so cell emission stays O(changed payloads), never O(view) per
+        destination (the carried digest still lets a diverged receiver
+        trigger an anti-entropy sync).
         """
         dests = self._dest_nodes
         if not dests:
@@ -920,17 +1003,22 @@ class GroupRuntime(GroupContext):
             # fields equal what a rebuild would produce).
             if now < self._emit_quiet_until:
                 return
-            refresh = self.service.config.cell_refresh
+            refresh = self.service.cell_refresh
             template = self._emit_template
             cell_state = self._cell_state
             entry = None
             oldest = now
             for dest in dests:
-                stamped = cell_state[dest][1]
-                if now - stamped < refresh:
-                    if stamped < oldest:
-                        oldest = stamped
-                    continue
+                state = cell_state.get(dest)
+                # A missing entry is a destination added by a *deferred*
+                # membership sync (SWIM coalescing) after the full round
+                # that stamped this version ran: send it the template now.
+                if state is not None:
+                    stamped = state[1]
+                    if now - stamped < refresh:
+                        if stamped < oldest:
+                            oldest = stamped
+                        continue
                 if entry is None:
                     # One (payload, stamp) entry per round, shared by every
                     # destination refreshed at this instant.
@@ -954,17 +1042,24 @@ class GroupRuntime(GroupContext):
             template.local_leader_acc,
         )
         stamp = self.algorithm.emit_stamp()
-        refresh = self.service.config.cell_refresh
+        refresh = self.service.cell_refresh
         sent = self._sent_version
         cell_state = self._cell_state
+        #: SWIM mode: cells never carry membership deltas.  Membership
+        #: flows exclusively through the bounded hello gossip (which owns
+        #: the shipped-version cursor), so a mass bootstrap costs the
+        #: epidemic O(k·n) instead of every node streaming its whole view
+        #: to every destination — the delta branch below is an O(view)
+        #: scan per owing destination, which at 1000 nodes is exactly the
+        #: O(n²)-per-round storm the SWIM plane exists to avoid.
+        swim = self.service._swim
         #: One shared (payload, stamp) entry for everything sent this round.
         entry = (payload, now)
         #: Oldest still-fresh per-destination send time this round relied
         #: on — the first refresh to expire bounds the quiet window.
         oldest = now
         for dest in dests:
-            last = sent.get(dest, 0)
-            if last >= version:
+            if swim or sent.get(dest, 0) >= version:
                 if suppressible:
                     state = cell_state.get(dest)
                     if (
@@ -978,6 +1073,7 @@ class GroupRuntime(GroupContext):
                 cell_state[dest] = entry
                 yield dest, template
                 continue
+            delta = view.delta_since(sent.get(dest, 0))
             sent[dest] = version
             cell_state[dest] = entry
             cell = AliveCell(
@@ -987,7 +1083,7 @@ class GroupRuntime(GroupContext):
                 phase=template.phase,
                 local_leader=template.local_leader,
                 local_leader_acc=template.local_leader_acc,
-                delta=view.delta_since(last),
+                delta=delta,
                 view_version=version,
                 view_digest=digest,
             )
@@ -1015,6 +1111,30 @@ class GroupRuntime(GroupContext):
         self._stream_monitors[pid] = monitor
         return monitor
 
+    def _defer_membership_sync(self) -> None:
+        """SWIM mode: coalesce membership-change reactions.
+
+        The election recompute and the dependent re-alignment are pure
+        functions of the *current* view, so when gossip lands a burst of
+        mutations only the last state matters.  One callback per
+        ``_SWIM_MEMBERSHIP_COALESCE`` window serves the whole burst; the
+        all-pairs plane keeps its synchronous per-message reactions (its
+        event timing is digest-pinned).
+        """
+        if self._membership_sync_pending or self._shut_down:
+            return
+        self._membership_sync_pending = True
+        self.scheduler.schedule(
+            _SWIM_MEMBERSHIP_COALESCE, self._run_deferred_membership_sync
+        )
+
+    def _run_deferred_membership_sync(self) -> None:
+        self._membership_sync_pending = False
+        if self._shut_down:
+            return
+        self.algorithm.on_membership_changed()
+        self._sync_membership_dependents()
+
     def _sync_membership_dependents(self) -> None:
         """Align FD-plane interest and frame destinations with the members."""
         if self._shut_down:
@@ -1038,6 +1158,7 @@ class GroupRuntime(GroupContext):
                 service.forget_peer(node)
             self._cell_state.pop(node, None)
             self._next_sync.pop(node, None)
+            self._sync_cursor.pop(node, None)
             # Forget what we shipped: if the node id returns with a fresh
             # daemon, its first cell must bootstrap with the full view.
             self._sent_version.pop(node, None)
@@ -1059,11 +1180,20 @@ class GroupRuntime(GroupContext):
 
     def _hello_fields(self) -> dict:
         view = self.view
-        return {
+        fields = {
             "view_version": view.version,
             "view_digest": view.digest64(),
             "lease_digest": self.lease_ledger.digest64(),
         }
+        service = self.service
+        if service._swim:
+            # Piggyback the plane's bounded rumour batch on whatever HELLO
+            # round is going out (one batch per round: every message of the
+            # round carries it, the dissemination budget burns once).
+            updates = service.plane.piggyback()
+            if updates:
+                fields["swim_updates"] = updates
+        return fields
 
     def _push_sync(self, dest_node: int) -> None:
         """Push the full view to a diverged peer (rate-limited anti-entropy).
@@ -1077,10 +1207,34 @@ class GroupRuntime(GroupContext):
         now = self.scheduler.now
         if now < self._next_sync.get(dest_node, 0.0):
             return
+        if self.service._swim:
+            window, spent = self._sync_budget
+            period = self.service.config.hello_period
+            if now - window >= period:
+                window, spent = now, 0
+            if spent >= _SWIM_GOSSIP_FANOUT:
+                return  # budget exhausted; the gossip rounds converge the rest
+            self._sync_budget = (window, spent + 1)
         self._next_sync[dest_node] = now + self.service.config.hello_period
         view = self.view
         ledger = self.lease_ledger
-        self._sent_version[dest_node] = view.version
+        if self.service._swim:
+            # Bounded sync: stream the record set in fixed windows, one per
+            # rate-limited push, rotating a per-destination cursor through
+            # version space (wrapping back to 0 so records the peer lost
+            # long ago are re-covered).  Convergence takes O(V / window)
+            # pushes instead of one unbounded message — the trade the SWIM
+            # plane exists to make.  The shipped-version cursor is left
+            # alone: the window is keyed to the sync rotation, not to what
+            # the delta path owes.
+            cursor = self._sync_cursor.get(dest_node, 0)
+            if cursor >= view.version:
+                cursor = 0
+            members, high = view.delta_window(cursor, _SWIM_SYNC_CAP)
+            self._sync_cursor[dest_node] = high
+        else:
+            members = view.digest()
+            self._sent_version[dest_node] = view.version
         self._lease_sent_version[dest_node] = ledger.version
         self.transport.send(
             HelloMessage(
@@ -1088,7 +1242,7 @@ class GroupRuntime(GroupContext):
                 dest_node=dest_node,
                 group=self.group,
                 kind="sync",
-                members=view.digest(),
+                members=members,
                 leases=ledger.full(),
                 **self._hello_fields(),
             )
@@ -1096,18 +1250,31 @@ class GroupRuntime(GroupContext):
 
     def _announce_join(self) -> None:
         """Flood the join to the bootstrap peer set (paper: the workstations
-        configured to run the service)."""
+        configured to run the service).
+
+        SWIM mode bounds the flood: the join goes to this node's id-ring
+        successors only, whose replies seed the view; gossip, cell deltas
+        and the epidemic plane spread the newcomer to everyone else.  The
+        cap is what keeps a mass bootstrap O(k·n) messages, not O(n²).
+        """
+        service = self.service
+        my_node = service.node.node_id
+        peers = [n for n in service.peer_nodes if n != my_node]
+        if service._swim and len(peers) > _SWIM_JOIN_FANOUT:
+            peers.sort()
+            start = bisect.bisect_left(peers, my_node)
+            peers = [
+                peers[(start + i) % len(peers)] for i in range(_SWIM_JOIN_FANOUT)
+            ]
         view = self.view
         digest = view.digest()
         fields = self._hello_fields()
         hellos = []
-        for node_id in self.service.peer_nodes:
-            if node_id == self.service.node.node_id:
-                continue
+        for node_id in peers:
             self._sent_version[node_id] = view.version
             hellos.append(
                 HelloMessage(
-                    sender_node=self.service.node.node_id,
+                    sender_node=my_node,
                     dest_node=node_id,
                     group=self.group,
                     kind="join",
@@ -1158,11 +1325,14 @@ class GroupRuntime(GroupContext):
         if self._shut_down:
             return
         self.service.node.meter.on_timer(self.group)
+        now = self.scheduler.now
+        if self.service._swim:
+            self._swim_gossip_round(now)
+            return
         view = self.view
         version = view.version
         ledger = self.lease_ledger
         lease_version = ledger.version
-        now = self.scheduler.now
         hello_period = self.service.config.hello_period
         cell_state = self._cell_state
         if self._hello_stamp == (version, lease_version):
@@ -1260,6 +1430,78 @@ class GroupRuntime(GroupContext):
             # carried over from an earlier stamp must not suppress it.
             self._hello_quiet_until = float("-inf")
 
+    def _swim_gossip_round(self, now: float) -> None:
+        """The SWIM-mode gossip round: bounded fan-out, windowed deltas.
+
+        The all-pairs round may message every peer (its plane is O(n²)
+        regardless); here at most :data:`_SWIM_GOSSIP_FANOUT` peers get a
+        HELLO per period, chosen by rotating a cursor over the peer list so
+        everyone is eventually visited, and each carries at most
+        :data:`_SWIM_DELTA_CAP` membership records — the shipped-version
+        cursor advances only to the window's watermark, streaming the rest
+        across rounds.  Peers that owe nothing and were covered by a fresh
+        cell are skipped for free, so the steady-state cost matches the
+        all-pairs quiet path while the worst case stays O(k).
+        """
+        view = self.view
+        version = view.version
+        ledger = self.lease_ledger
+        lease_version = ledger.version
+        hello_period = self.service.config.hello_period
+        cell_state = self._cell_state
+        my_node = self.service.node.node_id
+        sent = self._sent_version
+        lease_sent = self._lease_sent_version
+        nodes: List[int] = []
+        seen = set()
+        for record in view.members():
+            node = record.node
+            if node == my_node or node in seen:
+                continue
+            seen.add(node)
+            nodes.append(node)
+        count = len(nodes)
+        if not count:
+            return
+        fields = None
+        budget = _SWIM_GOSSIP_FANOUT
+        start = self._gossip_cursor % count
+        hellos = []
+        for i in range(count):
+            node = nodes[(start + i) % count]
+            last = sent.get(node, 0)
+            lease_last = lease_sent.get(node, 0)
+            state = cell_state.get(node)
+            covered = state is not None and now - state[1] < hello_period
+            if covered and last >= version and lease_last >= lease_version:
+                continue
+            if budget <= 0:
+                # Out of fan-out; resume here next period.
+                self._gossip_cursor = (start + i) % count
+                break
+            budget -= 1
+            delta, high = view.delta_window(last, _SWIM_DELTA_CAP)
+            sent[node] = high
+            lease_delta = ledger.delta_since(lease_last)
+            if lease_delta:
+                lease_sent[node] = lease_version
+            if fields is None:
+                fields = self._hello_fields()
+            hellos.append(
+                HelloMessage(
+                    sender_node=my_node,
+                    dest_node=node,
+                    group=self.group,
+                    kind="gossip",
+                    members=delta,
+                    leases=lease_delta,
+                    **fields,
+                )
+            )
+        else:
+            self._gossip_cursor = start
+        self._send_all(hellos)
+
 
 class LeaderElectionService:
     """The daemon: command handling, message dispatch, group runtimes."""
@@ -1297,23 +1539,67 @@ class LeaderElectionService:
         if loader is None:
             raise ValueError(f"unknown fd_variant {service_config.fd_variant!r}")
         stream = self.rng.stream(f"service.{node.node_id}.fd")
-        self.plane = NodeFdPlane(
-            scheduler=scheduler,
-            node_id=node.node_id,
-            monitor_class=loader(),
-            cache=self.configurator_cache,
-            loss_window=service_config.loss_window,
-            delay_window=service_config.delay_window,
-            ready_threshold=service_config.estimator_ready_threshold,
-            meter=node.meter,
-        )
+        #: The plane-selection seam.  Everything downstream of the plane —
+        #: the trust/suspect listener bus, monitor readout, grace grants —
+        #: is shared surface, so elections cannot tell which plane fired.
+        #: The default plane's RNG stream and draw order are untouched by
+        #: the branch (SWIM draws from its own derived stream), which is
+        #: what keeps the all_pairs path bit-identical.
+        self._swim = service_config.fd_plane == "swim"
+        #: Effective steady-state cell re-send cadence.  Under all_pairs the
+        #: refresh doubles as the liveness heartbeat's payload repair and
+        #: must track ``cell_refresh`` exactly.  Under SWIM liveness comes
+        #: from the probe ring and membership news from rumours, so the
+        #: refresh is pure loss-repair anti-entropy and runs 4× slower —
+        #: this is where the per-destination steady wire cost drops from
+        #: O(n) full-rate streams to a trickle.
+        self.cell_refresh = service_config.cell_refresh * (4.0 if self._swim else 1.0)
+        if self._swim:
+            self.plane = SwimFdPlane(
+                scheduler=scheduler,
+                transport=transport,
+                node_id=node.node_id,
+                rng=self.rng.stream(f"service.{node.node_id}.fd.swim"),
+                cache=self.configurator_cache,
+                probe_fanout=service_config.swim_probe_fanout,
+                indirect_relays=service_config.swim_indirect_relays,
+                loss_window=service_config.loss_window,
+                delay_window=service_config.delay_window,
+                ready_threshold=service_config.estimator_ready_threshold,
+                # Optimistic trust must outlive the epidemic evidence delay:
+                # on wide rings first-hand evidence for most peers arrives
+                # with the peers' cell-refresh round, not with a probe.
+                grace_floor=2.0 * self.cell_refresh,
+                meter=node.meter,
+            )
+        else:
+            self.plane = NodeFdPlane(
+                scheduler=scheduler,
+                node_id=node.node_id,
+                monitor_class=loader(),
+                cache=self.configurator_cache,
+                loss_window=service_config.loss_window,
+                delay_window=service_config.delay_window,
+                ready_threshold=service_config.estimator_ready_threshold,
+                meter=node.meter,
+            )
         self.batcher = AliveBatcher(
             scheduler=scheduler,
             transport=transport,
             node_id=node.node_id,
             rng=stream,
             meter=node.meter,
+            # SWIM: frames are dissemination carriers, not liveness signals
+            # — cell-less, rumour-less frames are skipped and membership
+            # rumours piggyback on every frame that does go out.
+            payload_only=self._swim,
+            piggyback=self.plane.piggyback if self._swim else None,
         )
+        if self._swim:
+            # A refutation of a suspicion about *us* must not wait a full
+            # period: flush the frame plane so the alive rumour races the
+            # suspicion's confirm timer.
+            self.plane.set_flush_hook(self.batcher.flush)
         #: Last η requested from each peer node (rate-change hysteresis).
         self._last_requested_rate: Dict[int, float] = {}
         self._reconfig_timer = PeriodicTimer(
@@ -1428,6 +1714,15 @@ class LeaderElectionService:
             return
         handler = self._DISPATCH.get(message_type)
         if handler is None:
+            # SWIM probe traffic is node-level (no group), so it lands on
+            # the dispatch miss path — zero cost for the default plane.
+            if self._swim:
+                if message_type is SwimPingMessage:
+                    self.plane.on_ping(message)
+                elif message_type is SwimPingReqMessage:
+                    self.plane.on_ping_req(message)
+                elif message_type is SwimAckMessage:
+                    self.plane.on_ack(message)
             return
         runtime = self._groups.get(message.group)
         if runtime is not None:
@@ -1446,6 +1741,10 @@ class LeaderElectionService:
             runtime = groups.get(cell.group)
             if runtime is not None:
                 runtime.handle_cell(sender, frame, cell)
+        # Piggybacked SWIM rumours ride after the cells for the same
+        # payload-before-trust reason the header observation does.
+        if self._swim and frame.swim_updates:
+            self.plane.apply_updates(frame.swim_updates)
         self.plane.observe_frame(sender, frame.seq, frame.send_time, frame.interval)
 
     # ------------------------------------------------------------------
@@ -1487,8 +1786,10 @@ class LeaderElectionService:
             )
 
     def forget_peer(self, node: int) -> None:
-        """A peer left every hosted group: drop its node-level rate state."""
+        """A peer left every hosted group: drop its node-level state —
+        requested rate, outbound stream counter, link-quality history."""
         self.batcher.forget_node(node)
+        self.plane.forget_node(node)
         self._last_requested_rate.pop(node, None)
 
     def next_join_seq(self) -> int:

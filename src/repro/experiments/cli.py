@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="FD QoS bound T_D^U, s (--detection-time is an alias)",
     )
     parser.add_argument(
+        "--fd-plane",
+        choices=["all_pairs", "swim"],
+        default="all_pairs",
+        help="node-level FD plane: all_pairs (paper, O(n^2)) or swim (O(k*n))",
+    )
+    parser.add_argument(
         "--lease-clients",
         type=int,
         default=0,
@@ -160,6 +166,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         node_mttf=args.node_mttf,
         node_mttr=args.node_mttr,
         qos=FDQoS(detection_time=args.detection_time),
+        fd_plane=args.fd_plane,
         n_lease_clients=args.lease_clients,
         lease_transfer_ratio=args.lease_transfer_ratio,
     )
@@ -266,6 +273,7 @@ _SINGLE_CELL_ONLY = (
     "node_mttf",
     "node_mttr",
     "detection_time",
+    "fd_plane",
     "lease_clients",
     "lease_transfer_ratio",
 )

@@ -133,7 +133,9 @@ def build_system(
     trace = TraceRecorder()
     cache = ConfiguratorCache()
     service_config = ServiceConfig(
-        algorithm=config.algorithm, default_qos=config.qos
+        algorithm=config.algorithm,
+        default_qos=config.qos,
+        fd_plane=config.fd_plane,
     )
     peer_nodes = tuple(range(config.n_nodes))
 

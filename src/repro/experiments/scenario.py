@@ -70,6 +70,10 @@ class ExperimentConfig:
     # FD QoS for the group.
     qos: FDQoS = field(default_factory=FDQoS)
 
+    #: Node-level FD plane: "all_pairs" (the paper's O(n²) mesh) or "swim"
+    #: (randomized k-probing, O(k·n) — see :mod:`repro.fd.swim`).
+    fd_plane: str = "all_pairs"
+
     #: Lease clients contending for locks on the primary group's leader
     #: (0 = no lease workload; see :mod:`repro.lease.workload`).
     n_lease_clients: int = 0
@@ -82,6 +86,11 @@ class ExperimentConfig:
             raise ValueError(f"need at least 2 nodes (got {self.n_nodes})")
         if self.n_groups < 1:
             raise ValueError(f"need at least 1 group (got {self.n_groups})")
+        if self.fd_plane not in ("all_pairs", "swim"):
+            raise ValueError(
+                f"unknown fd_plane {self.fd_plane!r} "
+                "(expected 'all_pairs' or 'swim')"
+            )
         if self.n_lease_clients < 0:
             raise ValueError(
                 f"n_lease_clients must be >= 0 (got {self.n_lease_clients})"

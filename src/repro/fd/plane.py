@@ -115,6 +115,17 @@ class NodeFdPlane:
             monitor.stop()
         return True
 
+    def forget_node(self, node: int) -> None:
+        """Drop the departed peer's link-quality history.
+
+        Estimators deliberately outlive their monitor across *re*-monitoring
+        of a live pair, but once no group cares about the node the history
+        describes a process that may never come back — keeping it leaks one
+        estimator per departed node over a long churn run.  A returning node
+        simply warms up a fresh estimator, exactly like a first contact.
+        """
+        self._estimators.pop(node, None)
+
     def _refresh_qos(self, node: int) -> None:
         qos = min(
             (qos for qos, _ in self._interests[node].values()),

@@ -28,12 +28,12 @@ Per-destination state that must *not* be shared:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Protocol, Tuple
+from typing import Callable, Dict, Iterable, Optional, Protocol, Tuple
 
 import numpy as np
 
 from repro.metrics.usage import UsageMeter
-from repro.net.message import AliveCell, BatchFrame
+from repro.net.message import AliveCell, BatchFrame, SwimUpdate
 from repro.runtime.base import Scheduler, Transport
 from repro.runtime.timers import PeriodicTimer
 
@@ -67,12 +67,23 @@ class AliveBatcher:
         node_id: int,
         rng: np.random.Generator,
         meter: Optional[UsageMeter] = None,
+        payload_only: bool = False,
+        piggyback: Optional[Callable[[], Tuple[SwimUpdate, ...]]] = None,
     ) -> None:
         self.scheduler = scheduler
         self.transport = transport
         self.node_id = node_id
         self._rng = rng
         self._meter = meter
+        #: SWIM mode: the frame *header* is not the liveness signal (the
+        #: probe ring is), so cell-less, rumour-less frames are skipped
+        #: entirely — sequence numbers pause, which receivers already treat
+        #: as silence rather than loss.  This is where the O(n²) steady
+        #: header traffic actually disappears.
+        self._payload_only = payload_only
+        #: Optional per-frame membership-rumour source (SwimFdPlane's
+        #: bounded piggyback batch; each call burns dissemination budget).
+        self._piggyback = piggyback
         #: group -> cell source; dict order is the frame's cell order.
         self._sources: Dict[int, CellSource] = {}
         self._active: Dict[int, bool] = {}
@@ -168,8 +179,15 @@ class AliveBatcher:
         # modest factors, so the one-period transient is harmless.
 
     def forget_node(self, node: int) -> None:
-        """Drop a departed peer's requested rate and stream state."""
+        """Drop a departed peer's requested rate and stream state.
+
+        The sequence counter must go too: a node that leaves every hosted
+        group and later returns starts a *new* stream, and receivers handle
+        the seq regression as a stream restart.  Keeping it would leak one
+        counter per departed peer over a long churn run.
+        """
         self._requested.pop(node, None)
+        self._seqs.pop(node, None)
 
     # ------------------------------------------------------------------
     # Activity
@@ -264,8 +282,16 @@ class AliveBatcher:
         interval = self.interval()
         seqs = self._seqs
         node_id = self.node_id
+        payload_only = self._payload_only
+        piggyback = self._piggyback
         frames = []
         for dest, cells in per_dest.items():
+            updates = piggyback() if piggyback is not None else ()
+            if payload_only and not cells and not updates:
+                # SWIM mode: the header is not the liveness signal, so a
+                # frame with nothing to say is not sent at all.  The seq
+                # pauses — receivers score that as silence, not loss.
+                continue
             seq = seqs.get(dest, 0)
             seqs[dest] = seq + 1
             frames.append(
@@ -276,6 +302,7 @@ class AliveBatcher:
                     send_time=now,
                     interval=interval,
                     cells=tuple(cells) if cells else self._NO_CELLS,
+                    swim_updates=updates,
                 )
             )
             cells.clear()

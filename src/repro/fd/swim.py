@@ -1,0 +1,724 @@
+"""SWIM-style node-level failure detection (the scalable FD plane).
+
+The default :class:`~repro.fd.plane.NodeFdPlane` monitors every node pair:
+wire bytes and timer load grow O(n²), which caps deployments near the
+paper's 100-workstation cell.  This module implements the alternative
+selected by ``ServiceConfig.fd_plane = "swim"``: randomized probing in the
+style of SWIM (Das et al., DSN 2002), adapted to this service's QoS-driven
+architecture.
+
+Per protocol period a node probes ``k`` peers drawn round-robin from a
+shuffled ring (so the interval between successive probes of any one peer is
+bounded by one ring round, SWIM §4.3).  A missed direct ACK escalates to
+``j`` indirect ``ping-req`` relays before the target is declared suspect,
+which keeps one lossy direct path from producing a false suspicion.
+Alive/suspect/confirm updates disseminate epidemically by piggybacking
+bounded batches on whatever already travels: probe traffic, heartbeat
+:class:`~repro.net.message.BatchFrame` fan-outs, and HELLO gossip.
+
+What stays the paper's math:
+
+* suspicion timeouts come from the same ``FDQoS`` →
+  :class:`~repro.fd.configurator.ConfiguratorCache` pipeline, applied to the
+  *probed subset*: the protocol period is the configured η and the
+  direct-probe timeout the configured δ, re-derived each period from the
+  freshest ready estimator under the strictest interested QoS;
+* link quality is measured with the same
+  :class:`~repro.fd.estimator.LinkQualityEstimator` — probe sequence
+  numbers feed its loss tracker, ACK round-trips its delay moments — but
+  estimator state is kept only for *currently probed* peers under a bounded
+  LRU, so memory is O(k), not O(n).
+
+The plane exposes the :class:`~repro.fd.plane.NodeFdPlane` surface (interest
+registration, ``monitors`` with ``.trusted``/``.trusted_since``, grace
+grants, the trust/suspect listener bus), so the election layer cannot tell
+which plane fired — that is the selection seam's contract.
+
+Timer story: ONE periodic timer per plane.  Probe timeouts and
+suspect→confirm escalations are swept each tick instead of owning per-probe
+timers, so timer load is O(1) per node against the default plane's O(n).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.fd.configurator import ConfiguratorCache, bootstrap_params
+from repro.fd.estimator import LinkQualityEstimator
+from repro.fd.plane import PlaneListener
+from repro.fd.qos import FDParams, FDQoS
+from repro.metrics.usage import UsageMeter
+from repro.net.message import (
+    SwimAckMessage,
+    SwimPingMessage,
+    SwimPingReqMessage,
+    SwimUpdate,
+    swim_update_wins,
+)
+from repro.runtime.timers import PeriodicTimer
+
+__all__ = ["SwimFdPlane", "SwimPeerState"]
+
+#: Max piggybacked updates per message (SWIM bounds every payload).
+MAX_PIGGYBACK = 8
+#: Rumour buffer capacity; new rumours evict the most-disseminated one.
+RUMOUR_BUFFER = 128
+
+_INF = float("inf")
+
+
+class SwimPeerState:
+    """Per-peer SWIM state; duck-typed to the monitor surface the service
+    reads (``trusted``, ``trusted_since``, ``alives_received``,
+    ``suspicions``)."""
+
+    __slots__ = (
+        "node",
+        "trusted",
+        "trusted_since",
+        "alives_received",
+        "suspicions",
+        "incarnation",
+        "status",
+        "last_evidence",
+        "grace_until",
+        "confirm_at",
+    )
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        #: Plane output.  Born untrusted, exactly like the default plane's
+        #: monitors: a membership record proves nothing about the process.
+        self.trusted = False
+        self.trusted_since = 0.0
+        #: First-hand evidence count (frames, pings, acks received from the
+        #: peer) — the same guard the default plane uses to ignore grace.
+        self.alives_received = 0
+        self.suspicions = 0
+        #: Highest incarnation seen for the peer, and the winning rumour
+        #: status at that incarnation (SWIM's override precedence).
+        self.incarnation = 0
+        self.status = "alive"
+        self.last_evidence = -_INF
+        #: Optimistic-trust horizon while no evidence exists (join hints).
+        self.grace_until = -_INF
+        #: When a local suspicion escalates to a ``confirm`` rumour.
+        self.confirm_at = _INF
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "trusted" if self.trusted else "suspected"
+        return f"SwimPeerState(node={self.node}, {state}, inc={self.incarnation})"
+
+
+class _Probe:
+    """One outstanding direct probe, swept (not timer-armed) per tick."""
+
+    __slots__ = (
+        "nonce",
+        "target",
+        "seq",
+        "sent_at",
+        "escalate_at",
+        "deadline",
+        "escalated",
+    )
+
+    def __init__(
+        self,
+        nonce: int,
+        target: int,
+        seq: int,
+        sent_at: float,
+        escalate_at: float,
+        deadline: float,
+    ) -> None:
+        self.nonce = nonce
+        self.target = target
+        self.seq = seq
+        self.sent_at = sent_at
+        self.escalate_at = escalate_at
+        self.deadline = deadline
+        self.escalated = False
+
+
+class _LinkState:
+    """Bounded-LRU entry: estimator + probe sequence for one probed peer."""
+
+    __slots__ = ("estimator", "next_seq")
+
+    def __init__(self, estimator: LinkQualityEstimator) -> None:
+        self.estimator = estimator
+        self.next_seq = 0
+
+
+class SwimFdPlane:
+    """Randomized-probing FD plane with the NodeFdPlane surface."""
+
+    def __init__(
+        self,
+        scheduler,
+        transport,
+        node_id: int,
+        rng,
+        cache: ConfiguratorCache,
+        probe_fanout: int = 2,
+        indirect_relays: int = 3,
+        loss_window: int = 512,
+        delay_window: int = 64,
+        ready_threshold: int = 8,
+        grace_floor: float = 0.0,
+        meter: Optional[UsageMeter] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.transport = transport
+        self.node_id = node_id
+        self._rng = rng
+        self._cache = cache
+        self.probe_fanout = max(1, probe_fanout)
+        self.indirect_relays = max(0, indirect_relays)
+        self._loss_window = loss_window
+        self._delay_window = delay_window
+        self._ready_threshold = ready_threshold
+        #: Minimum optimistic-trust horizon.  On wide rings first-hand
+        #: evidence for most peers arrives with their cell-refresh round
+        #: (the probe ring reaches any given peer only every ring/k
+        #: periods), so grace must outlive that delay or a mass bootstrap
+        #: dissolves into a cluster-wide false-suspicion wave.
+        self._grace_floor = max(0.0, grace_floor)
+        self._meter = meter
+
+        #: node -> peer state; the service's trust checker indexes this.
+        self.monitors: Dict[int, SwimPeerState] = {}
+        #: node -> group -> (qos, listener); insertion order = fan-out order.
+        self._interests: Dict[int, Dict[int, Tuple[FDQoS, PlaneListener]]] = {}
+        self._effective_qos: Dict[int, FDQoS] = {}
+        #: Strictest QoS across every interest — the probed subset shares
+        #: one (η, δ) because the probe schedule is plane-wide.
+        self._plane_qos: Optional[FDQoS] = None
+        self._params: FDParams = bootstrap_params(FDQoS())
+
+        #: The shuffled probe ring; reshuffled once per full round and when
+        #: the interest set changes, per SWIM §4.3's bounded probe interval.
+        self._ring: List[int] = []
+        self._ring_pos = 0
+        self._ring_stale = True
+
+        #: nonce -> outstanding probe (swept each tick; no per-probe timer).
+        self._probes: Dict[int, _Probe] = {}
+        self._nonce = 0
+        #: Our own incarnation number: bumped only by us, to refute.
+        self.incarnation = 0
+        #: node -> [winning update, remaining piggyback sends].
+        self._rumours: "OrderedDict[int, list]" = OrderedDict()
+        #: Bounded estimator LRU over currently-probed peers (O(k) memory).
+        self._links: "OrderedDict[int, _LinkState]" = OrderedDict()
+        self._links_cap = max(16, 4 * (self.probe_fanout + self.indirect_relays))
+        #: Urgent-dissemination hook (the batcher's flush), set by the
+        #: service once the batcher exists.
+        self._flush_hook: Optional[Callable[[], None]] = None
+
+        self._timer = PeriodicTimer(
+            scheduler,
+            period_fn=lambda: self._params.eta,
+            callback=self._tick,
+        )
+        self._timer_started = False
+        self._shut_down = False
+
+    def set_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Wire the urgent-dissemination hook (fresh rumours flush frames)."""
+        self._flush_hook = hook
+
+    # ------------------------------------------------------------------
+    # Interest registration (NodeFdPlane surface)
+    # ------------------------------------------------------------------
+    def register_interest(
+        self, group: int, node: int, qos: FDQoS, listener: PlaneListener
+    ) -> None:
+        if node == self.node_id or self._shut_down:
+            return
+        self._interests.setdefault(node, {})[group] = (qos, listener)
+        self._refresh_qos(node)
+        self._ring_stale = True
+        if not self._timer_started:
+            self._timer_started = True
+            # A random initial phase desynchronizes the cluster's probe
+            # ticks, mirroring the heartbeat batcher's start-up jitter.
+            self._timer._initial_delay = float(
+                self._rng.uniform(0.0, self._params.eta)
+            )
+            self._timer.start()
+
+    def unregister_interest(self, group: int, node: int) -> bool:
+        groups = self._interests.get(node)
+        if groups is None or group not in groups:
+            return False
+        del groups[group]
+        if groups:
+            self._refresh_qos(node)
+            return False
+        del self._interests[node]
+        self._effective_qos.pop(node, None)
+        self.monitors.pop(node, None)
+        self._ring_stale = True
+        self._refresh_plane_qos()
+        return True
+
+    def _refresh_qos(self, node: int) -> None:
+        qos = min(
+            (qos for qos, _ in self._interests[node].values()),
+            key=lambda q: q.detection_time,
+        )
+        self._effective_qos[node] = qos
+        self._refresh_plane_qos()
+
+    def _refresh_plane_qos(self) -> None:
+        if not self._effective_qos:
+            self._plane_qos = None
+            return
+        qos = min(self._effective_qos.values(), key=lambda q: q.detection_time)
+        if qos is not self._plane_qos:
+            self._plane_qos = qos
+            self._params = bootstrap_params(qos)
+
+    # ------------------------------------------------------------------
+    # Monitor surface
+    # ------------------------------------------------------------------
+    def ensure_monitor(self, node: int) -> Optional[SwimPeerState]:
+        """The peer's state, created *untrusted* if missing (same birth
+        semantics as the default plane's monitors)."""
+        if node == self.node_id or self._shut_down:
+            return None
+        peer = self.monitors.get(node)
+        if peer is None:
+            if node not in self._effective_qos:
+                return None  # no group cares about this node
+            peer = SwimPeerState(node)
+            self.monitors[node] = peer
+        return peer
+
+    def observe_frame(
+        self, sender: int, seq: int, send_time: float, interval: float
+    ) -> None:
+        """A heartbeat frame is first-hand alive evidence (no deadline: the
+        probe ring, not frame freshness, drives suspicion here)."""
+        self._evidence_alive(sender)
+
+    def trusted(self, node: int) -> bool:
+        if node == self.node_id:
+            return True
+        peer = self.monitors.get(node)
+        return peer is not None and peer.trusted
+
+    def trusted_for(self, node: int, now: float) -> float:
+        if node == self.node_id:
+            return now
+        peer = self.monitors.get(node)
+        if peer is None or not peer.trusted:
+            return 0.0
+        return max(0.0, now - peer.trusted_since)
+
+    def grant_grace(self, node: int) -> None:
+        """Optimistically trust ``node`` while the probe ring gets to it.
+
+        Twice the detection budget: probe-based evidence has ring-round
+        granularity, so the default plane's one-budget grace would expire
+        before the first frame or ACK lands on larger rings.
+        """
+        peer = self.monitors.get(node)
+        if peer is None:
+            peer = self.ensure_monitor(node)
+            if peer is None:
+                return
+        if peer.alives_received > 0 or peer.suspicions > 0 or peer.trusted:
+            return  # first-hand evidence: the grace would be a no-op
+        qos = self._effective_qos.get(node)
+        budget = (qos.detection_time if qos is not None else FDQoS().detection_time)
+        now = self.scheduler.now
+        peer.trusted = True
+        peer.trusted_since = now
+        peer.grace_until = now + max(2.0 * budget, self._grace_floor)
+        self._fan_trust(node)
+
+    def delta_for(self, node: int) -> float:
+        """The plane-wide suspicion timeout δ (stream-monitor deadlines)."""
+        return self._params.delta
+
+    def reconfigure_ready(self) -> Iterator[Tuple[int, FDParams]]:
+        """No per-pair rate negotiation under SWIM: the probe schedule is
+        plane-driven (re-derived each tick), and heartbeat frames are a
+        dissemination carrier, not the liveness signal."""
+        return iter(())
+
+    def forget_node(self, node: int) -> None:
+        """A peer left every hosted group: drop all its per-peer state."""
+        self._links.pop(node, None)
+        self._rumours.pop(node, None)
+        for nonce in [n for n, p in self._probes.items() if p.target == node]:
+            del self._probes[nonce]
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._timer.stop()
+        self.monitors.clear()
+        self._interests.clear()
+        self._effective_qos.clear()
+        self._probes.clear()
+        self._rumours.clear()
+        self._links.clear()
+
+    # ------------------------------------------------------------------
+    # Fan-out (node -> every interested group)
+    # ------------------------------------------------------------------
+    def _fan_trust(self, node: int) -> None:
+        for _, listener in list(self._interests.get(node, {}).values()):
+            listener.on_node_trust(node)
+
+    def _fan_suspect(self, node: int) -> None:
+        for _, listener in list(self._interests.get(node, {}).values()):
+            listener.on_node_suspect(node)
+
+    # ------------------------------------------------------------------
+    # The protocol period (the plane's single timer)
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if self._shut_down:
+            return
+        if self._meter is not None:
+            self._meter.on_timer()
+        now = self.scheduler.now
+        self._sweep_probes(now)
+        self._sweep_peers(now)
+        self._refresh_params()
+        self._send_probes(now)
+
+    def _sweep_probes(self, now: float) -> None:
+        expired: List[int] = []
+        for nonce, probe in self._probes.items():
+            peer = self.monitors.get(probe.target)
+            if peer is None or peer.last_evidence >= probe.sent_at:
+                expired.append(nonce)  # answered through some other channel
+                continue
+            if now >= probe.deadline:
+                expired.append(nonce)
+                self._declare_suspect(probe.target, now)
+            elif not probe.escalated and now >= probe.escalate_at:
+                probe.escalated = True
+                self._send_ping_reqs(probe)
+        for nonce in expired:
+            del self._probes[nonce]
+
+    def _sweep_peers(self, now: float) -> None:
+        for peer in self.monitors.values():
+            if peer.trusted:
+                if peer.alives_received == 0 and now > peer.grace_until:
+                    # Optimistic trust lapsed with no evidence at all.
+                    self._suspect_peer(peer, now)
+            elif peer.confirm_at <= now:
+                # The refute window passed: broadcast the death (SWIM's
+                # confirm), so peers that never probe the node drop it too.
+                peer.confirm_at = _INF
+                peer.status = "confirm"
+                self._queue_rumour(
+                    SwimUpdate(peer.node, peer.incarnation, "confirm")
+                )
+
+    def _refresh_params(self) -> None:
+        """Re-derive (η, δ) from the freshest ready estimator — the same
+        configurator math as the default plane, on the probed subset."""
+        qos = self._plane_qos
+        if qos is None:
+            return
+        for node in reversed(self._links):
+            estimator = self._links[node].estimator
+            if estimator.ready:
+                self._params = self._cache.configure(qos, estimator.estimate())
+                return
+        self._params = bootstrap_params(qos)
+
+    def _send_probes(self, now: float) -> None:
+        ring = self._ring
+        params = self._params
+        updates_budgeted = self.piggyback  # one bounded batch per message
+        for _ in range(self.probe_fanout):
+            if self._ring_stale or self._ring_pos >= len(ring):
+                self._rebuild_ring()
+                ring = self._ring
+                if not ring:
+                    return
+            target = ring[self._ring_pos]
+            self._ring_pos += 1
+            if target not in self._effective_qos:
+                continue  # departed since the shuffle
+            peer = self.ensure_monitor(target)
+            if peer is None:
+                continue
+            link = self._link_state(target)
+            seq = link.next_seq
+            link.next_seq = seq + 1
+            nonce = self._nonce = self._nonce + 1
+            self._probes[nonce] = _Probe(
+                nonce,
+                target,
+                seq,
+                now,
+                now + 0.5 * params.delta,
+                now + params.delta,
+            )
+            self.transport.send(
+                SwimPingMessage(
+                    sender_node=self.node_id,
+                    dest_node=target,
+                    nonce=nonce,
+                    origin=self.node_id,
+                    send_time=now,
+                    updates=updates_budgeted(),
+                )
+            )
+
+    def _rebuild_ring(self) -> None:
+        nodes = sorted(self._effective_qos)
+        self._ring_stale = False
+        self._ring_pos = 0
+        if not nodes:
+            self._ring = []
+            return
+        order = self._rng.permutation(len(nodes))
+        self._ring = [nodes[int(i)] for i in order]
+
+    def _send_ping_reqs(self, probe: _Probe) -> None:
+        """Escalate a silent direct probe through ``j`` relays.
+
+        Relays are the target's ring successors — deterministic (no extra
+        RNG draws) yet round-varying, since the ring itself reshuffles.
+        """
+        j = self.indirect_relays
+        if j <= 0:
+            return
+        ring = self._ring
+        if not ring:
+            return
+        relays: List[int] = []
+        start = self._ring_pos
+        for offset in range(len(ring)):
+            candidate = ring[(start + offset) % len(ring)]
+            if candidate == probe.target or candidate not in self._effective_qos:
+                continue
+            peer = self.monitors.get(candidate)
+            if peer is None or not peer.trusted:
+                continue
+            relays.append(candidate)
+            if len(relays) >= j:
+                break
+        nonce = probe.nonce
+        for relay in relays:
+            self.transport.send(
+                SwimPingReqMessage(
+                    sender_node=self.node_id,
+                    dest_node=relay,
+                    target=probe.target,
+                    nonce=nonce,
+                    origin=self.node_id,
+                    send_time=probe.sent_at,
+                    updates=self.piggyback(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Probe message handlers (wired from the service's dispatch)
+    # ------------------------------------------------------------------
+    def on_ping(self, message: SwimPingMessage) -> None:
+        if self._shut_down:
+            return
+        # Updates first: a suspicion about *us* must bump our incarnation
+        # before the ACK snapshots it.
+        self.apply_updates(message.updates)
+        self._evidence_alive(message.sender_node)
+        self.transport.send(
+            SwimAckMessage(
+                sender_node=self.node_id,
+                dest_node=message.origin,
+                nonce=message.nonce,
+                incarnation=self.incarnation,
+                echo_send_time=message.send_time,
+                updates=self.piggyback(),
+            )
+        )
+
+    def on_ping_req(self, message: SwimPingReqMessage) -> None:
+        if self._shut_down:
+            return
+        self.apply_updates(message.updates)
+        self._evidence_alive(message.sender_node)
+        # Relay hop: probe the target on the origin's behalf.  The target
+        # ACKs the origin directly, so one hop each way suffices.
+        self.transport.send(
+            SwimPingMessage(
+                sender_node=self.node_id,
+                dest_node=message.target,
+                nonce=message.nonce,
+                origin=message.origin,
+                send_time=message.send_time,
+                updates=self.piggyback(),
+            )
+        )
+
+    def on_ack(self, message: SwimAckMessage) -> None:
+        if self._shut_down:
+            return
+        self.apply_updates(message.updates)
+        responder = message.sender_node
+        probe = self._probes.pop(message.nonce, None)
+        self._evidence_alive(responder, incarnation=message.incarnation)
+        if probe is not None and probe.target == responder:
+            link = self._link_state(responder)
+            # Round-trip sample: echo_send_time is the probe's stamp, so
+            # (now − echo) is the full probe→ack loop the suspicion timeout
+            # must cover; probe seq gaps feed the loss estimate.
+            link.estimator.observe(
+                probe.seq, message.echo_send_time, self.scheduler.now
+            )
+
+    # ------------------------------------------------------------------
+    # Evidence and rumours
+    # ------------------------------------------------------------------
+    def _evidence_alive(self, node: int, incarnation: Optional[int] = None) -> None:
+        peer = self.ensure_monitor(node)
+        if peer is None:
+            return
+        now = self.scheduler.now
+        peer.alives_received += 1
+        peer.last_evidence = now
+        if incarnation is not None and incarnation > peer.incarnation:
+            peer.incarnation = incarnation
+            peer.status = "alive"
+            # A refuting incarnation is news worth spreading: it is what
+            # clears an in-flight suspicion cluster-wide.
+            self._queue_rumour(SwimUpdate(node, incarnation, "alive"))
+        if not peer.trusted:
+            peer.trusted = True
+            peer.trusted_since = now
+            peer.confirm_at = _INF
+            self._fan_trust(node)
+
+    def _declare_suspect(self, node: int, now: float) -> None:
+        peer = self.monitors.get(node)
+        if peer is None or not peer.trusted:
+            return
+        self._suspect_peer(peer, now)
+
+    def _suspect_peer(self, peer: SwimPeerState, now: float) -> None:
+        peer.trusted = False
+        peer.suspicions += 1
+        peer.status = "suspect"
+        peer.confirm_at = now + self._params.delta
+        self._queue_rumour(SwimUpdate(peer.node, peer.incarnation, "suspect"))
+        self._fan_suspect(peer.node)
+
+    def apply_updates(self, updates: Tuple[SwimUpdate, ...]) -> None:
+        """Merge piggybacked membership updates (SWIM's dissemination)."""
+        for update in updates:
+            self._apply_update(update)
+
+    def _apply_update(self, update: SwimUpdate) -> None:
+        node = update.node
+        if node == self.node_id:
+            # Someone doubts us.  Refute by bumping our incarnation — only
+            # the accused may do this, which is what makes the number a
+            # logical clock over its own aliveness.
+            if update.state != "alive" and update.incarnation >= self.incarnation:
+                self.incarnation = update.incarnation + 1
+                self._queue_rumour(
+                    SwimUpdate(self.node_id, self.incarnation, "alive")
+                )
+                if self._flush_hook is not None:
+                    self._flush_hook()  # spread the refutation now
+            return
+        peer = self.monitors.get(node)
+        if peer is None:
+            return  # no interest in this node: nothing to update
+        incoming = update
+        current = SwimUpdate(node, peer.incarnation, peer.status)
+        if not swim_update_wins(incoming, current):
+            return
+        now = self.scheduler.now
+        peer.incarnation = incoming.incarnation
+        peer.status = incoming.state
+        if incoming.state == "alive":
+            if not peer.trusted:
+                peer.trusted = True
+                peer.trusted_since = now
+                peer.confirm_at = _INF
+                peer.grace_until = _INF  # rumour-trusted: probes govern now
+                self._fan_trust(node)
+        else:
+            if peer.trusted:
+                peer.trusted = False
+                peer.suspicions += 1
+                peer.confirm_at = (
+                    now + self._params.delta if incoming.state == "suspect" else _INF
+                )
+                self._fan_suspect(node)
+            elif incoming.state == "confirm":
+                peer.confirm_at = _INF  # confirmed elsewhere; stop our clock
+        self._queue_rumour(incoming)  # winning news keeps travelling
+
+    def _queue_rumour(self, update: SwimUpdate) -> None:
+        existing = self._rumours.get(update.node)
+        if existing is not None and not swim_update_wins(update, existing[0]):
+            return
+        if existing is None and len(self._rumours) >= RUMOUR_BUFFER:
+            # Evict the most-disseminated rumour (lowest remaining budget).
+            victim = min(self._rumours.items(), key=lambda kv: (kv[1][1], kv[0]))[0]
+            del self._rumours[victim]
+        # λ·log(n) total transmissions per rumour, SWIM §4.1's bound.
+        budget = max(MAX_PIGGYBACK, int(4 * math.log2(len(self.monitors) + 2)))
+        self._rumours[update.node] = [update, budget]
+
+    def piggyback(self) -> Tuple[SwimUpdate, ...]:
+        """Up to :data:`MAX_PIGGYBACK` updates, freshest-first.
+
+        Preferring the *least*-disseminated rumours (highest remaining
+        budget) is SWIM's fairness rule; each selection burns one send from
+        the rumour's budget and exhausted rumours retire.
+        """
+        rumours = self._rumours
+        if not rumours:
+            return ()
+        picked = sorted(rumours.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        out = []
+        for node, entry in picked[:MAX_PIGGYBACK]:
+            out.append(entry[0])
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del rumours[node]
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _link_state(self, node: int) -> _LinkState:
+        links = self._links
+        link = links.get(node)
+        if link is None:
+            if len(links) >= self._links_cap:
+                links.popitem(last=False)  # evict least-recently probed
+            link = _LinkState(
+                LinkQualityEstimator(
+                    loss_window=self._loss_window,
+                    delay_window=self._delay_window,
+                    ready_threshold=self._ready_threshold,
+                )
+            )
+            links[node] = link
+        else:
+            links.move_to_end(node)
+        return link
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        trusted = sorted(n for n, p in self.monitors.items() if p.trusted)
+        return f"SwimFdPlane(node={self.node_id}, trusted={trusted})"

@@ -40,6 +40,8 @@ __all__ = [
     "MemberInfo",
     "AccEntry",
     "LeaseRecord",
+    "SwimUpdate",
+    "swim_update_wins",
     "Message",
     "AliveCell",
     "BatchFrame",
@@ -49,6 +51,9 @@ __all__ = [
     "LeaseRequestMessage",
     "LeaseReplyMessage",
     "LeaseEventMessage",
+    "SwimPingMessage",
+    "SwimPingReqMessage",
+    "SwimAckMessage",
 ]
 
 #: Per-packet overhead: Ethernet header+FCS (18) + IPv4 (20) + UDP (8).
@@ -65,6 +70,10 @@ _ACC_ENTRY_BYTES = 16
 #: Serialized size of one lease-ledger record: lease id (8) + holder (4) +
 #: token (8) + expiry (8) + granted_at (8) + released (1) + seq (4).
 _LEASE_ENTRY_BYTES = 41
+
+#: Serialized size of one piggybacked SWIM membership update: node (4) +
+#: incarnation (4) + state (1) + padding (3).
+_SWIM_UPDATE_BYTES = 12
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +123,34 @@ class LeaseRecord:
     granted_at: float
     released: bool
     seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class SwimUpdate:
+    """One SWIM membership update, piggybacked on whatever travels anyway.
+
+    ``state`` is ``"alive"``, ``"suspect"`` or ``"confirm"``.  Updates about
+    the same node merge by incarnation-first precedence: a higher
+    ``incarnation`` always wins; within one incarnation ``confirm`` beats
+    ``suspect`` beats ``alive`` (the SWIM paper's override rules), which is
+    what lets a suspected-but-alive node refute a suspicion by bumping its
+    own incarnation number.
+    """
+
+    node: int
+    incarnation: int
+    state: str
+
+
+#: ``state`` precedence within one incarnation (higher wins).
+_SWIM_STATE_RANK = {"alive": 0, "suspect": 1, "confirm": 2}
+
+
+def swim_update_wins(new: SwimUpdate, old: SwimUpdate) -> bool:
+    """True if ``new`` overrides ``old`` under SWIM's precedence rules."""
+    if new.incarnation != old.incarnation:
+        return new.incarnation > old.incarnation
+    return _SWIM_STATE_RANK[new.state] > _SWIM_STATE_RANK[old.state]
 
 
 @dataclass(slots=True)
@@ -246,17 +283,25 @@ class BatchFrame(Message):
     send_time: float = 0.0
     interval: float = 0.25
     cells: Tuple[AliveCell, ...] = ()
+    #: SWIM piggyback block (swim plane only; always empty under the
+    #: all-pairs plane, where it costs zero wire bytes).
+    swim_updates: Tuple[SwimUpdate, ...] = ()
 
     #: seq (4) + send_time (8) + interval (8) + cell count (2).
     _BASE_BYTES = 22
 
     def payload_bytes(self) -> int:
+        size = self._BASE_BYTES
+        if self.swim_updates:
+            # Count byte + entries; absent entirely when empty so the
+            # default plane's wire model is byte-identical to codec v5.
+            size += 1 + _SWIM_UPDATE_BYTES * len(self.swim_updates)
         cells = self.cells
         if not cells:
             # Steady-state frames are mostly cell-less (pure FD-plane
             # traffic); skip the generator for the common case.
-            return self._BASE_BYTES
-        return self._BASE_BYTES + sum(cell.payload_bytes() for cell in cells)
+            return size
+        return size + sum(cell.payload_bytes() for cell in cells)
 
     def group_shares(self) -> Dict[int, int]:
         """Cells charge their group; the shared envelope is split evenly.
@@ -325,6 +370,8 @@ class HelloMessage(Message):
     trusted: Tuple[int, ...] = ()
     leases: Tuple[LeaseRecord, ...] = ()
     lease_digest: int = 0
+    #: SWIM piggyback block (swim plane only; zero cost when empty).
+    swim_updates: Tuple[SwimUpdate, ...] = ()
 
     #: group (4) + kind (1) + member count (2) + acc count (2) + hint flag
     #: (1) + trusted count (2) + view_version (4) + view_digest (8) +
@@ -338,6 +385,8 @@ class HelloMessage(Message):
         if self.leader_hint is not None:
             size += _ACC_ENTRY_BYTES
         size += _LEASE_ENTRY_BYTES * len(self.leases)
+        if self.swim_updates:
+            size += 1 + _SWIM_UPDATE_BYTES * len(self.swim_updates)
         return size
 
 
@@ -481,3 +530,74 @@ class LeaseEventMessage(Message):
 
     def payload_bytes(self) -> int:
         return self._PAYLOAD_BYTES
+
+
+@dataclass(slots=True)
+class SwimPingMessage(Message):
+    """A SWIM direct probe (also sent by a relay on behalf of ``origin``).
+
+    ``origin`` is the node whose probe round this ping serves: for a direct
+    probe it equals the sender; for a relayed probe (the ping-req escalation
+    path) it names the original prober, and the target acks *directly* to
+    ``origin`` so one relay hop suffices in each direction.  ``nonce``
+    matches acks to outstanding probes across loss and reordering;
+    ``send_time`` is echoed back for RTT estimation.  Node-level traffic —
+    no group routing, charged to the shared usage bucket like the FD
+    plane's frames.
+    """
+
+    nonce: int = 0
+    origin: int = 0
+    send_time: float = 0.0
+    updates: Tuple[SwimUpdate, ...] = ()
+
+    #: nonce (4) + origin (4) + send_time (8) + update count (1).
+    _BASE_BYTES = 17
+
+    def payload_bytes(self) -> int:
+        return self._BASE_BYTES + _SWIM_UPDATE_BYTES * len(self.updates)
+
+
+@dataclass(slots=True)
+class SwimPingReqMessage(Message):
+    """The indirect-probe request: "ping ``target`` for me" (SWIM §4.1).
+
+    Sent to ``j`` relays when a direct probe's ack window lapses; each relay
+    answers by sending a :class:`SwimPingMessage` to ``target`` with
+    ``origin`` set to the requester, so a live target refutes the pending
+    suspicion through any one surviving relay path.
+    """
+
+    target: int = 0
+    nonce: int = 0
+    origin: int = 0
+    send_time: float = 0.0
+    updates: Tuple[SwimUpdate, ...] = ()
+
+    #: target (4) + nonce (4) + origin (4) + send_time (8) + count (1).
+    _BASE_BYTES = 21
+
+    def payload_bytes(self) -> int:
+        return self._BASE_BYTES + _SWIM_UPDATE_BYTES * len(self.updates)
+
+
+@dataclass(slots=True)
+class SwimAckMessage(Message):
+    """The probe answer, sent straight to the probe's ``origin``.
+
+    ``incarnation`` is the responder's current incarnation number — fresh
+    first-hand evidence that overrides any in-flight suspicion of the
+    responder; ``echo_send_time`` returns the probe's timestamp for the
+    origin's RTT estimator.
+    """
+
+    nonce: int = 0
+    incarnation: int = 0
+    echo_send_time: float = 0.0
+    updates: Tuple[SwimUpdate, ...] = ()
+
+    #: nonce (4) + incarnation (4) + echo_send_time (8) + count (1).
+    _BASE_BYTES = 17
+
+    def payload_bytes(self) -> int:
+        return self._BASE_BYTES + _SWIM_UPDATE_BYTES * len(self.updates)

@@ -60,21 +60,36 @@ class Network:
         }
         self._links: Dict[Tuple[int, int], Link] = {}
         #: Node-id-indexed routes: ``_routes[src][dst]`` is
-        #: ``(sender_node, link, dest_node.deliver)`` or None on the
-        #: diagonal.  One send costs two list indexings instead of three
-        #: dict lookups plus a tuple-key allocation.
+        #: ``(sender_node, link, dest_node.deliver)``, or None while the
+        #: pair has never been used (and on the diagonal).  One send costs
+        #: two list indexings instead of three dict lookups plus a
+        #: tuple-key allocation.
+        #:
+        #: Links materialize *lazily*, on a pair's first send (or first
+        #: topology access): eagerly building all n·(n-1) links dominated
+        #: both setup time and memory at n = 1000 — nearly a million RNG
+        #: streams for pairs a bounded-fan-out (SWIM) run mostly never
+        #: exercises.  Laziness is invisible to replay because each link's
+        #: stream is derived from its *name* (``link.{src}.{dst}``), never
+        #: from creation order.
         self._routes: list[list[Optional[Tuple[Node, Link, Callable]]]] = [
             [None] * config.n_nodes for _ in range(config.n_nodes)
         ]
-        for src in self.nodes:
-            for dst in self.nodes:
-                if src == dst:
-                    continue
-                self._install_link(self._make_link(src, dst, config.default_link))
 
     def _make_link(self, src: int, dst: int, link_config: LinkConfig) -> Link:
         stream = self._rng.stream(f"link.{src}.{dst}")
         return Link(self.sim, src, dst, link_config, stream)
+
+    def _ensure_route(self, src: int, dst: int) -> Tuple[Node, Link, Callable]:
+        if src == dst:
+            raise ValueError(f"no self-link for node {src}")
+        link = self._links.get((src, dst))
+        if link is None:
+            link = self._make_link(src, dst, self.config.default_link)
+            self._links[(src, dst)] = link
+        route = (self.nodes[src], link, self.nodes[dst].deliver)
+        self._routes[src][dst] = route
+        return route
 
     def _install_link(self, link: Link) -> None:
         self._links[(link.src, link.dst)] = link
@@ -93,15 +108,23 @@ class Network:
 
     def link(self, src: int, dst: int) -> Link:
         """The directed link from ``src`` to ``dst``."""
-        return self._links[(src, dst)]
+        link = self._links.get((src, dst))
+        if link is None:
+            link = self._ensure_route(src, dst)[1]
+        return link
 
     def links(self) -> Iterable[Link]:
-        """All ``n·(n-1)`` directed links."""
+        """All ``n·(n-1)`` directed links (forces full materialization —
+        link-fault injectors must be able to break pairs never yet used)."""
+        for src in self.nodes:
+            for dst in self.nodes:
+                if src != dst and (src, dst) not in self._links:
+                    self._ensure_route(src, dst)
         return self._links.values()
 
     def set_link_config(self, src: int, dst: int, link_config: LinkConfig) -> None:
         """Replace the behaviour of one directed link (keeps its RNG stream)."""
-        self._install_link(self._links[(src, dst)].with_config(link_config))
+        self._install_link(self.link(src, dst).with_config(link_config))
 
     # ------------------------------------------------------------------
     # Send path
@@ -112,7 +135,10 @@ class Network:
         Sending from a crashed node is a no-op (a dead daemon sends nothing);
         this is checked here so fault injection cannot race with send timers.
         """
-        sender, link, deliver = self._routes[message.sender_node][message.dest_node]
+        route = self._routes[message.sender_node][message.dest_node]
+        if route is None:
+            route = self._ensure_route(message.sender_node, message.dest_node)
+        sender, link, deliver = route
         if not sender.up:
             return
         sender.meter.on_send(message.wire_bytes(), message.wire_shares())
@@ -139,7 +165,10 @@ class Network:
             return
         routes = self._routes
         for message in messages:
-            sender, link, deliver = routes[message.sender_node][message.dest_node]
+            route = routes[message.sender_node][message.dest_node]
+            if route is None:
+                route = self._ensure_route(message.sender_node, message.dest_node)
+            sender, link, deliver = route
             if not sender.up:
                 continue
             sender.meter.on_send(message.wire_bytes(), message.wire_shares())

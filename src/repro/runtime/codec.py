@@ -47,9 +47,17 @@ final join copy), and :func:`decode_message` accepts any buffer object
 tuples, never a view of the input, so a receive scratch buffer can be
 reused for the next datagram immediately.
 
-Strings never appear on the wire: the only enumerated field
-(:attr:`HelloMessage.kind`) travels as one byte.  Optional fields carry a
-one-byte presence flag.  Decoding is strict — unknown magic, version, type
+Codec version 6 (the SWIM membership plane): three new node-level message
+types carry the randomized probe protocol — SWIM-PING (tag 9), SWIM-PING-REQ
+(tag 10) and SWIM-ACK (tag 11) — and BatchFrame and HELLO bodies grew an
+appended *piggyback block* (one-byte count + fixed-size SWIM membership
+updates) through which alive/suspect/confirm rumours ride the delta-gossip
+traffic that flows anyway.  The block sits after each body's existing
+fields, so v5 layouts are a strict prefix of v6.
+
+Strings never appear on the wire: enumerated fields
+(:attr:`HelloMessage.kind`, the SWIM update state) travel as one byte.
+Optional fields carry a one-byte presence flag.  Decoding is strict — unknown magic, version, type
 tags, enum values, out-of-range counts, truncated bodies and trailing bytes
 all raise :class:`CodecError` — because a UDP socket is an open port: a
 stray or malicious datagram must never crash the daemon (the transport
@@ -75,6 +83,10 @@ from repro.net.message import (
     MemberInfo,
     Message,
     RateRequestMessage,
+    SwimAckMessage,
+    SwimPingMessage,
+    SwimPingReqMessage,
+    SwimUpdate,
 )
 
 __all__ = [
@@ -86,7 +98,7 @@ __all__ = [
 ]
 
 _MAGIC = 0x03A9  # Ω, fittingly
-_VERSION = 5
+_VERSION = 6
 
 #: Upper bound on a frame we are willing to decode (or encode).  Generous —
 #: a 64-cell batch with 4096-member deltas would not fit a datagram anyway —
@@ -104,8 +116,13 @@ _TAG_BATCH = 5
 _TAG_LEASE_REQUEST = 6
 _TAG_LEASE_REPLY = 7
 _TAG_LEASE_EVENT = 8
+_TAG_SWIM_PING = 9
+_TAG_SWIM_PING_REQ = 10
+_TAG_SWIM_ACK = 11
 
 _HELLO_KINDS = ("gossip", "join", "reply", "sync")
+# Append-only (byte values are wire API, codec v6).
+_SWIM_STATES = ("alive", "suspect", "confirm")
 # Append-only (byte values are wire API; codec v4 appended the last four).
 _LEASE_OPS = (
     "acquire",
@@ -148,6 +165,14 @@ _LEASE_EVENT_BODY = struct.Struct("!iQiiQd?I")  # group, lease, client,
 #                                  holder, token, expiry, released, seq
 _ACCUSE_BODY = struct.Struct("!iiii")  # group, accuser, accused, accused_phase
 _RATE_BODY = struct.Struct("!d")  # interval
+_SWIM_COUNT = struct.Struct("!B")  # piggyback block: n_updates (codec v6)
+_SWIM_UPDATE = struct.Struct("!iIB")  # node, incarnation, state
+_SWIM_PING_BODY = struct.Struct("!IidB")  # nonce, origin, send_time, n_updates
+_SWIM_PING_REQ_BODY = struct.Struct("!iIidB")  # target, nonce, origin,
+#                                                send_time, n_updates
+_SWIM_ACK_BODY = struct.Struct("!IIdB")  # nonce, incarnation, echo_send_time,
+#                                          n_updates
+_U8_MAX = 0xFF
 _U16_MAX = 0xFFFF
 _U32_MAX = 0xFFFFFFFF
 _U64_MAX = 0xFFFFFFFFFFFFFFFF
@@ -212,6 +237,30 @@ def _check_u64(label: str, value: int) -> int:
     return value
 
 
+def _check_swim_count(n: int) -> int:
+    if n > _U8_MAX:
+        raise CodecError(f"too many swim updates to encode ({n} > {_U8_MAX})")
+    return n
+
+
+def _swim_state_tag(state: str) -> int:
+    try:
+        return _SWIM_STATES.index(state)
+    except ValueError:
+        raise CodecError(f"unknown swim state {state!r}") from None
+
+
+def _encode_swim_updates(updates: Tuple[SwimUpdate, ...]) -> List[bytes]:
+    return [
+        _SWIM_UPDATE.pack(
+            u.node,
+            _check_u32("swim incarnation", u.incarnation),
+            _swim_state_tag(u.state),
+        )
+        for u in updates
+    ]
+
+
 def _encode_members(members: Tuple[MemberInfo, ...]) -> List[bytes]:
     return [
         _MEMBER.pack(
@@ -253,6 +302,10 @@ def _encode_batch(message: BatchFrame) -> List[bytes]:
     ]
     for cell in message.cells:
         _encode_cell(cell, parts)
+    parts.append(
+        _SWIM_COUNT.pack(_check_swim_count(len(message.swim_updates)))
+    )
+    parts.extend(_encode_swim_updates(message.swim_updates))
     return parts
 
 
@@ -287,6 +340,10 @@ def _encode_hello(message: HelloMessage) -> List[bytes]:
         )
     )
     parts.extend(_encode_lease_records(message.leases))
+    parts.append(
+        _SWIM_COUNT.pack(_check_swim_count(len(message.swim_updates)))
+    )
+    parts.extend(_encode_swim_updates(message.swim_updates))
     return parts
 
 
@@ -373,6 +430,46 @@ def _encode_rate_request(message: RateRequestMessage) -> List[bytes]:
     return [_RATE_BODY.pack(message.interval)]
 
 
+def _encode_swim_ping(message: SwimPingMessage) -> List[bytes]:
+    parts = [
+        _SWIM_PING_BODY.pack(
+            _check_u32("swim nonce", message.nonce),
+            message.origin,
+            message.send_time,
+            _check_swim_count(len(message.updates)),
+        )
+    ]
+    parts.extend(_encode_swim_updates(message.updates))
+    return parts
+
+
+def _encode_swim_ping_req(message: SwimPingReqMessage) -> List[bytes]:
+    parts = [
+        _SWIM_PING_REQ_BODY.pack(
+            message.target,
+            _check_u32("swim nonce", message.nonce),
+            message.origin,
+            message.send_time,
+            _check_swim_count(len(message.updates)),
+        )
+    ]
+    parts.extend(_encode_swim_updates(message.updates))
+    return parts
+
+
+def _encode_swim_ack(message: SwimAckMessage) -> List[bytes]:
+    parts = [
+        _SWIM_ACK_BODY.pack(
+            _check_u32("swim nonce", message.nonce),
+            _check_u32("swim incarnation", message.incarnation),
+            message.echo_send_time,
+            _check_swim_count(len(message.updates)),
+        )
+    ]
+    parts.extend(_encode_swim_updates(message.updates))
+    return parts
+
+
 _ENCODERS: Dict[Type[Message], Tuple[int, Callable[[Message], List[bytes]]]] = {
     BatchFrame: (_TAG_BATCH, _encode_batch),
     HelloMessage: (_TAG_HELLO, _encode_hello),
@@ -381,6 +478,9 @@ _ENCODERS: Dict[Type[Message], Tuple[int, Callable[[Message], List[bytes]]]] = {
     LeaseRequestMessage: (_TAG_LEASE_REQUEST, _encode_lease_request),
     LeaseReplyMessage: (_TAG_LEASE_REPLY, _encode_lease_reply),
     LeaseEventMessage: (_TAG_LEASE_EVENT, _encode_lease_event),
+    SwimPingMessage: (_TAG_SWIM_PING, _encode_swim_ping),
+    SwimPingReqMessage: (_TAG_SWIM_PING_REQ, _encode_swim_ping_req),
+    SwimAckMessage: (_TAG_SWIM_ACK, _encode_swim_ack),
 }
 
 
@@ -433,6 +533,23 @@ def _cell_into(cell: AliveCell, buf, pos: int) -> int:
     return _members_into(cell.delta, buf, pos)
 
 
+def _swim_updates_into(updates: Tuple[SwimUpdate, ...], buf, pos: int) -> int:
+    _SWIM_COUNT.pack_into(buf, pos, _check_swim_count(len(updates)))
+    pos += _SWIM_COUNT.size
+    pack = _SWIM_UPDATE.pack_into
+    size = _SWIM_UPDATE.size
+    for u in updates:
+        pack(
+            buf,
+            pos,
+            u.node,
+            _check_u32("swim incarnation", u.incarnation),
+            _swim_state_tag(u.state),
+        )
+        pos += size
+    return pos
+
+
 def _batch_into(message: BatchFrame, buf, pos: int) -> int:
     _BATCH_FIXED.pack_into(
         buf,
@@ -445,7 +562,7 @@ def _batch_into(message: BatchFrame, buf, pos: int) -> int:
     pos += _BATCH_FIXED.size
     for cell in message.cells:
         pos = _cell_into(cell, buf, pos)
-    return pos
+    return _swim_updates_into(message.swim_updates, buf, pos)
 
 
 def _acc_entries_into(entries, buf, pos: int) -> int:
@@ -512,7 +629,8 @@ def _hello_into(message: HelloMessage, buf, pos: int) -> int:
         _check_u64("lease digest", message.lease_digest),
     )
     pos += _HELLO_LEASES.size
-    return _lease_records_into(message.leases, buf, pos)
+    pos = _lease_records_into(message.leases, buf, pos)
+    return _swim_updates_into(message.swim_updates, buf, pos)
 
 
 def _lease_request_into(message: LeaseRequestMessage, buf, pos: int) -> int:
@@ -586,6 +704,78 @@ def _rate_request_into(message: RateRequestMessage, buf, pos: int) -> int:
     return pos + _RATE_BODY.size
 
 
+def _swim_ping_into(message: SwimPingMessage, buf, pos: int) -> int:
+    _SWIM_PING_BODY.pack_into(
+        buf,
+        pos,
+        _check_u32("swim nonce", message.nonce),
+        message.origin,
+        message.send_time,
+        _check_swim_count(len(message.updates)),
+    )
+    pos += _SWIM_PING_BODY.size
+    # The body structs end with the count byte the update lists follow, so
+    # reuse the list packer minus its own count prefix.
+    pack = _SWIM_UPDATE.pack_into
+    for u in message.updates:
+        pack(
+            buf,
+            pos,
+            u.node,
+            _check_u32("swim incarnation", u.incarnation),
+            _swim_state_tag(u.state),
+        )
+        pos += _SWIM_UPDATE.size
+    return pos
+
+
+def _swim_ping_req_into(message: SwimPingReqMessage, buf, pos: int) -> int:
+    _SWIM_PING_REQ_BODY.pack_into(
+        buf,
+        pos,
+        message.target,
+        _check_u32("swim nonce", message.nonce),
+        message.origin,
+        message.send_time,
+        _check_swim_count(len(message.updates)),
+    )
+    pos += _SWIM_PING_REQ_BODY.size
+    pack = _SWIM_UPDATE.pack_into
+    for u in message.updates:
+        pack(
+            buf,
+            pos,
+            u.node,
+            _check_u32("swim incarnation", u.incarnation),
+            _swim_state_tag(u.state),
+        )
+        pos += _SWIM_UPDATE.size
+    return pos
+
+
+def _swim_ack_into(message: SwimAckMessage, buf, pos: int) -> int:
+    _SWIM_ACK_BODY.pack_into(
+        buf,
+        pos,
+        _check_u32("swim nonce", message.nonce),
+        _check_u32("swim incarnation", message.incarnation),
+        message.echo_send_time,
+        _check_swim_count(len(message.updates)),
+    )
+    pos += _SWIM_ACK_BODY.size
+    pack = _SWIM_UPDATE.pack_into
+    for u in message.updates:
+        pack(
+            buf,
+            pos,
+            u.node,
+            _check_u32("swim incarnation", u.incarnation),
+            _swim_state_tag(u.state),
+        )
+        pos += _SWIM_UPDATE.size
+    return pos
+
+
 _ENCODERS_INTO: Dict[Type[Message], Tuple[int, Callable]] = {
     BatchFrame: (_TAG_BATCH, _batch_into),
     HelloMessage: (_TAG_HELLO, _hello_into),
@@ -594,6 +784,9 @@ _ENCODERS_INTO: Dict[Type[Message], Tuple[int, Callable]] = {
     LeaseRequestMessage: (_TAG_LEASE_REQUEST, _lease_request_into),
     LeaseReplyMessage: (_TAG_LEASE_REPLY, _lease_reply_into),
     LeaseEventMessage: (_TAG_LEASE_EVENT, _lease_event_into),
+    SwimPingMessage: (_TAG_SWIM_PING, _swim_ping_into),
+    SwimPingReqMessage: (_TAG_SWIM_PING_REQ, _swim_ping_req_into),
+    SwimAckMessage: (_TAG_SWIM_ACK, _swim_ack_into),
 }
 
 
@@ -663,9 +856,22 @@ def _decode_cell(reader: _Reader) -> AliveCell:
     )
 
 
+def _decode_swim_update(reader: _Reader) -> SwimUpdate:
+    node, incarnation, state = reader.unpack(_SWIM_UPDATE)
+    if state >= len(_SWIM_STATES):
+        raise CodecError(f"unknown swim state tag {state}")
+    return SwimUpdate(node=node, incarnation=incarnation, state=_SWIM_STATES[state])
+
+
+def _decode_swim_block(reader: _Reader) -> Tuple[SwimUpdate, ...]:
+    (count,) = reader.unpack(_SWIM_COUNT)
+    return tuple(_decode_swim_update(reader) for _ in range(count))
+
+
 def _decode_batch(reader: _Reader, sender: int, dest: int) -> BatchFrame:
     seq, send_time, interval, n_cells = reader.unpack(_BATCH_FIXED)
     cells = tuple(_decode_cell(reader) for _ in range(n_cells))
+    swim_updates = _decode_swim_block(reader)
     return BatchFrame(
         sender_node=sender,
         dest_node=dest,
@@ -673,6 +879,7 @@ def _decode_batch(reader: _Reader, sender: int, dest: int) -> BatchFrame:
         send_time=send_time,
         interval=interval,
         cells=cells,
+        swim_updates=swim_updates,
     )
 
 
@@ -697,6 +904,7 @@ def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
     trusted = tuple(reader.unpack(_I32)[0] for _ in range(n_trusted))
     n_leases, lease_digest = reader.unpack(_HELLO_LEASES)
     leases = _decode_lease_records(reader, n_leases)
+    swim_updates = _decode_swim_block(reader)
     return HelloMessage(
         sender_node=sender,
         dest_node=dest,
@@ -710,6 +918,7 @@ def _decode_hello(reader: _Reader, sender: int, dest: int) -> HelloMessage:
         trusted=trusted,
         leases=leases,
         lease_digest=lease_digest,
+        swim_updates=swim_updates,
     )
 
 
@@ -831,6 +1040,50 @@ def _decode_rate_request(reader: _Reader, sender: int, dest: int) -> RateRequest
     )
 
 
+def _decode_swim_ping(reader: _Reader, sender: int, dest: int) -> SwimPingMessage:
+    nonce, origin, send_time, n_updates = reader.unpack(_SWIM_PING_BODY)
+    updates = tuple(_decode_swim_update(reader) for _ in range(n_updates))
+    return SwimPingMessage(
+        sender_node=sender,
+        dest_node=dest,
+        nonce=nonce,
+        origin=origin,
+        send_time=send_time,
+        updates=updates,
+    )
+
+
+def _decode_swim_ping_req(
+    reader: _Reader, sender: int, dest: int
+) -> SwimPingReqMessage:
+    target, nonce, origin, send_time, n_updates = reader.unpack(
+        _SWIM_PING_REQ_BODY
+    )
+    updates = tuple(_decode_swim_update(reader) for _ in range(n_updates))
+    return SwimPingReqMessage(
+        sender_node=sender,
+        dest_node=dest,
+        target=target,
+        nonce=nonce,
+        origin=origin,
+        send_time=send_time,
+        updates=updates,
+    )
+
+
+def _decode_swim_ack(reader: _Reader, sender: int, dest: int) -> SwimAckMessage:
+    nonce, incarnation, echo_send_time, n_updates = reader.unpack(_SWIM_ACK_BODY)
+    updates = tuple(_decode_swim_update(reader) for _ in range(n_updates))
+    return SwimAckMessage(
+        sender_node=sender,
+        dest_node=dest,
+        nonce=nonce,
+        incarnation=incarnation,
+        echo_send_time=echo_send_time,
+        updates=updates,
+    )
+
+
 _DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
     _TAG_BATCH: _decode_batch,
     _TAG_HELLO: _decode_hello,
@@ -839,6 +1092,9 @@ _DECODERS: Dict[int, Callable[[_Reader, int, int], Message]] = {
     _TAG_LEASE_REQUEST: _decode_lease_request,
     _TAG_LEASE_REPLY: _decode_lease_reply,
     _TAG_LEASE_EVENT: _decode_lease_event,
+    _TAG_SWIM_PING: _decode_swim_ping,
+    _TAG_SWIM_PING_REQ: _decode_swim_ping_req,
+    _TAG_SWIM_ACK: _decode_swim_ack,
 }
 
 

@@ -132,6 +132,37 @@ class TestDeterminism:
         assert run_scripted(base).trace_digest != run_scripted(other).trace_digest
 
 
+class TestPlaneEquivalence:
+    """The fd_plane selection seam's contract, checked end to end: the
+    election layer cannot tell which plane fired its trust/suspect events,
+    so the same chaos script must end with the same single stable leader
+    under ``all_pairs`` and ``swim``.
+
+    Scripts are chosen so the surviving leader is determined by *which*
+    nodes were suspected (crashes, benign decoration), not by the precise
+    suspicion timestamps — those legitimately differ between planes.
+    """
+
+    @pytest.mark.parametrize(
+        "steps",
+        [
+            pytest.param([churn_burst(20.0, 1, downtime=100.0)], id="leader-crash"),
+            pytest.param(
+                [churn_burst(20.0, 3, downtime=100.0)], id="triple-crash"
+            ),
+            pytest.param([duplicate(20.0, 0.5)], id="duplicating-network"),
+        ],
+    )
+    def test_both_planes_elect_the_same_stable_leader(self, steps):
+        leaders = {}
+        for plane in ("all_pairs", "swim"):
+            result = run_scripted(config_with(steps, fd_plane=plane))
+            assert result.ok, (plane, result.report.violations)
+            leaders[plane] = result.report.final_leader
+        assert leaders["all_pairs"] is not None
+        assert leaders["all_pairs"] == leaders["swim"]
+
+
 class TestRegressionCatching:
     def test_disabled_demotion_is_caught_and_shrunk(self):
         from repro.chaos.fuzz import shrink_failure

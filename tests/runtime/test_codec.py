@@ -17,6 +17,10 @@ from repro.net.message import (
     MemberInfo,
     Message,
     RateRequestMessage,
+    SwimAckMessage,
+    SwimPingMessage,
+    SwimPingReqMessage,
+    SwimUpdate,
 )
 from repro.runtime.codec import (
     MAX_FRAME_BYTES,
@@ -37,6 +41,12 @@ MEMBERS = (
 ACC_TABLE = (
     AccEntry(pid=1, acc_time=0.0, phase=0),
     AccEntry(pid=7, acc_time=1.75e9, phase=2**31 - 1),
+)
+
+SWIM_UPDATES = (
+    SwimUpdate(node=0, incarnation=0, state="alive"),
+    SwimUpdate(node=2**31 - 1, incarnation=2**31 - 1, state="suspect"),
+    SwimUpdate(node=7, incarnation=3, state="confirm"),
 )
 
 LEASES = (
@@ -112,6 +122,18 @@ ROUND_TRIP_CASES = [
     LeaseEventMessage(sender_node=0, dest_node=12, group=1, lease=0,
                       client=-1, holder=-1, token=0, expiry=0.0,
                       released=True, seq=2**32 - 1),
+    BatchFrame(  # codec v6: SWIM rumours piggyback on heartbeat frames
+        sender_node=2, dest_node=9, seq=17, send_time=33.25, interval=0.5,
+        swim_updates=SWIM_UPDATES),
+    SwimPingMessage(sender_node=0, dest_node=1),
+    SwimPingMessage(sender_node=3, dest_node=7, nonce=2**32 - 1, origin=5,
+                    send_time=1.75e9, updates=SWIM_UPDATES),
+    SwimPingReqMessage(sender_node=4, dest_node=6, target=9, nonce=12,
+                       origin=4, send_time=44.5, updates=SWIM_UPDATES),
+    SwimPingReqMessage(sender_node=0, dest_node=1),
+    SwimAckMessage(sender_node=9, dest_node=4, nonce=12, incarnation=2**31 - 1,
+                   echo_send_time=44.5, updates=SWIM_UPDATES),
+    SwimAckMessage(sender_node=0, dest_node=1),
 ]
 
 
@@ -157,6 +179,9 @@ class TestRoundTrip:
             LeaseRequestMessage,
             LeaseReplyMessage,
             LeaseEventMessage,
+            SwimPingMessage,
+            SwimPingReqMessage,
+            SwimAckMessage,
         }
 
     def test_frames_are_deterministic(self):

@@ -30,6 +30,10 @@ from repro.net.message import (
     LeaseRequestMessage,
     MemberInfo,
     RateRequestMessage,
+    SwimAckMessage,
+    SwimPingMessage,
+    SwimPingReqMessage,
+    SwimUpdate,
 )
 from repro.runtime.codec import (
     MAX_FRAME_BYTES,
@@ -72,6 +76,13 @@ cells = st.builds(
     view_digest=U64,
 )
 
+swim_updates = st.builds(
+    SwimUpdate,
+    node=I32,
+    incarnation=U32,
+    state=st.sampled_from(("alive", "suspect", "confirm")),
+)
+
 batch_frames = st.builds(
     BatchFrame,
     sender_node=I32,
@@ -80,6 +91,7 @@ batch_frames = st.builds(
     send_time=F64,
     interval=F64,
     cells=st.lists(cells, max_size=6).map(tuple),
+    swim_updates=st.lists(swim_updates, max_size=8).map(tuple),
 )
 
 lease_records = st.builds(
@@ -155,9 +167,40 @@ lease_replies = st.builds(
     nonce=U32,
 )
 
+swim_pings = st.builds(
+    SwimPingMessage,
+    sender_node=I32,
+    dest_node=I32,
+    nonce=U32,
+    origin=I32,
+    send_time=F64,
+    updates=st.lists(swim_updates, max_size=8).map(tuple),
+)
+
+swim_ping_reqs = st.builds(
+    SwimPingReqMessage,
+    sender_node=I32,
+    dest_node=I32,
+    target=I32,
+    nonce=U32,
+    origin=I32,
+    send_time=F64,
+    updates=st.lists(swim_updates, max_size=8).map(tuple),
+)
+
+swim_acks = st.builds(
+    SwimAckMessage,
+    sender_node=I32,
+    dest_node=I32,
+    nonce=U32,
+    incarnation=U32,
+    echo_send_time=F64,
+    updates=st.lists(swim_updates, max_size=8).map(tuple),
+)
+
 any_message = st.one_of(
     batch_frames, hello_messages, accuse_messages, rate_messages,
-    lease_requests, lease_replies,
+    lease_requests, lease_replies, swim_pings, swim_ping_reqs, swim_acks,
 )
 
 

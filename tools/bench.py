@@ -22,6 +22,11 @@ profiles and a machine-calibration score, for both the ``full`` and the
     # Where is the time going?  cProfile of the heartbeat cell.
     PYTHONPATH=src python tools/bench.py --profile
 
+    # How does membership wire cost scale with cluster size?  Runs the
+    # LAN cell at n ∈ {25, 50, 100} under both membership planes and
+    # prints wire bytes per node per virtual second.
+    PYTHONPATH=src python tools/bench.py --scaling
+
 See :mod:`benchmarks.bench_core` for what the cells and measurements mean.
 """
 
@@ -44,6 +49,7 @@ from benchmarks.bench_core import (  # noqa: E402
     build_system,
     compare_results,
     run_core_bench,
+    run_scaling_report,
 )
 
 BASELINE_PATH = ROOT / "BENCH_core.json"
@@ -152,6 +158,19 @@ def main(argv=None) -> int:
         help="cProfile one cell (default: heartbeat) and exit",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="wire-bytes-per-node-per-second at n in {25,50,100} for both "
+        "membership planes (all_pairs vs swim), then exit",
+    )
+    parser.add_argument(
+        "--scaling-duration",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="virtual-seconds horizon per --scaling run (default 30)",
+    )
+    parser.add_argument(
         "--profile-out",
         type=Path,
         default=None,
@@ -161,6 +180,22 @@ def main(argv=None) -> int:
         "cell); alone it implies a measured run",
     )
     args = parser.parse_args(argv)
+
+    if args.scaling:
+        print(
+            f"membership wire scaling, {args.scaling_duration:.0f} virtual s "
+            "per point (bytes/node/s):"
+        )
+        report = run_scaling_report(
+            duration=args.scaling_duration,
+            progress=lambda line: print(line, flush=True),
+        )
+        sizes = sorted(next(iter(report.values())))
+        if "all_pairs" in report and "swim" in report:
+            for n in sizes:
+                ratio = report["swim"][n] / report["all_pairs"][n]
+                print(f"n={n}: swim costs {ratio * 100:.1f}% of all_pairs per node")
+        return 0
 
     if args.profile and not (args.check or args.update):
         return _profile(args.profile, args.profile_out)
